@@ -1,0 +1,63 @@
+// Command magis-bench regenerates the paper's evaluation tables and
+// figures (Table 2, Figs. 9-16) on the simulated substrate.
+//
+// Usage:
+//
+//	magis-bench [-scale 0.25] [-budget 5s] table2 fig9 fig10 ... | all
+//
+// At -scale 1 and -budget 3m this is the paper's configuration; smaller
+// values trade fidelity for runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"magis/internal/expr"
+)
+
+func main() {
+	var (
+		scale  = flag.Float64("scale", 1, "workload batch scale factor (paper: 1)")
+		budget = flag.Duration("budget", 5*time.Second, "MAGIS search budget per run (paper: 3m)")
+	)
+	flag.Parse()
+	cfg := expr.Config{Scale: *scale, Budget: *budget}
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"table2"}
+	}
+	if len(targets) == 1 && targets[0] == "all" {
+		targets = []string{"table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
+	}
+	for _, t := range targets {
+		start := time.Now()
+		switch t {
+		case "table2":
+			fmt.Print(expr.RenderTable2(expr.Table2(cfg)))
+		case "fig9":
+			fmt.Print(expr.RenderFig9(expr.Fig9(cfg, nil, nil)))
+		case "fig10":
+			fmt.Print(expr.RenderFig10(expr.Fig10(cfg, nil, nil)))
+		case "fig11":
+			fmt.Print(expr.RenderFig11(expr.Fig11(cfg, nil, nil)))
+		case "fig12":
+			fmt.Print(expr.RenderFig12(expr.Fig12(cfg, nil, nil, nil)))
+		case "fig13":
+			fmt.Print(expr.RenderFig13(expr.Fig13(cfg, nil)))
+		case "fig14":
+			fmt.Print(expr.RenderFig14(expr.Summarize(expr.Fig14(cfg, 10, 10))))
+		case "fig15":
+			fmt.Print(expr.RenderFig15(expr.Fig15(cfg, nil)))
+		case "fig16":
+			fmt.Print(expr.RenderFig16(expr.Fig16(cfg, nil)))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown target %q\n", t)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %v)\n\n", t, time.Since(start).Round(time.Millisecond))
+	}
+}

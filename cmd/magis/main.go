@@ -1,0 +1,142 @@
+// Command magis optimizes one workload's training graph under a memory or
+// latency constraint and prints the result, mirroring the optimization
+// modes of §6.2.
+//
+// Usage:
+//
+//	magis -model bert -mode mem -limit 0.10 -budget 30s
+//	magis -model unet -mode latency -limit 0.6 -budget 1m
+//
+// With -mode mem, -limit is the allowed latency overhead (0.10 = +10%) and
+// peak memory is minimized; with -mode latency, -limit is the memory ratio
+// vs the unoptimized baseline (0.6 = 60%) and latency is minimized.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"magis/internal/codegen"
+	"magis/internal/cost"
+	"magis/internal/models"
+	"magis/internal/opt"
+	"magis/internal/sched"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "mlp", "workload: resnet|bert|vit|unet|unetpp|gptneo|btlm|mlp")
+		scale  = flag.Float64("scale", 1, "batch-size scale factor (0,1]")
+		mode   = flag.String("mode", "mem", "optimize: mem (under latency limit) | latency (under memory limit)")
+		limit  = flag.Float64("limit", 0.10, "constraint: latency overhead for -mode mem, memory ratio for -mode latency")
+		budget = flag.Duration("budget", 10*time.Second, "search time budget (paper: 3m)")
+		level  = flag.Int("L", 4, "F-Tree max level")
+		emit   = flag.String("emit", "", "write a PyTorch script for the optimized graph to this path")
+	)
+	flag.Parse()
+
+	w, err := workload(*model, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m := cost.NewModel(cost.RTX3090())
+	base := opt.Baseline(w.G, m)
+	fmt.Printf("workload: %s (%d nodes)\n", w, w.G.Len())
+	fmt.Printf("baseline: peak %.2f GB, latency %.2f ms\n",
+		gb(base.PeakMem), base.Latency*1e3)
+
+	o := opt.Options{TimeBudget: *budget, MaxLevel: *level}
+	switch *mode {
+	case "mem":
+		o.Mode = opt.MemoryUnderLatency
+		o.LatencyLimit = base.Latency * (1 + *limit)
+		fmt.Printf("goal: minimize memory, latency <= +%.0f%%\n", 100**limit)
+	case "latency":
+		o.Mode = opt.LatencyUnderMemory
+		o.MemLimit = int64(*limit * float64(base.PeakMem))
+		fmt.Printf("goal: minimize latency, memory <= %.0f%% (%.2f GB)\n", 100**limit, gb(o.MemLimit))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q\n", *mode)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	res, err := opt.Optimize(w.G, m, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	best := res.Best
+	fmt.Printf("\noptimized in %v (%d iterations, %d transformations, %d duplicates filtered)\n",
+		time.Since(start).Round(time.Millisecond), res.Stats.Iterations, res.Stats.Trans, res.Stats.Filtered)
+	fmt.Printf("result:   peak %.2f GB (%.0f%% of baseline), latency %.2f ms (%+.1f%%)\n",
+		gb(best.PeakMem), 100*float64(best.PeakMem)/float64(base.PeakMem),
+		best.Latency*1e3, 100*(best.Latency/base.Latency-1))
+	enabled := best.FT.EnabledNodes()
+	fmt.Printf("fission:  %d region(s) enabled", len(enabled))
+	for _, n := range enabled {
+		fmt.Printf("  [|S|=%d n=%d]", len(n.T.S), n.N)
+	}
+	fmt.Println()
+	fmt.Println("\nconvergence:")
+	for _, h := range res.History {
+		fmt.Printf("  t=%-10v peak %.2f GB  latency %.2f ms\n",
+			h.Elapsed.Round(time.Millisecond), gb(h.PeakMem), h.Latency*1e3)
+	}
+
+	if *emit != "" {
+		mg, err := best.FT.Materialize(best.G)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "materialize for codegen: %v (emitting without fission)\n", err)
+			mg = best.G.Clone()
+		}
+		sc := &sched.Scheduler{}
+		src, err := codegen.PyTorch(mg, sc.ScheduleGraph(mg), codegen.Options{
+			Label: fmt.Sprintf("%s (%s mode, limit %.2f)", w.Name, *mode, *limit),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*emit, []byte(src), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nPyTorch script written to %s\n", *emit)
+	}
+}
+
+func gb(b int64) float64 { return float64(b) / (1 << 30) }
+
+func workload(name string, scale float64) (*models.Workload, error) {
+	b := func(n int) int {
+		s := int(float64(n) * scale)
+		if s < 1 {
+			return 1
+		}
+		return s
+	}
+	switch strings.ToLower(name) {
+	case "resnet", "resnet50":
+		return models.ResNet50(b(64), 224), nil
+	case "bert":
+		return models.BERTBase(b(32), 512), nil
+	case "vit":
+		return models.ViTBase(b(64), 224, 16), nil
+	case "unet":
+		return models.UNet(b(32), 256), nil
+	case "unetpp", "unet++":
+		return models.UNetPP(b(16), 256), nil
+	case "gptneo", "gpt-neo":
+		return models.GPTNeo13B(b(32), 512), nil
+	case "btlm":
+		return models.BTLM3B(b(32), 512), nil
+	case "mlp":
+		return models.MLP(b(8192), 256, 512, 10, 4), nil
+	}
+	return nil, fmt.Errorf("unknown model %q", name)
+}

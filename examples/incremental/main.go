@@ -1,0 +1,57 @@
+// Incremental scheduling example (the §7.3 study): after each graph
+// transformation, Algorithm 2 reschedules only the narrow-waist-bounded
+// interval around the mutation instead of the whole graph, and almost
+// always lands on the same peak memory an order of magnitude faster.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"magis/internal/models"
+	"magis/internal/rules"
+	"magis/internal/sched"
+)
+
+func main() {
+	w := models.RandomNASNet(7, 8, 24, 24, 4)
+	g := w.G
+	fmt.Printf("random NASNet-like DNN: %d operators\n\n", g.Len())
+
+	sc := &sched.Scheduler{}
+	psi := sc.ScheduleGraph(g)
+	fmt.Printf("%-6s %-14s %12s %12s %9s %8s\n",
+		"round", "rule", "full-sched", "incremental", "speedup", "quality")
+
+	for round := 1; round <= 8; round++ {
+		prof := sched.Simulate(g, psi)
+		ctx := &rules.Context{Hot: prof.Hotspots, MaxSites: 2, UseHotFilter: true}
+		var app *rules.Application
+		for _, r := range rules.All() {
+			if apps := r.Apply(g, ctx); len(apps) > 0 {
+				app = &apps[0]
+				break
+			}
+		}
+		if app == nil {
+			fmt.Println("no applicable transformation; stopping")
+			break
+		}
+
+		t0 := time.Now()
+		full := sc.ScheduleGraph(app.Graph)
+		tFull := time.Since(t0)
+
+		t1 := time.Now()
+		inc, n := sc.Incremental(g, app.Graph, app.OldMutated, psi)
+		tInc := time.Since(t1)
+
+		pFull := sched.PeakOnly(app.Graph, full)
+		pInc := sched.PeakOnly(app.Graph, inc)
+		fmt.Printf("%-6d %-14s %12v %12v %8.1fx %8.3f  (%d ops rescheduled)\n",
+			round, app.Rule, tFull.Round(time.Microsecond), tInc.Round(time.Microsecond),
+			float64(tFull)/float64(tInc), float64(pInc)/float64(pFull), n)
+
+		g, psi = app.Graph, inc
+	}
+}

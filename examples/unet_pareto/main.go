@@ -1,0 +1,49 @@
+// U-Net Pareto example: trace the memory/latency trade-off curve of a
+// U-Net training step (the Fig. 11/16 case study). U-Net's long skip
+// connections give activations very long lifetimes, which is exactly the
+// structure where coordinated fission + swapping beats scheduling alone.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"magis"
+	"magis/internal/baselines"
+	"magis/internal/models"
+)
+
+func main() {
+	w := models.UNetConfig(4, 128, 32, 4)
+	m := magis.NewModel(magis.RTX3090())
+	base := magis.Baseline(w.G, m)
+	fmt.Printf("workload: %s\n", w)
+	fmt.Printf("baseline: peak %.2f GB, latency %.1f ms\n\n",
+		float64(base.PeakMem)/(1<<30), base.Latency*1e3)
+
+	ratios := []float64{0.8, 0.6, 0.4}
+	fmt.Println("MAGIS Pareto sweep:")
+	pts, err := magis.Sweep(w.G, m, ratios, 3*time.Second, magis.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("  memory %.0f%%  latency %+.1f%%\n", 100*p.MemRatio, 100*p.LatOverhead)
+	}
+
+	fmt.Println("\nbaselines at the same limits:")
+	for _, o := range []baselines.Optimizer{baselines.POFO{}, baselines.DTR{}, baselines.XLA{}} {
+		for _, r := range ratios {
+			limit := int64(r * float64(base.PeakMem))
+			res := o.OptimizeMem(w.G, m, limit)
+			if !res.OK {
+				fmt.Printf("  %-5s @%2.0f%%: FAILURE\n", o.Name(), 100*r)
+				continue
+			}
+			fmt.Printf("  %-5s @%2.0f%%: memory %.0f%%  latency %+.1f%%\n",
+				o.Name(), 100*r,
+				100*float64(res.PeakMem)/float64(base.PeakMem),
+				100*(res.Latency/base.Latency-1))
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module magis
+
+go 1.22

@@ -1,0 +1,154 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"magis/internal/cost"
+	"magis/internal/graph"
+	"magis/internal/models"
+)
+
+func model() *cost.Model { return cost.NewModel(cost.RTX3090()) }
+
+func testGraph() *graph.Graph { return models.MLP(4096, 256, 512, 10, 4).G }
+
+func TestPyTorchUnconstrained(t *testing.T) {
+	g := testGraph()
+	r := (PyTorch{}).OptimizeMem(g, model(), math.MaxInt64)
+	if !r.OK || r.PeakMem <= 0 || r.Latency <= 0 {
+		t.Fatalf("bad baseline result: %+v", r)
+	}
+	tight := (PyTorch{}).OptimizeMem(g, model(), r.PeakMem/2)
+	if tight.OK {
+		t.Error("PyTorch cannot meet a tighter limit")
+	}
+}
+
+func TestCompilerBaselinesAreFaster(t *testing.T) {
+	g := testGraph()
+	m := model()
+	pt := (PyTorch{}).OptimizeMem(g, m, math.MaxInt64)
+	tvm := (TVM{}).OptimizeMem(g, m, math.MaxInt64)
+	ti := (TorchInductor{}).OptimizeMem(g, m, math.MaxInt64)
+	if tvm.Latency >= pt.Latency || ti.Latency >= tvm.Latency {
+		t.Errorf("fusion ordering wrong: pt=%g tvm=%g ti=%g", pt.Latency, tvm.Latency, ti.Latency)
+	}
+	if tvm.PeakMem != pt.PeakMem {
+		t.Error("TVM performs only basic memory saving")
+	}
+}
+
+func TestXLAMeetsModerateLimit(t *testing.T) {
+	g := testGraph()
+	m := model()
+	pt := (PyTorch{}).OptimizeMem(g, m, math.MaxInt64)
+	limit := int64(float64(pt.PeakMem) * 0.8)
+	r := (XLA{}).OptimizeMem(g, m, limit)
+	if !r.OK {
+		t.Fatalf("XLA failed at 80%%: %+v", r)
+	}
+	if r.PeakMem > limit {
+		t.Errorf("limit violated: %d > %d", r.PeakMem, limit)
+	}
+	if r.Latency < pt.Latency {
+		t.Error("rematerialization cannot be free")
+	}
+}
+
+func TestDTRMeetsModerateLimit(t *testing.T) {
+	g := testGraph()
+	m := model()
+	pt := (PyTorch{}).OptimizeMem(g, m, math.MaxInt64)
+	limit := int64(float64(pt.PeakMem) * 0.7)
+	r := (DTR{}).OptimizeMem(g, m, limit)
+	if !r.OK {
+		t.Fatalf("DTR failed at 70%%: %+v", r)
+	}
+	if r.PeakMem > limit {
+		t.Errorf("limit violated: %d > %d", r.PeakMem, limit)
+	}
+	if r.Latency <= pt.Latency*0.99 {
+		t.Errorf("DTR latency %g suspiciously below baseline %g", r.Latency, pt.Latency)
+	}
+	// Tighter limit: more recomputation, more latency.
+	r2 := (DTR{}).OptimizeMem(g, m, int64(float64(pt.PeakMem)*0.5))
+	if r2.OK && r2.Latency < r.Latency {
+		t.Error("tighter limit should not be faster")
+	}
+}
+
+func TestDTRImpossibleLimit(t *testing.T) {
+	g := testGraph()
+	r := (DTR{}).OptimizeMem(g, model(), 1024) // 1 KB: hopeless
+	if r.OK {
+		t.Error("DTR met an impossible limit")
+	}
+}
+
+func TestPOFOMeetsModerateLimit(t *testing.T) {
+	g := testGraph()
+	m := model()
+	pt := (PyTorch{}).OptimizeMem(g, m, math.MaxInt64)
+	limit := int64(float64(pt.PeakMem) * 0.7)
+	r := (POFO{}).OptimizeMem(g, m, limit)
+	if !r.OK {
+		t.Fatalf("POFO failed at 70%%: %+v", r)
+	}
+	if r.PeakMem > limit {
+		t.Errorf("limit violated: %d > %d", r.PeakMem, limit)
+	}
+}
+
+func TestMinimizeMemUnderLatency(t *testing.T) {
+	g := testGraph()
+	m := model()
+	pt := (PyTorch{}).OptimizeMem(g, m, math.MaxInt64)
+	r := MinimizeMemUnderLatency(DTR{}, g, m, pt.Latency*1.10)
+	if !r.OK {
+		t.Fatal("DTR found nothing under +10% latency")
+	}
+	if r.Latency > pt.Latency*1.10 {
+		t.Error("latency bound violated")
+	}
+	if r.PeakMem >= pt.PeakMem {
+		t.Error("no memory saved")
+	}
+}
+
+func TestMicroBatchSplit(t *testing.T) {
+	g := testGraph()
+	ng, err := SplitBatch(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.Len() <= g.Len() {
+		t.Error("micro-batching should expand the graph")
+	}
+	m := model()
+	pt := (PyTorch{}).OptimizeMem(g, m, math.MaxInt64)
+	mb := (PyTorch{}).OptimizeMem(ng, m, math.MaxInt64)
+	if mb.PeakMem >= pt.PeakMem {
+		t.Errorf("micro-batching did not reduce memory: %d vs %d", mb.PeakMem, pt.PeakMem)
+	}
+	if mb.Latency <= pt.Latency {
+		t.Error("micro-batching cannot be free")
+	}
+}
+
+func TestMicroBatchPOFOComposition(t *testing.T) {
+	g := testGraph()
+	m := model()
+	pt := (PyTorch{}).OptimizeMem(g, m, math.MaxInt64)
+	limit := int64(float64(pt.PeakMem) * 0.4)
+	plain := (POFO{}).OptimizeMem(g, m, limit)
+	mb := (MicroBatch{Inner: POFO{}, Factor: 4}).OptimizeMem(g, m, limit)
+	if !mb.OK {
+		t.Fatal("POFO(mb=4) failed at 40%")
+	}
+	// Fig. 12's point: micro-batching extends POFO's reach under tight
+	// limits (plain POFO may fail or pay more).
+	if plain.OK && mb.PeakMem > plain.PeakMem && mb.Latency > plain.Latency {
+		t.Error("micro-batching should help under tight limits")
+	}
+}

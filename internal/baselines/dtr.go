@@ -1,0 +1,186 @@
+package baselines
+
+import (
+	"magis/internal/cost"
+	"magis/internal/graph"
+	"magis/internal/ops"
+	"magis/internal/sched"
+)
+
+// DTR models Dynamic Tensor Rematerialization (Kirisame et al., ICLR'21):
+// a runtime that executes the program order under a hard memory cap,
+// evicting the tensor with the smallest heuristic value
+//
+//	h(t) = cost(t) / (size(t) * staleness(t))
+//
+// on allocation failure, and transparently recomputing evicted tensors
+// (recursively) when an operator needs them. Latency accumulates every
+// recomputation. A runaway recomputation cascade — the paper's "DTR's
+// processes take too long" failure — is reported as OK = false.
+type DTR struct{}
+
+// Name implements Optimizer.
+func (DTR) Name() string { return "DTR" }
+
+// OptimizeMem implements Optimizer.
+func (DTR) OptimizeMem(g *graph.Graph, m *cost.Model, memLimit int64) Result {
+	order := g.Topo()
+	st := &dtrState{
+		g:           g,
+		m:           m,
+		limit:       memLimit,
+		resident:    make(map[graph.NodeID]bool),
+		lastUse:     make(map[graph.NodeID]int),
+		remaining:   make(map[graph.NodeID]int),
+		budget:      20 * len(order), // recompute cascade cap ("takes too long")
+		evictBudget: 20 * len(order),
+	}
+	for _, v := range order {
+		st.remaining[v] = len(g.Suc(v))
+	}
+	for _, v := range order {
+		if !st.execute(v) {
+			return Result{0, 0, false}
+		}
+		// Basic memory saving: free tensors with no future uses.
+		for _, u := range g.Pre(v) {
+			st.remaining[u]--
+			if st.remaining[u] == 0 && st.resident[u] {
+				st.free(u)
+			}
+		}
+	}
+	if st.peak > memLimit {
+		return Result{st.peak, st.latency, false}
+	}
+	return Result{st.peak, st.latency, true}
+}
+
+type dtrState struct {
+	g     *graph.Graph
+	m     *cost.Model
+	limit int64
+
+	resident    map[graph.NodeID]bool
+	lastUse     map[graph.NodeID]int
+	remaining   map[graph.NodeID]int
+	bytes       int64
+	peak        int64
+	clock       int
+	latency     float64
+	budget      int
+	evictBudget int
+}
+
+func (st *dtrState) size(v graph.NodeID) int64 {
+	return sched.OutDeviceBytes(st.g.Node(v))
+}
+
+// execute materializes v's output, recomputing evicted inputs first, then
+// frees recomputed temporaries that have no remaining program uses.
+func (st *dtrState) execute(v graph.NodeID) bool {
+	if !st.compute(v, make(map[graph.NodeID]int)) {
+		return false
+	}
+	for t := range st.resident {
+		if st.resident[t] && st.remaining[t] == 0 && len(st.g.Suc(t)) > 0 && t != v {
+			st.free(t)
+		}
+	}
+	return true
+}
+
+// compute recursively materializes v. pinned is a reference-counted set of
+// tensors locked by the active recursion frames: each frame pins its
+// operands only while it runs, so siblings stay evictable (DTR's argument
+// locking).
+func (st *dtrState) compute(v graph.NodeID, pinned map[graph.NodeID]int) bool {
+	if st.budget--; st.budget < 0 {
+		return false
+	}
+	node := st.g.Node(v)
+	pinned[v]++
+	defer unpin(pinned, v)
+	preds := st.g.Pre(v)
+	pinnedHere := 0
+	defer func() {
+		for _, u := range preds[:pinnedHere] {
+			unpin(pinned, u)
+		}
+	}()
+	for _, u := range preds {
+		if !st.resident[u] {
+			if ops.IsLeaf(st.g.Node(u).Op.Kind()) {
+				// Weights/inputs reload from host storage.
+				if !st.alloc(st.size(u), pinned) {
+					return false
+				}
+				st.resident[u] = true
+				st.bytes += st.size(u)
+				st.latency += st.m.TransferLatency(st.size(u))
+			} else if !st.compute(u, pinned) {
+				return false
+			}
+		}
+		pinned[u]++
+		pinnedHere++
+		st.touch(u)
+	}
+	if !st.alloc(st.size(v), pinned) {
+		return false
+	}
+	st.latency += st.m.NodeLatency(node)
+	st.clock++
+	st.resident[v] = true
+	st.bytes += st.size(v)
+	if st.bytes > st.peak {
+		st.peak = st.bytes
+	}
+	st.touch(v)
+	return true
+}
+
+func unpin(pinned map[graph.NodeID]int, v graph.NodeID) {
+	if pinned[v]--; pinned[v] <= 0 {
+		delete(pinned, v)
+	}
+}
+
+func (st *dtrState) touch(v graph.NodeID) { st.lastUse[v] = st.clock }
+
+func (st *dtrState) free(v graph.NodeID) {
+	if st.resident[v] {
+		delete(st.resident, v)
+		st.bytes -= st.size(v)
+	}
+}
+
+// alloc makes room for need bytes, evicting by the DTR heuristic.
+func (st *dtrState) alloc(need int64, pinned map[graph.NodeID]int) bool {
+	for st.bytes+need > st.limit {
+		victim := graph.Invalid
+		bestH := 0.0
+		for t := range st.resident {
+			if !st.resident[t] || pinned[t] > 0 {
+				continue
+			}
+			if ops.IsLeaf(st.g.Node(t).Op.Kind()) {
+				continue // not recomputable
+			}
+			staleness := float64(st.clock-st.lastUse[t]) + 1
+			h := st.m.NodeLatency(st.g.Node(t)) / (float64(st.size(t)) * staleness)
+			if victim == graph.Invalid || h < bestH {
+				victim = t
+				bestH = h
+			}
+		}
+		if victim == graph.Invalid {
+			return false
+		}
+		if st.evictBudget--; st.evictBudget < 0 {
+			return false // thrashing: the paper's "takes too long" failure
+		}
+		st.free(victim)
+	}
+	return true
+}

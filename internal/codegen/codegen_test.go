@@ -1,0 +1,171 @@
+package codegen
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"magis/internal/graph"
+	"magis/internal/models"
+	"magis/internal/ops"
+	"magis/internal/sched"
+	"magis/internal/tensor"
+)
+
+func TestEmitMLPTrainingScript(t *testing.T) {
+	w := models.MLP(8, 16, 32, 10, 2)
+	src, err := PyTorch(w.G, w.G.Topo(), Options{Label: "mlp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"import torch",
+		"def step():",
+		"torch.matmul",    // Linear
+		"F.cross_entropy", // loss
+		"torch.einsum",    // LinearBwdW
+		"1e-4 *",          // ApplySGD
+		"del t",           // basic memory saving
+		"max_memory_allocated",
+		"def main():",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("script missing %q", want)
+		}
+	}
+	if strings.Contains(src, "TODO: unknown operator") {
+		t.Error("script contains unhandled operators")
+	}
+}
+
+func TestEmitAllWorkloadOperatorsCovered(t *testing.T) {
+	// Every operator appearing in the full workload suite must have an
+	// emission rule (no TODO fallbacks).
+	for _, w := range models.SmallSuite() {
+		src, err := PyTorch(w.G, w.G.Topo(), Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if i := strings.Index(src, "TODO: unknown operator"); i >= 0 {
+			end := i + 60
+			if end > len(src) {
+				end = len(src)
+			}
+			t.Errorf("%s: unhandled operator: ...%s...", w.Name, src[i:end])
+		}
+	}
+}
+
+func TestEmitSwapUsesSideStream(t *testing.T) {
+	g := graph.New()
+	sh := tensor.S(64, 64)
+	x := g.Add(ops.NewInput(sh, tensor.F32))
+	st := g.Add(ops.NewStore(sh, tensor.F32), x)
+	ld := g.Add(ops.NewLoad(sh, tensor.F32), st)
+	g.Add(ops.NewReLU(sh, tensor.F32), ld)
+	src, err := PyTorch(g, g.Topo(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"torch.cuda.stream(copy_stream)",
+		".to('cpu', non_blocking=True)",
+		"wait_stream(copy_stream)",
+		"torch.cuda.Event()",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("swap codegen missing %q", want)
+		}
+	}
+}
+
+func TestEmitRespectsScheduleOrder(t *testing.T) {
+	g := graph.New()
+	sh := tensor.S(4, 4)
+	x := g.Add(ops.NewInput(sh, tensor.F32))
+	a := g.Add(ops.NewReLU(sh, tensor.F32), x)
+	b := g.Add(ops.NewGELU(sh, tensor.F32), x)
+	g.Add(ops.NewAdd(sh, sh, tensor.F32), a, b)
+	// Schedule b before a; emission must follow.
+	order := sched.Schedule{x, b, a, g.Outputs()[0]}
+	src, err := PyTorch(g, order, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia := strings.Index(src, "torch.relu")
+	ib := strings.Index(src, "F.gelu")
+	if ia < 0 || ib < 0 || ib > ia {
+		t.Errorf("emission order does not follow schedule (relu@%d gelu@%d)", ia, ib)
+	}
+}
+
+func TestEmitRejectsInvalidSchedule(t *testing.T) {
+	g := graph.New()
+	x := g.Add(ops.NewInput(tensor.S(4), tensor.F32))
+	a := g.Add(ops.NewReLU(tensor.S(4), tensor.F32), x)
+	if _, err := PyTorch(g, sched.Schedule{a, x}, Options{}); err == nil {
+		t.Error("invalid schedule accepted")
+	}
+}
+
+func TestEmitIndexTensorsAreLong(t *testing.T) {
+	g := graph.New()
+	ids := g.Add(ops.NewInput(tensor.S(4, 8), tensor.F32))
+	table := g.Add(ops.NewParam(tensor.S(100, 16), tensor.F32))
+	g.Add(ops.NewEmbedding(tensor.S(4, 8), tensor.S(100, 16), tensor.F32), ids, table)
+	src, err := PyTorch(g, g.Topo(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "dtype=torch.long") {
+		t.Error("embedding indices must be integer tensors")
+	}
+}
+
+func TestEmitFreesDeadTensors(t *testing.T) {
+	w := models.MLP(8, 16, 32, 10, 2)
+	src, err := PyTorch(w.G, w.G.Topo(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(src, "del ") < 3 {
+		t.Error("too few frees for a training graph")
+	}
+	// Outputs must not be freed (they are returned).
+	lines := strings.Split(src, "\n")
+	var returned string
+	for _, l := range lines {
+		if strings.Contains(l, "return (") {
+			returned = l
+		}
+	}
+	if returned == "" {
+		t.Fatal("no return statement")
+	}
+}
+
+func TestEmittedScriptIsValidPython(t *testing.T) {
+	if _, err := exec.LookPath("python3"); err != nil {
+		t.Skip("python3 not available")
+	}
+	for _, w := range []*models.Workload{
+		models.MLP(8, 16, 32, 10, 2),
+		models.UNetConfig(1, 32, 8, 2),
+	} {
+		src, err := PyTorch(w.G, w.G.Topo(), Options{Label: w.Name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		path := filepath.Join(dir, "gen.py")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := exec.Command("python3", "-m", "py_compile", path).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s: emitted script does not compile: %v\n%s", w.Name, err, out)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"magis/internal/graph"
+	"magis/internal/ops"
+)
+
+// emitOp writes the Python statement computing node v.
+func (e *emitter) emitOp(v graph.NodeID) {
+	n := e.g.Node(v)
+	spec, ok := n.Op.(*ops.Spec)
+	if !ok {
+		e.pf("    %s = None  # non-operator payload %q\n", name(v), n.Op.Kind())
+		return
+	}
+	in := func(i int) string { return name(n.Ins[i]) }
+	out := name(v)
+	kind := spec.Kind()
+	attr := spec.Attr()
+
+	switch kind {
+	case ops.KindMatmul, ops.KindBatchMM, "Linear":
+		a, b := in(0), in(1)
+		switch attr {
+		case "NT":
+			b += ".transpose(-1, -2)"
+		case "TN", "T":
+			if kind == "Linear" {
+				b += ".t()"
+			} else {
+				a += ".transpose(-1, -2)"
+			}
+		}
+		e.pf("    %s = torch.matmul(%s, %s)\n", out, a, b)
+	case "LinearBwdW":
+		e.pf("    %s = torch.einsum('...i,...j->ij', %s, %s)\n", out, in(0), in(1))
+	case ops.KindConv2d:
+		s, p := convAttr(attr)
+		e.pf("    %s = F.conv2d(%s, %s, stride=%d, padding=%d)\n", out, in(0), in(1), s, p)
+	case "ConvBwdData":
+		s, p := convAttr(attr)
+		e.pf("    %s = torch.nn.grad.conv2d_input(%s, %s, %s, stride=%d, padding=%d)\n",
+			out, pyShape(spec.OutShape()), in(1), in(0), s, p)
+	case "ConvBwdFilter":
+		s, p := convAttr(attr)
+		e.pf("    %s = torch.nn.grad.conv2d_weight(%s, %s, %s, stride=%d, padding=%d)\n",
+			out, in(0), pyShape(spec.OutShape()), in(1), s, p)
+	case ops.KindPool2d:
+		pk, k, s := poolAttr(attr)
+		fn := "F.max_pool2d"
+		if pk == "avg" {
+			fn = "F.avg_pool2d"
+		}
+		e.pf("    %s = %s(%s, kernel_size=%d, stride=%d)\n", out, fn, in(0), k, s)
+	case "PoolBwd":
+		_, k, _ := poolAttr(attr)
+		// Surrogate: redistribute the gradient uniformly over the window.
+		e.pf("    %s = F.interpolate(%s, size=%s[2:], mode='nearest') / %d  # surrogate PoolBwd\n",
+			out, in(1), in(0)+".shape", k*k)
+	case "Upsample2d":
+		f := intAttr(attr, "f%d")
+		e.pf("    %s = F.interpolate(%s, scale_factor=%d, mode='nearest')\n", out, in(0), f)
+	case "UpsampleBwd":
+		f := intAttr(attr, "f%d")
+		e.pf("    %s = F.avg_pool2d(%s, %d) * %d  # gradient of nearest upsample\n", out, in(0), f, f*f)
+	case "ReLU":
+		e.pf("    %s = torch.relu(%s)\n", out, in(0))
+	case "GELU":
+		e.pf("    %s = F.gelu(%s)\n", out, in(0))
+	case "Tanh":
+		e.pf("    %s = torch.tanh(%s)\n", out, in(0))
+	case "Sigmoid":
+		e.pf("    %s = torch.sigmoid(%s)\n", out, in(0))
+	case "Dropout":
+		e.pf("    %s = F.dropout(%s, p=0.1, training=True)\n", out, in(0))
+	case "Scale":
+		e.pf("    %s = %s * 0.125\n", out, in(0))
+	case "Add":
+		e.pf("    %s = %s + %s\n", out, in(0), in(1))
+	case "Mul":
+		e.pf("    %s = %s * %s\n", out, in(0), in(1))
+	case "BiasAdd":
+		e.pf("    %s = %s + %s\n", out, in(0), in(1))
+	case ops.KindSoftmax:
+		axis := intAttr(attr, "a%d")
+		e.pf("    %s = F.softmax(%s, dim=%d)\n", out, in(0), axis-1)
+	case "SoftmaxBwd":
+		axis := intAttr(attr, "a%d")
+		e.pf("    %s = (%s - (%s * %s).sum(dim=%d, keepdim=True)) * %s\n",
+			out, in(1), in(1), in(0), axis-1, in(0))
+	case ops.KindLayerNorm:
+		c := spec.InShape(1).Dim(1)
+		e.pf("    %s = F.layer_norm(%s, (%d,), %s, %s)\n", out, in(0), c, in(1), in(2))
+	case "LayerNormBwdX":
+		// Surrogate with matching arithmetic volume.
+		e.pf("    %s = (%s - %s.mean(dim=-1, keepdim=True)) * %s  # surrogate LayerNormBwdX\n",
+			out, in(1), in(1), in(2))
+	case "LayerNormBwdP":
+		e.pf("    %s = (%s * %s).reshape(-1, %s.shape[-1]).sum(dim=0)  # d(gamma)\n",
+			out, in(0), in(1), in(0))
+	case "BiasBwd":
+		e.pf("    %s = %s.reshape(-1, %s.shape[-1]).sum(dim=0)\n", out, in(0), in(0))
+	case "BatchNorm2d":
+		e.pf("    %s = F.batch_norm(%s, None, None, weight=%s, training=True)\n", out, in(0), in(1))
+	case "BatchNormBwdX":
+		e.pf("    %s = %s - %s.mean(dim=(0, 2, 3), keepdim=True)  # surrogate BatchNormBwdX\n",
+			out, in(1), in(1))
+	case "BatchNormBwdP":
+		e.pf("    %s = (%s * %s).sum(dim=(0, 2, 3))  # d(gamma)\n", out, in(0), in(1))
+	case "ReLUBwd", "GELUBwd", "TanhBwd", "SigmoidBwd", "DropoutBwd", "ScaleBwd":
+		e.pf("    %s = %s * (%s > 0).to(%s.dtype)  # surrogate %s\n", out, in(1), in(0), in(1), kind)
+	case ops.KindReduce:
+		rk, axis := reduceAttr(attr)
+		fn := "sum"
+		if rk == "Mean" {
+			fn = "mean"
+		}
+		e.pf("    %s = %s.%s(dim=%d)\n", out, in(0), fn, axis-1)
+	case "Broadcast":
+		var axis, extent int
+		fmt.Sscanf(attr, "a%d,n%d", &axis, &extent)
+		e.pf("    %s = %s.unsqueeze(%d).expand(%s).contiguous()\n",
+			out, in(0), axis-1, pyShape(spec.OutShape()))
+	case ops.KindSlice:
+		dim, start, length, _ := ops.ParseSliceAttr(spec)
+		e.pf("    %s = %s.narrow(%d, %d, %d)\n", out, in(0), dim-1, start, length)
+	case "Pad":
+		var dim, start, total int
+		fmt.Sscanf(attr, "d%d,%d+%d", &dim, &start, &total)
+		l := spec.InShape(0).Dim(dim)
+		e.pf("    %s = torch.zeros(%s, dtype=%s.dtype, device=dev); %s.narrow(%d, %d, %d).copy_(%s)\n",
+			out, pyShape(spec.OutShape()), in(0), out, dim-1, start, l, in(0))
+	case ops.KindConcat:
+		var dim, cnt int
+		fmt.Sscanf(attr, "d%d,n%d", &dim, &cnt)
+		parts := make([]string, len(n.Ins))
+		for i := range n.Ins {
+			parts[i] = in(i)
+		}
+		e.pf("    %s = torch.cat([%s], dim=%d)\n", out, strings.Join(parts, ", "), dim-1)
+	case ops.KindTranspose:
+		perm := strings.Trim(strings.TrimPrefix(attr, "p"), "[]")
+		e.pf("    %s = %s.permute(%s).contiguous()\n", out, in(0), strings.Join(strings.Fields(perm), ", "))
+	case ops.KindReshape:
+		e.pf("    %s = %s.reshape(%s)\n", out, in(0), pyShape(spec.OutShape()))
+	case "SplitHeads":
+		o := spec.OutShape()
+		e.pf("    %s = %s.view(%d, %d, %d, %d).permute(0, 2, 1, 3).contiguous()\n",
+			out, in(0), o[0], o[2], o[1], o[3])
+	case "MergeHeads":
+		o := spec.OutShape()
+		e.pf("    %s = %s.permute(0, 2, 1, 3).reshape(%d, %d, %d)\n", out, in(0), o[0], o[1], o[2])
+	case ops.KindEmbedding:
+		e.pf("    %s = F.embedding(%s, %s)\n", out, in(0), in(1))
+	case "EmbeddingBwd":
+		o := spec.OutShape()
+		e.pf("    %s = torch.zeros(%s, dtype=%s.dtype, device=dev).index_add_(0, %s.flatten(), %s.reshape(-1, %d))\n",
+			out, pyShape(o), in(1), in(0), in(1), o[1])
+	case ops.KindCrossEnt:
+		vdim := spec.InShape(0).Dim(spec.InShape(0).Rank())
+		e.pf("    %s = F.cross_entropy(%s.reshape(-1, %d).float(), %s.reshape(-1))\n",
+			out, in(0), vdim, in(1))
+	case "CrossEntropyBwd":
+		e.pf("    %s = F.softmax(%s, dim=-1)  # surrogate CE grad (softmax - onehot)\n", out, in(0))
+	case "ApplySGD":
+		e.pf("    %s = %s - 1e-4 * %s\n", out, in(0), in(1))
+	case ops.KindStore:
+		e.pf("    with torch.cuda.stream(copy_stream):\n")
+		e.pf("        %s = %s.to('cpu', non_blocking=True)\n", out, in(0))
+		e.pf("    ev_%s = torch.cuda.Event(); ev_%s.record(copy_stream)\n", out, out)
+	case ops.KindLoad:
+		e.pf("    with torch.cuda.stream(copy_stream):\n")
+		e.pf("        ev_%s.wait(copy_stream)\n", in(0))
+		e.pf("        %s = %s.to(dev, non_blocking=True)\n", out, in(0))
+		e.pf("    torch.cuda.current_stream().wait_stream(copy_stream)\n")
+	default:
+		e.pf("    %s = %s.clone()  # TODO: unknown operator %q\n", out, in(0), kind)
+	}
+}
+
+func convAttr(attr string) (stride, pad int) {
+	fmt.Sscanf(attr, "s%dp%d", &stride, &pad)
+	return
+}
+
+func poolAttr(attr string) (kind string, k, s int) {
+	parts := strings.SplitN(attr, ",", 2)
+	kind = parts[0]
+	fmt.Sscanf(parts[1], "k%ds%d", &k, &s)
+	return
+}
+
+func intAttr(attr, format string) int {
+	var x int
+	fmt.Sscanf(attr, format, &x)
+	return x
+}
+
+func reduceAttr(attr string) (kind string, axis int) {
+	parts := strings.SplitN(attr, ",", 2)
+	kind = parts[0]
+	fmt.Sscanf(parts[1], "a%d", &axis)
+	return
+}

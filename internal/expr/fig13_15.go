@@ -1,0 +1,155 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"magis/internal/models"
+	"magis/internal/opt"
+)
+
+// Fig13Curve is one ablation setting's convergence history under one
+// constraint mode (Fig. 13).
+type Fig13Curve struct {
+	Setting    string
+	Constraint string
+	History    []opt.HistoryPoint
+	// Final best values.
+	PeakRatio   float64
+	LatOverhead float64
+}
+
+// Fig13Settings are the five ablation settings of §7.2.5.
+func fig13Settings() []struct {
+	name string
+	o    opt.Options
+} {
+	return []struct {
+		name string
+		o    opt.Options
+	}{
+		{"naive-fission", opt.Options{NaiveFission: true}},
+		{"naive-sch-rule", opt.Options{NaiveSchedRules: true}},
+		{"max-level=2", opt.Options{MaxLevel: 2}},
+		{"max-level=4", opt.Options{MaxLevel: 4}},
+		{"max-level=8", opt.Options{MaxLevel: 8}},
+	}
+}
+
+// Fig13 runs the heuristic ablation on BERT under the four constraints of
+// §7.2.1/§7.2.2 (latency overhead < 10%/5%, memory ratio < 80%/40%).
+func Fig13(cfg Config, w *models.Workload) []Fig13Curve {
+	cfg = cfg.defaults()
+	if w == nil {
+		w = cfg.Workloads()[1] // BERT-base
+	}
+	m := cfg.Model()
+	base := opt.Baseline(w.G, m)
+	var curves []Fig13Curve
+	for _, s := range fig13Settings() {
+		for _, mode := range []struct {
+			name string
+			o    opt.Options
+		}{
+			{"lat<10%", opt.Options{Mode: opt.MemoryUnderLatency, LatencyLimit: base.Latency * 1.10}},
+			{"lat<5%", opt.Options{Mode: opt.MemoryUnderLatency, LatencyLimit: base.Latency * 1.05}},
+			{"mem<80%", opt.Options{Mode: opt.LatencyUnderMemory, MemLimit: int64(0.8 * float64(base.PeakMem))}},
+			{"mem<40%", opt.Options{Mode: opt.LatencyUnderMemory, MemLimit: int64(0.4 * float64(base.PeakMem))}},
+		} {
+			o := mode.o
+			o.NaiveFission = s.o.NaiveFission
+			o.NaiveSchedRules = s.o.NaiveSchedRules
+			o.MaxLevel = s.o.MaxLevel
+			o.TimeBudget = cfg.Budget
+			res, err := opt.Optimize(w.G, m, o)
+			if err != nil {
+				continue
+			}
+			curves = append(curves, Fig13Curve{
+				Setting:     s.name,
+				Constraint:  mode.name,
+				History:     res.History,
+				PeakRatio:   float64(res.Best.PeakMem) / float64(base.PeakMem),
+				LatOverhead: res.Best.Latency/base.Latency - 1,
+			})
+		}
+	}
+	return curves
+}
+
+// RenderFig13 formats final ablation results per constraint.
+func RenderFig13(curves []Fig13Curve) string {
+	cols := []string{"setting", "constraint", "mem-ratio", "lat-overhead", "improvements"}
+	var rows [][]string
+	for _, c := range curves {
+		rows = append(rows, []string{
+			c.Setting, c.Constraint,
+			Cell(c.PeakRatio, "-"), Cell(c.LatOverhead, "-"),
+			fmt.Sprintf("%d", len(c.History)),
+		})
+	}
+	return FormatTable("Fig 13: heuristic ablation (BERT)", cols, rows)
+}
+
+// Fig15Breakdown is the optimization-time cost breakdown of Fig. 15.
+type Fig15Breakdown struct {
+	Total                           time.Duration
+	Stats                           opt.Stats
+	TransPct, SchedPct, SimulPct    float64
+	HashPct                         float64
+	FilteredShare                   float64
+	Iterations, Transformations     int
+	Schedules, Simulations, HashOps int
+}
+
+// Fig15 runs MAGIS on ViT for the configured budget and reports where the
+// time went.
+func Fig15(cfg Config, w *models.Workload) Fig15Breakdown {
+	cfg = cfg.defaults()
+	if w == nil {
+		w = cfg.Workloads()[2] // ViT-base
+	}
+	m := cfg.Model()
+	base := opt.Baseline(w.G, m)
+	start := time.Now()
+	res, err := opt.Optimize(w.G, m, opt.Options{
+		Mode:         opt.MemoryUnderLatency,
+		LatencyLimit: base.Latency * 1.10,
+		TimeBudget:   cfg.Budget,
+	})
+	total := time.Since(start)
+	out := Fig15Breakdown{Total: total}
+	if err != nil {
+		return out
+	}
+	s := res.Stats
+	out.Stats = s
+	pct := func(d time.Duration) float64 { return 100 * float64(d) / float64(total) }
+	out.TransPct = pct(s.TransTime)
+	out.SchedPct = pct(s.SchedTime)
+	out.SimulPct = pct(s.SimulTime)
+	out.HashPct = pct(s.HashTime)
+	if s.Trans > 0 {
+		out.FilteredShare = float64(s.Filtered) / float64(s.Trans)
+	}
+	out.Iterations = s.Iterations
+	out.Transformations = s.Trans
+	out.Schedules = s.Sched
+	out.Simulations = s.Simul
+	out.HashOps = s.Hash
+	return out
+}
+
+// RenderFig15 formats the breakdown table.
+func RenderFig15(b Fig15Breakdown) string {
+	var sb strings.Builder
+	sb.WriteString("== Fig 15: optimization time breakdown (ViT) ==\n")
+	fmt.Fprintf(&sb, "total %v over %d iterations\n", b.Total.Round(time.Millisecond), b.Iterations)
+	fmt.Fprintf(&sb, "%-10s count=%6d  time=%8v (%4.1f%%)\n", "Trans.", b.Transformations, b.Stats.TransTime.Round(time.Millisecond), b.TransPct)
+	fmt.Fprintf(&sb, "%-10s count=%6d  time=%8v (%4.1f%%)\n", "Sched.", b.Schedules, b.Stats.SchedTime.Round(time.Millisecond), b.SchedPct)
+	fmt.Fprintf(&sb, "%-10s count=%6d  time=%8v (%4.1f%%)\n", "Simul.", b.Simulations, b.Stats.SimulTime.Round(time.Millisecond), b.SimulPct)
+	fmt.Fprintf(&sb, "%-10s count=%6d  time=%8v (%4.1f%%)\n", "Hash", b.HashOps, b.Stats.HashTime.Round(time.Millisecond), b.HashPct)
+	fmt.Fprintf(&sb, "%-10s count=%6d (%.0f%% of generated states)\n", "Filtered", b.Stats.Filtered, 100*b.FilteredShare)
+	return sb.String()
+}

@@ -1,0 +1,205 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"magis/internal/graph"
+	"magis/internal/models"
+	"magis/internal/opt"
+	"magis/internal/rules"
+	"magis/internal/sched"
+	"magis/internal/sim"
+)
+
+// Fig14Sample is one transformation round's incremental-vs-full
+// scheduling comparison (§7.3).
+type Fig14Sample struct {
+	DNN, Round int
+	// Speedup is fullTime / incrementalTime.
+	Speedup float64
+	// Quality is incremental peak / full peak (1.0 = same optimality).
+	Quality float64
+	// Rescheduled is the number of operators the incremental pass redid.
+	Rescheduled int
+}
+
+// Fig14 runs the §7.3 study: DNNs random graphs resembling NASNet, each
+// transformed `rounds` times; every transformation is scheduled both
+// incrementally and from scratch.
+func Fig14(cfg Config, dnns, rounds int) []Fig14Sample {
+	cfg = cfg.defaults()
+	if dnns == 0 {
+		dnns = 10
+	}
+	if rounds == 0 {
+		rounds = 10
+	}
+	sc := &sched.Scheduler{}
+	var out []Fig14Sample
+	for d := 0; d < dnns; d++ {
+		w := models.RandomNASNet(int64(d+1), 6, 16, 16, 4)
+		g := w.G
+		psi := sc.ScheduleGraph(g)
+		for r := 0; r < rounds; r++ {
+			app := firstApplication(g, psi)
+			if app == nil {
+				break
+			}
+			t0 := time.Now()
+			full := sc.ScheduleGraph(app.Graph)
+			fullTime := time.Since(t0)
+
+			t1 := time.Now()
+			inc, n := sc.Incremental(g, app.Graph, app.OldMutated, psi)
+			incTime := time.Since(t1)
+
+			fullPeak := sched.PeakOnly(app.Graph, full)
+			incPeak := sched.PeakOnly(app.Graph, inc)
+			sample := Fig14Sample{
+				DNN: d + 1, Round: r + 1,
+				Speedup:     float64(fullTime) / float64(incTime),
+				Quality:     float64(incPeak) / float64(fullPeak),
+				Rescheduled: n,
+			}
+			out = append(out, sample)
+			g, psi = app.Graph, inc
+		}
+	}
+	return out
+}
+
+// firstApplication picks a deterministic transformation for the Fig. 14
+// study, preferring structure-changing rules.
+func firstApplication(g *graph.Graph, psi sched.Schedule) *rules.Application {
+	prof := sched.Simulate(g, psi)
+	ctx := &rules.Context{Hot: prof.Hotspots, MaxSites: 2, UseHotFilter: true}
+	for _, r := range rules.All() {
+		apps := r.Apply(g, ctx)
+		if len(apps) > 0 {
+			return &apps[0]
+		}
+	}
+	return nil
+}
+
+// Fig14Summary aggregates the §7.3 headline numbers.
+type Fig14Summary struct {
+	Samples        int
+	MeanSpeedup    float64
+	MinSpeedup     float64
+	MaxSpeedup     float64
+	SameQuality    int // samples where incremental matched full optimality
+	QualityPctSame float64
+}
+
+// Summarize computes the Fig. 14 aggregate statistics.
+func Summarize(samples []Fig14Sample) Fig14Summary {
+	s := Fig14Summary{Samples: len(samples), MinSpeedup: 1e18}
+	if len(samples) == 0 {
+		return s
+	}
+	prod := 1.0
+	for _, x := range samples {
+		prod *= x.Speedup
+		if x.Speedup < s.MinSpeedup {
+			s.MinSpeedup = x.Speedup
+		}
+		if x.Speedup > s.MaxSpeedup {
+			s.MaxSpeedup = x.Speedup
+		}
+		if x.Quality <= 1.0 {
+			s.SameQuality++
+		}
+	}
+	s.MeanSpeedup = math.Pow(prod, 1/float64(len(samples)))
+	s.QualityPctSame = 100 * float64(s.SameQuality) / float64(len(samples))
+	return s
+}
+
+// RenderFig14 formats the summary.
+func RenderFig14(sum Fig14Summary) string {
+	var b strings.Builder
+	b.WriteString("== Fig 14: incremental vs full scheduling ==\n")
+	fmt.Fprintf(&b, "samples: %d\n", sum.Samples)
+	fmt.Fprintf(&b, "speedup: %.1fx mean (%.1fx min, %.1fx max)\n", sum.MeanSpeedup, sum.MinSpeedup, sum.MaxSpeedup)
+	fmt.Fprintf(&b, "quality: %d/%d (%.0f%%) reach full-scheduling optimality\n", sum.SameQuality, sum.Samples, sum.QualityPctSame)
+	return b.String()
+}
+
+// Fig16Series is one system's execution timeline for the UNet case study.
+type Fig16Series struct {
+	Name     string
+	Timeline []sim.Point
+	Peak     int64
+	Latency  float64
+}
+
+// Fig16 reproduces the UNet case study: memory-over-time curves for
+// unoptimized PyTorch and MAGIS at 80% and 60% memory limits.
+func Fig16(cfg Config, w *models.Workload) []Fig16Series {
+	cfg = cfg.defaults()
+	if w == nil {
+		w = cfg.Workloads()[3] // UNet
+	}
+	m := cfg.Model()
+	base := opt.Baseline(w.G, m)
+	series := []Fig16Series{timelineOf("PyTorch", w.G, base.Sched, cfg)}
+	for i, frac := range []float64{0.8, 0.6} {
+		limit := int64(frac * float64(base.PeakMem))
+		res, err := magisMinLat(cfg, w, limit)
+		if err != nil {
+			continue
+		}
+		name := fmt.Sprintf("MAGIS-%d", i+1)
+		// Prefer the fully materialized graph for an honest timeline, but
+		// keep the search's own schedule when the fresh full re-schedule
+		// of the expansion is worse (the collapsed evaluation is the
+		// fallback in both cases).
+		chosen := timelineOf(name, res.Best.EvalG, res.Best.Sched, cfg)
+		if mg, err := res.Best.FT.Materialize(res.Best.G); err == nil {
+			// The one-off case study affords a wider scheduling effort
+			// than the search's inner loop.
+			sc := &sched.Scheduler{BeamWidth: 32, MaxExact: 18}
+			if mat := timelineOf(name, mg, sc.ScheduleGraph(mg), cfg); mat.Peak < chosen.Peak {
+				chosen = mat
+			}
+		}
+		series = append(series, chosen)
+	}
+	return series
+}
+
+func timelineOf(name string, g *graph.Graph, order sched.Schedule, cfg Config) Fig16Series {
+	r := sim.Run(g, order, sim.Config{Model: cfg.Model(), Timeline: true})
+	return Fig16Series{Name: name, Timeline: r.Timeline, Peak: r.Peak, Latency: r.Latency}
+}
+
+// RenderFig16 formats the timelines as coarse sampled curves.
+func RenderFig16(series []Fig16Series) string {
+	var b strings.Builder
+	b.WriteString("== Fig 16: UNet execution timeline (memory vs time) ==\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-10s peak=%6.2f GB  latency=%7.1f ms  |", s.Name,
+			float64(s.Peak)/(1<<30), s.Latency*1e3)
+		// Sample 12 evenly spaced TIME points (events cluster at the
+		// stream boundaries, so index sampling misses the plateau).
+		if n := len(s.Timeline); n > 0 {
+			for i := 0; i < 12; i++ {
+				target := s.Latency * float64(i) / 11
+				var mem int64
+				for _, p := range s.Timeline {
+					if p.Time > target {
+						break
+					}
+					mem = p.Mem
+				}
+				fmt.Fprintf(&b, " %.1f", float64(mem)/(1<<30))
+			}
+		}
+		b.WriteString(" (GB)\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package expr
+
+import (
+	"math"
+
+	"magis/internal/baselines"
+	"magis/internal/models"
+	"magis/internal/opt"
+)
+
+// Fig9Row is one bar group of Fig. 9: peak-memory ratios vs the
+// unoptimized PyTorch baseline under a latency-overhead constraint.
+// NaN marks OOM/failure.
+type Fig9Row struct {
+	Workload string
+	Overhead float64
+	Ratio    map[string]float64
+	// BaselinePeak and BaselineLatency anchor the ratios.
+	BaselinePeak    int64
+	BaselineLatency float64
+	// OOM reports whether the unoptimized workload exceeds device memory
+	// (the paper measures those baselines with MAGIS's simulator, as here).
+	OOM bool
+}
+
+// Fig9 reproduces Fig. 9: memory optimization with latency constraints of
+// +10% and +5% across the Table 2 workloads and all systems.
+func Fig9(cfg Config, overheads []float64, ws []*models.Workload) []Fig9Row {
+	cfg = cfg.defaults()
+	if overheads == nil {
+		overheads = []float64{0.10, 0.05}
+	}
+	if ws == nil {
+		ws = cfg.Workloads()
+	}
+	var rows []Fig9Row
+	for _, ovh := range overheads {
+		for _, w := range ws {
+			m := cfg.Model()
+			base := opt.Baseline(w.G, m)
+			row := Fig9Row{
+				Workload:        w.Name,
+				Overhead:        ovh,
+				Ratio:           make(map[string]float64),
+				BaselinePeak:    base.PeakMem,
+				BaselineLatency: base.Latency,
+				OOM:             base.PeakMem > cfg.Device.Capacity,
+			}
+			limit := base.Latency * (1 + ovh)
+			if res, err := magisMinMem(cfg, w, limit); err == nil {
+				row.Ratio["MAGIS"] = float64(res.Best.PeakMem) / float64(base.PeakMem)
+			} else {
+				row.Ratio["MAGIS"] = math.NaN()
+			}
+			for _, name := range SystemNames[1:] {
+				r := baselines.MinimizeMemUnderLatency(systemByName(name), w.G, m, limit)
+				if r.OK {
+					row.Ratio[name] = float64(r.PeakMem) / float64(base.PeakMem)
+				} else {
+					row.Ratio[name] = math.NaN()
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// Fig10Row is one bar group of Fig. 10: latency overheads under a peak-
+// memory-ratio constraint. NaN marks FAILURE.
+type Fig10Row struct {
+	Workload string
+	MemRatio float64
+	Overhead map[string]float64
+}
+
+// Fig10 reproduces Fig. 10: latency optimization with memory constraints
+// of 80% and 40% of the unoptimized peak.
+func Fig10(cfg Config, ratios []float64, ws []*models.Workload) []Fig10Row {
+	cfg = cfg.defaults()
+	if ratios == nil {
+		ratios = []float64{0.8, 0.4}
+	}
+	if ws == nil {
+		ws = cfg.Workloads()
+	}
+	var rows []Fig10Row
+	for _, ratio := range ratios {
+		for _, w := range ws {
+			m := cfg.Model()
+			base := opt.Baseline(w.G, m)
+			limit := int64(ratio * float64(base.PeakMem))
+			row := Fig10Row{Workload: w.Name, MemRatio: ratio, Overhead: make(map[string]float64)}
+			if res, err := magisMinLat(cfg, w, limit); err == nil && res.Best.PeakMem <= limit {
+				row.Overhead["MAGIS"] = res.Best.Latency/base.Latency - 1
+			} else {
+				row.Overhead["MAGIS"] = math.NaN()
+			}
+			for _, name := range SystemNames[1:] {
+				r := systemByName(name).OptimizeMem(w.G, m, limit)
+				if r.OK {
+					row.Overhead[name] = r.Latency/base.Latency - 1
+				} else {
+					row.Overhead[name] = math.NaN()
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// RenderFig9 formats Fig. 9 rows as a text table.
+func RenderFig9(rows []Fig9Row) string {
+	cols := append([]string{"workload", "lat-ovh<"}, SystemNames...)
+	var out [][]string
+	for _, r := range rows {
+		row := []string{r.Workload, Cell(r.Overhead, "")}
+		for _, s := range SystemNames {
+			row = append(row, Cell(r.Ratio[s], "OOM"))
+		}
+		out = append(out, row)
+	}
+	return FormatTable("Fig 9: memory ratio vs PyTorch (lower is better)", cols, out)
+}
+
+// RenderFig10 formats Fig. 10 rows as a text table.
+func RenderFig10(rows []Fig10Row) string {
+	cols := append([]string{"workload", "mem-ratio<"}, SystemNames...)
+	var out [][]string
+	for _, r := range rows {
+		row := []string{r.Workload, Cell(r.MemRatio, "")}
+		for _, s := range SystemNames {
+			row = append(row, Cell(r.Overhead[s], "FAILURE"))
+		}
+		out = append(out, row)
+	}
+	return FormatTable("Fig 10: latency overhead vs PyTorch (lower is better)", cols, out)
+}

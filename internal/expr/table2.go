@@ -1,0 +1,65 @@
+package expr
+
+import (
+	"fmt"
+
+	"magis/internal/ops"
+	"magis/internal/opt"
+	"magis/internal/sched"
+)
+
+// Table2Row describes one evaluation workload.
+type Table2Row struct {
+	Name       string
+	Batch      int
+	DType      string
+	Nodes      int
+	ParamBytes int64
+	Peak       int64
+	Latency    float64
+}
+
+// Table2 instantiates the workloads and measures their unoptimized
+// baselines (the anchor of every figure).
+func Table2(cfg Config) []Table2Row {
+	cfg = cfg.defaults()
+	var rows []Table2Row
+	for _, w := range cfg.Workloads() {
+		m := cfg.Model()
+		base := opt.Baseline(w.G, m)
+		var params int64
+		for _, v := range w.G.NodeIDs() {
+			if w.G.Node(v).Op.Kind() == ops.KindParam {
+				params += sched.OutDeviceBytes(w.G.Node(v))
+			}
+		}
+		rows = append(rows, Table2Row{
+			Name:       w.Name,
+			Batch:      w.Batch,
+			DType:      w.DType.String(),
+			Nodes:      w.G.Len(),
+			ParamBytes: params,
+			Peak:       base.PeakMem,
+			Latency:    base.Latency,
+		})
+	}
+	return rows
+}
+
+// RenderTable2 formats the workload table.
+func RenderTable2(rows []Table2Row) string {
+	cols := []string{"workload", "batch", "dtype", "nodes", "params(GB)", "peak(GB)", "latency(ms)"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.Batch),
+			r.DType,
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%.2f", float64(r.ParamBytes)/(1<<30)),
+			fmt.Sprintf("%.2f", float64(r.Peak)/(1<<30)),
+			fmt.Sprintf("%.1f", r.Latency*1e3),
+		})
+	}
+	return FormatTable("Table 2: evaluation workloads", cols, out)
+}

@@ -1,0 +1,131 @@
+package graph
+
+import "sort"
+
+// DomTree is the dominator tree T(G) of a computation graph (§2.1). Because
+// computation graphs have many entry nodes (input, label, and weight
+// tensors), the tree is rooted at a virtual entry that dominates them all;
+// the virtual root is represented by Invalid.
+type DomTree struct {
+	// Parent maps each node to its immediate dominator; nodes dominated
+	// only by the virtual root map to Invalid.
+	Parent map[NodeID]NodeID
+
+	children map[NodeID][]NodeID
+	order    []NodeID // reverse postorder, for deterministic iteration
+}
+
+// Dominators computes the dominator tree of g using the iterative
+// Cooper-Harvey-Kennedy algorithm over reverse postorder.
+func Dominators(g *Graph) *DomTree {
+	topo := g.Topo() // a reverse postorder of the DAG from the virtual root
+	idx := make(map[NodeID]int, len(topo))
+	for i, v := range topo {
+		idx[v] = i
+	}
+	const virtual = -2 // internal index sentinel for the virtual root
+	idom := make([]int, len(topo))
+	for i := range idom {
+		idom[i] = -3 // undefined
+	}
+	intersect := func(a, b int) int {
+		for a != b {
+			for a > b {
+				if idom[a] == virtual {
+					return virtual
+				}
+				a = idom[a]
+			}
+			for b > a {
+				if idom[b] == virtual {
+					return virtual
+				}
+				b = idom[b]
+			}
+			if a == virtual || b == virtual {
+				return virtual
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i, v := range topo {
+			preds := g.Pre(v)
+			newIdom := -3
+			if len(preds) == 0 {
+				newIdom = virtual
+			} else {
+				for _, p := range preds {
+					pi := idx[p]
+					if idom[pi] == -3 {
+						continue
+					}
+					if newIdom == -3 {
+						newIdom = pi
+					} else {
+						newIdom = intersect(newIdom, pi)
+					}
+				}
+				if newIdom == -3 {
+					newIdom = virtual
+				}
+			}
+			if idom[i] != newIdom {
+				idom[i] = newIdom
+				changed = true
+			}
+		}
+	}
+	t := &DomTree{
+		Parent:   make(map[NodeID]NodeID, len(topo)),
+		children: make(map[NodeID][]NodeID),
+		order:    topo,
+	}
+	for i, v := range topo {
+		if idom[i] == virtual {
+			t.Parent[v] = Invalid
+			t.children[Invalid] = append(t.children[Invalid], v)
+		} else {
+			p := topo[idom[i]]
+			t.Parent[v] = p
+			t.children[p] = append(t.children[p], v)
+		}
+	}
+	for _, cs := range t.children {
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	}
+	return t
+}
+
+// Children returns T.suc(v): the tree children of v (pass Invalid for the
+// virtual root).
+func (t *DomTree) Children(v NodeID) []NodeID { return t.children[v] }
+
+// Des returns the strict descendants of v in the dominator tree, i.e. all
+// nodes dominated by v other than v itself.
+func (t *DomTree) Des(v NodeID) Set {
+	out := make(Set)
+	stack := append([]NodeID(nil), t.children[v]...)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if out[u] {
+			continue
+		}
+		out[u] = true
+		stack = append(stack, t.children[u]...)
+	}
+	return out
+}
+
+// DesWith returns Des(v) plus v itself: the full sub-tree dominated by v.
+func (t *DomTree) DesWith(v NodeID) Set {
+	s := t.Des(v)
+	s[v] = true
+	return s
+}
+
+// Nodes returns the tree's nodes in reverse postorder of the graph.
+func (t *DomTree) Nodes() []NodeID { return t.order }

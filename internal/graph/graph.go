@@ -1,0 +1,369 @@
+// Package graph implements the computation-graph IR used throughout MAGIS:
+// a directed acyclic multigraph of operators with ordered inputs, plus the
+// graph analyses the paper relies on — topological ordering, ancestor and
+// descendant sets, induced sub-graphs with their inps/outs boundaries,
+// convexity and weak-connectivity tests, dominator trees, narrow-waist
+// values, and Weisfeiler-Lehman structural hashing.
+//
+// The package corresponds to the rustworkx substrate of the original
+// implementation (§7.1) but is written from scratch on the Go standard
+// library only.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"magis/internal/tensor"
+)
+
+// NodeID identifies a node within one Graph. IDs are never reused, so they
+// stay stable across clones and transformations of the same lineage.
+type NodeID int
+
+// Invalid is the zero-ish sentinel for "no node".
+const Invalid NodeID = -1
+
+// Op is the behaviour a node payload must provide. The richer operator
+// interfaces (cost, dimension maps, splitting) live in internal/ops and are
+// reached by type assertion, keeping this package dependency-free.
+type Op interface {
+	// Kind is the operator name, e.g. "Matmul".
+	Kind() string
+	// OutShape is the shape of the single output tensor.
+	OutShape() tensor.Shape
+	// DType is the element type of the output tensor.
+	DType() tensor.DType
+	// AttrKey returns a string that, together with Kind and OutShape,
+	// uniquely identifies the operator's semantics (used for hashing and
+	// de-re-materialization matching).
+	AttrKey() string
+}
+
+// Node is one operator instance in a Graph.
+type Node struct {
+	ID   NodeID
+	Op   Op
+	Ins  []NodeID // ordered producer list; duplicates allowed
+	Name string   // optional human label
+}
+
+// OutBytes returns the device-memory footprint of the node's output tensor,
+// i.e. size(v) in the paper's notation.
+func (n *Node) OutBytes() int64 {
+	return tensor.Bytes(n.Op.OutShape(), n.Op.DType())
+}
+
+// Graph is a mutable DAG of operator nodes.
+type Graph struct {
+	nodes map[NodeID]*Node
+	suc   map[NodeID][]NodeID // consumer lists (with multiplicity)
+	next  NodeID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[NodeID]*Node),
+		suc:   make(map[NodeID][]NodeID),
+	}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Add inserts a new node computing op from the given producers and returns
+// its ID. All producers must already exist.
+func (g *Graph) Add(op Op, ins ...NodeID) NodeID {
+	return g.AddNamed("", op, ins...)
+}
+
+// AddNamed is Add with a human-readable label.
+func (g *Graph) AddNamed(name string, op Op, ins ...NodeID) NodeID {
+	for _, in := range ins {
+		if _, ok := g.nodes[in]; !ok {
+			panic(fmt.Sprintf("graph: input %d does not exist", in))
+		}
+	}
+	id := g.next
+	g.next++
+	n := &Node{ID: id, Op: op, Ins: append([]NodeID(nil), ins...), Name: name}
+	g.nodes[id] = n
+	for _, in := range ins {
+		g.suc[in] = append(g.suc[in], id)
+	}
+	return id
+}
+
+// Node returns the node with the given ID, or nil if absent.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Has reports whether id is present.
+func (g *Graph) Has(id NodeID) bool { _, ok := g.nodes[id]; return ok }
+
+// NodeIDs returns all node IDs in ascending order.
+func (g *Graph) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Pre returns the distinct predecessors of v, ascending.
+func (g *Graph) Pre(v NodeID) []NodeID {
+	n := g.nodes[v]
+	if n == nil {
+		return nil
+	}
+	seen := make(map[NodeID]bool, len(n.Ins))
+	out := make([]NodeID, 0, len(n.Ins))
+	for _, in := range n.Ins {
+		if !seen[in] {
+			seen[in] = true
+			out = append(out, in)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Suc returns the distinct successors of v, ascending.
+func (g *Graph) Suc(v NodeID) []NodeID {
+	seen := make(map[NodeID]bool)
+	out := make([]NodeID, 0, len(g.suc[v]))
+	for _, s := range g.suc[v] {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumConsumers returns the number of distinct consumers of v.
+func (g *Graph) NumConsumers(v NodeID) int { return len(g.Suc(v)) }
+
+// Remove deletes a node that has no consumers. It returns an error if the
+// node is still consumed or does not exist.
+func (g *Graph) Remove(v NodeID) error {
+	n := g.nodes[v]
+	if n == nil {
+		return fmt.Errorf("graph: node %d does not exist", v)
+	}
+	if len(g.suc[v]) > 0 {
+		return fmt.Errorf("graph: node %d still has %d consumers", v, len(g.suc[v]))
+	}
+	for _, in := range n.Ins {
+		g.suc[in] = removeOne(g.suc[in], v)
+	}
+	delete(g.nodes, v)
+	delete(g.suc, v)
+	return nil
+}
+
+// RemoveDead removes all nodes unreachable (forward) to any node in keep,
+// i.e. nodes whose output no live node transitively consumes. Nodes in keep
+// are always retained. It returns the number of removed nodes.
+func (g *Graph) RemoveDead(keep []NodeID) int {
+	live := make(map[NodeID]bool, len(g.nodes))
+	stack := append([]NodeID(nil), keep...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if live[v] || g.nodes[v] == nil {
+			continue
+		}
+		live[v] = true
+		stack = append(stack, g.nodes[v].Ins...)
+	}
+	removed := 0
+	// Delete in reverse topological order so Remove's consumer check holds.
+	topo := g.Topo()
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		if !live[v] {
+			if err := g.Remove(v); err == nil {
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// ReplaceInput rewires node v so occurrences of producer old become new.
+func (g *Graph) ReplaceInput(v, old, new NodeID) {
+	n := g.nodes[v]
+	if n == nil {
+		panic(fmt.Sprintf("graph: node %d does not exist", v))
+	}
+	changed := 0
+	for i, in := range n.Ins {
+		if in == old {
+			n.Ins[i] = new
+			changed++
+		}
+	}
+	for i := 0; i < changed; i++ {
+		g.suc[old] = removeOne(g.suc[old], v)
+		g.suc[new] = append(g.suc[new], v)
+	}
+}
+
+// ReplaceInputAt rewires the idx-th input slot of v to new.
+func (g *Graph) ReplaceInputAt(v NodeID, idx int, new NodeID) {
+	n := g.nodes[v]
+	old := n.Ins[idx]
+	n.Ins[idx] = new
+	g.suc[old] = removeOne(g.suc[old], v)
+	g.suc[new] = append(g.suc[new], v)
+}
+
+// RedirectConsumers makes every consumer of old consume new instead.
+// Consumers listed in except are left alone.
+func (g *Graph) RedirectConsumers(old, new NodeID, except ...NodeID) {
+	skip := make(map[NodeID]bool, len(except))
+	for _, e := range except {
+		skip[e] = true
+	}
+	for _, c := range g.Suc(old) {
+		if !skip[c] {
+			g.ReplaceInput(c, old, new)
+		}
+	}
+}
+
+// SetOp replaces the operator payload of v in place.
+func (g *Graph) SetOp(v NodeID, op Op) { g.nodes[v].Op = op }
+
+// Inputs returns the graph's entry nodes (no predecessors), ascending.
+func (g *Graph) Inputs() []NodeID {
+	var out []NodeID
+	for id, n := range g.nodes {
+		if len(n.Ins) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Outputs returns the graph's exit nodes (no successors), ascending.
+func (g *Graph) Outputs() []NodeID {
+	var out []NodeID
+	for id := range g.nodes {
+		if len(g.suc[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Topo returns a deterministic topological order (ties broken by ID).
+// It panics on a cycle; use TopoE where cycles are an expected outcome.
+func (g *Graph) Topo() []NodeID {
+	order, err := g.TopoE()
+	if err != nil {
+		panic(err.Error())
+	}
+	return order
+}
+
+// TopoE returns a deterministic topological order, or an error if the
+// graph contains a cycle (which region collapsing can legitimately
+// produce and must detect).
+func (g *Graph) TopoE() ([]NodeID, error) {
+	indeg := make(map[NodeID]int, len(g.nodes))
+	for id, n := range g.nodes {
+		_ = id
+		for _, in := range n.Ins {
+			_ = in
+		}
+	}
+	for id := range g.nodes {
+		indeg[id] = len(g.Pre(id))
+	}
+	// Min-heap by ID, implemented with a sorted frontier for determinism.
+	var frontier []NodeID
+	for id, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, id)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	order := make([]NodeID, 0, len(g.nodes))
+	for len(frontier) > 0 {
+		v := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, v)
+		for _, s := range g.Suc(v) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				frontier = insertSorted(frontier, s)
+			}
+		}
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("graph: cycle detected in Topo")
+	}
+	return order, nil
+}
+
+// Clone returns a deep copy of the graph. Node IDs are preserved, so
+// schedules and ID sets remain valid across the copy. Op payloads are
+// shared (they are immutable by convention).
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes: make(map[NodeID]*Node, len(g.nodes)),
+		suc:   make(map[NodeID][]NodeID, len(g.suc)),
+		next:  g.next,
+	}
+	for id, n := range g.nodes {
+		c.nodes[id] = &Node{
+			ID:   n.ID,
+			Op:   n.Op,
+			Ins:  append([]NodeID(nil), n.Ins...),
+			Name: n.Name,
+		}
+	}
+	for id, s := range g.suc {
+		if len(s) > 0 {
+			c.suc[id] = append([]NodeID(nil), s...)
+		}
+	}
+	return c
+}
+
+// String renders a compact multi-line description, topologically ordered.
+func (g *Graph) String() string {
+	var b []byte
+	for _, id := range g.Topo() {
+		n := g.nodes[id]
+		b = append(b, fmt.Sprintf("%4d %-14s %-18s ins=%v", id, n.Op.Kind(), n.Op.OutShape().String(), n.Ins)...)
+		if n.Name != "" {
+			b = append(b, ("  # " + n.Name)...)
+		}
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+func removeOne(s []NodeID, v NodeID) []NodeID {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+func insertSorted(s []NodeID, v NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

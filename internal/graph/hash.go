@@ -1,0 +1,47 @@
+package graph
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// WLHash computes a Weisfeiler-Lehman-style structural hash of the graph
+// (Algorithm 3, GraphHash). Two isomorphic graphs with identical operator
+// payloads hash equal; the search uses this to filter duplicate M-States.
+//
+// Following the paper, each node's label is
+//
+//	x_v = hash(hash(v) ++ x_{u1} ++ x_{u2} ++ ...)
+//
+// computed in topological order over the ordered input list (input order is
+// semantically significant for non-commutative ops), and the graph hash is
+// hash(sum_v x_v), which is invariant to node-ID renaming.
+func (g *Graph) WLHash() uint64 {
+	labels := make(map[NodeID]uint64, len(g.nodes))
+	var buf [8]byte
+	for _, v := range g.Topo() {
+		n := g.nodes[v]
+		h := fnv.New64a()
+		h.Write([]byte(n.Op.Kind()))
+		h.Write([]byte{0})
+		for _, d := range n.Op.OutShape() {
+			binary.LittleEndian.PutUint64(buf[:], uint64(d))
+			h.Write(buf[:])
+		}
+		h.Write([]byte{byte(n.Op.DType())})
+		h.Write([]byte(n.Op.AttrKey()))
+		for _, in := range n.Ins {
+			binary.LittleEndian.PutUint64(buf[:], labels[in])
+			h.Write(buf[:])
+		}
+		labels[v] = h.Sum64()
+	}
+	var sum uint64
+	for _, x := range labels {
+		sum += x
+	}
+	h := fnv.New64a()
+	binary.LittleEndian.PutUint64(buf[:], sum)
+	h.Write(buf[:])
+	return h.Sum64()
+}

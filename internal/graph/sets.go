@@ -1,0 +1,305 @@
+package graph
+
+import "sort"
+
+// Set is a node set with the boundary/closure operations from Table 1 of
+// the paper.
+type Set map[NodeID]bool
+
+// NewSet builds a Set from IDs.
+func NewSet(ids ...NodeID) Set {
+	s := make(Set, len(ids))
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+// Slice returns the members in ascending order.
+func (s Set) Slice() []NodeID {
+	out := make([]NodeID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a copy of the set.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	for id := range s {
+		c[id] = true
+	}
+	return c
+}
+
+// Anc returns all (strict) ancestors of v: G.anc(v).
+func (g *Graph) Anc(v NodeID) Set {
+	out := make(Set)
+	stack := g.Pre(v)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if out[u] {
+			continue
+		}
+		out[u] = true
+		stack = append(stack, g.Pre(u)...)
+	}
+	return out
+}
+
+// Des returns all (strict) descendants of v: G.des(v).
+func (g *Graph) Des(v NodeID) Set {
+	out := make(Set)
+	stack := g.Suc(v)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if out[u] {
+			continue
+		}
+		out[u] = true
+		stack = append(stack, g.Suc(u)...)
+	}
+	return out
+}
+
+// Inps returns G.inps(S): the nodes outside S consumed by members of S.
+func (g *Graph) Inps(s Set) Set {
+	out := make(Set)
+	for v := range s {
+		for _, p := range g.Pre(v) {
+			if !s[p] {
+				out[p] = true
+			}
+		}
+	}
+	return out
+}
+
+// Outs returns G.outs(S): members of S whose output is consumed outside S
+// or that are outputs of the whole graph.
+func (g *Graph) Outs(s Set) Set {
+	out := make(Set)
+	for v := range s {
+		sucs := g.Suc(v)
+		if len(sucs) == 0 {
+			out[v] = true
+			continue
+		}
+		for _, c := range sucs {
+			if !s[c] {
+				out[v] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// IsConvex reports whether the induced sub-graph G[S] is convex, i.e. no
+// path leaves S and re-enters it. Per the paper's constraint (2):
+// G.inps(S) must be disjoint from the descendants of G.outs(S)... the
+// equivalent and more direct check used here is: no input of S is a
+// descendant of any output of S.
+func (g *Graph) IsConvex(s Set) bool {
+	inps := g.Inps(s)
+	if len(inps) == 0 {
+		return true
+	}
+	// Collect descendants of all outputs of S that lie outside S, and
+	// verify none of them feeds back into S.
+	outs := g.Outs(s)
+	seen := make(Set)
+	var stack []NodeID
+	for o := range outs {
+		for _, c := range g.Suc(o) {
+			if !s[c] {
+				stack = append(stack, c)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		if s[u] {
+			return false // path left S and re-entered
+		}
+		stack = append(stack, g.Suc(u)...)
+	}
+	// Also no external descendant may be an input of S (it would create a
+	// dependency cycle once S collapses to one step).
+	for u := range seen {
+		if inps[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsWeaklyConnected reports whether G[S] is connected ignoring direction.
+func (g *Graph) IsWeaklyConnected(s Set) bool {
+	if len(s) <= 1 {
+		return true
+	}
+	var start NodeID
+	for v := range s {
+		start = v
+		break
+	}
+	seen := Set{start: true}
+	stack := []NodeID{start}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range append(g.Pre(u), g.Suc(u)...) {
+			if s[w] && !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return len(seen) == len(s)
+}
+
+// Components partitions S into weakly connected components of G[S],
+// each returned in ascending ID order; components are ordered by their
+// smallest member.
+func (g *Graph) Components(s Set) [][]NodeID {
+	seen := make(Set, len(s))
+	var comps [][]NodeID
+	for _, v := range s.Slice() {
+		if seen[v] {
+			continue
+		}
+		comp := []NodeID{}
+		stack := []NodeID{v}
+		seen[v] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, w := range append(g.Pre(u), g.Suc(u)...) {
+				if s[w] && !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Subgraph extracts G[S] as a standalone Graph. Edges to producers outside
+// S are dropped (the sub-graph's entries are exactly the members of S whose
+// producers all lie outside S plus members with some external producers,
+// whose Ins lists are filtered). Node IDs are preserved.
+func (g *Graph) Subgraph(s Set) *Graph {
+	sub := New()
+	sub.next = g.next
+	for v := range s {
+		n := g.nodes[v]
+		var ins []NodeID
+		for _, in := range n.Ins {
+			if s[in] {
+				ins = append(ins, in)
+			}
+		}
+		sub.nodes[v] = &Node{ID: v, Op: n.Op, Ins: ins, Name: n.Name}
+	}
+	for v := range s {
+		for _, in := range sub.nodes[v].Ins {
+			sub.suc[in] = append(sub.suc[in], v)
+		}
+	}
+	return sub
+}
+
+// ReachIndex precomputes ancestor/descendant counts for every node using
+// bitsets, enabling O(1) narrow-waist queries: nw(v) = |V| - |anc(v)| -
+// |des(v)| - 1 (§6.1).
+type ReachIndex struct {
+	order []NodeID
+	pos   map[NodeID]int
+	nAnc  []int
+	nDes  []int
+}
+
+// NewReachIndex builds the index for the current graph contents.
+func NewReachIndex(g *Graph) *ReachIndex {
+	order := g.Topo()
+	pos := make(map[NodeID]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	n := len(order)
+	words := (n + 63) / 64
+	anc := make([][]uint64, n)
+	for i := range anc {
+		anc[i] = make([]uint64, words)
+	}
+	nAnc := make([]int, n)
+	nDes := make([]int, n)
+	// Ancestors accumulate forward in topo order.
+	for i, v := range order {
+		for _, p := range g.Pre(v) {
+			pi := pos[p]
+			for w := range anc[i] {
+				anc[i][w] |= anc[pi][w]
+			}
+			anc[i][pi/64] |= 1 << (pi % 64)
+		}
+		nAnc[i] = popcount(anc[i])
+	}
+	// Descendants accumulate backward symmetrically.
+	des := make([][]uint64, n)
+	for i := range des {
+		des[i] = make([]uint64, words)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for _, s := range g.Suc(order[i]) {
+			si := pos[s]
+			for w := range des[i] {
+				des[i][w] |= des[si][w]
+			}
+			des[i][si/64] |= 1 << (si % 64)
+		}
+		nDes[i] = popcount(des[i])
+	}
+	return &ReachIndex{order: order, pos: pos, nAnc: nAnc, nDes: nDes}
+}
+
+// NW returns the narrow-waist value of v: the number of nodes neither an
+// ancestor nor a descendant of v, minus one.
+func (r *ReachIndex) NW(v NodeID) int {
+	i, ok := r.pos[v]
+	if !ok {
+		return -1
+	}
+	return len(r.order) - r.nAnc[i] - r.nDes[i] - 1
+}
+
+// NumAnc returns |G.anc(v)|.
+func (r *ReachIndex) NumAnc(v NodeID) int { return r.nAnc[r.pos[v]] }
+
+// NumDes returns |G.des(v)|.
+func (r *ReachIndex) NumDes(v NodeID) int { return r.nDes[r.pos[v]] }
+
+func popcount(ws []uint64) int {
+	n := 0
+	for _, w := range ws {
+		for w != 0 {
+			w &= w - 1
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+// Package graphio serializes computation graphs and schedules to JSON so
+// optimized programs can be saved, inspected, diffed, and reloaded by
+// downstream tooling. Only operator graphs serialize (collapsed fission
+// regions are a search-time construct; materialize first).
+package graphio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"magis/internal/graph"
+	"magis/internal/ops"
+	"magis/internal/sched"
+)
+
+// fileFormat is the on-disk envelope.
+type fileFormat struct {
+	Version  int            `json:"version"`
+	Nodes    []nodeFormat   `json:"nodes"`
+	Schedule []graph.NodeID `json:"schedule,omitempty"`
+}
+
+type nodeFormat struct {
+	ID   graph.NodeID   `json:"id"`
+	Name string         `json:"name,omitempty"`
+	Op   ops.Raw        `json:"op"`
+	Ins  []graph.NodeID `json:"ins,omitempty"`
+}
+
+// Save writes g (and an optional schedule; pass nil for none) as JSON.
+func Save(w io.Writer, g *graph.Graph, order sched.Schedule) error {
+	f := fileFormat{Version: 1, Schedule: order}
+	for _, v := range g.Topo() {
+		n := g.Node(v)
+		spec, ok := n.Op.(*ops.Spec)
+		if !ok {
+			return fmt.Errorf("graphio: node %d has non-serializable payload %q", v, n.Op.Kind())
+		}
+		f.Nodes = append(f.Nodes, nodeFormat{
+			ID:   v,
+			Name: n.Name,
+			Op:   spec.Marshal(),
+			Ins:  n.Ins,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// Load reads a graph (and schedule, possibly nil) written by Save.
+// Node IDs are preserved.
+func Load(r io.Reader) (*graph.Graph, sched.Schedule, error) {
+	var f fileFormat
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, nil, fmt.Errorf("graphio: %v", err)
+	}
+	if f.Version != 1 {
+		return nil, nil, fmt.Errorf("graphio: unsupported version %d", f.Version)
+	}
+	g := graph.New()
+	remap := make(map[graph.NodeID]graph.NodeID, len(f.Nodes))
+	for _, n := range f.Nodes {
+		ins := make([]graph.NodeID, len(n.Ins))
+		for i, in := range n.Ins {
+			m, ok := remap[in]
+			if !ok {
+				return nil, nil, fmt.Errorf("graphio: node %d references undeclared input %d", n.ID, in)
+			}
+			ins[i] = m
+		}
+		remap[n.ID] = g.AddNamed(n.Name, ops.FromRaw(n.Op), ins...)
+	}
+	var order sched.Schedule
+	for _, v := range f.Schedule {
+		m, ok := remap[v]
+		if !ok {
+			return nil, nil, fmt.Errorf("graphio: schedule references unknown node %d", v)
+		}
+		order = append(order, m)
+	}
+	if order != nil {
+		if err := order.Validate(g); err != nil {
+			return nil, nil, fmt.Errorf("graphio: %v", err)
+		}
+	}
+	return g, order, nil
+}

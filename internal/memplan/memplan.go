@@ -1,0 +1,137 @@
+// Package memplan is an offline memory planner: it assigns concrete arena
+// offsets to every tensor given a schedule, reusing addresses across
+// disjoint lifetimes (the static allocation pass DNN compilers such as TVM
+// run, whose "memory planner" the paper instruments for its measurements).
+// The resulting arena size is the allocator-level peak — the §2.1 lifetime
+// peak plus fragmentation — and quantifies how realistic the idealized
+// lifetime model is for a given schedule.
+package memplan
+
+import (
+	"fmt"
+	"sort"
+
+	"magis/internal/graph"
+	"magis/internal/sched"
+)
+
+// Block is one tensor's placement in the arena.
+type Block struct {
+	Node   graph.NodeID
+	Offset int64
+	Size   int64
+	// Start and End are the schedule steps of the lifetime [Start, End].
+	Start, End int
+}
+
+// Plan is a complete arena layout.
+type Plan struct {
+	// ArenaSize is the bytes the arena must span (allocator peak).
+	ArenaSize int64
+	// LifetimePeak is the idealized §2.1 peak (sum of concurrently live
+	// tensors), a lower bound on ArenaSize.
+	LifetimePeak int64
+	Blocks       []Block
+}
+
+// Fragmentation is the allocator overhead beyond the idealized peak, as a
+// fraction of the idealized peak (0 = perfect reuse).
+func (p *Plan) Fragmentation() float64 {
+	if p.LifetimePeak == 0 {
+		return 0
+	}
+	return float64(p.ArenaSize-p.LifetimePeak) / float64(p.LifetimePeak)
+}
+
+// Build computes an arena layout for executing g in the given order using
+// greedy best-fit on tensors sorted by size descending (the standard
+// offline planning heuristic; optimal layout is NP-hard).
+func Build(g *graph.Graph, order sched.Schedule) (*Plan, error) {
+	if err := order.Validate(g); err != nil {
+		return nil, fmt.Errorf("memplan: %v", err)
+	}
+	pos := make(map[graph.NodeID]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	var blocks []Block
+	for i, v := range order {
+		size := sched.OutDeviceBytes(g.Node(v))
+		if size == 0 {
+			continue
+		}
+		end := i
+		for _, c := range g.Suc(v) {
+			if p, ok := pos[c]; ok && p > end {
+				end = p
+			}
+		}
+		if len(g.Suc(v)) == 0 {
+			end = len(order) - 1
+		}
+		blocks = append(blocks, Block{Node: v, Size: size, Start: i, End: end})
+	}
+	// Idealized lifetime peak.
+	prof := sched.Simulate(g, order)
+
+	// Greedy best-fit: place big tensors first; each goes to the lowest
+	// offset where it fits without overlapping any lifetime-conflicting
+	// placed block.
+	idx := make([]int, len(blocks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ba, bb := blocks[idx[a]], blocks[idx[b]]
+		if ba.Size != bb.Size {
+			return ba.Size > bb.Size
+		}
+		return ba.Start < bb.Start
+	})
+	var arena int64
+	placed := make([]int, 0, len(blocks))
+	for _, bi := range idx {
+		b := &blocks[bi]
+		// Collect conflicting intervals sorted by offset.
+		type iv struct{ lo, hi int64 }
+		var busy []iv
+		for _, pj := range placed {
+			p := &blocks[pj]
+			if p.Start <= b.End && b.Start <= p.End {
+				busy = append(busy, iv{p.Offset, p.Offset + p.Size})
+			}
+		}
+		sort.Slice(busy, func(i, j int) bool { return busy[i].lo < busy[j].lo })
+		var offset int64
+		for _, window := range busy {
+			if offset+b.Size <= window.lo {
+				break
+			}
+			if window.hi > offset {
+				offset = window.hi
+			}
+		}
+		b.Offset = offset
+		if offset+b.Size > arena {
+			arena = offset + b.Size
+		}
+		placed = append(placed, bi)
+	}
+	return &Plan{ArenaSize: arena, LifetimePeak: prof.Peak, Blocks: blocks}, nil
+}
+
+// Verify checks the invariant that no two lifetime-overlapping blocks
+// overlap in address space.
+func (p *Plan) Verify() error {
+	for i := range p.Blocks {
+		for j := i + 1; j < len(p.Blocks); j++ {
+			a, b := &p.Blocks[i], &p.Blocks[j]
+			timeOverlap := a.Start <= b.End && b.Start <= a.End
+			addrOverlap := a.Offset < b.Offset+b.Size && b.Offset < a.Offset+a.Size
+			if timeOverlap && addrOverlap {
+				return fmt.Errorf("memplan: blocks %d and %d overlap in time and space", a.Node, b.Node)
+			}
+		}
+	}
+	return nil
+}

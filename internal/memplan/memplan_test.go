@@ -1,0 +1,110 @@
+package memplan
+
+import (
+	"math/rand"
+	"testing"
+
+	"magis/internal/graph"
+	"magis/internal/models"
+	"magis/internal/ops"
+	"magis/internal/sched"
+	"magis/internal/tensor"
+)
+
+func TestChainReusesAddresses(t *testing.T) {
+	// A chain of equal tensors: only two need be live at once, so the
+	// arena should be ~2 tensors, not N.
+	g := graph.New()
+	sh := tensor.S(256)
+	prev := g.Add(ops.NewInput(sh, tensor.F32))
+	for i := 0; i < 10; i++ {
+		prev = g.Add(ops.NewReLU(sh, tensor.F32), prev)
+	}
+	p, err := Build(g, g.Topo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	one := int64(256 * 4)
+	if p.ArenaSize > 3*one {
+		t.Errorf("arena %d should reuse addresses (~%d)", p.ArenaSize, 2*one)
+	}
+	if p.ArenaSize < p.LifetimePeak {
+		t.Error("arena below the lifetime lower bound")
+	}
+}
+
+func TestPlanMatchesLifetimeOnWorkload(t *testing.T) {
+	w := models.MLP(64, 32, 64, 10, 2)
+	p, err := Build(w.G, w.G.Topo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ArenaSize < p.LifetimePeak {
+		t.Fatalf("arena %d < lifetime peak %d", p.ArenaSize, p.LifetimePeak)
+	}
+	if f := p.Fragmentation(); f > 0.5 {
+		t.Errorf("fragmentation %.2f unreasonably high", f)
+	}
+}
+
+func TestStoreOutputsNotPlaced(t *testing.T) {
+	g := graph.New()
+	sh := tensor.S(64)
+	x := g.Add(ops.NewInput(sh, tensor.F32))
+	st := g.Add(ops.NewStore(sh, tensor.F32), x)
+	ld := g.Add(ops.NewLoad(sh, tensor.F32), st)
+	g.Add(ops.NewReLU(sh, tensor.F32), ld)
+	p, err := Build(g, g.Topo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range p.Blocks {
+		if b.Node == st {
+			t.Error("host-resident Store output placed in the device arena")
+		}
+	}
+}
+
+func TestRandomPlansAlwaysValid(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.New()
+		var ids []graph.NodeID
+		for i := 0; i < 40; i++ {
+			size := 1 + r.Intn(100)
+			if len(ids) == 0 || r.Intn(4) == 0 {
+				ids = append(ids, g.Add(ops.NewInput(tensor.S(size), tensor.F32)))
+				continue
+			}
+			in := ids[r.Intn(len(ids))]
+			ids = append(ids, g.Add(ops.NewEltwise("Op", g.Node(in).Op.OutShape(), tensor.F32, 1), in))
+		}
+		var sc sched.Scheduler
+		order := sc.ScheduleGraph(g)
+		p, err := Build(g, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Verify(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if p.ArenaSize < p.LifetimePeak {
+			t.Fatalf("trial %d: arena below lifetime bound", trial)
+		}
+	}
+}
+
+func TestInvalidScheduleRejected(t *testing.T) {
+	g := graph.New()
+	x := g.Add(ops.NewInput(tensor.S(4), tensor.F32))
+	a := g.Add(ops.NewReLU(tensor.S(4), tensor.F32), x)
+	if _, err := Build(g, sched.Schedule{a, x}); err == nil {
+		t.Error("invalid schedule accepted")
+	}
+}

@@ -1,0 +1,190 @@
+package models
+
+import (
+	"fmt"
+
+	"magis/internal/graph"
+	"magis/internal/ops"
+	"magis/internal/tensor"
+)
+
+// cnnBuilder carries shared state for convolutional model construction.
+type cnnBuilder struct {
+	g  *graph.Graph
+	dt tensor.DType
+	n  int // parameter counter for unique names
+}
+
+func (b *cnnBuilder) shape(v graph.NodeID) tensor.Shape { return b.g.Node(v).Op.OutShape() }
+
+// conv appends conv2d + batchnorm + ReLU.
+func (b *cnnBuilder) conv(x graph.NodeID, outC, k, stride, pad int, name string) graph.NodeID {
+	xs := b.shape(x)
+	b.n++
+	w := b.g.AddNamed(fmt.Sprintf("%s.w%d", name, b.n), ops.NewParam(tensor.S(outC, xs[1], k, k), b.dt))
+	c := b.g.Add(ops.NewConv2d(xs, tensor.S(outC, xs[1], k, k), stride, pad, b.dt), x, w)
+	gm := b.g.AddNamed(fmt.Sprintf("%s.bn%d", name, b.n), ops.NewParam(tensor.S(outC), b.dt))
+	cs := b.shape(c)
+	bn := b.g.Add(ops.NewBatchNorm2d(cs, tensor.S(outC), b.dt), c, gm)
+	return b.g.Add(ops.NewReLU(cs, b.dt), bn)
+}
+
+// convNoAct appends conv2d + batchnorm (no activation), for residual tails.
+func (b *cnnBuilder) convNoAct(x graph.NodeID, outC, k, stride, pad int, name string) graph.NodeID {
+	xs := b.shape(x)
+	b.n++
+	w := b.g.AddNamed(fmt.Sprintf("%s.w%d", name, b.n), ops.NewParam(tensor.S(outC, xs[1], k, k), b.dt))
+	c := b.g.Add(ops.NewConv2d(xs, tensor.S(outC, xs[1], k, k), stride, pad, b.dt), x, w)
+	gm := b.g.AddNamed(fmt.Sprintf("%s.bn%d", name, b.n), ops.NewParam(tensor.S(outC), b.dt))
+	return b.g.Add(ops.NewBatchNorm2d(b.shape(c), tensor.S(outC), b.dt), c, gm)
+}
+
+// bottleneck appends one ResNet bottleneck block.
+func (b *cnnBuilder) bottleneck(x graph.NodeID, midC, outC, stride int, name string) graph.NodeID {
+	inC := b.shape(x)[1]
+	h := b.conv(x, midC, 1, 1, 0, name)
+	h = b.conv(h, midC, 3, stride, 1, name)
+	h = b.convNoAct(h, outC, 1, 1, 0, name)
+	short := x
+	if inC != outC || stride != 1 {
+		short = b.convNoAct(x, outC, 1, stride, 0, name+".short")
+	}
+	hs := b.shape(h)
+	sum := b.g.Add(ops.NewAdd(hs, b.shape(short), b.dt), h, short)
+	return b.g.Add(ops.NewReLU(hs, b.dt), sum)
+}
+
+// classify appends global average pooling, a classifier head, and CE loss.
+func (b *cnnBuilder) classify(x graph.NodeID, classes, batch int) graph.NodeID {
+	xs := b.shape(x)
+	p := b.g.Add(ops.NewPool2d(xs, "avg", xs[2], 1, b.dt), x)
+	flat := b.g.Add(ops.NewReshape(b.shape(p), tensor.S(batch, xs[1]), b.dt), p)
+	w := b.g.AddNamed("fc.w", ops.NewParam(tensor.S(xs[1], classes), b.dt))
+	logits := b.g.Add(ops.NewLinear(tensor.S(batch, xs[1]), tensor.S(xs[1], classes), false, b.dt), flat, w)
+	lbl := b.g.AddNamed("labels", ops.NewInput(tensor.S(batch), b.dt))
+	return b.g.AddNamed("loss", ops.NewCrossEntropy(tensor.S(batch, classes), tensor.S(batch), b.dt), logits, lbl)
+}
+
+// ResNet50 is the Table 2 configuration: image 224, tf32, bottleneck
+// stages [3,4,6,3].
+func ResNet50(batch, image int) *Workload {
+	return ResNet50Config(batch, image, []int{3, 4, 6, 3})
+}
+
+// ResNet50Config builds a ResNet with custom stage depths (SmallSuite uses
+// shallower stages).
+func ResNet50Config(batch, image int, stages []int) *Workload {
+	dt := tensor.TF32
+	b := &cnnBuilder{g: graph.New(), dt: dt}
+	img := b.g.AddNamed("image", ops.NewInput(tensor.S(batch, 3, image, image), dt))
+	h := b.conv(img, 64, 7, 2, 3, "stem")
+	h = b.g.Add(ops.NewPool2d(b.shape(h), "max", 3, 2, dt), h)
+	mid := 64
+	out := 256
+	for si, blocks := range stages {
+		stride := 1
+		if si > 0 {
+			stride = 2
+		}
+		for bi := 0; bi < blocks; bi++ {
+			s := 1
+			if bi == 0 {
+				s = stride
+			}
+			h = b.bottleneck(h, mid, out, s, fmt.Sprintf("s%d.b%d", si, bi))
+		}
+		mid *= 2
+		out *= 2
+	}
+	loss := b.classify(h, 1000, batch)
+	return train("ResNet-50", b.g, loss, batch, dt)
+}
+
+// unetBlock appends the U-Net double convolution.
+func (b *cnnBuilder) unetBlock(x graph.NodeID, outC int, name string) graph.NodeID {
+	h := b.conv(x, outC, 3, 1, 1, name)
+	return b.conv(h, outC, 3, 1, 1, name)
+}
+
+// UNet is the Table 2 configuration: image 256, base width 64, 4 levels.
+func UNet(batch, image int) *Workload {
+	return UNetConfig(batch, image, 64, 4)
+}
+
+// UNetConfig builds a U-Net with custom base width and depth.
+func UNetConfig(batch, image, base, depth int) *Workload {
+	dt := tensor.TF32
+	b := &cnnBuilder{g: graph.New(), dt: dt}
+	img := b.g.AddNamed("image", ops.NewInput(tensor.S(batch, 3, image, image), dt))
+	// Encoder with skip outputs.
+	var skips []graph.NodeID
+	h := img
+	ch := base
+	for i := 0; i < depth; i++ {
+		h = b.unetBlock(h, ch, fmt.Sprintf("enc%d", i))
+		skips = append(skips, h)
+		h = b.g.Add(ops.NewPool2d(b.shape(h), "max", 2, 2, dt), h)
+		ch *= 2
+	}
+	h = b.unetBlock(h, ch, "mid")
+	// Decoder with long skip connections.
+	for i := depth - 1; i >= 0; i-- {
+		ch /= 2
+		up := b.g.Add(ops.NewUpsample2d(b.shape(h), 2, dt), h)
+		skip := skips[i]
+		cat := b.g.Add(ops.NewConcat([]tensor.Shape{b.shape(up), b.shape(skip)}, 2, dt), up, skip)
+		h = b.unetBlock(cat, ch, fmt.Sprintf("dec%d", i))
+	}
+	loss := b.segmentLoss(h, 2, batch)
+	return train("UNet", b.g, loss, batch, dt)
+}
+
+// segmentLoss appends a 1x1 classifier conv and per-pixel cross-entropy.
+func (b *cnnBuilder) segmentLoss(x graph.NodeID, classes, batch int) graph.NodeID {
+	logits := b.convNoAct(x, classes, 1, 1, 0, "head")
+	ls := b.shape(logits) // [B, classes, H, W]
+	perm := b.g.Add(ops.NewTranspose(ls, []int{0, 2, 3, 1}, b.dt), logits)
+	lbl := b.g.AddNamed("labels", ops.NewInput(tensor.S(batch, ls[2], ls[3]), b.dt))
+	return b.g.AddNamed("loss",
+		ops.NewCrossEntropy(tensor.S(batch, ls[2], ls[3], classes), tensor.S(batch, ls[2], ls[3]), b.dt), perm, lbl)
+}
+
+// UNetPP is the Table 2 U-Net++ configuration: image 256, base 64, L=4.
+func UNetPP(batch, image int) *Workload {
+	return UNetPPConfig(batch, image, 64, 4)
+}
+
+// UNetPPConfig builds a nested U-Net++ (Zhou et al.): X[i][j] =
+// Conv(Concat(X[i][0..j-1], Up(X[i+1][j-1]))), supervised at X[0][L].
+func UNetPPConfig(batch, image, base, levels int) *Workload {
+	dt := tensor.TF32
+	b := &cnnBuilder{g: graph.New(), dt: dt}
+	img := b.g.AddNamed("image", ops.NewInput(tensor.S(batch, 3, image, image), dt))
+	chAt := func(i int) int { return base << i }
+	// Backbone column X[i][0].
+	x := make([][]graph.NodeID, levels+1)
+	h := img
+	for i := 0; i <= levels; i++ {
+		if i > 0 {
+			h = b.g.Add(ops.NewPool2d(b.shape(h), "max", 2, 2, dt), h)
+		}
+		h = b.unetBlock(h, chAt(i), fmt.Sprintf("x%d0", i))
+		x[i] = append(x[i], h)
+	}
+	// Dense nested decoder.
+	for j := 1; j <= levels; j++ {
+		for i := 0; i+j <= levels; i++ {
+			up := b.g.Add(ops.NewUpsample2d(b.shape(x[i+1][j-1]), 2, dt), x[i+1][j-1])
+			parts := append([]graph.NodeID{}, x[i][:j]...)
+			parts = append(parts, up)
+			shapes := make([]tensor.Shape, len(parts))
+			for k, p := range parts {
+				shapes[k] = b.shape(p)
+			}
+			cat := b.g.Add(ops.NewConcat(shapes, 2, dt), parts...)
+			x[i] = append(x[i], b.unetBlock(cat, chAt(i), fmt.Sprintf("x%d%d", i, j)))
+		}
+	}
+	loss := b.segmentLoss(x[0][levels], 2, batch)
+	return train("UNet++", b.g, loss, batch, dt)
+}

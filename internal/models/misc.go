@@ -1,0 +1,114 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"magis/internal/graph"
+	"magis/internal/ops"
+	"magis/internal/tensor"
+)
+
+// MLP builds a simple multi-layer perceptron training graph (quickstart).
+func MLP(batch, in, hidden, classes, layers int) *Workload {
+	dt := tensor.F32
+	g := graph.New()
+	x := g.AddNamed("x", ops.NewInput(tensor.S(batch, in), dt))
+	h := x
+	cur := in
+	for i := 0; i < layers; i++ {
+		w := g.AddNamed(fmt.Sprintf("w%d", i), ops.NewParam(tensor.S(cur, hidden), dt))
+		h = g.Add(ops.NewLinear(tensor.S(batch, cur), tensor.S(cur, hidden), false, dt), h, w)
+		b := g.AddNamed(fmt.Sprintf("b%d", i), ops.NewParam(tensor.S(hidden), dt))
+		h = g.Add(ops.NewBiasAdd(tensor.S(batch, hidden), tensor.S(hidden), dt), h, b)
+		h = g.Add(ops.NewReLU(tensor.S(batch, hidden), dt), h)
+		cur = hidden
+	}
+	w := g.AddNamed("head", ops.NewParam(tensor.S(cur, classes), dt))
+	logits := g.Add(ops.NewLinear(tensor.S(batch, cur), tensor.S(cur, classes), false, dt), h, w)
+	lbl := g.AddNamed("labels", ops.NewInput(tensor.S(batch), dt))
+	loss := g.AddNamed("loss", ops.NewCrossEntropy(tensor.S(batch, classes), tensor.S(batch), dt), logits, lbl)
+	return train("MLP", g, loss, batch, dt)
+}
+
+// SkipChain builds the Fig. 2 motivation graph: a forward chain of n
+// equally sized tensors followed by a mirrored chain consuming each
+// forward tensor through a long skip connection, so all n forward tensors
+// are alive at the turning point. elems sets each tensor's element count.
+func SkipChain(n, elems int) (*graph.Graph, graph.NodeID) {
+	dt := tensor.F32
+	g := graph.New()
+	sh := tensor.S(elems)
+	x := g.AddNamed("in", ops.NewInput(sh, dt))
+	fwd := make([]graph.NodeID, n)
+	h := x
+	for i := 0; i < n; i++ {
+		h = g.AddNamed(fmt.Sprintf("f%d", i), ops.NewGELU(sh, dt), h)
+		fwd[i] = h
+	}
+	for i := n - 1; i >= 0; i-- {
+		h = g.AddNamed(fmt.Sprintf("b%d", i), ops.NewAdd(sh, sh, dt), h, fwd[i])
+	}
+	return g, h
+}
+
+// RandomNASNet builds a forward-only, irregularly wired network resembling
+// NASNet cells (§7.3): each cell has five internal nodes combining two
+// random predecessors with random convolutional operators.
+func RandomNASNet(seed int64, cells, channels, image, batch int) *Workload {
+	dt := tensor.TF32
+	r := rand.New(rand.NewSource(seed))
+	b := &cnnBuilder{g: graph.New(), dt: dt}
+	g := b.g
+	img := g.AddNamed("image", ops.NewInput(tensor.S(batch, 3, image, image), dt))
+	h := b.conv(img, channels, 3, 1, 1, "stem")
+	prevOuts := []graph.NodeID{h}
+	for c := 0; c < cells; c++ {
+		pool := append([]graph.NodeID{}, prevOuts...)
+		used := make(map[graph.NodeID]bool)
+		for k := 0; k < 5; k++ {
+			a := pool[r.Intn(len(pool))]
+			bb := pool[r.Intn(len(pool))]
+			var node graph.NodeID
+			switch r.Intn(4) {
+			case 0:
+				node = b.conv(a, channels, 3, 1, 1, fmt.Sprintf("c%d.n%d", c, k))
+			case 1:
+				node = b.conv(a, channels, 1, 1, 0, fmt.Sprintf("c%d.n%d", c, k))
+			case 2:
+				sh := b.shape(a)
+				node = g.Add(ops.NewAdd(sh, b.shape(bb), dt), a, bb)
+				used[bb] = true
+			default:
+				node = g.Add(ops.NewGELU(b.shape(a), dt), a)
+			}
+			used[a] = true
+			pool = append(pool, node)
+		}
+		// Cell output: concat the loose ends, project back to `channels`.
+		var loose []graph.NodeID
+		for _, p := range pool {
+			if !used[p] {
+				loose = append(loose, p)
+			}
+		}
+		if len(loose) == 0 {
+			loose = pool[len(pool)-1:]
+		}
+		var out graph.NodeID
+		if len(loose) == 1 {
+			out = loose[0]
+		} else {
+			shapes := make([]tensor.Shape, len(loose))
+			for i, p := range loose {
+				shapes[i] = b.shape(p)
+			}
+			cat := g.Add(ops.NewConcat(shapes, 2, dt), loose...)
+			out = b.conv(cat, channels, 1, 1, 0, fmt.Sprintf("c%d.out", c))
+		}
+		prevOuts = []graph.NodeID{out, prevOuts[0]}
+	}
+	// A small head so the graph has one output.
+	loss := b.classify(prevOuts[0], 10, batch)
+	return &Workload{Name: fmt.Sprintf("NASNet-rand%d", seed), G: g, Loss: loss, Batch: batch, DType: dt}
+}

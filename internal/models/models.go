@@ -1,0 +1,78 @@
+// Package models builds the computation graphs of the paper's evaluation
+// workloads (Table 2): ResNet-50, BERT-base, ViT-base, U-Net, U-Net++,
+// GPT-Neo-1.3B, and BTLM-3B, each as a full training graph (forward pass,
+// cross-entropy loss, reverse-mode backward pass, SGD updates) at the
+// paper's batch and shape configuration. It also provides the synthetic
+// graphs used by the motivation example (Fig. 2), the incremental-
+// scheduling study (random NASNet-like DNNs, §7.3), and the quickstart.
+package models
+
+import (
+	"fmt"
+
+	"magis/internal/autodiff"
+	"magis/internal/graph"
+	"magis/internal/tensor"
+)
+
+// Workload is one benchmark network: a training graph plus metadata.
+type Workload struct {
+	// Name is the short display name used in result tables.
+	Name string
+	// G is the training graph (forward + backward + updates).
+	G *graph.Graph
+	// Loss is the scalar loss node.
+	Loss graph.NodeID
+	// Batch is the configured batch size.
+	Batch int
+	// DType is the training datatype (tf32 or bf16, per §7.1).
+	DType tensor.DType
+}
+
+// String implements fmt.Stringer.
+func (w *Workload) String() string {
+	return fmt.Sprintf("%s (b%d, %d nodes)", w.Name, w.Batch, w.G.Len())
+}
+
+// train appends the backward pass for loss and wraps the result.
+func train(name string, g *graph.Graph, loss graph.NodeID, batch int, dt tensor.DType) *Workload {
+	if _, err := autodiff.Backward(g, loss); err != nil {
+		panic(fmt.Sprintf("models: %s backward: %v", name, err))
+	}
+	return &Workload{Name: name, G: g, Loss: loss, Batch: batch, DType: dt}
+}
+
+// Table2 instantiates the paper's seven evaluation workloads at their
+// configured sizes. Scale (0,1] shrinks batch sizes proportionally for
+// fast test/bench runs; use 1 for the paper configuration.
+func Table2(scale float64) []*Workload {
+	b := func(n int) int {
+		s := int(float64(n) * scale)
+		if s < 1 {
+			return 1
+		}
+		return s
+	}
+	return []*Workload{
+		ResNet50(b(64), 224),
+		BERTBase(b(32), 512),
+		ViTBase(b(64), 224, 16),
+		UNet(b(32), 256),
+		UNetPP(b(16), 256),
+		GPTNeo13B(b(32), 512),
+		BTLM3B(b(32), 512),
+	}
+}
+
+// SmallSuite returns laptop-scale versions of the workloads (reduced
+// batch, image, sequence, and depth) preserving each topology class; used
+// by tests and quick benchmark runs.
+func SmallSuite() []*Workload {
+	return []*Workload{
+		ResNet50Config(4, 64, []int{2, 2, 2, 2}),
+		TransformerLM("BERT-small", 4, 64, 128, 4, 4, 1000, tensor.TF32, false),
+		ViTBase(4, 64, 16),
+		UNetConfig(2, 64, 16, 3),
+		UNetPPConfig(2, 64, 8, 3),
+	}
+}

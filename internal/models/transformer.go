@@ -1,0 +1,152 @@
+package models
+
+import (
+	"fmt"
+
+	"magis/internal/graph"
+	"magis/internal/ops"
+	"magis/internal/tensor"
+)
+
+// transformerBlock appends one pre-LN transformer block to g and returns
+// the output node. x must have shape [B, T, C].
+func transformerBlock(g *graph.Graph, x graph.NodeID, name string, heads int, dt tensor.DType) graph.NodeID {
+	sh := g.Node(x).Op.OutShape()
+	b, t, c := sh[0], sh[1], sh[2]
+	xsh := tensor.S(b, t, c)
+	csh := tensor.S(c)
+	h := c / heads
+	hsh := tensor.S(b, heads, t, h)
+	ssh := tensor.S(b, heads, t, t)
+
+	param := func(suffix string, shape tensor.Shape) graph.NodeID {
+		return g.AddNamed(name+"."+suffix, ops.NewParam(shape, dt))
+	}
+	linear := func(in graph.NodeID, w graph.NodeID, inSh tensor.Shape, wSh tensor.Shape) graph.NodeID {
+		return g.Add(ops.NewLinear(inSh, wSh, false, dt), in, w)
+	}
+
+	// Attention.
+	g1 := param("ln1.g", csh)
+	b1 := param("ln1.b", csh)
+	ln1 := g.AddNamed(name+".ln1", ops.NewLayerNorm(xsh, csh, csh, dt), x, g1, b1)
+	wq := param("wq", tensor.S(c, c))
+	wk := param("wk", tensor.S(c, c))
+	wv := param("wv", tensor.S(c, c))
+	q := linear(ln1, wq, xsh, tensor.S(c, c))
+	k := linear(ln1, wk, xsh, tensor.S(c, c))
+	v := linear(ln1, wv, xsh, tensor.S(c, c))
+	qh := g.Add(ops.NewSplitHeads(xsh, heads, dt), q)
+	kh := g.Add(ops.NewSplitHeads(xsh, heads, dt), k)
+	vh := g.Add(ops.NewSplitHeads(xsh, heads, dt), v)
+	scores := g.AddNamed(name+".scores", ops.NewBatchMatmul(hsh, hsh, false, true, dt), qh, kh)
+	scaled := g.Add(ops.NewScale(ssh, dt), scores)
+	probs := g.AddNamed(name+".probs", ops.NewSoftmax(ssh, 4, dt), scaled)
+	ctx := g.AddNamed(name+".ctx", ops.NewBatchMatmul(ssh, hsh, false, false, dt), probs, vh)
+	merged := g.Add(ops.NewMergeHeads(hsh, dt), ctx)
+	wo := param("wo", tensor.S(c, c))
+	attnOut := linear(merged, wo, xsh, tensor.S(c, c))
+	res1 := g.Add(ops.NewAdd(xsh, xsh, dt), x, attnOut)
+
+	// MLP.
+	g2 := param("ln2.g", csh)
+	b2 := param("ln2.b", csh)
+	ln2 := g.Add(ops.NewLayerNorm(xsh, csh, csh, dt), res1, g2, b2)
+	w1 := param("mlp.w1", tensor.S(c, 4*c))
+	w2 := param("mlp.w2", tensor.S(4*c, c))
+	up := g.Add(ops.NewLinear(xsh, tensor.S(c, 4*c), false, dt), ln2, w1)
+	act := g.Add(ops.NewGELU(tensor.S(b, t, 4*c), dt), up)
+	down := g.Add(ops.NewLinear(tensor.S(b, t, 4*c), tensor.S(4*c, c), false, dt), act, w2)
+	return g.Add(ops.NewAdd(xsh, xsh, dt), res1, down)
+}
+
+// TransformerLM builds a decoder/encoder-style language model training
+// graph: embedding, L transformer blocks, LM head, token-level
+// cross-entropy. With classify=true it instead pools to a single
+// classification logit row per example (ViT-style).
+func TransformerLM(name string, batch, seq, hidden, layers, heads, vocab int, dt tensor.DType, classify bool) *Workload {
+	g := graph.New()
+	ids := g.AddNamed("ids", ops.NewInput(tensor.S(batch, seq), dt))
+	table := g.AddNamed("wte", ops.NewParam(tensor.S(vocab, hidden), dt))
+	posTable := g.AddNamed("wpe", ops.NewParam(tensor.S(seq, hidden), dt))
+	pos := g.AddNamed("pos", ops.NewInput(tensor.S(batch, seq), dt))
+	x := g.Add(ops.NewEmbedding(tensor.S(batch, seq), tensor.S(vocab, hidden), dt), ids, table)
+	pe := g.Add(ops.NewEmbedding(tensor.S(batch, seq), tensor.S(seq, hidden), dt), pos, posTable)
+	xsh := tensor.S(batch, seq, hidden)
+	h := g.Add(ops.NewAdd(xsh, xsh, dt), x, pe)
+	for i := 0; i < layers; i++ {
+		h = transformerBlock(g, h, fmt.Sprintf("blk%d", i), heads, dt)
+	}
+	csh := tensor.S(hidden)
+	gf := g.AddNamed("lnf.g", ops.NewParam(csh, dt))
+	bf := g.AddNamed("lnf.b", ops.NewParam(csh, dt))
+	hn := g.Add(ops.NewLayerNorm(xsh, csh, csh, dt), h, gf, bf)
+
+	var loss graph.NodeID
+	if classify {
+		// Mean-pool over the sequence, then classify.
+		pooled := g.Add(ops.NewReduce("Mean", xsh, 2, dt), hn)
+		wc := g.AddNamed("head", ops.NewParam(tensor.S(hidden, vocab), dt))
+		logits := g.Add(ops.NewLinear(tensor.S(batch, hidden), tensor.S(hidden, vocab), false, dt), pooled, wc)
+		lbl := g.AddNamed("labels", ops.NewInput(tensor.S(batch), dt))
+		loss = g.AddNamed("loss", ops.NewCrossEntropy(tensor.S(batch, vocab), tensor.S(batch), dt), logits, lbl)
+	} else {
+		wc := g.AddNamed("head", ops.NewParam(tensor.S(hidden, vocab), dt))
+		logits := g.Add(ops.NewLinear(xsh, tensor.S(hidden, vocab), false, dt), hn, wc)
+		lbl := g.AddNamed("labels", ops.NewInput(tensor.S(batch, seq), dt))
+		loss = g.AddNamed("loss", ops.NewCrossEntropy(tensor.S(batch, seq, vocab), tensor.S(batch, seq), dt), logits, lbl)
+	}
+	return train(name, g, loss, batch, dt)
+}
+
+// BERTBase is the Table 2 BERT-base configuration: 12 layers, hidden 768,
+// 12 heads, tf32, masked-token loss over a 30522-word vocabulary.
+func BERTBase(batch, seq int) *Workload {
+	return TransformerLM("BERT-base", batch, seq, 768, 12, 12, 30522, tensor.TF32, false)
+}
+
+// GPTNeo13B is the Table 2 GPT-Neo-1.3B configuration: 24 layers, hidden
+// 2048, 16 heads, bf16.
+func GPTNeo13B(batch, seq int) *Workload {
+	return TransformerLM("GPT-Neo-1.3B", batch, seq, 2048, 24, 16, 50257, tensor.BF16, false)
+}
+
+// BTLM3B is the Table 2 BTLM-3B configuration: 32 layers, hidden 2560,
+// 20 heads, bf16.
+func BTLM3B(batch, seq int) *Workload {
+	return TransformerLM("BTLM-3B", batch, seq, 2560, 32, 20, 50257, tensor.BF16, false)
+}
+
+// ViTBase is the Table 2 ViT-base configuration: patch embedding via
+// strided convolution, 12 transformer layers at hidden 768, classification
+// over 1000 classes, tf32.
+func ViTBase(batch, image, patch int) *Workload {
+	dt := tensor.TF32
+	g := graph.New()
+	img := g.AddNamed("image", ops.NewInput(tensor.S(batch, 3, image, image), dt))
+	wp := g.AddNamed("patch.w", ops.NewParam(tensor.S(768, 3, patch, patch), dt))
+	pe := g.Add(ops.NewConv2d(tensor.S(batch, 3, image, image), tensor.S(768, 3, patch, patch), patch, 0, dt), img, wp)
+	grid := image / patch
+	seq := grid * grid
+	// [B, 768, g, g] -> [B, 768, T] -> [B, T, 768]
+	flat := g.Add(ops.NewReshape(tensor.S(batch, 768, grid, grid), tensor.S(batch, 768, seq), dt), pe)
+	tok := g.Add(ops.NewTranspose(tensor.S(batch, 768, seq), []int{0, 2, 1}, dt), flat)
+	posTable := g.AddNamed("pos", ops.NewParam(tensor.S(seq, 768), dt))
+	posIdx := g.AddNamed("posIdx", ops.NewInput(tensor.S(batch, seq), dt))
+	p := g.Add(ops.NewEmbedding(tensor.S(batch, seq), tensor.S(seq, 768), dt), posIdx, posTable)
+	xsh := tensor.S(batch, seq, 768)
+	h := g.Add(ops.NewAdd(xsh, xsh, dt), tok, p)
+	for i := 0; i < 12; i++ {
+		h = transformerBlock(g, h, fmt.Sprintf("blk%d", i), 12, dt)
+	}
+	csh := tensor.S(768)
+	gf := g.AddNamed("lnf.g", ops.NewParam(csh, dt))
+	bf := g.AddNamed("lnf.b", ops.NewParam(csh, dt))
+	hn := g.Add(ops.NewLayerNorm(xsh, csh, csh, dt), h, gf, bf)
+	pooled := g.Add(ops.NewReduce("Mean", xsh, 2, dt), hn)
+	wc := g.AddNamed("head", ops.NewParam(tensor.S(768, 1000), dt))
+	logits := g.Add(ops.NewLinear(tensor.S(batch, 768), tensor.S(768, 1000), false, dt), pooled, wc)
+	lbl := g.AddNamed("labels", ops.NewInput(tensor.S(batch), dt))
+	loss := g.AddNamed("loss", ops.NewCrossEntropy(tensor.S(batch, 1000), tensor.S(batch), dt), logits, lbl)
+	return train("ViT-base", g, loss, batch, dt)
+}

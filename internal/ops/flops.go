@@ -1,0 +1,102 @@
+package ops
+
+import "fmt"
+
+// flopsFor returns the cost function for a serialized operator kind,
+// recomputing every constructor's formula from the Spec's own fields so
+// that deserialized operators price identically to freshly built ones.
+func flopsFor(kind string) func(*Spec) float64 {
+	if f, ok := flopsRegistry[kind]; ok {
+		return f
+	}
+	return func(*Spec) float64 { return 0 }
+}
+
+func outTimesReduce(s *Spec) float64 {
+	return 2 * float64(s.out.Elems()) * float64(s.reduce[0])
+}
+
+func leadReduceProduct(s *Spec) float64 {
+	lead := 1.0
+	for _, e := range s.reduce {
+		lead *= float64(e)
+	}
+	return 2 * lead * float64(s.out.Elems())
+}
+
+func perElem(f float64) func(*Spec) float64 {
+	return func(s *Spec) float64 { return f * float64(s.out.Elems()) }
+}
+
+func perIn0(f float64) func(*Spec) float64 {
+	return func(s *Spec) float64 { return f * float64(s.ins[0].Elems()) }
+}
+
+func perLastIn(s *Spec) float64 {
+	return float64(s.ins[len(s.ins)-1].Elems())
+}
+
+var flopsRegistry = map[string]func(*Spec) float64{
+	KindMatmul:   outTimesReduce,
+	KindBatchMM:  outTimesReduce,
+	"Linear":     outTimesReduce,
+	"LinearBwdW": leadReduceProduct,
+	KindConv2d: func(s *Spec) float64 {
+		return 2 * float64(s.out.Elems()) * float64(s.reduce[0]) *
+			float64(s.ins[1][2]) * float64(s.ins[1][3])
+	},
+	"ConvBwdData": func(s *Spec) float64 {
+		return 2 * float64(s.ins[0].Elems()) * float64(s.ins[1][1]) *
+			float64(s.ins[1][2]) * float64(s.ins[1][3])
+	},
+	"ConvBwdFilter": func(s *Spec) float64 {
+		return 2 * float64(s.ins[1].Elems()) * float64(s.out[1]) *
+			float64(s.out[2]) * float64(s.out[3])
+	},
+	KindPool2d: func(s *Spec) float64 {
+		var k, st int
+		var pk string
+		fmt.Sscanf(s.attr, "%[^,],k%ds%d", &pk, &k, &st)
+		return float64(s.out.Elems()) * float64(k*k)
+	},
+	"PoolBwd": func(s *Spec) float64 {
+		var k, st int
+		var pk string
+		fmt.Sscanf(s.attr, "%[^,],k%ds%d", &pk, &k, &st)
+		return float64(s.ins[1].Elems()) * float64(k*k)
+	},
+	"Upsample2d":      perElem(1),
+	"UpsampleBwd":     perIn0(1),
+	"ReLU":            perElem(1),
+	"GELU":            perElem(8),
+	"Tanh":            perElem(6),
+	"Sigmoid":         perElem(4),
+	"Dropout":         perElem(2),
+	"Scale":           perElem(1),
+	"ReLUBwd":         perElem(2),
+	"GELUBwd":         perElem(2),
+	"TanhBwd":         perElem(2),
+	"SigmoidBwd":      perElem(2),
+	"DropoutBwd":      perElem(2),
+	"ScaleBwd":        perElem(2),
+	"Add":             perElem(1),
+	"Mul":             perElem(1),
+	"BiasAdd":         perElem(1),
+	KindSoftmax:       perElem(5),
+	"SoftmaxBwd":      perElem(4),
+	KindLayerNorm:     perElem(8),
+	"LayerNormBwdX":   perElem(10),
+	"LayerNormBwdP":   perIn0(4),
+	"BatchNorm2d":     perElem(4),
+	"BatchNormBwdX":   perElem(6),
+	"BatchNormBwdP":   perIn0(2),
+	KindReduce:        perIn0(1),
+	"Broadcast":       perElem(1),
+	"Pad":             perElem(1),
+	KindEmbedding:     perElem(1),
+	"EmbeddingBwd":    func(s *Spec) float64 { return perLastIn(s) },
+	"BiasBwd":         func(s *Spec) float64 { return perLastIn(s) },
+	KindCrossEnt:      perIn0(6),
+	"CrossEntropyBwd": perElem(4),
+	"ApplySGD":        perElem(2),
+}

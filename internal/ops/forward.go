@@ -1,0 +1,544 @@
+package ops
+
+import (
+	"fmt"
+
+	"magis/internal/tensor"
+)
+
+// Operator kind names used across the framework. Using exported constants
+// keeps string literals out of the other packages.
+const (
+	KindInput     = "Input"
+	KindParam     = "Param"
+	KindMatmul    = "Matmul"
+	KindBatchMM   = "BatchMatmul"
+	KindConv2d    = "Conv2d"
+	KindPool2d    = "Pool2d"
+	KindSoftmax   = "Softmax"
+	KindLayerNorm = "LayerNorm"
+	KindReduce    = "Reduce"
+	KindSlice     = "Slice"
+	KindConcat    = "Concat"
+	KindTranspose = "Transpose"
+	KindReshape   = "Reshape"
+	KindEmbedding = "Embedding"
+	KindCrossEnt  = "CrossEntropy"
+	KindStore     = "Store"
+	KindLoad      = "Load"
+)
+
+// NewInput returns a graph entry holding an externally provided tensor
+// (activations, labels). Inputs have no FLOPs and no producers.
+func NewInput(shape tensor.Shape, dt tensor.DType) *Spec {
+	return &Spec{kind: KindInput, out: shape.Clone(), dt: dt}
+}
+
+// NewParam returns a model weight tensor. Params behave like Inputs but
+// are distinguishable so analyses can treat weights specially (e.g. shared,
+// not sliced, by fission).
+func NewParam(shape tensor.Shape, dt tensor.DType) *Spec {
+	return &Spec{kind: KindParam, out: shape.Clone(), dt: dt}
+}
+
+// IsLeaf reports whether the op is a graph entry (Input or Param).
+func IsLeaf(kind string) bool { return kind == KindInput || kind == KindParam }
+
+// NewMatmul multiplies a[m,k] by b[k,n] into [m,n]. ta/tb transpose the
+// respective operand first, so gradient matmuls need no explicit Transpose
+// nodes.
+func NewMatmul(a, b tensor.Shape, ta, tb bool, dt tensor.DType) *Spec {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("ops: Matmul needs rank-2 operands, got %v x %v", a, b))
+	}
+	m, k1 := a[0], a[1]
+	if ta {
+		m, k1 = k1, m
+	}
+	k2, n := b[0], b[1]
+	if tb {
+		k2, n = n, k2
+	}
+	if k1 != k2 {
+		panic(fmt.Sprintf("ops: Matmul contraction mismatch %v x %v (ta=%v tb=%v)", a, b, ta, tb))
+	}
+	// Links for a: the m dim -> out dim 1, the k dim -> reduce axis 1.
+	aM, aK := 1, 2
+	if ta {
+		aM, aK = 2, 1
+	}
+	bK, bN := 1, 2
+	if tb {
+		bK, bN = 2, 1
+	}
+	return &Spec{
+		kind:   KindMatmul,
+		attr:   transAttr(ta, tb),
+		ins:    []tensor.Shape{a.Clone(), b.Clone()},
+		out:    tensor.S(m, n),
+		dt:     dt,
+		reduce: []int{k1},
+		links: [][]DimLink{
+			{{aM, 1}, {aK, -1}},
+			{{bK, -1}, {bN, 2}},
+		},
+		flops: func(s *Spec) float64 {
+			return 2 * float64(s.out.Elems()) * float64(s.reduce[0])
+		},
+	}
+}
+
+// NewBatchMatmul multiplies [B..., m, k] by [B..., k, n] into [B..., m, n];
+// leading batch dimensions must match exactly.
+func NewBatchMatmul(a, b tensor.Shape, ta, tb bool, dt tensor.DType) *Spec {
+	if a.Rank() != b.Rank() || a.Rank() < 3 {
+		panic(fmt.Sprintf("ops: BatchMatmul rank mismatch %v x %v", a, b))
+	}
+	r := a.Rank()
+	for i := 0; i < r-2; i++ {
+		if a[i] != b[i] {
+			panic(fmt.Sprintf("ops: BatchMatmul batch dims differ %v x %v", a, b))
+		}
+	}
+	m, k1 := a[r-2], a[r-1]
+	if ta {
+		m, k1 = k1, m
+	}
+	k2, n := b[r-2], b[r-1]
+	if tb {
+		k2, n = n, k2
+	}
+	if k1 != k2 {
+		panic(fmt.Sprintf("ops: BatchMatmul contraction mismatch %v x %v", a, b))
+	}
+	out := a.Clone()
+	out[r-2], out[r-1] = m, n
+	aM, aK := r-1, r
+	if ta {
+		aM, aK = r, r-1
+	}
+	bK, bN := r-1, r
+	if tb {
+		bK, bN = r, r-1
+	}
+	var la, lb []DimLink
+	for i := 1; i <= r-2; i++ {
+		la = append(la, DimLink{i, i})
+		lb = append(lb, DimLink{i, i})
+	}
+	la = append(la, DimLink{aM, r - 1}, DimLink{aK, -1})
+	lb = append(lb, DimLink{bK, -1}, DimLink{bN, r})
+	return &Spec{
+		kind:   KindBatchMM,
+		attr:   transAttr(ta, tb),
+		ins:    []tensor.Shape{a.Clone(), b.Clone()},
+		out:    out,
+		dt:     dt,
+		reduce: []int{k1},
+		links:  [][]DimLink{la, lb},
+		flops: func(s *Spec) float64 {
+			return 2 * float64(s.out.Elems()) * float64(s.reduce[0])
+		},
+	}
+}
+
+func transAttr(ta, tb bool) string {
+	switch {
+	case ta && tb:
+		return "TT"
+	case ta:
+		return "TN"
+	case tb:
+		return "NT"
+	}
+	return "NN"
+}
+
+func conv2dOutDim(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// NewConv2d convolves x[N,C,H,W] with w[K,C,R,S]. Spatial axes use a
+// sliding window so they carry no dimension links (paper footnote 2);
+// fission may split the batch dimension or the channel reduce axis.
+func NewConv2d(x, w tensor.Shape, stride, pad int, dt tensor.DType) *Spec {
+	if x.Rank() != 4 || w.Rank() != 4 || x[1] != w[1] {
+		panic(fmt.Sprintf("ops: Conv2d shape mismatch %v * %v", x, w))
+	}
+	h2 := conv2dOutDim(x[2], w[2], stride, pad)
+	w2 := conv2dOutDim(x[3], w[3], stride, pad)
+	out := tensor.S(x[0], w[0], h2, w2)
+	return &Spec{
+		kind:   KindConv2d,
+		attr:   fmt.Sprintf("s%dp%d", stride, pad),
+		ins:    []tensor.Shape{x.Clone(), w.Clone()},
+		out:    out,
+		dt:     dt,
+		reduce: []int{x[1]},
+		links: [][]DimLink{
+			{{1, 1}, {2, -1}},
+			{{1, 2}, {2, -1}},
+		},
+		flops: func(s *Spec) float64 {
+			// 2 * N*K*H2*W2 * C*R*S
+			return 2 * float64(s.out.Elems()) * float64(s.reduce[0]) *
+				float64(s.ins[1][2]) * float64(s.ins[1][3])
+		},
+	}
+}
+
+// NewPool2d applies max/avg pooling with square kernel k and the given
+// stride over x[N,C,H,W].
+func NewPool2d(x tensor.Shape, poolKind string, k, stride int, dt tensor.DType) *Spec {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("ops: Pool2d needs NCHW, got %v", x))
+	}
+	out := tensor.S(x[0], x[1], conv2dOutDim(x[2], k, stride, 0), conv2dOutDim(x[3], k, stride, 0))
+	return &Spec{
+		kind:  KindPool2d,
+		attr:  fmt.Sprintf("%s,k%ds%d", poolKind, k, stride),
+		ins:   []tensor.Shape{x.Clone()},
+		out:   out,
+		dt:    dt,
+		links: [][]DimLink{{{1, 1}, {2, 2}}},
+		flops: func(s *Spec) float64 {
+			return float64(s.out.Elems()) * float64(k*k)
+		},
+	}
+}
+
+// NewUpsample2d nearest-neighbour upsamples x[N,C,H,W] by factor f.
+func NewUpsample2d(x tensor.Shape, f int, dt tensor.DType) *Spec {
+	out := tensor.S(x[0], x[1], x[2]*f, x[3]*f)
+	return &Spec{
+		kind:  "Upsample2d",
+		attr:  fmt.Sprintf("f%d", f),
+		ins:   []tensor.Shape{x.Clone()},
+		out:   out,
+		dt:    dt,
+		links: [][]DimLink{{{1, 1}, {2, 2}}},
+		flops: func(s *Spec) float64 { return float64(s.out.Elems()) },
+	}
+}
+
+// NewEltwise builds a unary elementwise op (ReLU, GELU, Exp, Scale, ...).
+// flopsPerElem captures the per-element arithmetic cost.
+func NewEltwise(kind string, x tensor.Shape, dt tensor.DType, flopsPerElem float64) *Spec {
+	return &Spec{
+		kind:  kind,
+		ins:   []tensor.Shape{x.Clone()},
+		out:   x.Clone(),
+		dt:    dt,
+		links: [][]DimLink{identityLinks(x)},
+		flops: func(s *Spec) float64 { return flopsPerElem * float64(s.out.Elems()) },
+	}
+}
+
+// Common unary constructors.
+func NewReLU(x tensor.Shape, dt tensor.DType) *Spec    { return NewEltwise("ReLU", x, dt, 1) }
+func NewGELU(x tensor.Shape, dt tensor.DType) *Spec    { return NewEltwise("GELU", x, dt, 8) }
+func NewTanh(x tensor.Shape, dt tensor.DType) *Spec    { return NewEltwise("Tanh", x, dt, 6) }
+func NewSigmoid(x tensor.Shape, dt tensor.DType) *Spec { return NewEltwise("Sigmoid", x, dt, 4) }
+func NewDropout(x tensor.Shape, dt tensor.DType) *Spec { return NewEltwise("Dropout", x, dt, 2) }
+func NewScale(x tensor.Shape, dt tensor.DType) *Spec   { return NewEltwise("Scale", x, dt, 1) }
+
+// NewBinary builds a same-shape elementwise binary op (Add, Mul, Sub, Div).
+func NewBinary(kind string, a, b tensor.Shape, dt tensor.DType) *Spec {
+	if !a.Equal(b) {
+		panic(fmt.Sprintf("ops: %s operand shapes differ: %v vs %v", kind, a, b))
+	}
+	return &Spec{
+		kind:  kind,
+		ins:   []tensor.Shape{a.Clone(), b.Clone()},
+		out:   a.Clone(),
+		dt:    dt,
+		links: [][]DimLink{identityLinks(a), identityLinks(b)},
+		flops: func(s *Spec) float64 { return float64(s.out.Elems()) },
+	}
+}
+
+// NewAdd adds two same-shape tensors.
+func NewAdd(a, b tensor.Shape, dt tensor.DType) *Spec { return NewBinary("Add", a, b, dt) }
+
+// NewMul multiplies two same-shape tensors elementwise.
+func NewMul(a, b tensor.Shape, dt tensor.DType) *Spec { return NewBinary("Mul", a, b, dt) }
+
+// NewBiasAdd adds bias b[C] to every row of x[..., C].
+func NewBiasAdd(x, b tensor.Shape, dt tensor.DType) *Spec {
+	if b.Rank() != 1 || b[0] != x[x.Rank()-1] {
+		panic(fmt.Sprintf("ops: BiasAdd bias %v incompatible with %v", b, x))
+	}
+	return &Spec{
+		kind: "BiasAdd",
+		ins:  []tensor.Shape{x.Clone(), b.Clone()},
+		out:  x.Clone(),
+		dt:   dt,
+		links: [][]DimLink{
+			identityLinks(x),
+			{{1, x.Rank()}},
+		},
+		flops: func(s *Spec) float64 { return float64(s.out.Elems()) },
+	}
+}
+
+// NewSoftmax normalizes along the 1-based axis. The normalized axis carries
+// no dimension link: splitting it would change semantics.
+func NewSoftmax(x tensor.Shape, axis int, dt tensor.DType) *Spec {
+	if axis < 1 || axis > x.Rank() {
+		panic(fmt.Sprintf("ops: Softmax axis %d out of range for %v", axis, x))
+	}
+	return &Spec{
+		kind:  KindSoftmax,
+		attr:  fmt.Sprintf("a%d", axis),
+		ins:   []tensor.Shape{x.Clone()},
+		out:   x.Clone(),
+		dt:    dt,
+		links: [][]DimLink{identityLinks(x, axis)},
+		flops: func(s *Spec) float64 { return 5 * float64(s.out.Elems()) },
+	}
+}
+
+// NewLayerNorm normalizes x over its last dimension with scale gamma[C] and
+// shift beta[C].
+func NewLayerNorm(x, gamma, beta tensor.Shape, dt tensor.DType) *Spec {
+	c := x[x.Rank()-1]
+	if gamma.Rank() != 1 || gamma[0] != c || beta.Rank() != 1 || beta[0] != c {
+		panic(fmt.Sprintf("ops: LayerNorm params %v/%v incompatible with %v", gamma, beta, x))
+	}
+	return &Spec{
+		kind: KindLayerNorm,
+		ins:  []tensor.Shape{x.Clone(), gamma.Clone(), beta.Clone()},
+		out:  x.Clone(),
+		dt:   dt,
+		links: [][]DimLink{
+			identityLinks(x, x.Rank()),
+			nil,
+			nil,
+		},
+		flops: func(s *Spec) float64 { return 8 * float64(s.out.Elems()) },
+	}
+}
+
+// NewBatchNorm2d normalizes x[N,C,H,W] per channel (inference-style fused
+// scale/shift; statistics dims are treated like LayerNorm's).
+func NewBatchNorm2d(x, gamma tensor.Shape, dt tensor.DType) *Spec {
+	if x.Rank() != 4 || gamma.Rank() != 1 || gamma[0] != x[1] {
+		panic(fmt.Sprintf("ops: BatchNorm2d params %v incompatible with %v", gamma, x))
+	}
+	return &Spec{
+		kind: "BatchNorm2d",
+		ins:  []tensor.Shape{x.Clone(), gamma.Clone()},
+		out:  x.Clone(),
+		dt:   dt,
+		links: [][]DimLink{
+			// Statistics run over N,H,W; splitting the batch yields
+			// per-part ("ghost") statistics, the standard micro-batching
+			// behaviour, so both batch and channel dims stay linked.
+			{{1, 1}, {2, 2}},
+			{{1, 2}},
+		},
+		flops: func(s *Spec) float64 { return 4 * float64(s.out.Elems()) },
+	}
+}
+
+// NewReduce sums or averages x over the 1-based axis, dropping it.
+func NewReduce(redKind string, x tensor.Shape, axis int, dt tensor.DType) *Spec {
+	if axis < 1 || axis > x.Rank() {
+		panic(fmt.Sprintf("ops: Reduce axis %d out of range for %v", axis, x))
+	}
+	out := make(tensor.Shape, 0, x.Rank()-1)
+	var links []DimLink
+	for d := 1; d <= x.Rank(); d++ {
+		switch {
+		case d < axis:
+			out = append(out, x[d-1])
+			links = append(links, DimLink{d, d})
+		case d == axis:
+			links = append(links, DimLink{d, -1})
+		default:
+			out = append(out, x[d-1])
+			links = append(links, DimLink{d, d - 1})
+		}
+	}
+	return &Spec{
+		kind:   KindReduce,
+		attr:   fmt.Sprintf("%s,a%d", redKind, axis),
+		ins:    []tensor.Shape{x.Clone()},
+		out:    out,
+		dt:     dt,
+		reduce: []int{x[axis-1]},
+		links:  [][]DimLink{links},
+		flops:  func(s *Spec) float64 { return float64(s.ins[0].Elems()) },
+	}
+}
+
+// NewSlice extracts length elements starting at start along dim.
+func NewSlice(x tensor.Shape, dim, start, length int, dt tensor.DType) *Spec {
+	if dim < 1 || dim > x.Rank() || start < 0 || start+length > x[dim-1] {
+		panic(fmt.Sprintf("ops: Slice [%d:%d+%d] out of range on %v", dim, start, length, x))
+	}
+	return &Spec{
+		kind:  KindSlice,
+		attr:  fmt.Sprintf("d%d,%d:%d", dim, start, start+length),
+		ins:   []tensor.Shape{x.Clone()},
+		out:   x.WithDim(dim, length),
+		dt:    dt,
+		links: [][]DimLink{identityLinks(x, dim)},
+		flops: func(s *Spec) float64 { return 0 },
+	}
+}
+
+// ParseSliceAttr recovers the (dim, start, length) parameters of a Slice
+// spec; ok is false for non-Slice operators.
+func ParseSliceAttr(s *Spec) (dim, start, length int, ok bool) {
+	if s.kind != KindSlice {
+		return 0, 0, 0, false
+	}
+	var end int
+	if _, err := fmt.Sscanf(s.attr, "d%d,%d:%d", &dim, &start, &end); err != nil {
+		return 0, 0, 0, false
+	}
+	return dim, start, end - start, true
+}
+
+// NewConcat concatenates the inputs along dim; all other dims must match.
+func NewConcat(ins []tensor.Shape, dim int, dt tensor.DType) *Spec {
+	if len(ins) == 0 {
+		panic("ops: Concat of nothing")
+	}
+	out := ins[0].Clone()
+	total := 0
+	for _, in := range ins {
+		if in.Rank() != out.Rank() {
+			panic(fmt.Sprintf("ops: Concat rank mismatch %v", ins))
+		}
+		for d := 1; d <= in.Rank(); d++ {
+			if d != dim && in.Dim(d) != out.Dim(d) {
+				panic(fmt.Sprintf("ops: Concat dim %d mismatch %v", d, ins))
+			}
+		}
+		total += in.Dim(dim)
+	}
+	out[dim-1] = total
+	links := make([][]DimLink, len(ins))
+	cins := make([]tensor.Shape, len(ins))
+	for i, in := range ins {
+		links[i] = identityLinks(in, dim)
+		cins[i] = in.Clone()
+	}
+	return &Spec{
+		kind:  KindConcat,
+		attr:  fmt.Sprintf("d%d,n%d", dim, len(ins)),
+		ins:   cins,
+		out:   out,
+		dt:    dt,
+		links: links,
+		flops: func(s *Spec) float64 { return 0 },
+	}
+}
+
+// NewTranspose permutes dimensions; perm is 0-based into the input shape.
+func NewTranspose(x tensor.Shape, perm []int, dt tensor.DType) *Spec {
+	if len(perm) != x.Rank() {
+		panic(fmt.Sprintf("ops: Transpose perm %v rank mismatch %v", perm, x))
+	}
+	out := make(tensor.Shape, len(perm))
+	links := make([]DimLink, len(perm))
+	for j, p := range perm {
+		out[j] = x[p]
+		links[j] = DimLink{p + 1, j + 1}
+	}
+	return &Spec{
+		kind:  KindTranspose,
+		attr:  fmt.Sprintf("p%v", perm),
+		ins:   []tensor.Shape{x.Clone()},
+		out:   out,
+		dt:    dt,
+		links: [][]DimLink{links},
+		flops: func(s *Spec) float64 { return 0 },
+	}
+}
+
+// NewReshape reinterprets x with a new shape of equal element count.
+// Dimension links are established only for leading and trailing dimensions
+// whose extents are preserved, which keeps fission sound across reshapes.
+func NewReshape(x, to tensor.Shape, dt tensor.DType) *Spec {
+	if x.Elems() != to.Elems() {
+		panic(fmt.Sprintf("ops: Reshape %v -> %v changes element count", x, to))
+	}
+	var links []DimLink
+	for d := 0; d < x.Rank() && d < to.Rank(); d++ {
+		if x[d] != to[d] {
+			break
+		}
+		links = append(links, DimLink{d + 1, d + 1})
+	}
+	lead := len(links)
+	for d := 0; d < x.Rank() && d < to.Rank(); d++ {
+		id, od := x.Rank()-1-d, to.Rank()-1-d
+		if id < lead || od < lead || x[id] != to[od] {
+			break
+		}
+		links = append(links, DimLink{id + 1, od + 1})
+	}
+	return &Spec{
+		kind:  KindReshape,
+		attr:  fmt.Sprintf("to%v", to),
+		ins:   []tensor.Shape{x.Clone()},
+		out:   to.Clone(),
+		dt:    dt,
+		links: [][]DimLink{links},
+		flops: func(s *Spec) float64 { return 0 },
+	}
+}
+
+// NewEmbedding gathers rows of table[V,C] by ids[B,...] into [B,...,C].
+func NewEmbedding(ids, table tensor.Shape, dt tensor.DType) *Spec {
+	if table.Rank() != 2 {
+		panic(fmt.Sprintf("ops: Embedding table must be [V,C], got %v", table))
+	}
+	out := append(ids.Clone(), table[1])
+	var idLinks []DimLink
+	for d := 1; d <= ids.Rank(); d++ {
+		idLinks = append(idLinks, DimLink{d, d})
+	}
+	return &Spec{
+		kind: KindEmbedding,
+		ins:  []tensor.Shape{ids.Clone(), table.Clone()},
+		out:  out,
+		dt:   dt,
+		links: [][]DimLink{
+			idLinks,
+			{{2, out.Rank()}},
+		},
+		flops: func(s *Spec) float64 { return float64(s.out.Elems()) },
+	}
+}
+
+// NewCrossEntropy computes mean softmax cross-entropy of logits[..., V]
+// against integer labels [...] (same leading dims), producing a scalar
+// loss. Leading dims become reduce axes (batch fission accumulates losses).
+func NewCrossEntropy(logits, labels tensor.Shape, dt tensor.DType) *Spec {
+	if logits.Rank() != labels.Rank()+1 {
+		panic(fmt.Sprintf("ops: CrossEntropy shapes %v vs %v", logits, labels))
+	}
+	var reduce []int
+	var ll, bl []DimLink
+	for d := 1; d <= labels.Rank(); d++ {
+		if logits[d-1] != labels[d-1] {
+			panic(fmt.Sprintf("ops: CrossEntropy leading dims differ %v vs %v", logits, labels))
+		}
+		reduce = append(reduce, labels[d-1])
+		ll = append(ll, DimLink{d, -d})
+		bl = append(bl, DimLink{d, -d})
+	}
+	return &Spec{
+		kind:   KindCrossEnt,
+		ins:    []tensor.Shape{logits.Clone(), labels.Clone()},
+		out:    tensor.S(),
+		dt:     dt,
+		reduce: reduce,
+		links:  [][]DimLink{ll, bl},
+		flops:  func(s *Spec) float64 { return 6 * float64(s.ins[0].Elems()) },
+	}
+}

@@ -1,0 +1,305 @@
+package ops
+
+import (
+	"fmt"
+
+	"magis/internal/tensor"
+)
+
+// Backward operators. Matmul/BatchMatmul gradients reuse the forward
+// constructors with transpose flags, so only operators with genuinely
+// different backward kernels appear here.
+
+// NewConvBwdData computes dX from dY[N,K,H2,W2] and w[K,C,R,S], producing
+// x's shape [N,C,H,W].
+func NewConvBwdData(dy, w, xShape tensor.Shape, stride, pad int, dt tensor.DType) *Spec {
+	if dy.Rank() != 4 || w.Rank() != 4 || xShape.Rank() != 4 {
+		panic(fmt.Sprintf("ops: ConvBwdData shapes %v %v %v", dy, w, xShape))
+	}
+	return &Spec{
+		kind:   "ConvBwdData",
+		attr:   fmt.Sprintf("s%dp%d", stride, pad),
+		ins:    []tensor.Shape{dy.Clone(), w.Clone()},
+		out:    xShape.Clone(),
+		dt:     dt,
+		reduce: []int{dy[1]}, // contraction over output channels K
+		links: [][]DimLink{
+			{{1, 1}, {2, -1}},
+			{{1, -1}, {2, 2}},
+		},
+		flops: func(s *Spec) float64 {
+			return 2 * float64(s.ins[0].Elems()) * float64(s.ins[1][1]) *
+				float64(s.ins[1][2]) * float64(s.ins[1][3])
+		},
+	}
+}
+
+// NewConvBwdFilter computes dW[K,C,R,S] from x[N,C,H,W] and dY[N,K,H2,W2].
+// The batch dimension is a reduce axis: batch fission produces partial
+// filter gradients merged by addition (the Fig. 5 v8 pattern).
+func NewConvBwdFilter(x, dy, wShape tensor.Shape, stride, pad int, dt tensor.DType) *Spec {
+	if x.Rank() != 4 || dy.Rank() != 4 || wShape.Rank() != 4 {
+		panic(fmt.Sprintf("ops: ConvBwdFilter shapes %v %v %v", x, dy, wShape))
+	}
+	return &Spec{
+		kind:   "ConvBwdFilter",
+		attr:   fmt.Sprintf("s%dp%d", stride, pad),
+		ins:    []tensor.Shape{x.Clone(), dy.Clone()},
+		out:    wShape.Clone(),
+		dt:     dt,
+		reduce: []int{x[0]},
+		links: [][]DimLink{
+			{{1, -1}, {2, 2}},
+			{{1, -1}, {2, 1}},
+		},
+		flops: func(s *Spec) float64 {
+			return 2 * float64(s.ins[1].Elems()) * float64(s.out[1]) *
+				float64(s.out[2]) * float64(s.out[3])
+		},
+	}
+}
+
+// NewPoolBwd routes dY back through a pooling window, producing x's shape.
+func NewPoolBwd(x, dy tensor.Shape, poolKind string, k, stride int, dt tensor.DType) *Spec {
+	return &Spec{
+		kind: "PoolBwd",
+		attr: fmt.Sprintf("%s,k%ds%d", poolKind, k, stride),
+		ins:  []tensor.Shape{x.Clone(), dy.Clone()},
+		out:  x.Clone(),
+		dt:   dt,
+		links: [][]DimLink{
+			{{1, 1}, {2, 2}},
+			{{1, 1}, {2, 2}},
+		},
+		flops: func(s *Spec) float64 { return float64(s.ins[1].Elems()) * float64(k*k) },
+	}
+}
+
+// NewUpsampleBwd reduces dY back to the pre-upsample shape.
+func NewUpsampleBwd(x, dy tensor.Shape, f int, dt tensor.DType) *Spec {
+	return &Spec{
+		kind: "UpsampleBwd",
+		attr: fmt.Sprintf("f%d", f),
+		ins:  []tensor.Shape{dy.Clone()},
+		out:  x.Clone(),
+		dt:   dt,
+		links: [][]DimLink{
+			{{1, 1}, {2, 2}},
+		},
+		flops: func(s *Spec) float64 { return float64(s.ins[0].Elems()) },
+	}
+}
+
+// NewEltwiseBwd is the generic backward of a unary elementwise op: it
+// combines the saved forward value (or input) with dY elementwise.
+func NewEltwiseBwd(kind string, saved, dy tensor.Shape, dt tensor.DType, flopsPerElem float64) *Spec {
+	if !saved.Equal(dy) {
+		panic(fmt.Sprintf("ops: %s shapes differ %v vs %v", kind, saved, dy))
+	}
+	return &Spec{
+		kind:  kind,
+		ins:   []tensor.Shape{saved.Clone(), dy.Clone()},
+		out:   dy.Clone(),
+		dt:    dt,
+		links: [][]DimLink{identityLinks(saved), identityLinks(dy)},
+		flops: func(s *Spec) float64 { return flopsPerElem * float64(s.out.Elems()) },
+	}
+}
+
+// NewSoftmaxBwd computes dX from the forward output y and dY; the
+// normalized axis is excluded from dimension links.
+func NewSoftmaxBwd(y, dy tensor.Shape, axis int, dt tensor.DType) *Spec {
+	s := NewEltwiseBwd("SoftmaxBwd", y, dy, dt, 4)
+	s.attr = fmt.Sprintf("a%d", axis)
+	s.links = [][]DimLink{identityLinks(y, axis), identityLinks(dy, axis)}
+	return s
+}
+
+// NewLayerNormBwdX computes dX from x, dY and gamma; the normalized (last)
+// dimension is excluded from links.
+func NewLayerNormBwdX(x, dy, gamma tensor.Shape, dt tensor.DType) *Spec {
+	return &Spec{
+		kind: "LayerNormBwdX",
+		ins:  []tensor.Shape{x.Clone(), dy.Clone(), gamma.Clone()},
+		out:  x.Clone(),
+		dt:   dt,
+		links: [][]DimLink{
+			identityLinks(x, x.Rank()),
+			identityLinks(dy, dy.Rank()),
+			nil,
+		},
+		flops: func(s *Spec) float64 { return 10 * float64(s.out.Elems()) },
+	}
+}
+
+// NewLayerNormBwdParams computes d(gamma) (or d(beta)) [C] from x and dY;
+// every leading dimension is a reduce axis.
+func NewLayerNormBwdParams(x, dy tensor.Shape, dt tensor.DType) *Spec {
+	c := x[x.Rank()-1]
+	var reduce []int
+	var lx, ly []DimLink
+	for d := 1; d < x.Rank(); d++ {
+		reduce = append(reduce, x[d-1])
+		lx = append(lx, DimLink{d, -d})
+		ly = append(ly, DimLink{d, -d})
+	}
+	return &Spec{
+		kind:   "LayerNormBwdP",
+		ins:    []tensor.Shape{x.Clone(), dy.Clone()},
+		out:    tensor.S(c),
+		dt:     dt,
+		reduce: reduce,
+		links:  [][]DimLink{lx, ly},
+		flops:  func(s *Spec) float64 { return 4 * float64(s.ins[0].Elems()) },
+	}
+}
+
+// NewBiasBwd reduces dY[..., C] over all leading dims into db[C].
+func NewBiasBwd(dy tensor.Shape, dt tensor.DType) *Spec {
+	c := dy[dy.Rank()-1]
+	var reduce []int
+	var ly []DimLink
+	for d := 1; d < dy.Rank(); d++ {
+		reduce = append(reduce, dy[d-1])
+		ly = append(ly, DimLink{d, -d})
+	}
+	return &Spec{
+		kind:   "BiasBwd",
+		ins:    []tensor.Shape{dy.Clone()},
+		out:    tensor.S(c),
+		dt:     dt,
+		reduce: reduce,
+		links:  [][]DimLink{ly},
+		flops:  func(s *Spec) float64 { return float64(s.ins[len(s.ins)-1].Elems()) },
+	}
+}
+
+// NewEmbeddingBwd scatter-adds dY[B,...,C] by ids into d(table)[V,C];
+// the gathered dims are reduce axes.
+func NewEmbeddingBwd(ids, dy, table tensor.Shape, dt tensor.DType) *Spec {
+	var reduce []int
+	var li, ly []DimLink
+	for d := 1; d <= ids.Rank(); d++ {
+		reduce = append(reduce, ids[d-1])
+		li = append(li, DimLink{d, -d})
+		ly = append(ly, DimLink{d, -d})
+	}
+	ly = append(ly, DimLink{dy.Rank(), 2})
+	return &Spec{
+		kind:   "EmbeddingBwd",
+		ins:    []tensor.Shape{ids.Clone(), dy.Clone()},
+		out:    table.Clone(),
+		dt:     dt,
+		reduce: reduce,
+		links:  [][]DimLink{li, ly},
+		flops:  func(s *Spec) float64 { return float64(s.ins[len(s.ins)-1].Elems()) },
+	}
+}
+
+// NewCrossEntropyBwd produces d(logits) from logits and labels (the
+// constant upstream gradient of a scalar mean loss is folded in).
+func NewCrossEntropyBwd(logits, labels tensor.Shape, dt tensor.DType) *Spec {
+	var ll, bl []DimLink
+	for d := 1; d <= labels.Rank(); d++ {
+		ll = append(ll, DimLink{d, d})
+		bl = append(bl, DimLink{d, d})
+	}
+	return &Spec{
+		kind:  "CrossEntropyBwd",
+		ins:   []tensor.Shape{logits.Clone(), labels.Clone()},
+		out:   logits.Clone(),
+		dt:    dt,
+		links: [][]DimLink{ll, bl},
+		flops: func(s *Spec) float64 { return 4 * float64(s.out.Elems()) },
+	}
+}
+
+// NewBroadcast expands dy by re-inserting dimension axis with extent n
+// (the backward of Reduce). For Mean reductions the 1/n scale is folded in.
+func NewBroadcast(dy tensor.Shape, axis, n int, dt tensor.DType) *Spec {
+	out := make(tensor.Shape, 0, dy.Rank()+1)
+	out = append(out, dy[:axis-1]...)
+	out = append(out, n)
+	out = append(out, dy[axis-1:]...)
+	var links []DimLink
+	for d := 1; d <= dy.Rank(); d++ {
+		if d < axis {
+			links = append(links, DimLink{d, d})
+		} else {
+			links = append(links, DimLink{d, d + 1})
+		}
+	}
+	return &Spec{
+		kind:  "Broadcast",
+		attr:  fmt.Sprintf("a%d,n%d", axis, n),
+		ins:   []tensor.Shape{dy.Clone()},
+		out:   out,
+		dt:    dt,
+		links: [][]DimLink{links},
+		flops: func(s *Spec) float64 { return float64(s.out.Elems()) },
+	}
+}
+
+// NewPad zero-pads dy along dim so it occupies [start, start+len) of a
+// dimension of extent total (the backward of Slice).
+func NewPad(dy tensor.Shape, dim, start, total int, dt tensor.DType) *Spec {
+	out := dy.WithDim(dim, total)
+	return &Spec{
+		kind:  "Pad",
+		attr:  fmt.Sprintf("d%d,%d+%d", dim, start, total),
+		ins:   []tensor.Shape{dy.Clone()},
+		out:   out,
+		dt:    dt,
+		links: [][]DimLink{identityLinks(dy, dim)},
+		flops: func(s *Spec) float64 { return float64(s.out.Elems()) },
+	}
+}
+
+// NewBatchNorm2dBwdX computes dX for a channelwise norm over x[N,C,H,W].
+func NewBatchNorm2dBwdX(x, dy tensor.Shape, dt tensor.DType) *Spec {
+	return &Spec{
+		kind: "BatchNormBwdX",
+		ins:  []tensor.Shape{x.Clone(), dy.Clone()},
+		out:  x.Clone(),
+		dt:   dt,
+		links: [][]DimLink{
+			{{1, 1}, {2, 2}},
+			{{1, 1}, {2, 2}},
+		},
+		flops: func(s *Spec) float64 { return 6 * float64(s.out.Elems()) },
+	}
+}
+
+// NewBatchNorm2dBwdP computes d(gamma)[C] for a channelwise norm; N, H, W
+// are reduce axes.
+func NewBatchNorm2dBwdP(x, dy tensor.Shape, dt tensor.DType) *Spec {
+	return &Spec{
+		kind:   "BatchNormBwdP",
+		ins:    []tensor.Shape{x.Clone(), dy.Clone()},
+		out:    tensor.S(x[1]),
+		dt:     dt,
+		reduce: []int{x[0]},
+		links: [][]DimLink{
+			{{1, -1}, {2, 1}},
+			{{1, -1}, {2, 1}},
+		},
+		flops: func(s *Spec) float64 { return 2 * float64(s.ins[0].Elems()) },
+	}
+}
+
+// NewApplySGD consumes a weight and its gradient, producing the updated
+// weight. Including the update step in training graphs gives gradients a
+// consumer, ending their lifetimes realistically.
+func NewApplySGD(w, gw tensor.Shape, dt tensor.DType) *Spec {
+	if !w.Equal(gw) {
+		panic(fmt.Sprintf("ops: ApplySGD shapes differ %v vs %v", w, gw))
+	}
+	return &Spec{
+		kind:  "ApplySGD",
+		ins:   []tensor.Shape{w.Clone(), gw.Clone()},
+		out:   w.Clone(),
+		dt:    dt,
+		links: [][]DimLink{nil, nil}, // weights are never fission-split
+		flops: func(s *Spec) float64 { return 2 * float64(s.out.Elems()) },
+	}
+}

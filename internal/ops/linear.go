@@ -1,0 +1,128 @@
+package ops
+
+import (
+	"fmt"
+
+	"magis/internal/tensor"
+)
+
+// Linear-family operators: rank-N matrix products and head split/merge
+// views. Unlike flatten+Matmul compositions, these keep every batch and
+// sequence dimension linked in the Dimension Graph, so fission can run
+// through entire transformer blocks (Fig. 4).
+
+// NewLinear multiplies x[..., k] by w[k, n] into [..., n]. With transW the
+// weight is [n, k] and used transposed (the dX gradient form).
+func NewLinear(x, w tensor.Shape, transW bool, dt tensor.DType) *Spec {
+	if w.Rank() != 2 || x.Rank() < 2 {
+		panic(fmt.Sprintf("ops: Linear shapes %v x %v", x, w))
+	}
+	r := x.Rank()
+	k, n := w[0], w[1]
+	wK, wN := 1, 2
+	if transW {
+		k, n = w[1], w[0]
+		wK, wN = 2, 1
+	}
+	if x[r-1] != k {
+		panic(fmt.Sprintf("ops: Linear contraction mismatch %v x %v (transW=%v)", x, w, transW))
+	}
+	out := x.Clone()
+	out[r-1] = n
+	var lx []DimLink
+	for d := 1; d < r; d++ {
+		lx = append(lx, DimLink{d, d})
+	}
+	lx = append(lx, DimLink{r, -1})
+	attr := "N"
+	if transW {
+		attr = "T"
+	}
+	return &Spec{
+		kind:   "Linear",
+		attr:   attr,
+		ins:    []tensor.Shape{x.Clone(), w.Clone()},
+		out:    out,
+		dt:     dt,
+		reduce: []int{k},
+		links: [][]DimLink{
+			lx,
+			{{wK, -1}, {wN, r}},
+		},
+		flops: func(s *Spec) float64 {
+			return 2 * float64(s.out.Elems()) * float64(s.reduce[0])
+		},
+	}
+}
+
+// NewLinearBwdW computes dW[k, n] from x[..., k] and dy[..., n], reducing
+// over every leading dimension (batch fission yields partial weight
+// gradients merged by Add).
+func NewLinearBwdW(x, dy tensor.Shape, dt tensor.DType) *Spec {
+	r := x.Rank()
+	if dy.Rank() != r {
+		panic(fmt.Sprintf("ops: LinearBwdW shapes %v vs %v", x, dy))
+	}
+	var reduce []int
+	var lx, ly []DimLink
+	for d := 1; d < r; d++ {
+		if x[d-1] != dy[d-1] {
+			panic(fmt.Sprintf("ops: LinearBwdW leading dims differ %v vs %v", x, dy))
+		}
+		reduce = append(reduce, x[d-1])
+		lx = append(lx, DimLink{d, -d})
+		ly = append(ly, DimLink{d, -d})
+	}
+	lx = append(lx, DimLink{r, 1})
+	ly = append(ly, DimLink{r, 2})
+	return &Spec{
+		kind:   "LinearBwdW",
+		ins:    []tensor.Shape{x.Clone(), dy.Clone()},
+		out:    tensor.S(x[r-1], dy[r-1]),
+		dt:     dt,
+		reduce: reduce,
+		links:  [][]DimLink{lx, ly},
+		flops: func(s *Spec) float64 {
+			lead := 1.0
+			for _, e := range s.reduce {
+				lead *= float64(e)
+			}
+			return 2 * lead * float64(s.out.Elems())
+		},
+	}
+}
+
+// NewSplitHeads views x[B, T, H*h] as [B, H, T, h]. The hidden dimension
+// is consumed, so only batch and sequence remain linked.
+func NewSplitHeads(x tensor.Shape, heads int, dt tensor.DType) *Spec {
+	if x.Rank() != 3 || x[2]%heads != 0 {
+		panic(fmt.Sprintf("ops: SplitHeads %v with %d heads", x, heads))
+	}
+	out := tensor.S(x[0], heads, x[1], x[2]/heads)
+	return &Spec{
+		kind:  "SplitHeads",
+		attr:  fmt.Sprintf("h%d", heads),
+		ins:   []tensor.Shape{x.Clone()},
+		out:   out,
+		dt:    dt,
+		links: [][]DimLink{{{1, 1}, {2, 3}}},
+		flops: func(s *Spec) float64 { return 0 },
+	}
+}
+
+// NewMergeHeads views x[B, H, T, h] as [B, T, H*h] — the inverse of
+// NewSplitHeads.
+func NewMergeHeads(x tensor.Shape, dt tensor.DType) *Spec {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("ops: MergeHeads %v", x))
+	}
+	out := tensor.S(x[0], x[2], x[1]*x[3])
+	return &Spec{
+		kind:  "MergeHeads",
+		ins:   []tensor.Shape{x.Clone()},
+		out:   out,
+		dt:    dt,
+		links: [][]DimLink{{{1, 1}, {3, 2}}},
+		flops: func(s *Spec) float64 { return 0 },
+	}
+}

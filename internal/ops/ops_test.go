@@ -1,0 +1,313 @@
+package ops
+
+import (
+	"testing"
+	"testing/quick"
+
+	"magis/internal/graph"
+	"magis/internal/tensor"
+)
+
+// Compile-time check: *Spec satisfies the graph node payload interface.
+var _ graph.Op = (*Spec)(nil)
+
+func TestMatmulShapesAndFlops(t *testing.T) {
+	m := NewMatmul(tensor.S(8, 16), tensor.S(16, 32), false, false, tensor.F32)
+	if !m.OutShape().Equal(tensor.S(8, 32)) {
+		t.Fatalf("out = %v", m.OutShape())
+	}
+	if got, want := m.FLOPs(), 2.0*8*32*16; got != want {
+		t.Errorf("FLOPs = %g, want %g", got, want)
+	}
+	// Transposed variants.
+	mt := NewMatmul(tensor.S(16, 8), tensor.S(16, 32), true, false, tensor.F32)
+	if !mt.OutShape().Equal(tensor.S(8, 32)) {
+		t.Errorf("TN out = %v", mt.OutShape())
+	}
+	nt := NewMatmul(tensor.S(8, 16), tensor.S(32, 16), false, true, tensor.F32)
+	if !nt.OutShape().Equal(tensor.S(8, 32)) {
+		t.Errorf("NT out = %v", nt.OutShape())
+	}
+}
+
+func TestMatmulDimLinks(t *testing.T) {
+	m := NewMatmul(tensor.S(8, 16), tensor.S(16, 32), false, false, tensor.F32)
+	a := m.DimLinks(0)
+	if len(a) != 2 || a[0] != (DimLink{1, 1}) || a[1] != (DimLink{2, -1}) {
+		t.Errorf("a links = %v", a)
+	}
+	b := m.DimLinks(1)
+	if len(b) != 2 || b[0] != (DimLink{1, -1}) || b[1] != (DimLink{2, 2}) {
+		t.Errorf("b links = %v", b)
+	}
+	if m.NumReduceAxes() != 1 || m.ReduceLen(-1) != 16 {
+		t.Errorf("reduce = %d len %d", m.NumReduceAxes(), m.ReduceLen(-1))
+	}
+}
+
+func TestMatmulMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on contraction mismatch")
+		}
+	}()
+	NewMatmul(tensor.S(8, 16), tensor.S(17, 32), false, false, tensor.F32)
+}
+
+func TestSplitAxisOutputDim(t *testing.T) {
+	m := NewMatmul(tensor.S(8, 16), tensor.S(16, 32), false, false, tensor.F32)
+	half, err := m.SplitAxis(1, 2) // split m dimension
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !half.OutShape().Equal(tensor.S(4, 32)) {
+		t.Errorf("split out = %v", half.OutShape())
+	}
+	if !half.InShape(0).Equal(tensor.S(4, 16)) {
+		t.Errorf("split a = %v", half.InShape(0))
+	}
+	if !half.InShape(1).Equal(tensor.S(16, 32)) {
+		t.Errorf("b should be untouched, got %v", half.InShape(1))
+	}
+	if half.FLOPs() != m.FLOPs()/2 {
+		t.Errorf("split FLOPs = %g, want half of %g", half.FLOPs(), m.FLOPs())
+	}
+	// Original untouched.
+	if !m.OutShape().Equal(tensor.S(8, 32)) {
+		t.Error("SplitAxis mutated the original")
+	}
+}
+
+func TestSplitAxisReduce(t *testing.T) {
+	m := NewMatmul(tensor.S(8, 16), tensor.S(16, 32), false, false, tensor.F32)
+	part, err := m.SplitAxis(-1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.ReduceLen(-1) != 4 {
+		t.Errorf("reduce len = %d", part.ReduceLen(-1))
+	}
+	if !part.InShape(0).Equal(tensor.S(8, 4)) || !part.InShape(1).Equal(tensor.S(4, 32)) {
+		t.Errorf("reduce-split inputs = %v, %v", part.InShape(0), part.InShape(1))
+	}
+	if !part.OutShape().Equal(tensor.S(8, 32)) {
+		t.Error("reduce split must keep output shape")
+	}
+}
+
+func TestSplitAxisErrors(t *testing.T) {
+	m := NewMatmul(tensor.S(8, 16), tensor.S(16, 32), false, false, tensor.F32)
+	if _, err := m.SplitAxis(1, 3); err == nil {
+		t.Error("8 not divisible by 3: want error")
+	}
+	if _, err := m.SplitAxis(5, 2); err == nil {
+		t.Error("no axis 5: want error")
+	}
+}
+
+func TestConv2dShapes(t *testing.T) {
+	c := NewConv2d(tensor.S(4, 3, 32, 32), tensor.S(16, 3, 3, 3), 1, 1, tensor.F32)
+	if !c.OutShape().Equal(tensor.S(4, 16, 32, 32)) {
+		t.Fatalf("out = %v", c.OutShape())
+	}
+	s2 := NewConv2d(tensor.S(4, 3, 32, 32), tensor.S(16, 3, 3, 3), 2, 1, tensor.F32)
+	if !s2.OutShape().Equal(tensor.S(4, 16, 16, 16)) {
+		t.Errorf("strided out = %v", s2.OutShape())
+	}
+	// Batch split.
+	half, err := c.SplitAxis(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !half.InShape(0).Equal(tensor.S(2, 3, 32, 32)) {
+		t.Errorf("batch-split x = %v", half.InShape(0))
+	}
+	if !half.InShape(1).Equal(tensor.S(16, 3, 3, 3)) {
+		t.Error("weights must not shrink on batch split")
+	}
+}
+
+func TestConvBwdShapes(t *testing.T) {
+	x, w := tensor.S(4, 3, 32, 32), tensor.S(16, 3, 3, 3)
+	fwd := NewConv2d(x, w, 1, 1, tensor.F32)
+	dy := fwd.OutShape()
+	bd := NewConvBwdData(dy, w, x, 1, 1, tensor.F32)
+	if !bd.OutShape().Equal(x) {
+		t.Errorf("bwd data out = %v", bd.OutShape())
+	}
+	bf := NewConvBwdFilter(x, dy, w, 1, 1, tensor.F32)
+	if !bf.OutShape().Equal(w) {
+		t.Errorf("bwd filter out = %v", bf.OutShape())
+	}
+	// Batch fission of the filter gradient goes through the reduce axis.
+	part, err := bf.SplitAxis(-1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.InShape(0).Equal(tensor.S(2, 3, 32, 32)) {
+		t.Errorf("batch reduce-split x = %v", part.InShape(0))
+	}
+	if !part.OutShape().Equal(w) {
+		t.Error("filter grad parts keep full shape (merged by Add)")
+	}
+}
+
+func TestSoftmaxExcludesAxis(t *testing.T) {
+	s := NewSoftmax(tensor.S(2, 4, 8), 3, tensor.F32)
+	for _, l := range s.DimLinks(0) {
+		if l.In == 3 || l.Out == 3 {
+			t.Errorf("softmax axis must not be linked: %v", l)
+		}
+	}
+	if len(s.DimLinks(0)) != 2 {
+		t.Errorf("links = %v", s.DimLinks(0))
+	}
+}
+
+func TestConcatAndSlice(t *testing.T) {
+	c := NewConcat([]tensor.Shape{tensor.S(2, 3), tensor.S(2, 5)}, 2, tensor.F32)
+	if !c.OutShape().Equal(tensor.S(2, 8)) {
+		t.Fatalf("concat out = %v", c.OutShape())
+	}
+	sl := NewSlice(tensor.S(2, 8), 2, 3, 5, tensor.F32)
+	if !sl.OutShape().Equal(tensor.S(2, 5)) {
+		t.Fatalf("slice out = %v", sl.OutShape())
+	}
+	// Sliced dim carries no link.
+	for _, l := range sl.DimLinks(0) {
+		if l.In == 2 {
+			t.Errorf("sliced dim linked: %v", l)
+		}
+	}
+}
+
+func TestReshapeLinkMatching(t *testing.T) {
+	r := NewReshape(tensor.S(2, 3, 4), tensor.S(2, 12), tensor.F32)
+	links := r.DimLinks(0)
+	if len(links) != 1 || links[0] != (DimLink{1, 1}) {
+		t.Errorf("links = %v (only leading dim preserved)", links)
+	}
+	r2 := NewReshape(tensor.S(2, 12), tensor.S(2, 3, 4), tensor.F32)
+	if len(r2.DimLinks(0)) != 1 {
+		t.Errorf("links = %v", r2.DimLinks(0))
+	}
+	r3 := NewReshape(tensor.S(2, 3, 4), tensor.S(6, 4), tensor.F32)
+	links = r3.DimLinks(0)
+	if len(links) != 1 || links[0] != (DimLink{3, 2}) {
+		t.Errorf("trailing link = %v", links)
+	}
+}
+
+func TestBatchMatmul(t *testing.T) {
+	b := NewBatchMatmul(tensor.S(2, 4, 8, 16), tensor.S(2, 4, 16, 32), false, false, tensor.F32)
+	if !b.OutShape().Equal(tensor.S(2, 4, 8, 32)) {
+		t.Fatalf("out = %v", b.OutShape())
+	}
+	// Split a batch dim: both inputs shrink.
+	h, err := b.SplitAxis(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.InShape(0).Equal(tensor.S(2, 2, 8, 16)) || !h.InShape(1).Equal(tensor.S(2, 2, 16, 32)) {
+		t.Errorf("batch split inputs = %v %v", h.InShape(0), h.InShape(1))
+	}
+	// Split the m dim: only input a shrinks (FlashAttention-style rows).
+	h2, err := b.SplitAxis(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h2.InShape(0).Equal(tensor.S(2, 4, 4, 16)) {
+		t.Errorf("row split a = %v", h2.InShape(0))
+	}
+	if !h2.InShape(1).Equal(tensor.S(2, 4, 16, 32)) {
+		t.Errorf("row split must keep b, got %v", h2.InShape(1))
+	}
+}
+
+func TestCrossEntropyReduceAxes(t *testing.T) {
+	ce := NewCrossEntropy(tensor.S(32, 512, 50257), tensor.S(32, 512), tensor.BF16)
+	if ce.OutShape().Rank() != 0 {
+		t.Errorf("loss should be scalar, got %v", ce.OutShape())
+	}
+	if ce.NumReduceAxes() != 2 || ce.ReduceLen(-1) != 32 || ce.ReduceLen(-2) != 512 {
+		t.Errorf("reduce axes wrong: %d", ce.NumReduceAxes())
+	}
+}
+
+func TestTransferOps(t *testing.T) {
+	st := NewStore(tensor.S(1024), tensor.F32)
+	ld := NewLoad(tensor.S(1024), tensor.F32)
+	if !IsStore(st.Kind()) || !IsLoad(ld.Kind()) || IsTransfer(KindMatmul) {
+		t.Error("kind predicates wrong")
+	}
+	if TransferBytes(st) != 4096 || TransferBytes(ld) != 4096 {
+		t.Error("transfer bytes wrong")
+	}
+	m := NewMatmul(tensor.S(2, 2), tensor.S(2, 2), false, false, tensor.F32)
+	if TransferBytes(m) != 0 {
+		t.Error("compute op has no transfer bytes")
+	}
+}
+
+func TestEmbedding(t *testing.T) {
+	e := NewEmbedding(tensor.S(32, 512), tensor.S(50257, 2048), tensor.BF16)
+	if !e.OutShape().Equal(tensor.S(32, 512, 2048)) {
+		t.Fatalf("out = %v", e.OutShape())
+	}
+	eb := NewEmbeddingBwd(tensor.S(32, 512), tensor.S(32, 512, 2048), tensor.S(50257, 2048), tensor.BF16)
+	if !eb.OutShape().Equal(tensor.S(50257, 2048)) {
+		t.Fatalf("bwd out = %v", eb.OutShape())
+	}
+	if eb.NumReduceAxes() != 2 {
+		t.Error("embedding bwd reduces over gathered dims")
+	}
+}
+
+func TestAttrKeyDistinguishes(t *testing.T) {
+	a := NewMatmul(tensor.S(8, 16), tensor.S(16, 32), false, false, tensor.F32)
+	b := NewMatmul(tensor.S(16, 8), tensor.S(16, 32), true, false, tensor.F32)
+	if a.AttrKey() == b.AttrKey() {
+		t.Error("transpose variants must differ in AttrKey")
+	}
+}
+
+// Property: splitting any splittable output axis by any divisor keeps
+// FLOPs proportional and preserves shape consistency with DimLinks.
+func TestQuickSplitConsistency(t *testing.T) {
+	f := func(mRaw, kRaw, nRaw uint8) bool {
+		m := 2 * (int(mRaw)%16 + 1)
+		k := 2 * (int(kRaw)%16 + 1)
+		n := 2 * (int(nRaw)%16 + 1)
+		op := NewMatmul(tensor.S(m, k), tensor.S(k, n), false, false, tensor.F32)
+		half, err := op.SplitAxis(1, 2)
+		if err != nil {
+			return false
+		}
+		if half.OutShape().Dim(1) != m/2 {
+			return false
+		}
+		// The split part's FLOPs must be exactly half.
+		return half.FLOPs()*2 == op.FLOPs()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: identityLinks-based unary ops survive splitting any dimension.
+func TestQuickEltwiseSplitAnyDim(t *testing.T) {
+	f := func(aRaw, bRaw, cRaw, dimRaw uint8) bool {
+		dims := tensor.S(2*(int(aRaw)%8+1), 2*(int(bRaw)%8+1), 2*(int(cRaw)%8+1))
+		op := NewReLU(dims, tensor.F32)
+		dim := int(dimRaw)%3 + 1
+		half, err := op.SplitAxis(dim, 2)
+		if err != nil {
+			return false
+		}
+		return half.OutShape().Dim(dim) == dims.Dim(dim)/2 &&
+			half.InShape(0).Dim(dim) == dims.Dim(dim)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

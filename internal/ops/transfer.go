@@ -1,0 +1,49 @@
+package ops
+
+import "magis/internal/tensor"
+
+// Store and Load are the explicit swapping operators of §5.2. A Store
+// copies a tensor to external (host) storage; its output lives off-device,
+// so it occupies zero device memory. A Load copies it back.
+
+// NewStore copies a device tensor of the given shape to external storage.
+func NewStore(x tensor.Shape, dt tensor.DType) *Spec {
+	return &Spec{
+		kind:  KindStore,
+		ins:   []tensor.Shape{x.Clone()},
+		out:   x.Clone(),
+		dt:    dt,
+		links: [][]DimLink{identityLinks(x)},
+		flops: func(s *Spec) float64 { return 0 },
+	}
+}
+
+// NewLoad copies a stored tensor back into device memory.
+func NewLoad(x tensor.Shape, dt tensor.DType) *Spec {
+	return &Spec{
+		kind:  KindLoad,
+		ins:   []tensor.Shape{x.Clone()},
+		out:   x.Clone(),
+		dt:    dt,
+		links: [][]DimLink{identityLinks(x)},
+		flops: func(s *Spec) float64 { return 0 },
+	}
+}
+
+// IsStore reports whether kind names the Store operator.
+func IsStore(kind string) bool { return kind == KindStore }
+
+// IsLoad reports whether kind names the Load operator.
+func IsLoad(kind string) bool { return kind == KindLoad }
+
+// IsTransfer reports whether kind is a host<->device copy.
+func IsTransfer(kind string) bool { return IsStore(kind) || IsLoad(kind) }
+
+// TransferBytes returns the bytes moved over the host link by a transfer
+// op, or 0 for compute ops.
+func TransferBytes(s *Spec) int64 {
+	if !IsTransfer(s.kind) {
+		return 0
+	}
+	return tensor.Bytes(s.out, s.dt)
+}

@@ -1,0 +1,62 @@
+package opt
+
+import (
+	"sort"
+	"time"
+
+	"magis/internal/cost"
+	"magis/internal/graph"
+)
+
+// ParetoPoint is one point on the memory/latency trade-off curve, both
+// axes normalized against the unoptimized baseline (Fig. 11's axes).
+type ParetoPoint struct {
+	// MemRatio is peak memory / baseline peak memory.
+	MemRatio float64
+	// LatOverhead is latency / baseline latency - 1.
+	LatOverhead float64
+}
+
+// Sweep traces the Pareto boundary by optimizing latency under a sequence
+// of memory-ratio constraints (plus every intermediate state visited).
+// ratios are fractions of the baseline peak (e.g. 0.8, 0.6, 0.4).
+func Sweep(g *graph.Graph, model *cost.Model, ratios []float64, perRun time.Duration, base Options) ([]ParetoPoint, error) {
+	bl := Baseline(g, model)
+	var pts []ParetoPoint
+	pts = append(pts, ParetoPoint{1, 0})
+	for _, r := range ratios {
+		o := base
+		o.Mode = LatencyUnderMemory
+		o.MemLimit = int64(r * float64(bl.PeakMem))
+		o.TimeBudget = perRun
+		res, err := Optimize(g, model, o)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, ParetoPoint{
+			MemRatio:    float64(res.Best.PeakMem) / float64(bl.PeakMem),
+			LatOverhead: res.Best.Latency/bl.Latency - 1,
+		})
+	}
+	return Pareto(pts), nil
+}
+
+// Pareto filters points to the non-dominated frontier, sorted by memory
+// ratio ascending.
+func Pareto(pts []ParetoPoint) []ParetoPoint {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].MemRatio != pts[j].MemRatio {
+			return pts[i].MemRatio < pts[j].MemRatio
+		}
+		return pts[i].LatOverhead < pts[j].LatOverhead
+	})
+	var front []ParetoPoint
+	bestLat := 1e18
+	for _, p := range pts {
+		if p.LatOverhead < bestLat {
+			front = append(front, p)
+			bestLat = p.LatOverhead
+		}
+	}
+	return front
+}

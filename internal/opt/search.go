@@ -1,0 +1,349 @@
+package opt
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"magis/internal/cost"
+	"magis/internal/ftree"
+	"magis/internal/graph"
+	"magis/internal/rules"
+	"magis/internal/sched"
+	"magis/internal/sim"
+)
+
+// Mode selects which objective is constrained and which is minimized.
+type Mode int
+
+const (
+	// LatencyUnderMemory minimizes latency subject to a memory limit
+	// (Algorithm 3 as printed).
+	LatencyUnderMemory Mode = iota
+	// MemoryUnderLatency minimizes peak memory subject to a latency limit.
+	MemoryUnderLatency
+)
+
+// Options configures M-Optimizer.
+type Options struct {
+	// Mode picks the optimization direction.
+	Mode Mode
+	// MemLimit is M in bytes (LatencyUnderMemory).
+	MemLimit int64
+	// LatencyLimit in seconds (MemoryUnderLatency).
+	LatencyLimit float64
+	// MaxLevel is the F-Tree max level L (default 4).
+	MaxLevel int
+	// MaxCandidates caps F-Tree size (default 64).
+	MaxCandidates int
+	// MaxSites caps rule applications per rule per expansion (default 8).
+	MaxSites int
+	// TimeBudget bounds the search wall-clock (default 3s).
+	TimeBudget time.Duration
+	// MaxIterations bounds queue pops (default 10000).
+	MaxIterations int
+	// Delta is the relaxed-push coefficient (default 1.1).
+	Delta float64
+	// Ablation switches (§7.2.5).
+	NaiveFission    bool
+	NaiveSchedRules bool
+	FullReschedule  bool
+	// DisableFission removes F-Trans from the search space entirely,
+	// leaving a pure scheduling-rule optimizer (the Fig. 2 swap-only
+	// comparison point).
+	DisableFission bool
+	// Rules overrides the rule catalog (default rules.All()).
+	Rules []rules.Rule
+}
+
+func (o *Options) defaults() {
+	if o.MaxLevel == 0 {
+		o.MaxLevel = 4
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 64
+	}
+	if o.TimeBudget == 0 {
+		o.TimeBudget = 3 * time.Second
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 10000
+	}
+	if o.Delta == 0 {
+		o.Delta = 1.1
+	}
+	if o.Rules == nil {
+		o.Rules = rules.All()
+	}
+	if o.Mode == LatencyUnderMemory && o.MemLimit == 0 {
+		o.MemLimit = math.MaxInt64
+	}
+	if o.Mode == MemoryUnderLatency && o.LatencyLimit == 0 {
+		o.LatencyLimit = math.Inf(1)
+	}
+}
+
+// better implements BetterThan (Algorithm 3 lines 1-2) for both modes,
+// comparing (constrained objective clamped at the limit, free objective)
+// lexicographically with b's side relaxed by delta.
+func (o *Options) better(a, b *State, delta float64) bool {
+	switch o.Mode {
+	case MemoryUnderLatency:
+		al := math.Max(a.Latency, o.LatencyLimit)
+		bl := math.Max(delta*b.Latency, o.LatencyLimit)
+		if al != bl {
+			return al < bl
+		}
+		return float64(a.PeakMem) < delta*float64(b.PeakMem)
+	default:
+		am := math.Max(float64(a.PeakMem), float64(o.MemLimit))
+		bm := math.Max(delta*float64(b.PeakMem), float64(o.MemLimit))
+		if am != bm {
+			return am < bm
+		}
+		return a.Latency < delta*b.Latency
+	}
+}
+
+// HistoryPoint records the best objective values over elapsed time
+// (Fig. 13's convergence curves).
+type HistoryPoint struct {
+	Elapsed time.Duration
+	PeakMem int64
+	Latency float64
+}
+
+// Result is the outcome of one optimization run.
+type Result struct {
+	// Best is the best M-State found.
+	Best *State
+	// Baseline is the unoptimized input: original graph, plain topological
+	// order with free-after-last-use (the PyTorch baseline of §7.1).
+	Baseline *State
+	// Stats is the Fig. 15 time breakdown.
+	Stats Stats
+	// History tracks best-so-far improvements.
+	History []HistoryPoint
+}
+
+type stateQueue struct {
+	items []*State
+	opts  *Options
+}
+
+func (q *stateQueue) Len() int           { return len(q.items) }
+func (q *stateQueue) Less(i, j int) bool { return q.opts.better(q.items[i], q.items[j], 1) }
+func (q *stateQueue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *stateQueue) Push(x interface{}) { q.items = append(q.items, x.(*State)) }
+func (q *stateQueue) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// Baseline evaluates g unoptimized: program-order schedule with basic
+// memory saving (tensors freed after last use), no transformations.
+func Baseline(g *graph.Graph, model *cost.Model) *State {
+	order := sched.Schedule(g.Topo())
+	prof := sched.Simulate(g, order)
+	r := sim.Run(g, order, sim.Config{Model: model})
+	return &State{
+		G:       g,
+		EvalG:   g,
+		Sched:   order,
+		PeakMem: prof.Peak,
+		Latency: r.Latency,
+		Hot:     prof.Hotspots,
+	}
+}
+
+// Optimize runs M-Optimizer's greedy best-first search (Algorithm 3).
+func Optimize(g *graph.Graph, model *cost.Model, o Options) (*Result, error) {
+	o.defaults()
+	res := &Result{Baseline: Baseline(g, model)}
+	ev := newEvaluator(model, o.FullReschedule, &res.Stats)
+	ftOpts := ftree.Options{
+		MaxLevel:      o.MaxLevel,
+		MaxCandidates: o.MaxCandidates,
+		NaiveFission:  o.NaiveFission,
+	}
+
+	start := time.Now()
+	init := &State{G: g.Clone()}
+	if err := ev.evaluate(init, nil, nil); err != nil {
+		return nil, fmt.Errorf("opt: initial evaluation: %v", err)
+	}
+	if o.DisableFission {
+		init.FT = &ftree.Tree{}
+	} else {
+		init.FT = ftree.Build(init.G, init.Hot, ftOpts)
+	}
+
+	best := init
+	res.History = append(res.History, HistoryPoint{time.Since(start), best.PeakMem, best.Latency})
+	q := &stateQueue{opts: &o}
+	heap.Init(q)
+	heap.Push(q, init)
+	seen := make(map[uint64]bool)
+
+	seen[ev.hash(init)] = true
+	for q.Len() > 0 {
+		if time.Since(start) > o.TimeBudget || res.Stats.Iterations >= o.MaxIterations {
+			break
+		}
+		res.Stats.Iterations++
+		s := heap.Pop(q).(*State)
+		if s.stale {
+			if o.DisableFission {
+				s.FT = &ftree.Tree{}
+			} else {
+				s.FT = rebuildTree(s, ftOpts)
+			}
+			s.stale = false
+		}
+		for _, cand := range neighbors(s, ev, &o, &res.Stats) {
+			if time.Since(start) > o.TimeBudget {
+				break
+			}
+			// Hash-filter BEFORE the expensive scheduling + simulation —
+			// the Fig. 15 pipeline, where most generated graphs are
+			// duplicates and never reach the scheduler.
+			if err := ev.collapse(cand.state); err != nil {
+				continue
+			}
+			h := ev.hash(cand.state)
+			if seen[h] {
+				res.Stats.Filtered++
+				continue
+			}
+			seen[h] = true
+			if err := ev.evaluate(cand.state, s, cand.oldMutated); err != nil {
+				continue
+			}
+			if o.better(cand.state, best, 1) {
+				best = cand.state
+				res.History = append(res.History,
+					HistoryPoint{time.Since(start), best.PeakMem, best.Latency})
+			}
+			if o.better(cand.state, best, o.Delta) {
+				heap.Push(q, cand.state)
+			}
+		}
+	}
+	res.Best = best
+	return res, nil
+}
+
+type candidate struct {
+	state      *State
+	oldMutated []graph.NodeID
+}
+
+// neighbors generates new M-States by applying M-Rules: graph rewrite
+// rules on the logical graph and mutation rules on the F-Tree.
+func neighbors(s *State, ev *evaluator, o *Options, st *Stats) []*candidate {
+	var out []*candidate
+	t0 := time.Now()
+	ctx := &rules.Context{
+		Hot:          s.Hot,
+		Cover:        s.FT.EnabledCover(),
+		MaxSites:     o.MaxSites,
+		UseHotFilter: !o.NaiveSchedRules,
+	}
+	for _, r := range o.Rules {
+		for _, app := range r.Apply(s.G, ctx) {
+			ft := s.FT.Clone()
+			out = append(out, &candidate{
+				state:      &State{G: app.Graph, FT: ft, stale: true},
+				oldMutated: mapToEval(s, app.OldMutated),
+			})
+			st.Trans++
+		}
+	}
+	for _, m := range s.FT.Mutations(s.G) {
+		ft := s.FT.Clone()
+		target := ft.NodeAt(m.Path)
+		if err := ft.Apply(m); err != nil || target == nil {
+			continue
+		}
+		mut := regionAnchors(s, target)
+		if m.Kind == ftree.Lift && target.Parent != nil {
+			mut = append(mut, regionAnchors(s, target.Parent)...)
+		}
+		out = append(out, &candidate{
+			state:      &State{G: s.G, FT: ft},
+			oldMutated: mut,
+		})
+		st.Trans++
+	}
+	st.TransTime += time.Since(t0)
+	return out
+}
+
+// mapToEval keeps only mutated nodes visible in the parent's eval graph,
+// adding the region nodes covering collapsed ones.
+func mapToEval(s *State, ids []graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	for _, id := range ids {
+		if s.EvalG.Has(id) {
+			out = append(out, id)
+		}
+	}
+	if len(out) < len(ids) {
+		// Some were collapsed: anchor at every region node (coarse but
+		// safe; Incremental widens/falls back as needed).
+		for _, rid := range s.regions {
+			out = append(out, rid)
+		}
+	}
+	return out
+}
+
+// regionAnchors returns the parent-eval-graph nodes standing for an F-Tree
+// node's region: the members if expanded, the region node if collapsed.
+func regionAnchors(s *State, n *ftree.Node) []graph.NodeID {
+	if id, ok := s.regions[regionKey(n.T.S)]; ok {
+		return []graph.NodeID{id}
+	}
+	var out []graph.NodeID
+	for v := range n.T.S {
+		if s.EvalG.Has(v) {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		// Fully nested inside another region: anchor there.
+		for _, rid := range s.regions {
+			out = append(out, rid)
+		}
+	}
+	return out
+}
+
+// rebuildTree re-analyzes the F-Tree after a graph rewrite (Algorithm 3
+// line 13-14), preserving enabled regions by set identity.
+func rebuildTree(s *State, o ftree.Options) *ftree.Tree {
+	nt := ftree.Build(s.G, s.Hot, o)
+	enabled := s.FT.EnabledNodes()
+	matched := make(map[string]int, len(enabled))
+	for _, en := range enabled {
+		matched[regionKey(en.T.S)] = en.N
+	}
+	nt.Walk(func(n *ftree.Node) {
+		if nn, ok := matched[regionKey(n.T.S)]; ok {
+			n.N = nn
+			delete(matched, regionKey(n.T.S))
+		}
+	})
+	// Enabled regions absent from the fresh tree survive as extra roots.
+	for _, en := range enabled {
+		if _, missing := matched[regionKey(en.T.S)]; missing {
+			keep := &ftree.Node{T: en.T, N: en.N, Score: en.Score, Level: en.Level}
+			nt.Roots = append(nt.Roots, keep)
+		}
+	}
+	return nt
+}

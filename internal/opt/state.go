@@ -1,0 +1,138 @@
+package opt
+
+import (
+	"time"
+
+	"magis/internal/cost"
+	"magis/internal/ftree"
+	"magis/internal/graph"
+	"magis/internal/sched"
+	"magis/internal/sim"
+)
+
+// State is one M-State (§3): a computation graph, its F-Tree, the best
+// schedule found for it, and the simulation results.
+type State struct {
+	// G is the logical graph (fission regions NOT materialized).
+	G *graph.Graph
+	// FT is the fission hierarchy tree over G.
+	FT *ftree.Tree
+	// EvalG is the evaluation graph: G with enabled regions collapsed.
+	EvalG *graph.Graph
+	// Sched is the execution order over EvalG.
+	Sched sched.Schedule
+	// PeakMem is the §2.1 peak memory of (EvalG, Sched), in bytes.
+	PeakMem int64
+	// Latency is the simulated makespan in seconds (copy-stream overlap
+	// included).
+	Latency float64
+	// Hot is the memory hot-spot set of the schedule.
+	Hot graph.Set
+	// regions maps regionKey -> region node in EvalG (incremental
+	// scheduling anchors).
+	regions map[string]graph.NodeID
+	// stale marks the F-Tree as needing re-analysis after a graph rewrite.
+	stale bool
+}
+
+// Stats aggregates the optimization-time breakdown reported in Fig. 15.
+type Stats struct {
+	Trans, Sched, Simul, Hash, Filtered int
+	TransTime, SchedTime, SimulTime     time.Duration
+	HashTime                            time.Duration
+	Iterations                          int
+	Rescheduled                         int // total ops rescheduled incrementally
+}
+
+// evaluator prices M-States.
+type evaluator struct {
+	model *cost.Model
+	sc    *sched.Scheduler
+	col   collapser
+	full  bool // force full rescheduling (ablation)
+	stats *Stats
+
+	// reach caches the parent eval-graph's reachability index across the
+	// candidates of one expansion.
+	reach    *graph.ReachIndex
+	reachFor *graph.Graph
+}
+
+func newEvaluator(model *cost.Model, full bool, stats *Stats) *evaluator {
+	sc := &sched.Scheduler{}
+	return &evaluator{
+		model: model,
+		sc:    sc,
+		col:   collapser{model: model, sc: sc},
+		full:  full,
+		stats: stats,
+	}
+}
+
+// collapse fills in EvalG and regions for s (the cheap half of
+// evaluation, sufficient for duplicate hashing).
+func (e *evaluator) collapse(s *State) error {
+	eg, regions, err := e.col.Collapse(s.G, s.FT)
+	if err != nil {
+		return err
+	}
+	s.EvalG = eg
+	s.regions = regions
+	return nil
+}
+
+// evaluate fills in EvalG, Sched, PeakMem, Latency, and Hot for s. prev is
+// the parent state (nil for the initial one); oldMutated lists the parent
+// EvalG nodes touched by the transformation that produced s.
+func (e *evaluator) evaluate(s *State, prev *State, oldMutated []graph.NodeID) error {
+	if s.EvalG == nil {
+		if err := e.collapse(s); err != nil {
+			return err
+		}
+	}
+	eg := s.EvalG
+
+	t0 := time.Now()
+	if prev == nil || e.full || len(oldMutated) == 0 {
+		s.Sched = e.sc.ScheduleGraph(eg)
+		e.stats.Rescheduled += len(s.Sched)
+	} else {
+		if e.reachFor != prev.EvalG {
+			e.reach = graph.NewReachIndex(prev.EvalG)
+			e.reachFor = prev.EvalG
+		}
+		var n int
+		s.Sched, n = e.sc.IncrementalR(prev.EvalG, eg, oldMutated, prev.Sched, e.reach)
+		e.stats.Rescheduled += n
+	}
+	e.stats.Sched++
+	e.stats.SchedTime += time.Since(t0)
+
+	t1 := time.Now()
+	prof := sched.Simulate(eg, s.Sched)
+	s.PeakMem = prof.Peak
+	s.Hot = prof.Hotspots
+	r := sim.Run(eg, s.Sched, sim.Config{
+		Model: e.model,
+		NodeCost: func(n *graph.Node) (float64, bool) {
+			if rop, ok := n.Op.(*RegionOp); ok {
+				return rop.Latency(), true
+			}
+			return 0, false
+		},
+	})
+	s.Latency = r.Latency
+	e.stats.Simul++
+	e.stats.SimulTime += time.Since(t1)
+	return nil
+}
+
+// hash returns the Weisfeiler-Lehman hash of the evaluation graph: states
+// with identical collapsed structure are duplicates for the search.
+func (e *evaluator) hash(s *State) uint64 {
+	t := time.Now()
+	h := s.EvalG.WLHash()
+	e.stats.Hash++
+	e.stats.HashTime += time.Since(t)
+	return h
+}

@@ -1,0 +1,441 @@
+package rules
+
+import (
+	"testing"
+
+	"magis/internal/graph"
+	"magis/internal/ops"
+	"magis/internal/sched"
+	"magis/internal/tensor"
+)
+
+// skipNet: a producer with two consumers, one far away (remat/swap bait).
+func skipNet() (*graph.Graph, map[string]graph.NodeID) {
+	g := graph.New()
+	sh := tensor.S(64, 64)
+	x := g.AddNamed("x", ops.NewInput(sh, tensor.F32))
+	a := g.AddNamed("a", ops.NewReLU(sh, tensor.F32), x)
+	b := g.AddNamed("b", ops.NewGELU(sh, tensor.F32), a)
+	c := g.AddNamed("c", ops.NewTanh(sh, tensor.F32), b)
+	d := g.AddNamed("d", ops.NewAdd(sh, sh, tensor.F32), c, a) // a reused late
+	return g, map[string]graph.NodeID{"x": x, "a": a, "b": b, "c": c, "d": d}
+}
+
+func allHot(g *graph.Graph) graph.Set { return graph.NewSet(g.NodeIDs()...) }
+
+func validAll(t *testing.T, apps []Application) {
+	t.Helper()
+	for _, app := range apps {
+		if err := sched.Schedule(app.Graph.Topo()).Validate(app.Graph); err != nil {
+			t.Errorf("%s produced invalid graph: %v", app.Rule, err)
+		}
+		if len(app.OldMutated) == 0 {
+			t.Errorf("%s reported no mutated nodes", app.Rule)
+		}
+	}
+}
+
+func TestRematCreatesDuplicate(t *testing.T) {
+	g, n := skipNet()
+	ctx := &Context{Hot: allHot(g), UseHotFilter: true}
+	apps := (RematRule{}).Apply(g, ctx)
+	validAll(t, apps)
+	found := false
+	for _, app := range apps {
+		ng := app.Graph
+		if ng.Len() != g.Len()+1 {
+			continue
+		}
+		// d must now consume a recomputed copy of a, not a itself.
+		for _, p := range ng.Pre(n["d"]) {
+			if p != n["a"] && ng.Node(p).Op.Kind() == "ReLU" {
+				found = true
+				if got := ng.Pre(p); len(got) != 1 || got[0] != n["x"] {
+					t.Errorf("duplicate has wrong inputs: %v", got)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no remat application detached d from a")
+	}
+}
+
+func TestRematHotFilter(t *testing.T) {
+	g, _ := skipNet()
+	ctx := &Context{Hot: graph.Set{}, UseHotFilter: true}
+	if apps := (RematRule{}).Apply(g, ctx); len(apps) != 0 {
+		t.Errorf("cold tensors rematerialized: %d apps", len(apps))
+	}
+	ctx = &Context{Hot: graph.Set{}, UseHotFilter: false}
+	if apps := (RematRule{}).Apply(g, ctx); len(apps) == 0 {
+		t.Error("naive mode should ignore the hot filter")
+	}
+}
+
+func TestDeRematInvertsRemat(t *testing.T) {
+	g, _ := skipNet()
+	ctx := &Context{Hot: allHot(g), UseHotFilter: true}
+	apps := (RematRule{}).Apply(g, ctx)
+	if len(apps) == 0 {
+		t.Fatal("no remat sites")
+	}
+	g2 := apps[0].Graph
+	ctx2 := &Context{Hot: allHot(g2), UseHotFilter: true}
+	inv := (DeRematRule{}).Apply(g2, ctx2)
+	validAll(t, inv)
+	found := false
+	for _, app := range inv {
+		if app.Graph.WLHash() == g.WLHash() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("de-remat did not recover the original graph")
+	}
+}
+
+func TestSwapInsertsStoreLoad(t *testing.T) {
+	g, n := skipNet()
+	ctx := &Context{Hot: graph.NewSet(n["a"]), UseHotFilter: true}
+	apps := (SwapRule{}).Apply(g, ctx)
+	validAll(t, apps)
+	if len(apps) == 0 {
+		t.Fatal("no swap sites")
+	}
+	ng := apps[0].Graph
+	var stores, loads int
+	for _, v := range ng.NodeIDs() {
+		switch ng.Node(v).Op.Kind() {
+		case ops.KindStore:
+			stores++
+		case ops.KindLoad:
+			loads++
+		}
+	}
+	if stores != 1 || loads != 1 {
+		t.Errorf("stores=%d loads=%d, want 1/1", stores, loads)
+	}
+}
+
+func TestSwapOncePerTensor(t *testing.T) {
+	g, n := skipNet()
+	ctx := &Context{Hot: graph.NewSet(n["a"]), UseHotFilter: true}
+	apps := (SwapRule{}).Apply(g, ctx)
+	g2 := apps[0].Graph
+	ctx2 := &Context{Hot: graph.NewSet(n["a"]), UseHotFilter: true}
+	for _, app := range (SwapRule{}).Apply(g2, ctx2) {
+		for _, v := range app.OldMutated {
+			if v == n["a"] {
+				t.Error("tensor swapped twice")
+			}
+		}
+	}
+}
+
+func TestDeSwapInvertsSwap(t *testing.T) {
+	g, n := skipNet()
+	ctx := &Context{Hot: graph.NewSet(n["a"]), UseHotFilter: true}
+	apps := (SwapRule{}).Apply(g, ctx)
+	if len(apps) == 0 {
+		t.Fatal("no swap sites")
+	}
+	g2 := apps[0].Graph
+	inv := (DeSwapRule{}).Apply(g2, &Context{Hot: allHot(g2)})
+	validAll(t, inv)
+	found := false
+	for _, app := range inv {
+		if app.Graph.WLHash() == g.WLHash() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("de-swap did not recover the original graph")
+	}
+}
+
+func TestCoverBlocksRules(t *testing.T) {
+	g, n := skipNet()
+	cover := graph.NewSet(n["a"], n["b"], n["c"], n["d"])
+	ctx := &Context{Hot: allHot(g), Cover: cover, UseHotFilter: true}
+	if apps := (RematRule{}).Apply(g, ctx); len(apps) != 0 {
+		t.Error("remat inside fission cover")
+	}
+	if apps := (SwapRule{}).Apply(g, ctx); len(apps) != 0 {
+		t.Error("swap inside fission cover")
+	}
+}
+
+func TestMergeMatmuls(t *testing.T) {
+	g := graph.New()
+	x := g.Add(ops.NewInput(tensor.S(8, 16), tensor.F32))
+	w1 := g.Add(ops.NewParam(tensor.S(16, 32), tensor.F32))
+	w2 := g.Add(ops.NewParam(tensor.S(16, 48), tensor.F32))
+	m1 := g.Add(ops.NewMatmul(tensor.S(8, 16), tensor.S(16, 32), false, false, tensor.F32), x, w1)
+	m2 := g.Add(ops.NewMatmul(tensor.S(8, 16), tensor.S(16, 48), false, false, tensor.F32), x, w2)
+	r1 := g.Add(ops.NewReLU(tensor.S(8, 32), tensor.F32), m1)
+	r2 := g.Add(ops.NewReLU(tensor.S(8, 48), tensor.F32), m2)
+	_, _ = r1, r2
+	apps := (MergeMatmulsRule{}).Apply(g, &Context{})
+	validAll(t, apps)
+	if len(apps) != 1 {
+		t.Fatalf("apps = %d, want 1", len(apps))
+	}
+	ng := apps[0].Graph
+	// One big matmul [8,80] must exist; consumers see sliced [8,32]/[8,48].
+	foundBig := false
+	for _, v := range ng.NodeIDs() {
+		if ng.Node(v).Op.Kind() == ops.KindMatmul {
+			if ng.Node(v).Op.OutShape().Equal(tensor.S(8, 80)) {
+				foundBig = true
+			} else {
+				t.Errorf("stray matmul %v", ng.Node(v).Op.OutShape())
+			}
+		}
+	}
+	if !foundBig {
+		t.Error("merged matmul missing")
+	}
+	if got := ng.Node(ng.Pre(r1)[0]).Op.Kind(); got != ops.KindSlice {
+		t.Errorf("r1 input = %s, want Slice", got)
+	}
+}
+
+func TestSliceConcatElim(t *testing.T) {
+	g := graph.New()
+	sh := tensor.S(8, 64)
+	x := g.Add(ops.NewInput(sh, tensor.F32))
+	s1 := g.Add(ops.NewSlice(sh, 2, 0, 32, tensor.F32), x)
+	s2 := g.Add(ops.NewSlice(sh, 2, 32, 32, tensor.F32), x)
+	c := g.Add(ops.NewConcat([]tensor.Shape{tensor.S(8, 32), tensor.S(8, 32)}, 2, tensor.F32), s1, s2)
+	y := g.Add(ops.NewReLU(sh, tensor.F32), c)
+	_ = y
+	apps := (SliceConcatElimRule{}).Apply(g, &Context{})
+	validAll(t, apps)
+	if len(apps) != 1 {
+		t.Fatalf("apps = %d, want 1", len(apps))
+	}
+	ng := apps[0].Graph
+	if got := ng.Pre(y); len(got) != 1 || got[0] != x {
+		t.Errorf("y should read x directly, got %v", got)
+	}
+	if ng.Len() != 2 {
+		t.Errorf("dead slices not removed: %d nodes", ng.Len())
+	}
+}
+
+func TestSliceConcatElimRejectsWrongOrder(t *testing.T) {
+	g := graph.New()
+	sh := tensor.S(8, 64)
+	x := g.Add(ops.NewInput(sh, tensor.F32))
+	s1 := g.Add(ops.NewSlice(sh, 2, 0, 32, tensor.F32), x)
+	s2 := g.Add(ops.NewSlice(sh, 2, 32, 32, tensor.F32), x)
+	// Reversed order: semantically a permutation, must NOT be eliminated.
+	c := g.Add(ops.NewConcat([]tensor.Shape{tensor.S(8, 32), tensor.S(8, 32)}, 2, tensor.F32), s2, s1)
+	g.Add(ops.NewReLU(sh, tensor.F32), c)
+	if apps := (SliceConcatElimRule{}).Apply(g, &Context{}); len(apps) != 0 {
+		t.Error("out-of-order concat eliminated")
+	}
+}
+
+func TestAllRulesDeterministic(t *testing.T) {
+	g, _ := skipNet()
+	ctx := &Context{Hot: allHot(g), UseHotFilter: true}
+	for _, r := range All() {
+		a1 := r.Apply(g, ctx)
+		a2 := r.Apply(g, ctx)
+		if len(a1) != len(a2) {
+			t.Fatalf("%s nondeterministic count", r.Name())
+		}
+		for i := range a1 {
+			if a1[i].Graph.WLHash() != a2[i].Graph.WLHash() {
+				t.Errorf("%s nondeterministic at %d", r.Name(), i)
+			}
+		}
+	}
+}
+
+func TestRematChainDuplicatesProducers(t *testing.T) {
+	// Chains need non-anchor producers between anchors: x -> p1 -> a (anchor)
+	// -> p2 -> b (anchor) -> c, with a and b reused by late consumers.
+	g := graph.New()
+	sh := tensor.S(64, 64)
+	x := g.AddNamed("x", ops.NewInput(sh, tensor.F32))
+	p1 := g.AddNamed("p1", ops.NewScale(sh, tensor.F32), x)
+	a := g.AddNamed("a", ops.NewReLU(sh, tensor.F32), p1)
+	p2 := g.AddNamed("p2", ops.NewScale(sh, tensor.F32), a)
+	b := g.AddNamed("b", ops.NewGELU(sh, tensor.F32), p2)
+	c := g.AddNamed("c", ops.NewTanh(sh, tensor.F32), b)
+	d := g.AddNamed("d", ops.NewAdd(sh, sh, tensor.F32), c, b) // b reused
+	e := g.AddNamed("e", ops.NewAdd(sh, sh, tensor.F32), d, a) // a reused
+	_ = e
+	ctx := &Context{Hot: allHot(g), UseHotFilter: true}
+	apps := (RematChainRule{}).Apply(g, ctx)
+	validAll(t, apps)
+	if len(apps) == 0 {
+		t.Fatal("no chain applications")
+	}
+	// Find a composite (both anchors) application: a and b are anchors, so
+	// their chains stop at each other and duplicates must chain.
+	for _, app := range apps {
+		if app.Rule != "RematChainBatch" {
+			continue
+		}
+		ng := app.Graph
+		// e must no longer read the original a.
+		readsOriginal := false
+		for _, p := range ng.Pre(e) {
+			if p == a {
+				readsOriginal = true
+			}
+		}
+		if readsOriginal {
+			t.Error("composite did not rewire e away from a")
+		}
+	}
+}
+
+func TestSwapBatchComposite(t *testing.T) {
+	g := graph.New()
+	sh := tensor.S(64, 64)
+	x := g.Add(ops.NewInput(sh, tensor.F32))
+	var reused []graph.NodeID
+	h := x
+	for i := 0; i < 4; i++ {
+		h = g.Add(ops.NewGELU(sh, tensor.F32), h)
+		reused = append(reused, h)
+	}
+	for _, r := range reused {
+		h = g.Add(ops.NewAdd(sh, sh, tensor.F32), h, r)
+	}
+	ctx := &Context{Hot: allHot(g), UseHotFilter: true, MaxSites: 2}
+	apps := (SwapRule{}).Apply(g, ctx)
+	validAll(t, apps)
+	var batch *Application
+	for i := range apps {
+		if apps[i].Rule == "SwapBatch" {
+			batch = &apps[i]
+		}
+	}
+	if batch == nil {
+		t.Fatal("no SwapBatch composite")
+	}
+	stores := 0
+	for _, v := range batch.Graph.NodeIDs() {
+		if ops.IsStore(batch.Graph.Node(v).Op.Kind()) {
+			stores++
+		}
+	}
+	if stores < 2 {
+		t.Errorf("composite should swap several tensors, got %d stores", stores)
+	}
+}
+
+func TestCompositeRespectsMaxSitesForSingles(t *testing.T) {
+	g := graph.New()
+	sh := tensor.S(8, 8)
+	x := g.Add(ops.NewInput(sh, tensor.F32))
+	var reused []graph.NodeID
+	h := x
+	for i := 0; i < 6; i++ {
+		h = g.Add(ops.NewGELU(sh, tensor.F32), h)
+		reused = append(reused, h)
+	}
+	for _, r := range reused {
+		h = g.Add(ops.NewAdd(sh, sh, tensor.F32), h, r)
+	}
+	ctx := &Context{Hot: allHot(g), UseHotFilter: true, MaxSites: 2}
+	singles := 0
+	for _, app := range (SwapRule{}).Apply(g, ctx) {
+		if app.Rule == "Swap" {
+			singles++
+		}
+	}
+	if singles > 2 {
+		t.Errorf("MaxSites ignored: %d single applications", singles)
+	}
+}
+
+func TestMergeConvs(t *testing.T) {
+	g := graph.New()
+	x := g.Add(ops.NewInput(tensor.S(2, 3, 16, 16), tensor.F32))
+	w1 := g.Add(ops.NewParam(tensor.S(8, 3, 3, 3), tensor.F32))
+	w2 := g.Add(ops.NewParam(tensor.S(4, 3, 3, 3), tensor.F32))
+	c1 := g.Add(ops.NewConv2d(tensor.S(2, 3, 16, 16), tensor.S(8, 3, 3, 3), 1, 1, tensor.F32), x, w1)
+	c2 := g.Add(ops.NewConv2d(tensor.S(2, 3, 16, 16), tensor.S(4, 3, 3, 3), 1, 1, tensor.F32), x, w2)
+	r1 := g.Add(ops.NewReLU(tensor.S(2, 8, 16, 16), tensor.F32), c1)
+	r2 := g.Add(ops.NewReLU(tensor.S(2, 4, 16, 16), tensor.F32), c2)
+	_, _ = r1, r2
+	apps := (MergeConvsRule{}).Apply(g, &Context{})
+	validAll(t, apps)
+	if len(apps) != 1 {
+		t.Fatalf("apps = %d, want 1", len(apps))
+	}
+	ng := apps[0].Graph
+	found := false
+	for _, v := range ng.NodeIDs() {
+		if ng.Node(v).Op.Kind() == ops.KindConv2d {
+			if !ng.Node(v).Op.OutShape().Equal(tensor.S(2, 12, 16, 16)) {
+				t.Errorf("merged conv shape %v", ng.Node(v).Op.OutShape())
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("merged conv missing")
+	}
+	if got := ng.Node(ng.Pre(r2)[0]).Op.Kind(); got != ops.KindSlice {
+		t.Errorf("r2 input = %s, want Slice", got)
+	}
+}
+
+func TestMergeConvsRejectsMismatchedKernels(t *testing.T) {
+	g := graph.New()
+	x := g.Add(ops.NewInput(tensor.S(2, 3, 16, 16), tensor.F32))
+	w1 := g.Add(ops.NewParam(tensor.S(8, 3, 3, 3), tensor.F32))
+	w2 := g.Add(ops.NewParam(tensor.S(4, 3, 1, 1), tensor.F32)) // 1x1 vs 3x3
+	g.Add(ops.NewConv2d(tensor.S(2, 3, 16, 16), tensor.S(8, 3, 3, 3), 1, 1, tensor.F32), x, w1)
+	g.Add(ops.NewConv2d(tensor.S(2, 3, 16, 16), tensor.S(4, 3, 1, 1), 1, 0, tensor.F32), x, w2)
+	if apps := (MergeConvsRule{}).Apply(g, &Context{}); len(apps) != 0 {
+		t.Error("mismatched convolutions merged")
+	}
+}
+
+func TestAddReassoc(t *testing.T) {
+	g := graph.New()
+	sh := tensor.S(8)
+	a := g.Add(ops.NewInput(sh, tensor.F32))
+	b := g.Add(ops.NewInput(sh, tensor.F32))
+	c := g.Add(ops.NewInput(sh, tensor.F32))
+	inner := g.Add(ops.NewAdd(sh, sh, tensor.F32), a, b)
+	top := g.Add(ops.NewAdd(sh, sh, tensor.F32), inner, c)
+	sink := g.Add(ops.NewReLU(sh, tensor.F32), top)
+	apps := (AddReassocRule{}).Apply(g, &Context{})
+	validAll(t, apps)
+	if len(apps) != 1 {
+		t.Fatalf("apps = %d, want 1", len(apps))
+	}
+	ng := apps[0].Graph
+	if ng.Len() != g.Len() {
+		t.Errorf("reassociation changed node count: %d vs %d", ng.Len(), g.Len())
+	}
+	// sink now reads Add(a, Add(b, c)).
+	rot := ng.Pre(sink)[0]
+	if ins := ng.Node(rot).Ins; ins[0] != a {
+		t.Errorf("rotated tree should lead with a, got %v", ins)
+	}
+}
+
+func TestAddReassocSkipsSharedInner(t *testing.T) {
+	g := graph.New()
+	sh := tensor.S(8)
+	a := g.Add(ops.NewInput(sh, tensor.F32))
+	b := g.Add(ops.NewInput(sh, tensor.F32))
+	c := g.Add(ops.NewInput(sh, tensor.F32))
+	inner := g.Add(ops.NewAdd(sh, sh, tensor.F32), a, b)
+	g.Add(ops.NewAdd(sh, sh, tensor.F32), inner, c)
+	g.Add(ops.NewReLU(sh, tensor.F32), inner) // second consumer
+	if apps := (AddReassocRule{}).Apply(g, &Context{}); len(apps) != 0 {
+		t.Error("shared inner Add rotated (would duplicate work)")
+	}
+}

@@ -1,0 +1,311 @@
+package sched
+
+import (
+	"sort"
+
+	"magis/internal/graph"
+)
+
+// Scheduler finds memory-minimizing topological orders. Small sub-problems
+// are solved exactly with the dynamic program over scheduled-sets used by
+// Serenity (the paper's DpSchedule, Algorithm 2 line 11); medium ones fall
+// back to beam search over the same state space; large ones to a greedy
+// beam of width 1. The zero value is ready to use with sensible defaults.
+type Scheduler struct {
+	// MaxExact is the largest sub-problem solved with the exact DP.
+	MaxExact int
+	// BeamLimit is the largest sub-problem solved with beam search.
+	BeamLimit int
+	// BeamWidth is the beam width for medium sub-problems.
+	BeamWidth int
+}
+
+func (sc *Scheduler) maxExact() int {
+	if sc.MaxExact > 0 {
+		return sc.MaxExact
+	}
+	return 16
+}
+
+func (sc *Scheduler) beamLimit() int {
+	if sc.BeamLimit > 0 {
+		return sc.BeamLimit
+	}
+	return 400
+}
+
+func (sc *Scheduler) beamWidth() int {
+	if sc.BeamWidth > 0 {
+		return sc.BeamWidth
+	}
+	return 8
+}
+
+// DpSchedule returns a peak-memory-minimizing execution order for the
+// standalone graph g (exact for small g, approximate beyond MaxExact).
+func (sc *Scheduler) DpSchedule(g *graph.Graph) Schedule {
+	n := g.Len()
+	switch {
+	case n == 0:
+		return nil
+	case n == 1:
+		return Schedule{g.NodeIDs()[0]}
+	case n <= sc.maxExact():
+		return sc.exact(g)
+	case n <= sc.beamLimit():
+		return sc.beam(g, sc.beamWidth())
+	default:
+		return sc.beam(g, 1)
+	}
+}
+
+// problem is the indexed form of a scheduling sub-problem.
+type problem struct {
+	ids      []graph.NodeID // index -> node, topo order
+	preds    [][]int
+	sucMask  []uint64 // consumers as bitmask (exact DP only, n <= 64)
+	size     []int64
+	trans    []int64
+	hasCons  []bool
+	predMask []uint64
+}
+
+func newProblem(g *graph.Graph) *problem {
+	ids := g.Topo()
+	idx := make(map[graph.NodeID]int, len(ids))
+	for i, v := range ids {
+		idx[v] = i
+	}
+	p := &problem{
+		ids:      ids,
+		preds:    make([][]int, len(ids)),
+		size:     make([]int64, len(ids)),
+		trans:    make([]int64, len(ids)),
+		hasCons:  make([]bool, len(ids)),
+		predMask: make([]uint64, len(ids)),
+	}
+	small := len(ids) <= 64
+	if small {
+		p.sucMask = make([]uint64, len(ids))
+	}
+	for i, v := range ids {
+		node := g.Node(v)
+		p.size[i] = OutDeviceBytes(node)
+		p.trans[i] = ExecTransientBytes(node)
+		for _, pr := range g.Pre(v) {
+			j := idx[pr]
+			p.preds[i] = append(p.preds[i], j)
+			if small {
+				p.predMask[i] |= 1 << j
+				p.sucMask[j] |= 1 << i
+			}
+		}
+		p.hasCons[i] = len(g.Suc(v)) > 0
+	}
+	return p
+}
+
+type dpEntry struct {
+	peak  int64
+	alive int64
+	prev  uint64
+	last  int8
+}
+
+// exact runs the exponential DP over subsets (n <= 64 by construction).
+func (sc *Scheduler) exact(g *graph.Graph) Schedule {
+	p := newProblem(g)
+	n := len(p.ids)
+	// Upper bound from greedy to prune the DP.
+	bound := PeakOnly(g, sc.beam(g, 1))
+
+	memo := map[uint64]dpEntry{0: {}}
+	frontier := []uint64{0}
+	full := uint64(1)<<n - 1
+	for layer := 0; layer < n; layer++ {
+		next := make(map[uint64]bool)
+		for _, mask := range frontier {
+			e := memo[mask]
+			for v := 0; v < n; v++ {
+				bit := uint64(1) << v
+				if mask&bit != 0 || p.predMask[v]&mask != p.predMask[v] {
+					continue
+				}
+				nm := mask | bit
+				execMem := e.alive + p.size[v] + p.trans[v]
+				peak := e.peak
+				if execMem > peak {
+					peak = execMem
+				}
+				if peak > bound {
+					continue
+				}
+				alive := e.alive + p.size[v]
+				// Free predecessors fully consumed by nm (and only those:
+				// adding v can complete only its own predecessors).
+				for _, u := range p.preds[v] {
+					if p.sucMask[u] != 0 && p.sucMask[u]&nm == p.sucMask[u] {
+						alive -= p.size[u]
+					}
+				}
+				old, ok := memo[nm]
+				if !ok || peak < old.peak || (peak == old.peak && alive < old.alive) {
+					memo[nm] = dpEntry{peak: peak, alive: alive, prev: mask, last: int8(v)}
+					next[nm] = true
+				}
+			}
+		}
+		frontier = frontier[:0]
+		for m := range next {
+			frontier = append(frontier, m)
+		}
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	}
+	if _, ok := memo[full]; !ok {
+		// Pruning removed every path (bound was already optimal): fall back.
+		return sc.beam(g, 1)
+	}
+	order := make(Schedule, n)
+	for mask := full; mask != 0; {
+		e := memo[mask]
+		order[popcount64(mask)-1] = p.ids[e.last]
+		mask = e.prev
+	}
+	return order
+}
+
+type beamEntry struct {
+	mask  []uint64
+	rem   []int32 // unscheduled distinct-consumer count per node
+	ready []int32 // unscheduled predecessor count per node
+	alive int64
+	peak  int64
+	order []int
+}
+
+func (b *beamEntry) has(v int) bool { return b.mask[v/64]&(1<<(v%64)) != 0 }
+
+// freedIf returns bytes released when v executes on top of e: v's
+// predecessors for which v is the last unscheduled consumer.
+func (e *beamEntry) freedIf(p *problem, v int) int64 {
+	var freed int64
+	for _, u := range p.preds[v] {
+		if p.hasCons[u] && e.rem[u] == 1 {
+			freed += p.size[u]
+		}
+	}
+	return freed
+}
+
+// beam runs width-w beam search over the DP state space; w = 1 is the
+// greedy list scheduler used for very large partitions.
+func (sc *Scheduler) beam(g *graph.Graph, w int) Schedule {
+	p := newProblem(g)
+	n := len(p.ids)
+	words := (n + 63) / 64
+	sucs := make([][]int, n) // distinct consumers per node index
+	for v := 0; v < n; v++ {
+		seen := make(map[int]bool, len(p.preds[v]))
+		for _, u := range p.preds[v] {
+			if !seen[u] {
+				seen[u] = true
+				sucs[u] = append(sucs[u], v)
+			}
+		}
+	}
+	start := &beamEntry{
+		mask:  make([]uint64, words),
+		rem:   make([]int32, n),
+		ready: make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		start.rem[v] = int32(len(sucs[v]))
+		seen := make(map[int]bool, len(p.preds[v]))
+		for _, u := range p.preds[v] {
+			if !seen[u] {
+				seen[u] = true
+				start.ready[v]++
+			}
+		}
+	}
+	beam := []*beamEntry{start}
+	type cand struct {
+		from  *beamEntry
+		v     int
+		peak  int64
+		delta int64 // net alive change; lower is better
+	}
+	cands := make([]cand, 0, 64)
+	for step := 0; step < n; step++ {
+		cands = cands[:0]
+		for _, e := range beam {
+			for v := 0; v < n; v++ {
+				if e.has(v) || e.ready[v] != 0 {
+					continue
+				}
+				peak := e.peak
+				if m := e.alive + p.size[v] + p.trans[v]; m > peak {
+					peak = m
+				}
+				cands = append(cands, cand{e, v, peak, p.size[v] - e.freedIf(p, v)})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].peak != cands[j].peak {
+				return cands[i].peak < cands[j].peak
+			}
+			if cands[i].delta != cands[j].delta {
+				return cands[i].delta < cands[j].delta
+			}
+			return cands[i].v < cands[j].v
+		})
+		if len(cands) > w {
+			cands = cands[:w]
+		}
+		next := make([]*beamEntry, 0, len(cands))
+		for _, c := range cands {
+			e := c.from
+			ne := &beamEntry{
+				mask:  append([]uint64(nil), e.mask...),
+				rem:   append([]int32(nil), e.rem...),
+				ready: append([]int32(nil), e.ready...),
+				alive: e.alive + c.delta,
+				peak:  c.peak,
+				order: append(append([]int(nil), e.order...), c.v),
+			}
+			ne.mask[c.v/64] |= 1 << (c.v % 64)
+			seen := make(map[int]bool, len(p.preds[c.v]))
+			for _, u := range p.preds[c.v] {
+				if !seen[u] {
+					seen[u] = true
+					ne.rem[u]--
+				}
+			}
+			for _, s := range sucs[c.v] {
+				ne.ready[s]--
+			}
+			next = append(next, ne)
+		}
+		beam = next
+	}
+	best := beam[0]
+	for _, e := range beam[1:] {
+		if e.peak < best.peak {
+			best = e
+		}
+	}
+	order := make(Schedule, n)
+	for i, v := range best.order {
+		order[i] = p.ids[v]
+	}
+	return order
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,185 @@
+package sched
+
+import "magis/internal/graph"
+
+// Incremental implements Algorithm 2: derive a schedule for gNew from the
+// previous schedule psiOld of gOld, rescheduling only intervals around the
+// mutated sub-graph. oldMutated lists the gOld nodes touched by the
+// transformation (removed nodes included; new nodes need not be listed —
+// they are picked up as members of gNew outside the kept regions).
+//
+// Transformations like Swap touch a producer and a far-away consumer; a
+// single contiguous interval spanning both would reschedule most of the
+// program. Mutation sites further apart than a narrow-waist-sized gap are
+// therefore rescheduled as separate local intervals, with newly created
+// operators assigned to the interval their neighbours live in.
+//
+// It returns the new schedule and the number of rescheduled operators.
+// When the splice cannot produce a valid order, it falls back to full
+// scheduling of gNew.
+func (sc *Scheduler) Incremental(gOld, gNew *graph.Graph, oldMutated []graph.NodeID, psiOld Schedule) (Schedule, int) {
+	return sc.IncrementalR(gOld, gNew, oldMutated, psiOld, nil)
+}
+
+// clusterGap is the schedule distance beyond which mutation sites are
+// rescheduled as independent intervals.
+const clusterGap = 48
+
+// IncrementalR is Incremental with a caller-provided (cacheable)
+// reachability index over gOld; pass nil to compute one. Expanding one
+// M-State evaluates dozens of candidates against the same parent graph,
+// so callers that cache the index avoid the dominant O(V^2) term.
+func (sc *Scheduler) IncrementalR(gOld, gNew *graph.Graph, oldMutated []graph.NodeID, psiOld Schedule, reach *graph.ReachIndex) (Schedule, int) {
+	mutated := graph.NewSet(oldMutated...)
+	var sites []int
+	for i, v := range psiOld {
+		if mutated[v] {
+			sites = append(sites, i)
+		}
+	}
+	if len(sites) == 0 {
+		full := sc.ScheduleGraph(gNew)
+		return full, len(full)
+	}
+	if reach == nil {
+		reach = graph.NewReachIndex(gOld)
+	}
+
+	// Cluster sites and extend each cluster to narrow waists.
+	type interval struct{ beg, end int }
+	var ivs []interval
+	cur := interval{beg: sites[0], end: sites[0] + 1}
+	for _, s := range sites[1:] {
+		if s-cur.end > clusterGap {
+			ivs = append(ivs, cur)
+			cur = interval{beg: s, end: s + 1}
+		} else {
+			cur.end = s + 1
+		}
+	}
+	ivs = append(ivs, cur)
+	for i := range ivs {
+		ivs[i].beg = extendBound(psiOld, reach, ivs[i].beg, -1)
+		ivs[i].end = extendBound(psiOld, reach, ivs[i].end-1, +1)
+	}
+	// Merge overlaps after extension.
+	merged := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &merged[len(merged)-1]
+		if iv.beg <= last.end {
+			if iv.end > last.end {
+				last.end = iv.end
+			}
+		} else {
+			merged = append(merged, iv)
+		}
+	}
+
+	inInterval := func(pos int) int {
+		for i, iv := range merged {
+			if pos >= iv.beg && pos < iv.end {
+				return i
+			}
+		}
+		return -1
+	}
+	// Partition old positions into kept runs and per-interval member sets.
+	members := make([]graph.Set, len(merged))
+	for i := range members {
+		members[i] = make(graph.Set)
+	}
+	oldPos := make(map[graph.NodeID]int, len(psiOld))
+	for i, v := range psiOld {
+		oldPos[v] = i
+		if !gNew.Has(v) {
+			continue
+		}
+		if k := inInterval(i); k >= 0 {
+			members[k][v] = true
+		}
+	}
+	// Assign new nodes (absent from psiOld) to the interval holding one of
+	// their neighbours, defaulting to the last interval.
+	for _, v := range gNew.NodeIDs() {
+		if _, old := oldPos[v]; old {
+			continue
+		}
+		k := len(merged) - 1
+		assign := func(u graph.NodeID) bool {
+			if p, ok := oldPos[u]; ok {
+				if i := inInterval(p); i >= 0 {
+					k = i
+					return true
+				}
+			}
+			return false
+		}
+		done := false
+		for _, u := range gNew.Pre(v) {
+			if assign(u) {
+				done = true
+				break
+			}
+		}
+		if !done {
+			for _, u := range gNew.Suc(v) {
+				if assign(u) {
+					break
+				}
+			}
+		}
+		members[k][v] = true
+	}
+
+	// Schedule each interval's member set and splice.
+	out := make(Schedule, 0, gNew.Len())
+	rescheduled := 0
+	prevEnd := 0
+	for k, iv := range merged {
+		for _, v := range psiOld[prevEnd:iv.beg] {
+			if gNew.Has(v) {
+				out = append(out, v)
+			}
+		}
+		for _, seg := range GraphPartition(gNew, members[k]) {
+			mid := sc.DpSchedule(gNew.Subgraph(seg))
+			out = append(out, mid...)
+			rescheduled += len(mid)
+		}
+		prevEnd = iv.end
+	}
+	for _, v := range psiOld[prevEnd:] {
+		if gNew.Has(v) {
+			out = append(out, v)
+		}
+	}
+	if err := out.Validate(gNew); err != nil {
+		full := sc.ScheduleGraph(gNew)
+		return full, len(full)
+	}
+	return out, rescheduled
+}
+
+// extendBound walks the old schedule away from the mutated interval until
+// it finds a suitably narrow waist, limiting both walk length and waist
+// width with the paper's empirical constants (Algorithm 2 lines 2-6).
+func extendBound(psi Schedule, reach *graph.ReachIndex, i, d int) int {
+	wHat := int(^uint(0) >> 1) // +inf
+	l := 0
+	for i >= 0 && i < len(psi) {
+		nw := reach.NW(psi[i])
+		if !(l < 20 && (wHat > 10 || nw < 4) && nw < wHat) {
+			break
+		}
+		wHat = nw
+		i += d
+		l++
+	}
+	if i < 0 {
+		return 0
+	}
+	if i > len(psi) {
+		return len(psi)
+	}
+	return i
+}

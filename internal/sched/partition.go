@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"sort"
+
+	"magis/internal/graph"
+)
+
+// GraphPartition splits the node set w of g into segments that can be
+// scheduled independently and concatenated (§6.1): within each weakly
+// connected component of G[w], nodes whose narrow-waist value is at most 1
+// act as dividing points — everything not descending from a divider is
+// sequenced before it, everything descending after. Returned segments are
+// topologically ordered.
+func GraphPartition(g *graph.Graph, w graph.Set) []graph.Set {
+	var segs []graph.Set
+	for _, comp := range g.Components(w) {
+		compSet := graph.NewSet(comp...)
+		sub := g.Subgraph(compSet)
+		reach := graph.NewReachIndex(sub)
+		var dividers []graph.NodeID
+		for _, v := range comp {
+			if reach.NW(v) <= 1 {
+				dividers = append(dividers, v)
+			}
+		}
+		sort.Slice(dividers, func(i, j int) bool {
+			ai, aj := reach.NumAnc(dividers[i]), reach.NumAnc(dividers[j])
+			if ai != aj {
+				return ai < aj
+			}
+			return dividers[i] < dividers[j]
+		})
+		remaining := compSet.Clone()
+		for _, d := range dividers {
+			if !remaining[d] {
+				continue
+			}
+			des := sub.Des(d)
+			seg := make(graph.Set)
+			for v := range remaining {
+				if !des[v] {
+					seg[v] = true
+				}
+			}
+			if len(seg) == 0 || len(seg) == len(remaining) {
+				continue
+			}
+			segs = append(segs, seg)
+			next := make(graph.Set)
+			for v := range remaining {
+				if des[v] {
+					next[v] = true
+				}
+			}
+			remaining = next
+		}
+		if len(remaining) > 0 {
+			segs = append(segs, remaining)
+		}
+	}
+	return segs
+}
+
+// ScheduleGraph computes a full memory-minimizing schedule for g:
+// partition at narrow waists, DpSchedule each segment, concatenate.
+func (sc *Scheduler) ScheduleGraph(g *graph.Graph) Schedule {
+	all := graph.NewSet(g.NodeIDs()...)
+	var out Schedule
+	for _, seg := range GraphPartition(g, all) {
+		sub := g.Subgraph(seg)
+		out = append(out, sc.DpSchedule(sub)...)
+	}
+	// Segments from different components may interleave arbitrarily; the
+	// concatenation above is already a valid topological order within each
+	// component, but cross-component producer/consumer links cannot exist.
+	// A final validity check guards the divider logic.
+	if err := out.Validate(g); err != nil {
+		return g.Topo()
+	}
+	return out
+}

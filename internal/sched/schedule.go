@@ -1,0 +1,176 @@
+// Package sched implements graph scheduling: execution orders, the memory
+// lifetime simulation of §2.1 (peak memory and memory hot-spots), the
+// Serenity-style dynamic-programming re-ordering used as DpSchedule, the
+// narrow-waist graph partitioning of §6.1, and the incremental scheduling
+// of Algorithm 2.
+package sched
+
+import (
+	"fmt"
+
+	"magis/internal/graph"
+	"magis/internal/ops"
+)
+
+// Schedule is an execution order over a graph's nodes.
+type Schedule []graph.NodeID
+
+// Clone returns an independent copy.
+func (s Schedule) Clone() Schedule { return append(Schedule(nil), s...) }
+
+// Validate checks that s is a permutation of g's nodes respecting
+// dependencies.
+func (s Schedule) Validate(g *graph.Graph) error {
+	if len(s) != g.Len() {
+		return fmt.Errorf("sched: schedule has %d nodes, graph has %d", len(s), g.Len())
+	}
+	pos := make(map[graph.NodeID]int, len(s))
+	for i, v := range s {
+		if _, dup := pos[v]; dup {
+			return fmt.Errorf("sched: node %d appears twice", v)
+		}
+		if !g.Has(v) {
+			return fmt.Errorf("sched: node %d not in graph", v)
+		}
+		pos[v] = i
+	}
+	for _, v := range s {
+		for _, p := range g.Pre(v) {
+			if pos[p] > pos[v] {
+				return fmt.Errorf("sched: node %d scheduled before producer %d", v, p)
+			}
+		}
+	}
+	return nil
+}
+
+// DeviceSizer lets special node payloads (e.g. collapsed fission regions)
+// override memory accounting: OutDeviceBytes is the footprint of the
+// node's output while alive, ExecTransientBytes is extra memory occupied
+// only while the node executes.
+type DeviceSizer interface {
+	OutDeviceBytes() int64
+	ExecTransientBytes() int64
+}
+
+// OutDeviceBytes returns the device bytes the node's output holds while
+// alive. Store outputs live in host memory and cost nothing on device.
+func OutDeviceBytes(n *graph.Node) int64 {
+	if ds, ok := n.Op.(DeviceSizer); ok {
+		return ds.OutDeviceBytes()
+	}
+	if ops.IsStore(n.Op.Kind()) {
+		return 0
+	}
+	return n.OutBytes()
+}
+
+// ExecTransientBytes returns extra device bytes held only during the
+// node's execution.
+func ExecTransientBytes(n *graph.Node) int64 {
+	if ds, ok := n.Op.(DeviceSizer); ok {
+		return ds.ExecTransientBytes()
+	}
+	return 0
+}
+
+// MemProfile is the result of simulating a schedule's memory behaviour
+// under the lifetime model of §2.1.
+type MemProfile struct {
+	// Peak is the peak memory usage M_peak in bytes.
+	Peak int64
+	// PerStep[i] is M_{i+1}: active memory during execution of step i.
+	PerStep []int64
+	// PeakStep is the first step at which Peak is reached.
+	PeakStep int
+	// Hotspots is H: all tensors active at some peak step.
+	Hotspots graph.Set
+}
+
+// Simulate computes the memory profile of executing g in the given order.
+func Simulate(g *graph.Graph, order Schedule) *MemProfile {
+	n := len(order)
+	pos := make(map[graph.NodeID]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	// free[i] lists nodes whose output can be freed after step i completes.
+	freeAt := make([][]graph.NodeID, n)
+	last := make([]int, n)
+	for i, v := range order {
+		f := i // if never consumed, freed at end (kept alive through i=own)
+		for _, c := range g.Suc(v) {
+			if p, ok := pos[c]; ok && p > f {
+				f = p
+			}
+		}
+		if len(g.Suc(v)) == 0 {
+			f = n - 1 // graph outputs stay alive to the end
+		}
+		last[i] = f
+		freeAt[f] = append(freeAt[f], v)
+	}
+	prof := &MemProfile{PerStep: make([]int64, n), PeakStep: -1}
+	var cur int64
+	for i, v := range order {
+		node := g.Node(v)
+		cur += OutDeviceBytes(node)
+		m := cur + ExecTransientBytes(node)
+		prof.PerStep[i] = m
+		if m > prof.Peak {
+			prof.Peak = m
+			prof.PeakStep = i
+		}
+		for _, dead := range freeAt[i] {
+			cur -= OutDeviceBytes(g.Node(dead))
+		}
+	}
+	// Hotspots: tensors alive at any step attaining the peak.
+	prof.Hotspots = make(graph.Set)
+	for i := range order {
+		if prof.PerStep[i] != prof.Peak {
+			continue
+		}
+		for j := 0; j <= i; j++ {
+			if last[j] >= i {
+				prof.Hotspots[order[j]] = true
+			}
+		}
+	}
+	return prof
+}
+
+// PeakOnly computes only the peak memory of the order — the hot loop of
+// the DP scheduler and search, kept allocation-light.
+func PeakOnly(g *graph.Graph, order Schedule) int64 {
+	n := len(order)
+	pos := make(map[graph.NodeID]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	freeAt := make([][]graph.NodeID, n)
+	for i, v := range order {
+		f := i
+		for _, c := range g.Suc(v) {
+			if p, ok := pos[c]; ok && p > f {
+				f = p
+			}
+		}
+		if len(g.Suc(v)) == 0 {
+			f = n - 1
+		}
+		freeAt[f] = append(freeAt[f], v)
+	}
+	var cur, peak int64
+	for i, v := range order {
+		node := g.Node(v)
+		cur += OutDeviceBytes(node)
+		if m := cur + ExecTransientBytes(node); m > peak {
+			peak = m
+		}
+		for _, dead := range freeAt[i] {
+			cur -= OutDeviceBytes(g.Node(dead))
+		}
+	}
+	return peak
+}

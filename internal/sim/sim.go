@@ -1,0 +1,164 @@
+// Package sim is the discrete-event execution simulator standing in for
+// the paper's GPU measurement backend (§7.1). It models a compute stream
+// and an asynchronous copy stream (PyTorch CUDA-Stream style): Store/Load
+// transfers overlap with computation, a Load placed a few operators before
+// its consumer hides its PCIe latency, and memory is accounted
+// continuously — tensors are allocated when their producer starts and
+// freed when their last consumer finishes.
+package sim
+
+import (
+	"sort"
+
+	"magis/internal/cost"
+	"magis/internal/graph"
+	"magis/internal/ops"
+	"magis/internal/sched"
+)
+
+// Config controls a simulation run.
+type Config struct {
+	// Model prices operator latencies.
+	Model *cost.Model
+	// NodeCost overrides the latency of specific nodes (used by the
+	// optimizer to price collapsed fission regions). Return ok=false to
+	// fall back to Model.
+	NodeCost func(n *graph.Node) (lat float64, ok bool)
+	// Timeline requests a memory-over-time trace (Fig. 16).
+	Timeline bool
+}
+
+// SelfCosted marks node payloads that price their own execution (e.g.
+// collapsed fission regions); the simulator uses their latency directly.
+type SelfCosted interface {
+	Latency() float64
+}
+
+// Point is one sample of the memory timeline.
+type Point struct {
+	Time float64 // seconds since start
+	Mem  int64   // device bytes in use
+}
+
+// Result summarizes one simulated execution.
+type Result struct {
+	// Latency is the makespan in seconds.
+	Latency float64
+	// Peak is the peak device memory in bytes.
+	Peak int64
+	// ComputeBusy and CopyBusy are per-stream busy times.
+	ComputeBusy float64
+	CopyBusy    float64
+	// Timeline is the memory trace (only when Config.Timeline).
+	Timeline []Point
+}
+
+// Run simulates executing g in the given order under cfg.
+func Run(g *graph.Graph, order sched.Schedule, cfg Config) *Result {
+	n := len(order)
+	res := &Result{}
+	start := make(map[graph.NodeID]float64, n)
+	finish := make(map[graph.NodeID]float64, n)
+
+	latency := func(node *graph.Node) float64 {
+		if cfg.NodeCost != nil {
+			if l, ok := cfg.NodeCost(node); ok {
+				return l
+			}
+		}
+		// Payloads may carry their own latency (collapsed fission regions).
+		if sc, ok := node.Op.(SelfCosted); ok {
+			return sc.Latency()
+		}
+		return cfg.Model.NodeLatency(node)
+	}
+
+	var computeFree, copyFree float64
+	var prevComputeStart float64
+	for _, v := range order {
+		node := g.Node(v)
+		lat := latency(node)
+		ready := 0.0
+		for _, p := range g.Pre(v) {
+			if f := finish[p]; f > ready {
+				ready = f
+			}
+		}
+		if ops.IsTransfer(node.Op.Kind()) {
+			// Transfers are issued when the preceding compute operator in
+			// the schedule is dispatched, then run as the copy stream and
+			// their producers allow.
+			s := ready
+			if copyFree > s {
+				s = copyFree
+			}
+			if prevComputeStart > s {
+				s = prevComputeStart
+			}
+			start[v] = s
+			finish[v] = s + lat
+			copyFree = finish[v]
+			res.CopyBusy += lat
+		} else {
+			s := ready
+			if computeFree > s {
+				s = computeFree
+			}
+			start[v] = s
+			finish[v] = s + lat
+			computeFree = finish[v]
+			prevComputeStart = s
+			res.ComputeBusy += lat
+		}
+	}
+	for _, v := range order {
+		if finish[v] > res.Latency {
+			res.Latency = finish[v]
+		}
+	}
+
+	// Continuous-time memory accounting.
+	type event struct {
+		t     float64
+		delta int64
+	}
+	events := make([]event, 0, 2*n)
+	for _, v := range order {
+		node := g.Node(v)
+		bytes := sched.OutDeviceBytes(node)
+		trans := sched.ExecTransientBytes(node)
+		if trans > 0 {
+			events = append(events, event{start[v], trans}, event{finish[v], -trans})
+		}
+		if bytes == 0 {
+			continue
+		}
+		freeAt := res.Latency
+		if cs := g.Suc(v); len(cs) > 0 {
+			freeAt = 0
+			for _, c := range cs {
+				if f := finish[c]; f > freeAt {
+					freeAt = f
+				}
+			}
+		}
+		events = append(events, event{start[v], bytes}, event{freeAt, -bytes})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta // frees before allocs at ties
+	})
+	var cur int64
+	for _, e := range events {
+		cur += e.delta
+		if cur > res.Peak {
+			res.Peak = cur
+		}
+		if cfg.Timeline {
+			res.Timeline = append(res.Timeline, Point{e.t, cur})
+		}
+	}
+	return res
+}

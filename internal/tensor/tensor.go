@@ -1,0 +1,142 @@
+// Package tensor provides lightweight tensor metadata: shapes and data
+// types. MAGIS never materializes tensor contents; every algorithm in the
+// paper consumes only shapes (for memory accounting and dimension analysis)
+// and element sizes (for byte counts), so this package is deliberately
+// value-oriented and allocation-free where possible.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DType identifies the element type of a tensor.
+type DType uint8
+
+// Supported element types. TF32 occupies 4 bytes in memory (it is a
+// compute format, not a storage format), matching how the paper accounts
+// tf32 workloads.
+const (
+	F32 DType = iota
+	TF32
+	BF16
+	F16
+	I64
+	I32
+	Bool
+)
+
+// Size returns the number of bytes one element occupies in device memory.
+func (d DType) Size() int64 {
+	switch d {
+	case F32, TF32, I32:
+		return 4
+	case BF16, F16:
+		return 2
+	case I64:
+		return 8
+	case Bool:
+		return 1
+	}
+	panic(fmt.Sprintf("tensor: unknown dtype %d", d))
+}
+
+// String returns the conventional lowercase name of the dtype.
+func (d DType) String() string {
+	switch d {
+	case F32:
+		return "f32"
+	case TF32:
+		return "tf32"
+	case BF16:
+		return "bf16"
+	case F16:
+		return "f16"
+	case I64:
+		return "i64"
+	case I32:
+		return "i32"
+	case Bool:
+		return "bool"
+	}
+	return fmt.Sprintf("dtype(%d)", d)
+}
+
+// Shape is the extent of each tensor dimension, outermost first.
+// A nil or empty Shape denotes a scalar.
+type Shape []int
+
+// S is a convenience constructor: S(2, 3, 4) == Shape{2, 3, 4}.
+func S(dims ...int) Shape { return Shape(dims) }
+
+// Rank returns the number of dimensions.
+func (s Shape) Rank() int { return len(s) }
+
+// Elems returns the total number of elements (1 for a scalar).
+func (s Shape) Elems() int64 {
+	n := int64(1)
+	for _, d := range s {
+		n *= int64(d)
+	}
+	return n
+}
+
+// Clone returns an independent copy of the shape.
+func (s Shape) Clone() Shape {
+	if s == nil {
+		return nil
+	}
+	c := make(Shape, len(s))
+	copy(c, s)
+	return c
+}
+
+// Equal reports whether two shapes have identical rank and extents.
+func (s Shape) Equal(t Shape) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WithDim returns a copy of s with 1-based dimension dim replaced by n.
+// It panics if dim is out of range.
+func (s Shape) WithDim(dim, n int) Shape {
+	if dim < 1 || dim > len(s) {
+		panic(fmt.Sprintf("tensor: dim %d out of range for rank %d", dim, len(s)))
+	}
+	c := s.Clone()
+	c[dim-1] = n
+	return c
+}
+
+// Dim returns the extent of the 1-based dimension dim.
+func (s Shape) Dim(dim int) int {
+	if dim < 1 || dim > len(s) {
+		panic(fmt.Sprintf("tensor: dim %d out of range for rank %d", dim, len(s)))
+	}
+	return s[dim-1]
+}
+
+// String renders the shape as "[a, b, c]".
+func (s Shape) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, d := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", d)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Bytes returns the device-memory footprint of a tensor with shape s and
+// element type d.
+func Bytes(s Shape, d DType) int64 { return s.Elems() * d.Size() }

@@ -1,0 +1,85 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDTypeSizes(t *testing.T) {
+	cases := map[DType]int64{
+		F32: 4, TF32: 4, I32: 4, BF16: 2, F16: 2, I64: 8, Bool: 1,
+	}
+	for dt, want := range cases {
+		if got := dt.Size(); got != want {
+			t.Errorf("%v.Size() = %d, want %d", dt, got, want)
+		}
+	}
+}
+
+func TestDTypeStrings(t *testing.T) {
+	if F32.String() != "f32" || BF16.String() != "bf16" || TF32.String() != "tf32" {
+		t.Error("dtype names wrong")
+	}
+}
+
+func TestShapeBasics(t *testing.T) {
+	s := S(2, 3, 4)
+	if s.Rank() != 3 || s.Elems() != 24 {
+		t.Fatalf("rank/elems wrong: %v", s)
+	}
+	if s.Dim(1) != 2 || s.Dim(3) != 4 {
+		t.Error("1-based Dim wrong")
+	}
+	if !s.Equal(S(2, 3, 4)) || s.Equal(S(2, 3)) || s.Equal(S(2, 3, 5)) {
+		t.Error("Equal wrong")
+	}
+	if s.String() != "[2, 3, 4]" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestScalarShape(t *testing.T) {
+	s := S()
+	if s.Rank() != 0 || s.Elems() != 1 {
+		t.Errorf("scalar: rank %d elems %d", s.Rank(), s.Elems())
+	}
+	if Bytes(s, F32) != 4 {
+		t.Error("scalar bytes wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := S(2, 3)
+	c := s.Clone()
+	c[0] = 9
+	if s[0] != 2 {
+		t.Error("Clone shares backing array")
+	}
+	if Shape(nil).Clone() != nil {
+		t.Error("nil clone should be nil")
+	}
+}
+
+func TestWithDim(t *testing.T) {
+	s := S(2, 3, 4)
+	w := s.WithDim(2, 7)
+	if !w.Equal(S(2, 7, 4)) || !s.Equal(S(2, 3, 4)) {
+		t.Errorf("WithDim wrong: %v / %v", w, s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range WithDim must panic")
+		}
+	}()
+	s.WithDim(4, 1)
+}
+
+func TestQuickBytesConsistent(t *testing.T) {
+	f := func(a, b uint8) bool {
+		s := S(int(a)%16+1, int(b)%16+1)
+		return Bytes(s, F32) == s.Elems()*4 && Bytes(s, BF16) == s.Elems()*2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

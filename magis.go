@@ -1,0 +1,118 @@
+// Package magis is a from-scratch Go implementation of MAGIS (ASPLOS'24):
+// DNN memory optimization via coordinated graph transformation and
+// scheduling. It bundles a computation-graph IR with reverse-mode
+// autodiff, a Dimension-Graph/F-Tree fission engine, re-materialization
+// and swapping as graph transformations, DP-based re-ordering with
+// incremental scheduling, an analytic GPU cost model with a two-stream
+// execution simulator, the paper's seven evaluation workloads, and the
+// baselines it compares against (POFO, DTR, XLA, TVM, Torch-Inductor).
+//
+// Quick start:
+//
+//	w := magis.MLP(8192, 256, 512, 10, 4)
+//	res, err := magis.Optimize(w.G, magis.NewModel(magis.RTX3090()), magis.Options{
+//		Mode:         magis.MemoryUnderLatency,
+//		LatencyLimit: magis.Baseline(w.G, m).Latency * 1.10,
+//	})
+//
+// The heavy lifting lives in the internal packages; this facade re-exports
+// the stable surface.
+package magis
+
+import (
+	"magis/internal/cost"
+	"magis/internal/graph"
+	"magis/internal/models"
+	"magis/internal/opt"
+	"magis/internal/sched"
+	"magis/internal/sim"
+)
+
+// Core graph types.
+type (
+	// Graph is the computation-graph IR.
+	Graph = graph.Graph
+	// NodeID identifies a node within a Graph.
+	NodeID = graph.NodeID
+	// Schedule is an execution order.
+	Schedule = sched.Schedule
+)
+
+// NewGraph returns an empty computation graph.
+func NewGraph() *Graph { return graph.New() }
+
+// Cost model / device types.
+type (
+	// Device describes the simulated accelerator.
+	Device = cost.Device
+	// Model prices operator latencies on one Device.
+	Model = cost.Model
+)
+
+// RTX3090 returns the paper's evaluation device.
+func RTX3090() *Device { return cost.RTX3090() }
+
+// NewModel returns a cost model with a fresh performance cache.
+func NewModel(d *Device) *Model { return cost.NewModel(d) }
+
+// Optimization types.
+type (
+	// Options configures the M-Optimizer search (Algorithm 3).
+	Options = opt.Options
+	// Result is an optimization outcome with statistics and history.
+	Result = opt.Result
+	// State is one M-State: graph, F-Tree, schedule, measurements.
+	State = opt.State
+	// ParetoPoint is one point of a memory/latency trade-off curve.
+	ParetoPoint = opt.ParetoPoint
+)
+
+// Optimization modes.
+const (
+	// LatencyUnderMemory minimizes latency subject to a memory limit.
+	LatencyUnderMemory = opt.LatencyUnderMemory
+	// MemoryUnderLatency minimizes peak memory subject to a latency limit.
+	MemoryUnderLatency = opt.MemoryUnderLatency
+)
+
+// Optimize runs MAGIS's coordinated transformation + scheduling search.
+func Optimize(g *Graph, m *Model, o Options) (*Result, error) {
+	return opt.Optimize(g, m, o)
+}
+
+// Baseline evaluates g unoptimized (program order, free-after-last-use) —
+// the PyTorch reference every paper figure normalizes against.
+func Baseline(g *Graph, m *Model) *State { return opt.Baseline(g, m) }
+
+// Sweep traces the Pareto boundary across memory-ratio constraints.
+var Sweep = opt.Sweep
+
+// Simulation types.
+type (
+	// SimConfig controls the two-stream execution simulator.
+	SimConfig = sim.Config
+	// SimResult is a simulated execution's latency/memory outcome.
+	SimResult = sim.Result
+)
+
+// Simulate executes g in the given order on the event simulator.
+func Simulate(g *Graph, order Schedule, cfg SimConfig) *SimResult {
+	return sim.Run(g, order, cfg)
+}
+
+// Workload is a benchmark network with its training graph.
+type Workload = models.Workload
+
+// The paper's evaluation workloads (Table 2) plus helpers.
+var (
+	ResNet50   = models.ResNet50
+	BERTBase   = models.BERTBase
+	ViTBase    = models.ViTBase
+	UNet       = models.UNet
+	UNetPP     = models.UNetPP
+	GPTNeo13B  = models.GPTNeo13B
+	BTLM3B     = models.BTLM3B
+	MLP        = models.MLP
+	Table2     = models.Table2
+	SmallSuite = models.SmallSuite
+)

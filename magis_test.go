@@ -1,0 +1,85 @@
+package magis
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFacadeEndToEnd drives the whole public API: build a workload,
+// measure the baseline, optimize memory under a latency bound, simulate
+// the result.
+func TestFacadeEndToEnd(t *testing.T) {
+	w := MLP(4096, 256, 512, 10, 3)
+	m := NewModel(RTX3090())
+	base := Baseline(w.G, m)
+	if base.PeakMem <= 0 || base.Latency <= 0 {
+		t.Fatalf("bad baseline: %+v", base)
+	}
+	res, err := Optimize(w.G, m, Options{
+		Mode:         MemoryUnderLatency,
+		LatencyLimit: base.Latency * 1.10,
+		TimeBudget:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.PeakMem >= base.PeakMem {
+		t.Errorf("no improvement: %d -> %d", base.PeakMem, res.Best.PeakMem)
+	}
+	if res.Best.Latency > base.Latency*1.101 {
+		t.Errorf("latency bound violated: %g vs %g", res.Best.Latency, base.Latency*1.10)
+	}
+	r := Simulate(res.Best.EvalG, res.Best.Sched, SimConfig{Model: m})
+	if r.Latency <= 0 {
+		t.Error("simulation failed")
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	w := MLP(4096, 256, 512, 10, 3)
+	m := NewModel(RTX3090())
+	pts, err := Sweep(w.G, m, []float64{0.7, 0.5}, 400*time.Millisecond, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 2 {
+		t.Fatalf("front too small: %v", pts)
+	}
+}
+
+func TestFacadeGraphConstruction(t *testing.T) {
+	g := NewGraph()
+	if g.Len() != 0 {
+		t.Fatal("fresh graph not empty")
+	}
+}
+
+// TestHeadlineUNetReduction guards the reproduction's headline result: on
+// the paper-scale U-Net training step, coordinated fission + scheduling
+// cuts peak memory to a small fraction of the baseline within a 10%
+// latency budget, far beyond what scheduling alone reaches (Fig. 9's
+// U-Net column).
+func TestHeadlineUNetReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale search in -short mode")
+	}
+	w := UNet(32, 256)
+	m := NewModel(RTX3090())
+	base := Baseline(w.G, m)
+	res, err := Optimize(w.G, m, Options{
+		Mode:         MemoryUnderLatency,
+		LatencyLimit: base.Latency * 1.10,
+		TimeBudget:   3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(res.Best.PeakMem) / float64(base.PeakMem)
+	t.Logf("UNet b32: ratio %.3f at %+.1f%% latency", ratio, 100*(res.Best.Latency/base.Latency-1))
+	if ratio > 0.50 {
+		t.Errorf("headline regression: memory ratio %.2f, expected well below 0.50", ratio)
+	}
+	if res.Best.Latency > base.Latency*1.101 {
+		t.Errorf("latency constraint violated: %+.1f%%", 100*(res.Best.Latency/base.Latency-1))
+	}
+}
