@@ -7,12 +7,19 @@
 //
 // At -scale 1 and -budget 3m this is the paper's configuration; smaller
 // values trade fidelity for runtime.
+//
+// SIGINT/SIGTERM cancels in-flight searches: the current target renders
+// with whatever best-so-far states were reached, remaining targets are
+// skipped, and the process exits 0.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"magis/internal/expr"
@@ -24,8 +31,15 @@ func main() {
 		budget = flag.Duration("budget", 5*time.Second, "MAGIS search budget per run (paper: 3m)")
 	)
 	flag.Parse()
-	cfg := expr.Config{Scale: *scale, Budget: *budget}
+	if *scale <= 0 || *scale > 1 {
+		fmt.Fprintf(os.Stderr, "invalid -scale %v: must be in (0,1]\n", *scale)
+		os.Exit(2)
+	}
 
+	known := map[string]bool{
+		"table2": true, "fig9": true, "fig10": true, "fig11": true,
+		"fig12": true, "fig13": true, "fig14": true, "fig15": true, "fig16": true,
+	}
 	targets := flag.Args()
 	if len(targets) == 0 {
 		targets = []string{"table2"}
@@ -34,6 +48,21 @@ func main() {
 		targets = []string{"table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
 	}
 	for _, t := range targets {
+		if !known[t] {
+			fmt.Fprintf(os.Stderr, "unknown target %q (want table2, fig9..fig16, or all)\n", t)
+			os.Exit(2)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg := expr.Config{Scale: *scale, Budget: *budget, Ctx: ctx}
+
+	for _, t := range targets {
+		if ctx.Err() != nil {
+			fmt.Printf("interrupted: skipping remaining targets from %s on\n", t)
+			break
+		}
 		start := time.Now()
 		switch t {
 		case "table2":
@@ -54,9 +83,11 @@ func main() {
 			fmt.Print(expr.RenderFig15(expr.Fig15(cfg, nil)))
 		case "fig16":
 			fmt.Print(expr.RenderFig16(expr.Fig16(cfg, nil)))
-		default:
-			fmt.Fprintf(os.Stderr, "unknown target %q\n", t)
-			os.Exit(1)
+		}
+		if ctx.Err() != nil {
+			fmt.Printf("(%s interrupted after %v; rows reflect best-so-far states)\n\n",
+				t, time.Since(start).Round(time.Millisecond))
+			continue
 		}
 		fmt.Printf("(%s took %v)\n\n", t, time.Since(start).Round(time.Millisecond))
 	}

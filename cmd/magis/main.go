@@ -10,13 +10,20 @@
 // With -mode mem, -limit is the allowed latency overhead (0.10 = +10%) and
 // peak memory is minimized; with -mode latency, -limit is the memory ratio
 // vs the unoptimized baseline (0.6 = 60%) and latency is minimized.
+//
+// SIGINT/SIGTERM cancels the search; the best state found so far is
+// printed and the process exits 0 (the search is anytime — an interrupted
+// run is a valid, just less optimized, result).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"magis/internal/codegen"
@@ -38,16 +45,26 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate every flag before doing any work, so a typo fails in
+	// milliseconds rather than after a multi-second baseline evaluation.
+	if *scale <= 0 || *scale > 1 {
+		fatalf("invalid -scale %v: must be in (0,1]", *scale)
+	}
+	if *mode != "mem" && *mode != "latency" {
+		fatalf("unknown -mode %q: want mem or latency", *mode)
+	}
 	w, err := workload(*model, *scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatalf("%v (want resnet|bert|vit|unet|unetpp|gptneo|btlm|mlp)", err)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	m := cost.NewModel(cost.RTX3090())
 	base := opt.Baseline(w.G, m)
-	fmt.Printf("workload: %s (%d nodes)\n", w, w.G.Len())
-	fmt.Printf("baseline: peak %.2f GB, latency %.2f ms\n",
-		gb(base.PeakMem), base.Latency*1e3)
+	fmt.Printf("workload: %s\n", w)
+	fmt.Printf("baseline: %s\n", base.Summary())
 
 	o := opt.Options{TimeBudget: *budget, MaxLevel: *level}
 	switch *mode {
@@ -59,20 +76,23 @@ func main() {
 		o.Mode = opt.LatencyUnderMemory
 		o.MemLimit = int64(*limit * float64(base.PeakMem))
 		fmt.Printf("goal: minimize latency, memory <= %.0f%% (%.2f GB)\n", 100**limit, gb(o.MemLimit))
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -mode %q\n", *mode)
-		os.Exit(1)
 	}
 
 	start := time.Now()
-	res, err := opt.Optimize(w.G, m, o)
+	res, err := opt.OptimizeCtx(ctx, w.G, m, o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	best := res.Best
-	fmt.Printf("\noptimized in %v (%d iterations, %d transformations, %d duplicates filtered)\n",
-		time.Since(start).Round(time.Millisecond), res.Stats.Iterations, res.Stats.Trans, res.Stats.Filtered)
+	fmt.Printf("\nsearch stopped: %s after %v (%d iterations, %d transformations, %d duplicates filtered)\n",
+		res.Stopped, time.Since(start).Round(time.Millisecond),
+		res.Stats.Iterations, res.Stats.Trans, res.Stats.Filtered)
+	if n := res.Diagnostics.Panics(); n > 0 {
+		fmt.Printf("contained: %d rule panic(s); quarantined rules: %s\n",
+			n, strings.Join(res.Diagnostics.Quarantined(), ", "))
+	}
+	fmt.Printf("best:     %s\n", best.Summary())
 	fmt.Printf("result:   peak %.2f GB (%.0f%% of baseline), latency %.2f ms (%+.1f%%)\n",
 		gb(best.PeakMem), 100*float64(best.PeakMem)/float64(base.PeakMem),
 		best.Latency*1e3, 100*(best.Latency/base.Latency-1))
@@ -108,6 +128,11 @@ func main() {
 		}
 		fmt.Printf("\nPyTorch script written to %s\n", *emit)
 	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
 }
 
 func gb(b int64) float64 { return float64(b) / (1 << 30) }

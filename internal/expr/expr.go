@@ -6,6 +6,7 @@
 package expr
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -25,6 +26,10 @@ type Config struct {
 	Budget time.Duration
 	// Device is the simulated accelerator (default RTX3090).
 	Device *cost.Device
+	// Ctx cancels in-flight optimizations (default context.Background()).
+	// A cancelled run still contributes its best-so-far state, so an
+	// interrupted experiment renders partial but valid rows.
+	Ctx context.Context
 }
 
 func (c Config) defaults() Config {
@@ -36,6 +41,9 @@ func (c Config) defaults() Config {
 	}
 	if c.Device == nil {
 		c.Device = cost.RTX3090()
+	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
 	}
 	return c
 }
@@ -53,7 +61,7 @@ var SystemNames = []string{"MAGIS", "POFO", "DTR", "XLA", "TVM", "TI"}
 
 // magisMinMem runs MAGIS in memory-minimization mode under a latency cap.
 func magisMinMem(cfg Config, w *models.Workload, latLimit float64) (*opt.Result, error) {
-	return opt.Optimize(w.G, cfg.Model(), opt.Options{
+	return opt.OptimizeCtx(cfg.ctx(), w.G, cfg.Model(), opt.Options{
 		Mode:         opt.MemoryUnderLatency,
 		LatencyLimit: latLimit,
 		TimeBudget:   cfg.Budget,
@@ -62,11 +70,19 @@ func magisMinMem(cfg Config, w *models.Workload, latLimit float64) (*opt.Result,
 
 // magisMinLat runs MAGIS in latency-minimization mode under a memory cap.
 func magisMinLat(cfg Config, w *models.Workload, memLimit int64) (*opt.Result, error) {
-	return opt.Optimize(w.G, cfg.Model(), opt.Options{
+	return opt.OptimizeCtx(cfg.ctx(), w.G, cfg.Model(), opt.Options{
 		Mode:       opt.LatencyUnderMemory,
 		MemLimit:   memLimit,
 		TimeBudget: cfg.Budget,
 	})
+}
+
+// ctx returns the configured context, tolerating un-defaulted Configs.
+func (c Config) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 // FormatTable renders rows of labelled float cells as an aligned text

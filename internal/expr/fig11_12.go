@@ -31,9 +31,12 @@ func Fig11(cfg Config, ws []*models.Workload, ratios []float64) []Fig11Curve {
 	}
 	var curves []Fig11Curve
 	for _, w := range ws {
+		if cfg.Ctx.Err() != nil {
+			return curves
+		}
 		m := cfg.Model()
 		base := opt.Baseline(w.G, m)
-		pts, err := opt.Sweep(w.G, m, ratios, cfg.Budget, opt.Options{})
+		pts, err := opt.SweepCtx(cfg.Ctx, w.G, m, ratios, cfg.Budget, opt.Options{})
 		if err == nil {
 			curves = append(curves, Fig11Curve{w.Name, "MAGIS", pts})
 		}
@@ -41,6 +44,9 @@ func Fig11(cfg Config, ws []*models.Workload, ratios []float64) []Fig11Curve {
 			o := systemByName(name)
 			var pts []opt.ParetoPoint
 			for _, r := range append([]float64{1.0}, ratios...) {
+				if cfg.Ctx.Err() != nil {
+					break
+				}
 				limit := int64(r * float64(base.PeakMem))
 				res := o.OptimizeMem(w.G, m, limit)
 				if !res.OK {
@@ -86,6 +92,9 @@ func Fig12(cfg Config, w *models.Workload, ratios []float64, factors []int) []Fi
 	var pts []Fig12Point
 	run := func(name string, o baselines.Optimizer) {
 		for _, r := range ratios {
+			if cfg.Ctx.Err() != nil {
+				return
+			}
 			limit := int64(r * float64(base.PeakMem))
 			res := o.OptimizeMem(w.G, m, limit)
 			p := Fig12Point{System: name, MemRatio: math.NaN(), LatOverhead: math.NaN(), OK: res.OK}

@@ -48,6 +48,9 @@ func Fig13(cfg Config, w *models.Workload) []Fig13Curve {
 	base := opt.Baseline(w.G, m)
 	var curves []Fig13Curve
 	for _, s := range fig13Settings() {
+		if cfg.Ctx.Err() != nil {
+			return curves
+		}
 		for _, mode := range []struct {
 			name string
 			o    opt.Options
@@ -62,7 +65,7 @@ func Fig13(cfg Config, w *models.Workload) []Fig13Curve {
 			o.NaiveSchedRules = s.o.NaiveSchedRules
 			o.MaxLevel = s.o.MaxLevel
 			o.TimeBudget = cfg.Budget
-			res, err := opt.Optimize(w.G, m, o)
+			res, err := opt.OptimizeCtx(cfg.ctx(), w.G, m, o)
 			if err != nil {
 				continue
 			}
@@ -113,7 +116,7 @@ func Fig15(cfg Config, w *models.Workload) Fig15Breakdown {
 	m := cfg.Model()
 	base := opt.Baseline(w.G, m)
 	start := time.Now()
-	res, err := opt.Optimize(w.G, m, opt.Options{
+	res, err := opt.OptimizeCtx(cfg.ctx(), w.G, m, opt.Options{
 		Mode:         opt.MemoryUnderLatency,
 		LatencyLimit: base.Latency * 1.10,
 		TimeBudget:   cfg.Budget,

@@ -40,6 +40,9 @@ func Fig14(cfg Config, dnns, rounds int) []Fig14Sample {
 	sc := &sched.Scheduler{}
 	var out []Fig14Sample
 	for d := 0; d < dnns; d++ {
+		if cfg.Ctx.Err() != nil {
+			return out
+		}
 		w := models.RandomNASNet(int64(d+1), 6, 16, 16, 4)
 		g := w.G
 		psi := sc.ScheduleGraph(g)

@@ -36,6 +36,9 @@ func Fig9(cfg Config, overheads []float64, ws []*models.Workload) []Fig9Row {
 	var rows []Fig9Row
 	for _, ovh := range overheads {
 		for _, w := range ws {
+			if cfg.Ctx.Err() != nil {
+				return rows // interrupted: render the rows finished so far
+			}
 			m := cfg.Model()
 			base := opt.Baseline(w.G, m)
 			row := Fig9Row{
@@ -53,6 +56,10 @@ func Fig9(cfg Config, overheads []float64, ws []*models.Workload) []Fig9Row {
 				row.Ratio["MAGIS"] = math.NaN()
 			}
 			for _, name := range SystemNames[1:] {
+				if cfg.Ctx.Err() != nil {
+					row.Ratio[name] = math.NaN()
+					continue
+				}
 				r := baselines.MinimizeMemUnderLatency(systemByName(name), w.G, m, limit)
 				if r.OK {
 					row.Ratio[name] = float64(r.PeakMem) / float64(base.PeakMem)
@@ -87,6 +94,9 @@ func Fig10(cfg Config, ratios []float64, ws []*models.Workload) []Fig10Row {
 	var rows []Fig10Row
 	for _, ratio := range ratios {
 		for _, w := range ws {
+			if cfg.Ctx.Err() != nil {
+				return rows
+			}
 			m := cfg.Model()
 			base := opt.Baseline(w.G, m)
 			limit := int64(ratio * float64(base.PeakMem))
@@ -97,6 +107,10 @@ func Fig10(cfg Config, ratios []float64, ws []*models.Workload) []Fig10Row {
 				row.Overhead["MAGIS"] = math.NaN()
 			}
 			for _, name := range SystemNames[1:] {
+				if cfg.Ctx.Err() != nil {
+					row.Overhead[name] = math.NaN()
+					continue
+				}
 				r := systemByName(name).OptimizeMem(w.G, m, limit)
 				if r.OK {
 					row.Overhead[name] = r.Latency/base.Latency - 1

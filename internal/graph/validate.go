@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+
+	"magis/internal/tensor"
+)
+
+// ErrInvariant is the sentinel wrapped by every Validate failure, so
+// callers can errors.Is a validation error regardless of which invariant
+// broke.
+var ErrInvariant = errors.New("graph: invariant violation")
+
+// InputShaped is implemented by operator payloads that record the shapes
+// they expect from their producers (ops.Spec does). Validate uses it to
+// re-check each edge's shape agreement without this package depending on
+// the operator catalog.
+type InputShaped interface {
+	NumIns() int
+	InShape(i int) tensor.Shape
+}
+
+// Kind names of the host-transfer operators, mirrored from internal/ops
+// (which this package must not import) and asserted equal there by test.
+const (
+	kindStore = "Store"
+	kindLoad  = "Load"
+)
+
+// Validate checks the full set of structural invariants every graph the
+// optimizer accepts must satisfy:
+//
+//  1. edge consistency — every input refers to an existing node, and the
+//     consumer lists mirror the input lists with equal multiplicity;
+//  2. acyclicity;
+//  3. shape agreement — for every node whose payload records expected
+//     input shapes (InputShaped), the number of inputs matches and each
+//     producer's output shape equals the shape the consumer expects
+//     (local shape re-inference over every edge);
+//  4. Store/Load pairing — a Load consumes exactly one Store, a Store has
+//     exactly one producer (which is not itself a transfer), and every
+//     consumer of a Store is a Load (host-resident tensors cannot feed
+//     device compute directly).
+//
+// A buggy transformation rule violating any of these corrupts every later
+// scheduling and memory measurement, so the optimizer runs Validate on
+// accepted candidates when Options.CheckInvariants is set. All errors wrap
+// ErrInvariant.
+func Validate(g *Graph) error {
+	if g == nil {
+		return fmt.Errorf("%w: nil graph", ErrInvariant)
+	}
+	// 1. Edge consistency: Ins exist; suc multiplicity mirrors Ins.
+	type edge struct{ from, to NodeID }
+	fromIns := make(map[edge]int)
+	for id, n := range g.nodes {
+		if n == nil {
+			return fmt.Errorf("%w: node %d is nil", ErrInvariant, id)
+		}
+		if n.ID != id {
+			return fmt.Errorf("%w: node keyed %d carries ID %d", ErrInvariant, id, n.ID)
+		}
+		if n.Op == nil {
+			return fmt.Errorf("%w: node %d has nil op", ErrInvariant, id)
+		}
+		for _, in := range n.Ins {
+			if _, ok := g.nodes[in]; !ok {
+				return fmt.Errorf("%w: node %d consumes dangling producer %d", ErrInvariant, id, in)
+			}
+			fromIns[edge{in, id}]++
+		}
+	}
+	fromSuc := make(map[edge]int)
+	for from, cs := range g.suc {
+		if len(cs) > 0 {
+			if _, ok := g.nodes[from]; !ok {
+				return fmt.Errorf("%w: dangling node %d still has consumers %v", ErrInvariant, from, cs)
+			}
+		}
+		for _, to := range cs {
+			fromSuc[edge{from, to}]++
+		}
+	}
+	if len(fromIns) != len(fromSuc) {
+		return fmt.Errorf("%w: %d distinct edges via inputs, %d via consumer lists",
+			ErrInvariant, len(fromIns), len(fromSuc))
+	}
+	for e, n := range fromIns {
+		if fromSuc[e] != n {
+			return fmt.Errorf("%w: edge %d->%d has multiplicity %d in inputs but %d in consumer list",
+				ErrInvariant, e.from, e.to, n, fromSuc[e])
+		}
+	}
+	// 2. Acyclicity.
+	if _, err := g.TopoE(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvariant, err)
+	}
+	// 3. Shape agreement along every edge.
+	for id, n := range g.nodes {
+		is, ok := n.Op.(InputShaped)
+		if !ok {
+			continue // opaque payloads (collapsed regions) account themselves
+		}
+		if len(n.Ins) != is.NumIns() {
+			return fmt.Errorf("%w: node %d (%s) has %d inputs, op expects %d",
+				ErrInvariant, id, n.Op.Kind(), len(n.Ins), is.NumIns())
+		}
+		for i, in := range n.Ins {
+			got := g.nodes[in].Op.OutShape()
+			want := is.InShape(i)
+			if !got.Equal(want) {
+				return fmt.Errorf("%w: node %d (%s) input %d: producer %d (%s) yields %v, op expects %v",
+					ErrInvariant, id, n.Op.Kind(), i, in, g.nodes[in].Op.Kind(), got, want)
+			}
+		}
+	}
+	// 4. Store/Load pairing.
+	for id, n := range g.nodes {
+		switch n.Op.Kind() {
+		case kindLoad:
+			if len(n.Ins) != 1 {
+				return fmt.Errorf("%w: Load %d has %d producers, want 1", ErrInvariant, id, len(n.Ins))
+			}
+			if p := g.nodes[n.Ins[0]]; p.Op.Kind() != kindStore {
+				return fmt.Errorf("%w: Load %d consumes %s %d, want Store",
+					ErrInvariant, id, p.Op.Kind(), p.ID)
+			}
+		case kindStore:
+			if len(n.Ins) != 1 {
+				return fmt.Errorf("%w: Store %d has %d producers, want 1", ErrInvariant, id, len(n.Ins))
+			}
+			if p := g.nodes[n.Ins[0]]; p.Op.Kind() == kindStore || p.Op.Kind() == kindLoad {
+				return fmt.Errorf("%w: Store %d consumes transfer %s %d",
+					ErrInvariant, id, p.Op.Kind(), p.ID)
+			}
+			cs := g.Suc(id)
+			if len(cs) == 0 {
+				return fmt.Errorf("%w: Store %d has no Load consumer", ErrInvariant, id)
+			}
+			for _, c := range cs {
+				if g.nodes[c].Op.Kind() != kindLoad {
+					return fmt.Errorf("%w: Store %d feeds %s %d, host tensors only feed Loads",
+						ErrInvariant, id, g.nodes[c].Op.Kind(), c)
+				}
+			}
+		}
+	}
+	return nil
+}

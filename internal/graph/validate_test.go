@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"magis/internal/tensor"
+)
+
+// shapedOp is an Op that also records its expected input shapes, like
+// ops.Spec does, so shape-agreement checks fire in graph-level tests.
+type shapedOp struct {
+	testOp
+	ins []tensor.Shape
+}
+
+func (s shapedOp) NumIns() int                { return len(s.ins) }
+func (s shapedOp) InShape(i int) tensor.Shape { return s.ins[i] }
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	g, _ := diamond()
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(New()); err != nil {
+		t.Fatalf("empty graph: %v", err)
+	}
+}
+
+func TestValidateNil(t *testing.T) {
+	if err := Validate(nil); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("nil graph: %v", err)
+	}
+}
+
+func TestValidateDetectsCycle(t *testing.T) {
+	g, n := diamond()
+	// Hand-craft a back edge d -> a (impossible through the public API).
+	g.nodes[n[0]].Ins = append(g.nodes[n[0]].Ins, n[3])
+	g.suc[n[3]] = append(g.suc[n[3]], n[0])
+	if err := Validate(g); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("cycle not flagged: %v", err)
+	}
+}
+
+func TestValidateDetectsDanglingInput(t *testing.T) {
+	g, n := diamond()
+	g.nodes[n[3]].Ins[0] = NodeID(999)
+	if err := Validate(g); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("dangling producer not flagged: %v", err)
+	}
+}
+
+func TestValidateDetectsConsumerListDrift(t *testing.T) {
+	g, n := diamond()
+	// Consumer list says a->d, input list does not.
+	g.suc[n[0]] = append(g.suc[n[0]], n[3])
+	if err := Validate(g); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("suc/ins drift not flagged: %v", err)
+	}
+}
+
+func TestValidateDetectsShapeMismatch(t *testing.T) {
+	g := New()
+	a := g.Add(op("In", 4))
+	g.Add(shapedOp{testOp{"B", tensor.S(4)}, []tensor.Shape{tensor.S(4)}}, a)
+	if err := Validate(g); err != nil {
+		t.Fatalf("matching shapes rejected: %v", err)
+	}
+	// Producer shape silently changed out from under the consumer.
+	g.SetOp(a, op("In", 8))
+	if err := Validate(g); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("shape mismatch not flagged: %v", err)
+	}
+}
+
+func TestValidateDetectsArityMismatch(t *testing.T) {
+	g := New()
+	a := g.Add(op("In", 4))
+	b := g.Add(op("In", 4))
+	g.Add(shapedOp{testOp{"B", tensor.S(4)}, []tensor.Shape{tensor.S(4)}}, a, b)
+	if err := Validate(g); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("arity mismatch not flagged: %v", err)
+	}
+}
+
+func TestValidateStoreLoadPairing(t *testing.T) {
+	g := New()
+	a := g.Add(op("In", 4))
+	st := g.Add(op(kindStore, 4), a)
+	ld := g.Add(op(kindLoad, 4), st)
+	g.Add(op("B", 4), ld)
+	if err := Validate(g); err != nil {
+		t.Fatalf("well-formed swap chain rejected: %v", err)
+	}
+
+	// A Load consuming a non-Store producer.
+	g2 := New()
+	a2 := g2.Add(op("In", 4))
+	g2.Add(op(kindLoad, 4), a2)
+	if err := Validate(g2); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("Load without Store not flagged: %v", err)
+	}
+
+	// A Store feeding device compute directly.
+	g3 := New()
+	a3 := g3.Add(op("In", 4))
+	st3 := g3.Add(op(kindStore, 4), a3)
+	g3.Add(op("B", 4), st3)
+	if err := Validate(g3); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("Store feeding compute not flagged: %v", err)
+	}
+
+	// A Store with no consumers (leaked host tensor).
+	g4 := New()
+	a4 := g4.Add(op("In", 4))
+	g4.Add(op(kindStore, 4), a4)
+	if err := Validate(g4); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("dangling Store not flagged: %v", err)
+	}
+}

@@ -1,0 +1,47 @@
+package opt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the optimizer. Once the initial evaluation succeeds,
+// Optimize never returns an error: per-candidate failures are contained,
+// recorded in Result.Diagnostics, and the best feasible state found so far
+// is returned with Result.Stopped explaining why the search ended.
+var (
+	// ErrInitialEval wraps failures of the very first evaluation (the
+	// unoptimized input graph). There is no best-so-far state to degrade
+	// to before this point, so it is the one fatal error of a run.
+	ErrInitialEval = errors.New("opt: initial evaluation failed")
+	// ErrCollapse wraps region-collapse failures: an enabled F-Tree
+	// region that can no longer be folded into one evaluation node
+	// (invalidated by rewrites, or collapsing would create a cycle).
+	ErrCollapse = errors.New("opt: region collapse failed")
+)
+
+// errSkip silently discards a candidate without recording a failure —
+// the pre-existing contract for mutations that turn out inapplicable.
+var errSkip = errors.New("opt: candidate skipped")
+
+// RuleError is a panic recovered from rule application, candidate
+// evaluation, or F-Tree mutation, converted into a diagnostic. The search
+// discards the offending candidate and keeps going; after
+// Options.QuarantineAfter consecutive failures the rule is quarantined
+// for the rest of the run.
+type RuleError struct {
+	// Rule is the catalog name of the rule being applied ("Swap",
+	// "Remat", ...) or "FTree" for fission-tree mutations.
+	Rule string
+	// Site describes what the rule was doing when it panicked.
+	Site string
+	// Panic is the recovered value.
+	Panic any
+	// Stack is the (truncated) goroutine stack at the panic site.
+	Stack string
+}
+
+// Error implements error.
+func (e *RuleError) Error() string {
+	return fmt.Sprintf("opt: rule %s panicked at %s: %v", e.Rule, e.Site, e.Panic)
+}

@@ -1,0 +1,157 @@
+package opt
+
+import (
+	"errors"
+	"runtime/debug"
+	"sort"
+)
+
+// maxStack bounds the stack text kept per recovered panic.
+const maxStack = 4 << 10
+
+// maxKeptErrors bounds Diagnostics.Errors; counters keep counting beyond.
+const maxKeptErrors = 16
+
+// guard runs fn and converts a panic into a *RuleError attributed to the
+// given rule and site, so one buggy rewrite (a fission slice off-by-one, a
+// bad transpose permutation) costs the search a single candidate instead
+// of the whole run. A non-panic error from fn passes through unchanged.
+func guard(rule, site string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			if len(stack) > maxStack {
+				stack = stack[:maxStack]
+			}
+			err = &RuleError{Rule: rule, Site: site, Panic: r, Stack: string(stack)}
+		}
+	}()
+	return fn()
+}
+
+// quarantine tracks per-rule failure streaks. A rule whose applications
+// fail (panic or invariant violation) limit times in a row with no
+// intervening success is quarantined: skipped for the rest of the run.
+type quarantine struct {
+	limit  int
+	streak map[string]int
+	banned map[string]bool
+}
+
+func newQuarantine(limit int) *quarantine {
+	return &quarantine{
+		limit:  limit,
+		streak: make(map[string]int),
+		banned: make(map[string]bool),
+	}
+}
+
+// ok resets the rule's failure streak after a successful evaluation.
+func (q *quarantine) ok(rule string) { q.streak[rule] = 0 }
+
+// fail records one failure and reports whether the rule just crossed the
+// quarantine threshold.
+func (q *quarantine) fail(rule string) bool {
+	if q.banned[rule] {
+		return false
+	}
+	q.streak[rule]++
+	if q.streak[rule] >= q.limit {
+		q.banned[rule] = true
+		return true
+	}
+	return false
+}
+
+// active reports whether the rule is quarantined.
+func (q *quarantine) active(rule string) bool { return q.banned[rule] }
+
+// RuleDiag is one rule's health record for a run.
+type RuleDiag struct {
+	// Applications counts candidate states the rule produced.
+	Applications int
+	// Evaluated counts candidates that survived to a full evaluation.
+	Evaluated int
+	// Panics counts recovered panics attributed to the rule.
+	Panics int
+	// InvariantFailures counts candidates rejected by graph.Validate or
+	// Schedule.Validate (Options.CheckInvariants).
+	InvariantFailures int
+	// Quarantined reports whether the rule was disabled mid-run after
+	// Options.QuarantineAfter consecutive failures.
+	Quarantined bool
+}
+
+// Diagnostics is the failure-containment record of one optimization run.
+// A clean run has zero panics and no quarantined rules.
+type Diagnostics struct {
+	// Rules maps rule name to its counters. Only rules that produced at
+	// least one candidate or failure appear.
+	Rules map[string]*RuleDiag
+	// Errors holds the first recovered panics (capped; Panics counters
+	// keep counting beyond the cap).
+	Errors []*RuleError
+}
+
+// rule returns (allocating if needed) the named rule's counters.
+func (d *Diagnostics) rule(name string) *RuleDiag {
+	if d.Rules == nil {
+		d.Rules = make(map[string]*RuleDiag)
+	}
+	rd := d.Rules[name]
+	if rd == nil {
+		rd = &RuleDiag{}
+		d.Rules[name] = rd
+	}
+	return rd
+}
+
+// Panics sums recovered panics across all rules.
+func (d *Diagnostics) Panics() int {
+	n := 0
+	for _, rd := range d.Rules {
+		n += rd.Panics
+	}
+	return n
+}
+
+// Quarantined lists the quarantined rule names in sorted order.
+func (d *Diagnostics) Quarantined() []string {
+	var out []string
+	for name, rd := range d.Rules {
+		if rd.Quarantined {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// notePanic records a recovered panic (ignoring plain skip errors) and
+// advances the rule's quarantine streak. It reports whether err was a
+// recovered panic.
+func (d *Diagnostics) notePanic(err error, q *quarantine) bool {
+	var re *RuleError
+	if !errors.As(err, &re) {
+		return false
+	}
+	rd := d.rule(re.Rule)
+	rd.Panics++
+	if len(d.Errors) < maxKeptErrors {
+		d.Errors = append(d.Errors, re)
+	}
+	if q.fail(re.Rule) {
+		rd.Quarantined = true
+	}
+	return true
+}
+
+// noteInvariant records a candidate rejected by invariant validation and
+// advances the rule's quarantine streak.
+func (d *Diagnostics) noteInvariant(rule string, q *quarantine) {
+	rd := d.rule(rule)
+	rd.InvariantFailures++
+	if q.fail(rule) {
+		rd.Quarantined = true
+	}
+}

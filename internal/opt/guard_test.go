@@ -1,0 +1,263 @@
+package opt
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"magis/internal/graph"
+	"magis/internal/models"
+	"magis/internal/ops"
+	"magis/internal/rules"
+	"magis/internal/tensor"
+)
+
+// panicRule is a deliberately buggy rule: every application attempt
+// panics, like a rewrite with an off-by-one would.
+type panicRule struct{}
+
+func (panicRule) Name() string { return "PanicRule" }
+func (panicRule) Apply(g *graph.Graph, ctx *rules.Context) []rules.Application {
+	panic("deliberate test panic: slice bounds out of range")
+}
+
+// corruptRule produces structurally broken candidates: it swaps one
+// intermediate node's operator for a mismatched leaf, breaking both arity
+// and shape agreement. Each call corrupts a different node so candidates
+// are never duplicate-filtered.
+type corruptRule struct{ calls *int }
+
+func (corruptRule) Name() string { return "Corrupt" }
+func (r corruptRule) Apply(g *graph.Graph, ctx *rules.Context) []rules.Application {
+	*r.calls++
+	ids := g.NodeIDs()
+	for i := 0; i < len(ids); i++ {
+		id := ids[(i+*r.calls)%len(ids)]
+		n := g.Node(id)
+		if len(n.Ins) > 0 && len(g.Suc(id)) > 0 {
+			ng := g.Clone()
+			ng.SetOp(id, ops.NewInput(tensor.S(1), tensor.F32))
+			return []rules.Application{{Graph: ng, OldMutated: []graph.NodeID{id}, Rule: "Corrupt"}}
+		}
+	}
+	return nil
+}
+
+// TestPanickingRuleIsolated seeds a rule that panics on every application
+// across the small workload suite: the search must finish, quarantine the
+// rule, still improve on the baseline machinery, and return a valid
+// schedule with Stopped and Diagnostics populated.
+func TestPanickingRuleIsolated(t *testing.T) {
+	for _, w := range models.SmallSuite() {
+		t.Run(w.Name, func(t *testing.T) {
+			// QuarantineAfter 1 keeps the test timing-independent: under
+			// the race detector the budget may expire after one expansion.
+			// Streak mechanics are covered by TestQuarantineStreaks.
+			res, err := Optimize(w.G, model(), Options{
+				Mode:            MemoryUnderLatency,
+				TimeBudget:      700 * time.Millisecond,
+				QuarantineAfter: 1,
+				CheckInvariants: true,
+				Rules:           append(rules.All(), panicRule{}),
+			})
+			if err != nil {
+				t.Fatalf("search died instead of containing the panic: %v", err)
+			}
+			if res.Best == nil {
+				t.Fatal("no best state returned")
+			}
+			if err := res.Best.Sched.Validate(res.Best.EvalG); err != nil {
+				t.Errorf("best schedule invalid: %v", err)
+			}
+			if res.Stopped == StopUnknown {
+				t.Error("Stopped not populated")
+			}
+			d := res.Diagnostics.Rules["PanicRule"]
+			if d == nil || d.Panics == 0 {
+				t.Fatalf("panics not diagnosed: %+v", res.Diagnostics.Rules)
+			}
+			if !d.Quarantined {
+				t.Errorf("rule not quarantined after %d panics", d.Panics)
+			}
+			if len(res.Diagnostics.Errors) == 0 {
+				t.Fatal("no RuleError kept")
+			}
+			re := res.Diagnostics.Errors[0]
+			if re.Rule != "PanicRule" || !strings.Contains(re.Error(), "deliberate test panic") {
+				t.Errorf("bad diagnostic: %v", re)
+			}
+			if re.Stack == "" {
+				t.Error("no stack captured")
+			}
+		})
+	}
+}
+
+// TestCorruptCandidatesRejected seeds a rule that emits shape-broken
+// graphs: with CheckInvariants on, every such candidate must be rejected
+// before it can poison the search, and the rule quarantined.
+func TestCorruptCandidatesRejected(t *testing.T) {
+	calls := 0
+	res, err := Optimize(fatMLP(), model(), Options{
+		Mode:            MemoryUnderLatency,
+		TimeBudget:      700 * time.Millisecond,
+		QuarantineAfter: 1,
+		CheckInvariants: true,
+		Rules:           append(rules.All(), corruptRule{&calls}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Diagnostics.Rules["Corrupt"]
+	if d == nil || d.InvariantFailures == 0 {
+		t.Fatalf("invariant failures not diagnosed: %+v", res.Diagnostics.Rules)
+	}
+	if d.Evaluated != 0 {
+		t.Errorf("%d corrupt candidates slipped past validation", d.Evaluated)
+	}
+	if !d.Quarantined {
+		t.Errorf("corrupting rule not quarantined (failures: %d)", d.InvariantFailures)
+	}
+	if err := graph.Validate(res.Best.G); err != nil {
+		t.Errorf("best graph corrupted: %v", err)
+	}
+	if err := res.Best.Sched.Validate(res.Best.EvalG); err != nil {
+		t.Errorf("best schedule invalid: %v", err)
+	}
+}
+
+func TestCancellationReturnsBestSoFar(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := OptimizeCtx(ctx, fatMLP(), model(), Options{
+		Mode:            MemoryUnderLatency,
+		TimeBudget:      30 * time.Second,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want well under the 30s budget", elapsed)
+	}
+	if res.Stopped != StopCancelled {
+		t.Errorf("Stopped = %v, want %v", res.Stopped, StopCancelled)
+	}
+	if res.Best == nil || res.Best.Sched == nil {
+		t.Fatal("no best-so-far state on cancellation")
+	}
+	if err := res.Best.Sched.Validate(res.Best.EvalG); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeadlineStopReason(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := OptimizeCtx(ctx, fatMLP(), model(), Options{Mode: MemoryUnderLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != StopDeadline {
+		t.Errorf("Stopped = %v, want %v", res.Stopped, StopDeadline)
+	}
+	if res.Best == nil {
+		t.Fatal("no state returned on expired deadline")
+	}
+}
+
+func TestExhaustedStopReason(t *testing.T) {
+	res, err := Optimize(fatMLP(), model(), Options{
+		Mode:          MemoryUnderLatency,
+		MaxIterations: 2,
+		TimeBudget:    30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != StopExhausted {
+		t.Errorf("Stopped = %v, want %v", res.Stopped, StopExhausted)
+	}
+}
+
+func TestConvergedStopReason(t *testing.T) {
+	// Only DeSwap in the catalog and no fission: an MLP has no Store/Load
+	// pairs to remove, so the queue drains immediately.
+	res, err := Optimize(fatMLP(), model(), Options{
+		Mode:           MemoryUnderLatency,
+		DisableFission: true,
+		Rules:          []rules.Rule{rules.DeSwapRule{}},
+		TimeBudget:     30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != StopConverged {
+		t.Errorf("Stopped = %v, want %v", res.Stopped, StopConverged)
+	}
+}
+
+// bombOp panics during shape queries — an unevaluable input graph.
+type bombOp struct{}
+
+func (bombOp) Kind() string           { return "Bomb" }
+func (bombOp) OutShape() tensor.Shape { panic("bomb: unevaluable op") }
+func (bombOp) DType() tensor.DType    { return tensor.F32 }
+func (bombOp) AttrKey() string        { return "" }
+
+func TestInitialEvaluationFailureIsFatal(t *testing.T) {
+	g := graph.New()
+	g.Add(bombOp{})
+	_, err := Optimize(g, model(), Options{TimeBudget: 100 * time.Millisecond})
+	if err == nil {
+		t.Fatal("unevaluable input graph must fail fast")
+	}
+	if !errors.Is(err, ErrInitialEval) {
+		t.Errorf("error does not wrap ErrInitialEval: %v", err)
+	}
+	var re *RuleError
+	if !errors.As(err, &re) {
+		t.Errorf("error does not expose the recovered panic: %v", err)
+	}
+}
+
+func TestQuarantineStreaks(t *testing.T) {
+	q := newQuarantine(3)
+	if q.fail("r") || q.fail("r") {
+		t.Fatal("quarantined before the limit")
+	}
+	q.ok("r") // success resets the streak
+	if q.fail("r") || q.fail("r") {
+		t.Fatal("streak not reset by success")
+	}
+	if !q.fail("r") {
+		t.Fatal("third consecutive failure must quarantine")
+	}
+	if !q.active("r") {
+		t.Fatal("rule not active in quarantine")
+	}
+	if q.fail("r") {
+		t.Fatal("already-banned rule reported as newly banned")
+	}
+}
+
+func TestStopReasonStrings(t *testing.T) {
+	want := map[StopReason]string{
+		StopUnknown:   "unknown",
+		StopConverged: "converged",
+		StopDeadline:  "deadline",
+		StopCancelled: "cancelled",
+		StopExhausted: "exhausted",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), s)
+		}
+	}
+}

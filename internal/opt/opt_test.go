@@ -38,9 +38,10 @@ func TestOptimizeMemoryUnderLatency(t *testing.T) {
 	m := model()
 	bl := Baseline(g, m)
 	res, err := Optimize(g, m, Options{
-		Mode:         MemoryUnderLatency,
-		LatencyLimit: bl.Latency * 1.10,
-		TimeBudget:   1500 * time.Millisecond,
+		Mode:            MemoryUnderLatency,
+		LatencyLimit:    bl.Latency * 1.10,
+		TimeBudget:      1500 * time.Millisecond,
+		CheckInvariants: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -65,9 +66,10 @@ func TestOptimizeLatencyUnderMemory(t *testing.T) {
 	bl := Baseline(g, m)
 	limit := int64(float64(bl.PeakMem) * 0.6)
 	res, err := Optimize(g, m, Options{
-		Mode:       LatencyUnderMemory,
-		MemLimit:   limit,
-		TimeBudget: 1500 * time.Millisecond,
+		Mode:            LatencyUnderMemory,
+		MemLimit:        limit,
+		TimeBudget:      1500 * time.Millisecond,
+		CheckInvariants: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -82,8 +84,9 @@ func TestOptimizeLatencyUnderMemory(t *testing.T) {
 func TestStatsPopulated(t *testing.T) {
 	g := fatMLP()
 	res, err := Optimize(g, model(), Options{
-		Mode:       MemoryUnderLatency,
-		TimeBudget: 500 * time.Millisecond,
+		Mode:            MemoryUnderLatency,
+		TimeBudget:      500 * time.Millisecond,
+		CheckInvariants: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -21,15 +22,26 @@ type ParetoPoint struct {
 // of memory-ratio constraints (plus every intermediate state visited).
 // ratios are fractions of the baseline peak (e.g. 0.8, 0.6, 0.4).
 func Sweep(g *graph.Graph, model *cost.Model, ratios []float64, perRun time.Duration, base Options) ([]ParetoPoint, error) {
+	return SweepCtx(context.Background(), g, model, ratios, perRun, base)
+}
+
+// SweepCtx is Sweep with cooperative cancellation. Cancelling the context
+// stops the current run within one candidate evaluation and returns the
+// frontier traced so far (never an error once at least the baseline point
+// exists), so an interrupted sweep still yields a usable partial curve.
+func SweepCtx(ctx context.Context, g *graph.Graph, model *cost.Model, ratios []float64, perRun time.Duration, base Options) ([]ParetoPoint, error) {
 	bl := Baseline(g, model)
 	var pts []ParetoPoint
 	pts = append(pts, ParetoPoint{1, 0})
 	for _, r := range ratios {
+		if ctx.Err() != nil {
+			break // degrade to the frontier traced so far
+		}
 		o := base
 		o.Mode = LatencyUnderMemory
 		o.MemLimit = int64(r * float64(bl.PeakMem))
 		o.TimeBudget = perRun
-		res, err := Optimize(g, model, o)
+		res, err := OptimizeCtx(ctx, g, model, o)
 		if err != nil {
 			return nil, err
 		}

@@ -120,7 +120,7 @@ func (c *collapser) regionOp(g *graph.Graph, n *ftree.Node, overrides map[graph.
 		}
 		s, ok := g.Node(v).Op.(*ops.Spec)
 		if !ok {
-			return nil, fmt.Errorf("opt: region member %d is not an ops.Spec", v)
+			return nil, fmt.Errorf("%w: region member %d is not an ops.Spec", ErrCollapse, v)
 		}
 		return s, nil
 	}
@@ -133,7 +133,7 @@ func (c *collapser) regionOp(g *graph.Graph, n *ftree.Node, overrides map[graph.
 		}
 		ps, err := spec.SplitAxis(n.T.Choice[v], n.N)
 		if err != nil {
-			return nil, fmt.Errorf("opt: region split: %v", err)
+			return nil, fmt.Errorf("%w: region split: %w", ErrCollapse, err)
 		}
 		part[v] = ps
 	}
@@ -269,13 +269,13 @@ func replaceRegion(eg *graph.Graph, s graph.Set, op *RegionOp) (graph.NodeID, er
 	// from its outputs back to its inputs (possible when two mutually
 	// interleaved regions are enabled); detect and reject.
 	if _, err := eg.TopoE(); err != nil {
-		return graph.Invalid, fmt.Errorf("opt: collapse of region at %d: %v", smallest(s), err)
+		return graph.Invalid, fmt.Errorf("%w: region at %d: %w", ErrCollapse, smallest(s), err)
 	}
 	// Remove members (reverse topo within s so consumer checks pass).
 	members := topoWithin(eg, s)
 	for i := len(members) - 1; i >= 0; i-- {
 		if err := eg.Remove(members[i]); err != nil {
-			return graph.Invalid, fmt.Errorf("opt: collapse: %v", err)
+			return graph.Invalid, fmt.Errorf("%w: %w", ErrCollapse, err)
 		}
 	}
 	return id, nil

@@ -2,6 +2,8 @@ package opt
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -39,12 +41,25 @@ type Options struct {
 	MaxCandidates int
 	// MaxSites caps rule applications per rule per expansion (default 8).
 	MaxSites int
-	// TimeBudget bounds the search wall-clock (default 3s).
+	// TimeBudget bounds the search wall-clock (default 3s). It is layered
+	// on top of the caller's context as a deadline; set it negative to
+	// disable the budget and rely solely on the context passed to
+	// OptimizeCtx.
 	TimeBudget time.Duration
 	// MaxIterations bounds queue pops (default 10000).
 	MaxIterations int
 	// Delta is the relaxed-push coefficient (default 1.1).
 	Delta float64
+	// CheckInvariants runs graph.Validate on every candidate that passes
+	// the duplicate filter and Schedule.Validate on every evaluated one,
+	// rejecting (and diagnosing) candidates a buggy rule corrupted. Tests
+	// set it unconditionally; production callers pay ~O(V+E) per
+	// candidate for it.
+	CheckInvariants bool
+	// QuarantineAfter disables a rule after this many consecutive
+	// failures — recovered panics or invariant violations — with no
+	// intervening success (default 3).
+	QuarantineAfter int
 	// Ablation switches (§7.2.5).
 	NaiveFission    bool
 	NaiveSchedRules bool
@@ -72,6 +87,9 @@ func (o *Options) defaults() {
 	}
 	if o.Delta == 0 {
 		o.Delta = 1.1
+	}
+	if o.QuarantineAfter == 0 {
+		o.QuarantineAfter = 3
 	}
 	if o.Rules == nil {
 		o.Rules = rules.All()
@@ -114,6 +132,47 @@ type HistoryPoint struct {
 	Latency float64
 }
 
+// StopReason explains why an anytime search returned.
+type StopReason int
+
+const (
+	// StopUnknown is the zero value; a populated Result never carries it.
+	StopUnknown StopReason = iota
+	// StopConverged: the candidate queue drained — every reachable
+	// non-dominated state was explored.
+	StopConverged
+	// StopDeadline: the TimeBudget or the context deadline expired.
+	StopDeadline
+	// StopCancelled: the caller cancelled the context.
+	StopCancelled
+	// StopExhausted: MaxIterations queue pops were spent.
+	StopExhausted
+)
+
+// String renders the reason for logs and CLI summaries.
+func (s StopReason) String() string {
+	switch s {
+	case StopConverged:
+		return "converged"
+	case StopDeadline:
+		return "deadline"
+	case StopCancelled:
+		return "cancelled"
+	case StopExhausted:
+		return "exhausted"
+	default:
+		return "unknown"
+	}
+}
+
+// stopReason maps a context error to its StopReason.
+func stopReason(err error) StopReason {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return StopDeadline
+	}
+	return StopCancelled
+}
+
 // Result is the outcome of one optimization run.
 type Result struct {
 	// Best is the best M-State found.
@@ -125,6 +184,12 @@ type Result struct {
 	Stats Stats
 	// History tracks best-so-far improvements.
 	History []HistoryPoint
+	// Stopped is why the search ended. The search is anytime: every
+	// reason still returns the best state found so far.
+	Stopped StopReason
+	// Diagnostics records contained failures: per-rule panic and
+	// quarantine counters and the first recovered panics.
+	Diagnostics Diagnostics
 }
 
 type stateQueue struct {
@@ -160,10 +225,40 @@ func Baseline(g *graph.Graph, model *cost.Model) *State {
 	}
 }
 
-// Optimize runs M-Optimizer's greedy best-first search (Algorithm 3).
+// Optimize runs M-Optimizer's greedy best-first search (Algorithm 3) under
+// the default background context: only TimeBudget and MaxIterations bound
+// the run.
 func Optimize(g *graph.Graph, model *cost.Model, o Options) (*Result, error) {
+	return OptimizeCtx(context.Background(), g, model, o)
+}
+
+// OptimizeCtx is Optimize with cooperative cancellation: the context is
+// checked at every queue pop and between candidate evaluations, so
+// cancelling it (or its deadline expiring) returns the best state found so
+// far within roughly one candidate evaluation. TimeBudget is layered on
+// top of ctx as a deadline; whichever fires first stops the search.
+//
+// The search is anytime and degrades gracefully: once the initial
+// evaluation succeeds it never returns an error. Per-candidate panics are
+// contained (see RuleError), repeatedly failing rules are quarantined, and
+// Result.Stopped plus Result.Diagnostics report how the run ended.
+func OptimizeCtx(ctx context.Context, g *graph.Graph, model *cost.Model, o Options) (*Result, error) {
 	o.defaults()
-	res := &Result{Baseline: Baseline(g, model)}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.TimeBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.TimeBudget)
+		defer cancel()
+	}
+	res := &Result{}
+	if err := guard("init", "baseline evaluation", func() error {
+		res.Baseline = Baseline(g, model)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInitialEval, err)
+	}
 	ev := newEvaluator(model, o.FullReschedule, &res.Stats)
 	ftOpts := ftree.Options{
 		MaxLevel:      o.MaxLevel,
@@ -173,13 +268,26 @@ func Optimize(g *graph.Graph, model *cost.Model, o Options) (*Result, error) {
 
 	start := time.Now()
 	init := &State{G: g.Clone()}
-	if err := ev.evaluate(init, nil, nil); err != nil {
-		return nil, fmt.Errorf("opt: initial evaluation: %v", err)
+	if o.CheckInvariants {
+		if err := graph.Validate(init.G); err != nil {
+			return nil, fmt.Errorf("%w: input graph: %w", ErrInitialEval, err)
+		}
 	}
+	if err := guard("init", "initial evaluation", func() error {
+		return ev.evaluate(init, nil, nil)
+	}); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInitialEval, err)
+	}
+	quar := newQuarantine(o.QuarantineAfter)
 	if o.DisableFission {
 		init.FT = &ftree.Tree{}
-	} else {
+	} else if err := guard(ftreeRuleName, "initial F-Tree build", func() error {
 		init.FT = ftree.Build(init.G, init.Hot, ftOpts)
+		return nil
+	}); err != nil {
+		// Degrade to a fission-free search instead of dying.
+		res.Diagnostics.notePanic(err, quar)
+		init.FT = &ftree.Tree{}
 	}
 
 	best := init
@@ -190,8 +298,14 @@ func Optimize(g *graph.Graph, model *cost.Model, o Options) (*Result, error) {
 	seen := make(map[uint64]bool)
 
 	seen[ev.hash(init)] = true
+	res.Stopped = StopConverged
 	for q.Len() > 0 {
-		if time.Since(start) > o.TimeBudget || res.Stats.Iterations >= o.MaxIterations {
+		if err := ctx.Err(); err != nil {
+			res.Stopped = stopReason(err)
+			break
+		}
+		if res.Stats.Iterations >= o.MaxIterations {
+			res.Stopped = StopExhausted
 			break
 		}
 		res.Stats.Iterations++
@@ -199,30 +313,67 @@ func Optimize(g *graph.Graph, model *cost.Model, o Options) (*Result, error) {
 		if s.stale {
 			if o.DisableFission {
 				s.FT = &ftree.Tree{}
-			} else {
+			} else if err := guard(ftreeRuleName, "tree rebuild", func() error {
 				s.FT = rebuildTree(s, ftOpts)
+				return nil
+			}); err != nil {
+				// A state whose tree cannot be re-analyzed still explores
+				// graph rewrites; it just loses its fission moves.
+				res.Diagnostics.notePanic(err, quar)
+				s.FT = &ftree.Tree{}
 			}
 			s.stale = false
 		}
-		for _, cand := range neighbors(s, ev, &o, &res.Stats) {
-			if time.Since(start) > o.TimeBudget {
+		for _, cand := range neighbors(s, ev, &o, res, quar) {
+			if err := ctx.Err(); err != nil {
+				res.Stopped = stopReason(err)
 				break
 			}
 			// Hash-filter BEFORE the expensive scheduling + simulation —
 			// the Fig. 15 pipeline, where most generated graphs are
 			// duplicates and never reach the scheduler.
-			if err := ev.collapse(cand.state); err != nil {
+			var h uint64
+			if err := guard(cand.rule, cand.site, func() error {
+				if err := ev.collapse(cand.state); err != nil {
+					return err
+				}
+				h = ev.hash(cand.state)
+				return nil
+			}); err != nil {
+				res.Diagnostics.notePanic(err, quar)
 				continue
 			}
-			h := ev.hash(cand.state)
 			if seen[h] {
 				res.Stats.Filtered++
 				continue
 			}
 			seen[h] = true
-			if err := ev.evaluate(cand.state, s, cand.oldMutated); err != nil {
+			// Reject corrupted candidates before they can poison the
+			// measurements: a shape-broken graph can report an arbitrarily
+			// low (wrong) peak and win the search.
+			if o.CheckInvariants {
+				if err := graph.Validate(cand.state.G); err != nil {
+					res.Diagnostics.noteInvariant(cand.rule, quar)
+					continue
+				}
+			}
+			if err := guard(cand.rule, cand.site, func() error {
+				return ev.evaluate(cand.state, s, cand.oldMutated)
+			}); err != nil {
+				// Recovered panics are diagnosed; plain evaluation errors
+				// (e.g. a stale region) skip silently, matching the
+				// pre-hardening contract.
+				res.Diagnostics.notePanic(err, quar)
 				continue
 			}
+			if o.CheckInvariants {
+				if err := cand.state.Sched.Validate(cand.state.EvalG); err != nil {
+					res.Diagnostics.noteInvariant(cand.rule, quar)
+					continue
+				}
+			}
+			quar.ok(cand.rule)
+			res.Diagnostics.rule(cand.rule).Evaluated++
 			if o.better(cand.state, best, 1) {
 				best = cand.state
 				res.History = append(res.History,
@@ -232,19 +383,34 @@ func Optimize(g *graph.Graph, model *cost.Model, o Options) (*Result, error) {
 				heap.Push(q, cand.state)
 			}
 		}
+		if res.Stopped != StopConverged {
+			break // the candidate loop was interrupted mid-expansion
+		}
 	}
 	res.Best = best
 	return res, nil
 }
 
+// ftreeRuleName is the pseudo-rule name F-Tree mutations and rebuilds are
+// attributed to in Diagnostics and quarantine.
+const ftreeRuleName = "FTree"
+
 type candidate struct {
 	state      *State
 	oldMutated []graph.NodeID
+	// rule and site attribute failures during this candidate's collapse,
+	// hashing, and evaluation to the transformation that produced it.
+	rule string
+	site string
 }
 
 // neighbors generates new M-States by applying M-Rules: graph rewrite
-// rules on the logical graph and mutation rules on the F-Tree.
-func neighbors(s *State, ev *evaluator, o *Options, st *Stats) []*candidate {
+// rules on the logical graph and mutation rules on the F-Tree. Every rule
+// application runs under guard; a panicking rule loses its candidates for
+// this expansion and advances toward quarantine instead of crashing the
+// search.
+func neighbors(s *State, ev *evaluator, o *Options, res *Result, quar *quarantine) []*candidate {
+	st := &res.Stats
 	var out []*candidate
 	t0 := time.Now()
 	ctx := &rules.Context{
@@ -254,30 +420,66 @@ func neighbors(s *State, ev *evaluator, o *Options, st *Stats) []*candidate {
 		UseHotFilter: !o.NaiveSchedRules,
 	}
 	for _, r := range o.Rules {
-		for _, app := range r.Apply(s.G, ctx) {
+		name := r.Name()
+		if quar.active(name) {
+			continue
+		}
+		var apps []rules.Application
+		if err := guard(name, "Apply", func() error {
+			apps = r.Apply(s.G, ctx)
+			return nil
+		}); err != nil {
+			res.Diagnostics.notePanic(err, quar)
+			continue
+		}
+		for _, app := range apps {
 			ft := s.FT.Clone()
 			out = append(out, &candidate{
 				state:      &State{G: app.Graph, FT: ft, stale: true},
 				oldMutated: mapToEval(s, app.OldMutated),
+				rule:       name,
+				site:       app.Site(),
 			})
+			res.Diagnostics.rule(name).Applications++
 			st.Trans++
 		}
 	}
-	for _, m := range s.FT.Mutations(s.G) {
-		ft := s.FT.Clone()
-		target := ft.NodeAt(m.Path)
-		if err := ft.Apply(m); err != nil || target == nil {
-			continue
+	if !quar.active(ftreeRuleName) {
+		var muts []ftree.Mutation
+		if err := guard(ftreeRuleName, "Mutations", func() error {
+			muts = s.FT.Mutations(s.G)
+			return nil
+		}); err != nil {
+			res.Diagnostics.notePanic(err, quar)
 		}
-		mut := regionAnchors(s, target)
-		if m.Kind == ftree.Lift && target.Parent != nil {
-			mut = append(mut, regionAnchors(s, target.Parent)...)
+		for _, m := range muts {
+			var cand *candidate
+			site := fmt.Sprintf("mutation %v@%v", m.Kind, m.Path)
+			if err := guard(ftreeRuleName, site, func() error {
+				ft := s.FT.Clone()
+				target := ft.NodeAt(m.Path)
+				if err := ft.Apply(m); err != nil || target == nil {
+					return errSkip
+				}
+				mut := regionAnchors(s, target)
+				if m.Kind == ftree.Lift && target.Parent != nil {
+					mut = append(mut, regionAnchors(s, target.Parent)...)
+				}
+				cand = &candidate{
+					state:      &State{G: s.G, FT: ft},
+					oldMutated: mut,
+					rule:       ftreeRuleName,
+					site:       site,
+				}
+				return nil
+			}); err != nil {
+				res.Diagnostics.notePanic(err, quar)
+				continue
+			}
+			out = append(out, cand)
+			res.Diagnostics.rule(ftreeRuleName).Applications++
+			st.Trans++
 		}
-		out = append(out, &candidate{
-			state:      &State{G: s.G, FT: ft},
-			oldMutated: mut,
-		})
-		st.Trans++
 	}
 	st.TransTime += time.Since(t0)
 	return out

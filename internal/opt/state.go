@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"fmt"
 	"time"
 
 	"magis/internal/cost"
@@ -33,6 +34,13 @@ type State struct {
 	regions map[string]graph.NodeID
 	// stale marks the F-Tree as needing re-analysis after a graph rewrite.
 	stale bool
+}
+
+// Summary renders the state's headline measurements for logs and the
+// CLI's best-so-far report on interruption.
+func (s *State) Summary() string {
+	return fmt.Sprintf("peak %.2f GB, latency %.2f ms",
+		float64(s.PeakMem)/(1<<30), s.Latency*1e3)
 }
 
 // Stats aggregates the optimization-time breakdown reported in Fig. 15.

@@ -8,6 +8,7 @@
 package rules
 
 import (
+	"fmt"
 	"sort"
 
 	"magis/internal/graph"
@@ -21,6 +22,21 @@ type Application struct {
 	Graph      *graph.Graph
 	OldMutated []graph.NodeID
 	Rule       string
+}
+
+// Site describes where the application rewrote the graph, for diagnostics
+// when a candidate later fails: the concrete rule variant (which can be a
+// composite like "SwapBatch", distinct from the catalog rule that produced
+// it) and the touched original-graph nodes.
+func (a Application) Site() string {
+	ids := a.OldMutated
+	const maxIDs = 8
+	suffix := ""
+	if len(ids) > maxIDs {
+		suffix = fmt.Sprintf(" +%d more", len(ids)-maxIDs)
+		ids = ids[:maxIDs]
+	}
+	return fmt.Sprintf("%s@%v%s", a.Rule, ids, suffix)
 }
 
 // Context carries the per-state information rules use to filter sites.

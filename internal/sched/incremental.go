@@ -29,7 +29,20 @@ const clusterGap = 48
 // reachability index over gOld; pass nil to compute one. Expanding one
 // M-State evaluates dozens of candidates against the same parent graph,
 // so callers that cache the index avoid the dominant O(V^2) term.
-func (sc *Scheduler) IncrementalR(gOld, gNew *graph.Graph, oldMutated []graph.NodeID, psiOld Schedule, reach *graph.ReachIndex) (Schedule, int) {
+//
+// The splice is best-effort by contract (it already falls back to full
+// scheduling on an invalid order); a panic while splicing — a transformed
+// graph whose shape the interval logic never anticipated — degrades the
+// same way instead of killing the caller's search. A panic in the full
+// scheduler itself still propagates: there is nothing left to fall back
+// to, and the optimizer's per-candidate guard owns that failure.
+func (sc *Scheduler) IncrementalR(gOld, gNew *graph.Graph, oldMutated []graph.NodeID, psiOld Schedule, reach *graph.ReachIndex) (psi Schedule, n int) {
+	defer func() {
+		if r := recover(); r != nil {
+			full := sc.ScheduleGraph(gNew)
+			psi, n = full, len(full)
+		}
+	}()
 	mutated := graph.NewSet(oldMutated...)
 	var sites []int
 	for i, v := range psiOld {

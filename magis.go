@@ -20,6 +20,8 @@
 package magis
 
 import (
+	"context"
+
 	"magis/internal/cost"
 	"magis/internal/graph"
 	"magis/internal/models"
@@ -65,6 +67,15 @@ type (
 	State = opt.State
 	// ParetoPoint is one point of a memory/latency trade-off curve.
 	ParetoPoint = opt.ParetoPoint
+	// StopReason explains why an anytime search returned (Result.Stopped).
+	StopReason = opt.StopReason
+	// Diagnostics records contained per-rule failures of one run.
+	Diagnostics = opt.Diagnostics
+	// RuleDiag is one rule's panic/quarantine counters.
+	RuleDiag = opt.RuleDiag
+	// RuleError is a panic recovered from one rule application, converted
+	// into a diagnostic instead of crashing the search.
+	RuleError = opt.RuleError
 )
 
 // Optimization modes.
@@ -75,17 +86,52 @@ const (
 	MemoryUnderLatency = opt.MemoryUnderLatency
 )
 
+// Stop reasons (Result.Stopped).
+const (
+	// StopConverged: the candidate queue drained.
+	StopConverged = opt.StopConverged
+	// StopDeadline: the TimeBudget or context deadline expired.
+	StopDeadline = opt.StopDeadline
+	// StopCancelled: the caller cancelled the context.
+	StopCancelled = opt.StopCancelled
+	// StopExhausted: MaxIterations queue pops were spent.
+	StopExhausted = opt.StopExhausted
+)
+
+// ErrInitialEval wraps the one fatal optimizer error: the unoptimized
+// input graph could not be evaluated. Check with errors.Is.
+var ErrInitialEval = opt.ErrInitialEval
+
 // Optimize runs MAGIS's coordinated transformation + scheduling search.
 func Optimize(g *Graph, m *Model, o Options) (*Result, error) {
 	return opt.Optimize(g, m, o)
 }
+
+// OptimizeCtx is Optimize with cooperative cancellation: the search checks
+// ctx at every queue pop and between candidate evaluations, and on
+// cancellation or deadline returns the best state found so far with
+// Result.Stopped set — never an error once the initial evaluation
+// succeeds.
+func OptimizeCtx(ctx context.Context, g *Graph, m *Model, o Options) (*Result, error) {
+	return opt.OptimizeCtx(ctx, g, m, o)
+}
+
+// ValidateGraph checks the structural invariants of a computation graph:
+// acyclicity, edge consistency, per-edge shape agreement, and Store/Load
+// pairing. Options.CheckInvariants runs it inside the search.
+func ValidateGraph(g *Graph) error { return graph.Validate(g) }
 
 // Baseline evaluates g unoptimized (program order, free-after-last-use) —
 // the PyTorch reference every paper figure normalizes against.
 func Baseline(g *Graph, m *Model) *State { return opt.Baseline(g, m) }
 
 // Sweep traces the Pareto boundary across memory-ratio constraints.
-var Sweep = opt.Sweep
+// SweepCtx is the cancellable variant; an interrupted sweep returns the
+// partial frontier traced so far.
+var (
+	Sweep    = opt.Sweep
+	SweepCtx = opt.SweepCtx
+)
 
 // Simulation types.
 type (

@@ -16,9 +16,10 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatalf("bad baseline: %+v", base)
 	}
 	res, err := Optimize(w.G, m, Options{
-		Mode:         MemoryUnderLatency,
-		LatencyLimit: base.Latency * 1.10,
-		TimeBudget:   time.Second,
+		Mode:            MemoryUnderLatency,
+		LatencyLimit:    base.Latency * 1.10,
+		TimeBudget:      time.Second,
+		CheckInvariants: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -67,9 +68,10 @@ func TestHeadlineUNetReduction(t *testing.T) {
 	m := NewModel(RTX3090())
 	base := Baseline(w.G, m)
 	res, err := Optimize(w.G, m, Options{
-		Mode:         MemoryUnderLatency,
-		LatencyLimit: base.Latency * 1.10,
-		TimeBudget:   3 * time.Second,
+		Mode:            MemoryUnderLatency,
+		LatencyLimit:    base.Latency * 1.10,
+		TimeBudget:      3 * time.Second,
+		CheckInvariants: true,
 	})
 	if err != nil {
 		t.Fatal(err)
