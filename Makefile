@@ -1,0 +1,17 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test race bench-core
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Runs the BenchmarkCore_* microbenchmarks and writes BENCH_core.json
+# (see scripts/bench_core.sh; BENCHTIME=5x for more stable numbers).
+bench-core:
+	./scripts/bench_core.sh

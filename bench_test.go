@@ -7,6 +7,8 @@ package magis
 // cmd/magis-bench for the full reproduction.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -143,27 +145,41 @@ func BenchmarkFig16_CaseStudy(b *testing.B) {
 func BenchmarkCore_Baseline(b *testing.B) {
 	w := models.UNet(32, 256)
 	m := NewModel(RTX3090())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Baseline(w.G, m)
 	}
 }
 
+// BenchmarkCore_Optimize compares the sequential pipeline against the
+// worker pool on the same fixed time budget: the "evals" metric (schedule
+// evaluations completed per run) is the throughput the parallel pipeline
+// exists to raise, and is comparable across worker counts because the
+// search is deterministic in everything but wall-time.
 func BenchmarkCore_Optimize(b *testing.B) {
 	w := models.UNet(32, 256)
 	m := NewModel(RTX3090())
 	base := Baseline(w.G, m)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := Optimize(w.G, m, Options{
-			Mode:         MemoryUnderLatency,
-			LatencyLimit: base.Latency * 1.10,
-			TimeBudget:   time.Second,
-		})
-		if err != nil {
-			b.Fatal(err)
+	run := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := Optimize(w.G, m, Options{
+				Mode:         MemoryUnderLatency,
+				LatencyLimit: base.Latency * 1.10,
+				TimeBudget:   time.Second,
+				Workers:      workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Stats.Sched), "evals")
 		}
 	}
+	b.Run("workers=1", func(b *testing.B) { run(b, 1) })
+	b.Run(fmt.Sprintf("workers=gomaxprocs-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		run(b, runtime.GOMAXPROCS(0))
+	})
 }
 
 // BenchmarkAblation_* isolate the design choices DESIGN.md calls out.

@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	magis-bench [-scale 0.25] [-budget 5s] table2 fig9 fig10 ... | all
+//	magis-bench [-scale 0.25] [-budget 5s] [-workers N] table2 fig9 ... | all
+//	magis-bench -cpuprofile cpu.pprof -memprofile mem.pprof fig15
 //
 // At -scale 1 and -budget 3m this is the paper's configuration; smaller
-// values trade fidelity for runtime.
+// values trade fidelity for runtime. -workers sets the search's parallel
+// candidate evaluation (0 = GOMAXPROCS); profiles are written on exit and
+// inspected with `go tool pprof`.
 //
 // SIGINT/SIGTERM cancels in-flight searches: the current target renders
 // with whatever best-so-far states were reached, remaining targets are
@@ -19,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -27,8 +32,11 @@ import (
 
 func main() {
 	var (
-		scale  = flag.Float64("scale", 1, "workload batch scale factor (paper: 1)")
-		budget = flag.Duration("budget", 5*time.Second, "MAGIS search budget per run (paper: 3m)")
+		scale      = flag.Float64("scale", 1, "workload batch scale factor (paper: 1)")
+		budget     = flag.Duration("budget", 5*time.Second, "MAGIS search budget per run (paper: 3m)")
+		workers    = flag.Int("workers", 0, "parallel candidate evaluations per search (0 = GOMAXPROCS, 1 = sequential)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
+		memprofile = flag.String("memprofile", "", "write an allocation profile taken at exit to this path")
 	)
 	flag.Parse()
 	if *scale <= 0 || *scale > 1 {
@@ -54,9 +62,46 @@ func main() {
 		}
 	}
 
+	// Profiling starts after argument validation so a typo can't leave a
+	// truncated profile behind. Both profiles cover the whole run; the
+	// deferred writers run on normal exit and on SIGINT (the signal only
+	// cancels the context — main still returns normally).
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("CPU profile written to %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the heap profile reflects real retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Printf("heap profile written to %s\n", *memprofile)
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cfg := expr.Config{Scale: *scale, Budget: *budget, Ctx: ctx}
+	cfg := expr.Config{Scale: *scale, Budget: *budget, Ctx: ctx, Workers: *workers}
 
 	for _, t := range targets {
 		if ctx.Err() != nil {

@@ -35,13 +35,14 @@ import (
 
 func main() {
 	var (
-		model  = flag.String("model", "mlp", "workload: resnet|bert|vit|unet|unetpp|gptneo|btlm|mlp")
-		scale  = flag.Float64("scale", 1, "batch-size scale factor (0,1]")
-		mode   = flag.String("mode", "mem", "optimize: mem (under latency limit) | latency (under memory limit)")
-		limit  = flag.Float64("limit", 0.10, "constraint: latency overhead for -mode mem, memory ratio for -mode latency")
-		budget = flag.Duration("budget", 10*time.Second, "search time budget (paper: 3m)")
-		level  = flag.Int("L", 4, "F-Tree max level")
-		emit   = flag.String("emit", "", "write a PyTorch script for the optimized graph to this path")
+		model   = flag.String("model", "mlp", "workload: resnet|bert|vit|unet|unetpp|gptneo|btlm|mlp")
+		scale   = flag.Float64("scale", 1, "batch-size scale factor (0,1]")
+		mode    = flag.String("mode", "mem", "optimize: mem (under latency limit) | latency (under memory limit)")
+		limit   = flag.Float64("limit", 0.10, "constraint: latency overhead for -mode mem, memory ratio for -mode latency")
+		budget  = flag.Duration("budget", 10*time.Second, "search time budget (paper: 3m)")
+		level   = flag.Int("L", 4, "F-Tree max level")
+		workers = flag.Int("workers", 0, "parallel candidate evaluations (0 = GOMAXPROCS, 1 = sequential)")
+		emit    = flag.String("emit", "", "write a PyTorch script for the optimized graph to this path")
 	)
 	flag.Parse()
 
@@ -66,7 +67,7 @@ func main() {
 	fmt.Printf("workload: %s\n", w)
 	fmt.Printf("baseline: %s\n", base.Summary())
 
-	o := opt.Options{TimeBudget: *budget, MaxLevel: *level}
+	o := opt.Options{TimeBudget: *budget, MaxLevel: *level, Workers: *workers}
 	switch *mode {
 	case "mem":
 		o.Mode = opt.MemoryUnderLatency

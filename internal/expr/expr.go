@@ -30,6 +30,10 @@ type Config struct {
 	// A cancelled run still contributes its best-so-far state, so an
 	// interrupted experiment renders partial but valid rows.
 	Ctx context.Context
+	// Workers is the search's candidate-evaluation parallelism
+	// (opt.Options.Workers; 0 = GOMAXPROCS). It changes only how fast the
+	// budget is spent, not which states a given amount of search reaches.
+	Workers int
 }
 
 func (c Config) defaults() Config {
@@ -65,6 +69,7 @@ func magisMinMem(cfg Config, w *models.Workload, latLimit float64) (*opt.Result,
 		Mode:         opt.MemoryUnderLatency,
 		LatencyLimit: latLimit,
 		TimeBudget:   cfg.Budget,
+		Workers:      cfg.Workers,
 	})
 }
 
@@ -74,6 +79,7 @@ func magisMinLat(cfg Config, w *models.Workload, memLimit int64) (*opt.Result, e
 		Mode:       opt.LatencyUnderMemory,
 		MemLimit:   memLimit,
 		TimeBudget: cfg.Budget,
+		Workers:    cfg.Workers,
 	})
 }
 

@@ -65,6 +65,7 @@ func Fig13(cfg Config, w *models.Workload) []Fig13Curve {
 			o.NaiveSchedRules = s.o.NaiveSchedRules
 			o.MaxLevel = s.o.MaxLevel
 			o.TimeBudget = cfg.Budget
+			o.Workers = cfg.Workers
 			res, err := opt.OptimizeCtx(cfg.ctx(), w.G, m, o)
 			if err != nil {
 				continue
@@ -120,6 +121,7 @@ func Fig15(cfg Config, w *models.Workload) Fig15Breakdown {
 		Mode:         opt.MemoryUnderLatency,
 		LatencyLimit: base.Latency * 1.10,
 		TimeBudget:   cfg.Budget,
+		Workers:      cfg.Workers,
 	})
 	total := time.Since(start)
 	out := Fig15Breakdown{Total: total}

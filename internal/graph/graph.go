@@ -146,6 +146,18 @@ func (g *Graph) Suc(v NodeID) []NodeID {
 // NumConsumers returns the number of distinct consumers of v.
 func (g *Graph) NumConsumers(v NodeID) int { return len(g.Suc(v)) }
 
+// SucEdges returns the number of consumer edges of v, with multiplicity.
+func (g *Graph) SucEdges(v NodeID) int { return len(g.suc[v]) }
+
+// EachSucEdge calls f for every consumer edge of v, duplicates included —
+// the allocation-free alternative to Suc for callers that tolerate
+// multiplicity (e.g. max-position scans in the schedule simulators).
+func (g *Graph) EachSucEdge(v NodeID, f func(NodeID)) {
+	for _, s := range g.suc[v] {
+		f(s)
+	}
+}
+
 // Remove deletes a node that has no consumers. It returns an error if the
 // node is still consumed or does not exist.
 func (g *Graph) Remove(v NodeID) error {

@@ -1,9 +1,39 @@
 package graph
 
-import (
-	"encoding/binary"
-	"hash/fnv"
+// FNV-1a 64-bit constants (hash/fnv), inlined so the hot loop hashes
+// without allocating a hash.Hash64 per node.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
 )
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+// fnvUint64 folds x in little-endian byte order, matching
+// binary.LittleEndian.PutUint64 followed by an 8-byte Write.
+func fnvUint64(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(x>>(8*i)))
+	}
+	return h
+}
+
+// HashScratch holds reusable WLHash work buffers. The search hashes every
+// candidate of every expansion; reusing the label map across calls keeps
+// the duplicate filter off the allocator. The zero value is ready to use
+// and a scratch must not be shared between goroutines.
+type HashScratch struct {
+	labels map[NodeID]uint64
+}
 
 // WLHash computes a Weisfeiler-Lehman-style structural hash of the graph
 // (Algorithm 3, GraphHash). Two isomorphic graphs with identical operator
@@ -16,32 +46,40 @@ import (
 // computed in topological order over the ordered input list (input order is
 // semantically significant for non-commutative ops), and the graph hash is
 // hash(sum_v x_v), which is invariant to node-ID renaming.
-func (g *Graph) WLHash() uint64 {
-	labels := make(map[NodeID]uint64, len(g.nodes))
-	var buf [8]byte
+func (g *Graph) WLHash() uint64 { return g.WLHashScratch(nil) }
+
+// WLHashScratch is WLHash with caller-owned work buffers; pass nil to
+// allocate fresh ones.
+func (g *Graph) WLHashScratch(sc *HashScratch) uint64 {
+	var labels map[NodeID]uint64
+	if sc != nil {
+		if sc.labels == nil {
+			sc.labels = make(map[NodeID]uint64, len(g.nodes))
+		} else {
+			clear(sc.labels)
+		}
+		labels = sc.labels
+	} else {
+		labels = make(map[NodeID]uint64, len(g.nodes))
+	}
 	for _, v := range g.Topo() {
 		n := g.nodes[v]
-		h := fnv.New64a()
-		h.Write([]byte(n.Op.Kind()))
-		h.Write([]byte{0})
+		h := uint64(fnvOffset64)
+		h = fnvString(h, n.Op.Kind())
+		h = fnvByte(h, 0)
 		for _, d := range n.Op.OutShape() {
-			binary.LittleEndian.PutUint64(buf[:], uint64(d))
-			h.Write(buf[:])
+			h = fnvUint64(h, uint64(d))
 		}
-		h.Write([]byte{byte(n.Op.DType())})
-		h.Write([]byte(n.Op.AttrKey()))
+		h = fnvByte(h, byte(n.Op.DType()))
+		h = fnvString(h, n.Op.AttrKey())
 		for _, in := range n.Ins {
-			binary.LittleEndian.PutUint64(buf[:], labels[in])
-			h.Write(buf[:])
+			h = fnvUint64(h, labels[in])
 		}
-		labels[v] = h.Sum64()
+		labels[v] = h
 	}
 	var sum uint64
 	for _, x := range labels {
 		sum += x
 	}
-	h := fnv.New64a()
-	binary.LittleEndian.PutUint64(buf[:], sum)
-	h.Write(buf[:])
-	return h.Sum64()
+	return fnvUint64(fnvOffset64, sum)
 }

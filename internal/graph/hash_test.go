@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"magis/internal/tensor"
+)
+
+// refWLHash is the original hash/fnv-based implementation, kept as the
+// reference the allocation-free rewrite must match bit-for-bit: the
+// search's duplicate filter and the cross-worker determinism tests both
+// compare hashes across independently computed runs.
+func refWLHash(g *Graph) uint64 {
+	labels := make(map[NodeID]uint64, g.Len())
+	var buf [8]byte
+	for _, v := range g.Topo() {
+		n := g.Node(v)
+		h := fnv.New64a()
+		h.Write([]byte(n.Op.Kind()))
+		h.Write([]byte{0})
+		for _, d := range n.Op.OutShape() {
+			binary.LittleEndian.PutUint64(buf[:], uint64(d))
+			h.Write(buf[:])
+		}
+		h.Write([]byte{byte(n.Op.DType())})
+		h.Write([]byte(n.Op.AttrKey()))
+		for _, in := range n.Ins {
+			binary.LittleEndian.PutUint64(buf[:], labels[in])
+			h.Write(buf[:])
+		}
+		labels[v] = h.Sum64()
+	}
+	var sum uint64
+	for _, x := range labels {
+		sum += x
+	}
+	h := fnv.New64a()
+	binary.LittleEndian.PutUint64(buf[:], sum)
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// attrOp is a testOp with a non-empty AttrKey, exercising the attribute
+// bytes of the hash.
+type attrOp struct {
+	testOp
+	attr string
+}
+
+func (a attrOp) AttrKey() string { return a.attr }
+
+func hashTestGraph() *Graph {
+	g := New()
+	a := g.Add(testOp{kind: "Input", shape: tensor.S(4, 8)})
+	b := g.Add(testOp{kind: "Input", shape: tensor.S(8, 2)})
+	c := g.Add(attrOp{testOp{"Matmul", tensor.S(4, 2)}, "tn"}, a, b)
+	g.Add(testOp{kind: "Relu", shape: tensor.S(4, 2)}, c)
+	g.Add(testOp{kind: "Add", shape: tensor.S(4, 2)}, c, c)
+	return g
+}
+
+func TestWLHashMatchesReference(t *testing.T) {
+	g := hashTestGraph()
+	want := refWLHash(g)
+	if got := g.WLHash(); got != want {
+		t.Errorf("WLHash = %#x, reference = %#x", got, want)
+	}
+	var sc HashScratch
+	for i := 0; i < 3; i++ { // scratch reuse must not change the value
+		if got := g.WLHashScratch(&sc); got != want {
+			t.Errorf("WLHashScratch pass %d = %#x, reference = %#x", i, got, want)
+		}
+	}
+}
+
+func TestWLHashScratchIndependentGraphs(t *testing.T) {
+	g1 := hashTestGraph()
+	g2 := hashTestGraph()
+	g2.Add(testOp{kind: "Relu", shape: tensor.S(4, 2)}, NodeID(2))
+	var sc HashScratch
+	h1 := g1.WLHashScratch(&sc)
+	h2 := g2.WLHashScratch(&sc)
+	if h1 == h2 {
+		t.Error("different graphs hashed equal through a shared scratch")
+	}
+	if g1.WLHashScratch(&sc) != h1 {
+		t.Error("hash changed after scratch was reused for another graph")
+	}
+}

@@ -55,10 +55,21 @@ func (r *RegionOp) Latency() float64 { return r.lat }
 // Parts returns the fission number.
 func (r *RegionOp) Parts() int { return r.n }
 
-// collapser builds evaluation graphs.
+// collapser builds evaluation graphs. ss points at the owning evaluator's
+// lifetime scratch (nil falls back to allocating per call), so region
+// accounting shares the evaluator's buffers.
 type collapser struct {
 	model *cost.Model
 	sc    *sched.Scheduler
+	ss    *sched.Scratch
+}
+
+// peakOnly prices an order through the shared scratch when available.
+func (c *collapser) peakOnly(g *graph.Graph, order sched.Schedule) int64 {
+	if c.ss != nil {
+		return c.ss.PeakOnly(g, order)
+	}
+	return sched.PeakOnly(g, order)
 }
 
 // Collapse returns the evaluation graph of (g, t): every outermost enabled
@@ -203,7 +214,7 @@ func (c *collapser) regionOp(g *graph.Graph, n *ftree.Node, overrides map[graph.
 	}
 	// Accounting over the one-part graph.
 	order := c.sc.ScheduleGraph(pg)
-	partPeak := sched.PeakOnly(pg, order)
+	partPeak := c.peakOnly(pg, order)
 	var partLat float64
 	for _, id := range pg.NodeIDs() {
 		node := pg.Node(id)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"magis/internal/cost"
@@ -60,6 +61,14 @@ type Options struct {
 	// failures — recovered panics or invariant violations — with no
 	// intervening success (default 3).
 	QuarantineAfter int
+	// Workers is the number of goroutines evaluating an expansion's
+	// candidates in parallel (default runtime.GOMAXPROCS(0)). 1 keeps the
+	// fully sequential pipeline. The search result is deterministic for
+	// any value: candidates merge back in generation order, so best-state
+	// selection, History, and queue contents are identical across worker
+	// counts (only the time-stamped fields and the duplicated-work
+	// portions of Stats vary).
+	Workers int
 	// Ablation switches (§7.2.5).
 	NaiveFission    bool
 	NaiveSchedRules bool
@@ -78,6 +87,15 @@ func (o *Options) defaults() {
 	}
 	if o.MaxCandidates == 0 {
 		o.MaxCandidates = 64
+	}
+	if o.MaxSites == 0 {
+		o.MaxSites = 8
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	if o.TimeBudget == 0 {
 		o.TimeBudget = 3 * time.Second
@@ -259,7 +277,8 @@ func OptimizeCtx(ctx context.Context, g *graph.Graph, model *cost.Model, o Optio
 	}); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrInitialEval, err)
 	}
-	ev := newEvaluator(model, o.FullReschedule, &res.Stats)
+	pool := newEvalPool(o.Workers, model, o.FullReschedule, &res.Stats)
+	ev := pool.primary()
 	ftOpts := ftree.Options{
 		MaxLevel:      o.MaxLevel,
 		MaxCandidates: o.MaxCandidates,
@@ -290,16 +309,21 @@ func OptimizeCtx(ctx context.Context, g *graph.Graph, model *cost.Model, o Optio
 		init.FT = &ftree.Tree{}
 	}
 
-	best := init
-	res.History = append(res.History, HistoryPoint{time.Since(start), best.PeakMem, best.Latency})
-	q := &stateQueue{opts: &o}
-	heap.Init(q)
-	heap.Push(q, init)
-	seen := make(map[uint64]bool)
-
-	seen[ev.hash(init)] = true
+	l := &searchLoop{
+		o:     &o,
+		res:   res,
+		quar:  quar,
+		seen:  make(map[uint64]bool),
+		q:     &stateQueue{opts: &o},
+		best:  init,
+		start: start,
+	}
+	res.History = append(res.History, HistoryPoint{time.Since(start), init.PeakMem, init.Latency})
+	heap.Init(l.q)
+	heap.Push(l.q, init)
+	l.seen[ev.hash(init)] = true
 	res.Stopped = StopConverged
-	for q.Len() > 0 {
+	for l.q.Len() > 0 {
 		if err := ctx.Err(); err != nil {
 			res.Stopped = stopReason(err)
 			break
@@ -309,7 +333,7 @@ func OptimizeCtx(ctx context.Context, g *graph.Graph, model *cost.Model, o Optio
 			break
 		}
 		res.Stats.Iterations++
-		s := heap.Pop(q).(*State)
+		s := heap.Pop(l.q).(*State)
 		if s.stale {
 			if o.DisableFission {
 				s.FT = &ftree.Tree{}
@@ -324,71 +348,101 @@ func OptimizeCtx(ctx context.Context, g *graph.Graph, model *cost.Model, o Optio
 			}
 			s.stale = false
 		}
-		for _, cand := range neighbors(s, ev, &o, res, quar) {
-			if err := ctx.Err(); err != nil {
-				res.Stopped = stopReason(err)
-				break
-			}
-			// Hash-filter BEFORE the expensive scheduling + simulation —
-			// the Fig. 15 pipeline, where most generated graphs are
-			// duplicates and never reach the scheduler.
-			var h uint64
-			if err := guard(cand.rule, cand.site, func() error {
-				if err := ev.collapse(cand.state); err != nil {
-					return err
+		cands := neighbors(s, &o, res, quar)
+		// One reachability index per parent state, built lazily on the
+		// first incremental reschedule and shared read-only by every
+		// worker of the expansion.
+		rc := &reachCache{g: s.EvalG}
+		if o.Workers == 1 || len(cands) == 1 {
+			// Sequential pipeline: process-then-merge one candidate at a
+			// time, so the duplicate pre-filter sees every previously
+			// merged hash and no candidate is ever evaluated wastefully —
+			// today's exact behavior.
+			ev.rc = rc
+			for _, cand := range cands {
+				if err := ctx.Err(); err != nil {
+					res.Stopped = stopReason(err)
+					break
 				}
-				h = ev.hash(cand.state)
-				return nil
-			}); err != nil {
-				res.Diagnostics.notePanic(err, quar)
-				continue
+				l.absorb(cand, processCandidate(ev, cand, s, &o, l.seen))
 			}
-			if seen[h] {
-				res.Stats.Filtered++
-				continue
-			}
-			seen[h] = true
-			// Reject corrupted candidates before they can poison the
-			// measurements: a shape-broken graph can report an arbitrarily
-			// low (wrong) peak and win the search.
-			if o.CheckInvariants {
-				if err := graph.Validate(cand.state.G); err != nil {
-					res.Diagnostics.noteInvariant(cand.rule, quar)
-					continue
+		} else {
+			outs := pool.run(ctx, cands, s, rc, &o, l.seen)
+			for i, out := range outs {
+				if out == nil {
+					res.Stopped = stopReason(ctx.Err())
+					break
 				}
-			}
-			if err := guard(cand.rule, cand.site, func() error {
-				return ev.evaluate(cand.state, s, cand.oldMutated)
-			}); err != nil {
-				// Recovered panics are diagnosed; plain evaluation errors
-				// (e.g. a stale region) skip silently, matching the
-				// pre-hardening contract.
-				res.Diagnostics.notePanic(err, quar)
-				continue
-			}
-			if o.CheckInvariants {
-				if err := cand.state.Sched.Validate(cand.state.EvalG); err != nil {
-					res.Diagnostics.noteInvariant(cand.rule, quar)
-					continue
-				}
-			}
-			quar.ok(cand.rule)
-			res.Diagnostics.rule(cand.rule).Evaluated++
-			if o.better(cand.state, best, 1) {
-				best = cand.state
-				res.History = append(res.History,
-					HistoryPoint{time.Since(start), best.PeakMem, best.Latency})
-			}
-			if o.better(cand.state, best, o.Delta) {
-				heap.Push(q, cand.state)
+				l.absorb(cands[i], out)
 			}
 		}
 		if res.Stopped != StopConverged {
 			break // the candidate loop was interrupted mid-expansion
 		}
 	}
-	res.Best = best
+	pool.flush(&res.Stats)
+	res.Best = l.best
 	return res, nil
+}
+
+// searchLoop is the order-sensitive half of the search: everything below
+// runs on the search goroutine only, in candidate-index order, regardless
+// of Options.Workers.
+type searchLoop struct {
+	o     *Options
+	res   *Result
+	quar  *quarantine
+	seen  map[uint64]bool
+	q     *stateQueue
+	best  *State
+	start time.Time
+}
+
+// absorb merges one candidate's evaluation outcome, reproducing the
+// sequential per-candidate decisions exactly: diagnostics and quarantine
+// advancement, the authoritative duplicate filter (first candidate in
+// generation order wins; later equal-hash candidates count as Filtered
+// even if a worker already evaluated them), best-state selection, history
+// points, and delta-relaxed heap pushes.
+func (l *searchLoop) absorb(cand *candidate, out *candOutcome) {
+	res, quar := l.res, l.quar
+	if out.hashErr != nil {
+		res.Diagnostics.notePanic(out.hashErr, quar)
+		return
+	}
+	// Hash-filter BEFORE the expensive scheduling + simulation — the
+	// Fig. 15 pipeline, where most generated graphs are duplicates and
+	// (on the sequential path) never reach the scheduler.
+	if out.dup || l.seen[out.hash] {
+		res.Stats.Filtered++
+		return
+	}
+	l.seen[out.hash] = true
+	if out.badGraph {
+		res.Diagnostics.noteInvariant(cand.rule, quar)
+		return
+	}
+	if out.evalErr != nil {
+		// Recovered panics are diagnosed; plain evaluation errors (e.g. a
+		// stale region) skip silently, matching the pre-hardening
+		// contract.
+		res.Diagnostics.notePanic(out.evalErr, quar)
+		return
+	}
+	if out.badSched {
+		res.Diagnostics.noteInvariant(cand.rule, quar)
+		return
+	}
+	quar.ok(cand.rule)
+	res.Diagnostics.rule(cand.rule).Evaluated++
+	if l.o.better(cand.state, l.best, 1) {
+		l.best = cand.state
+		res.History = append(res.History,
+			HistoryPoint{time.Since(l.start), l.best.PeakMem, l.best.Latency})
+	}
+	if l.o.better(cand.state, l.best, l.o.Delta) {
+		heap.Push(l.q, cand.state)
+	}
 }
 
 // ftreeRuleName is the pseudo-rule name F-Tree mutations and rebuilds are
@@ -409,7 +463,7 @@ type candidate struct {
 // application runs under guard; a panicking rule loses its candidates for
 // this expansion and advances toward quarantine instead of crashing the
 // search.
-func neighbors(s *State, ev *evaluator, o *Options, res *Result, quar *quarantine) []*candidate {
+func neighbors(s *State, o *Options, res *Result, quar *quarantine) []*candidate {
 	st := &res.Stats
 	var out []*candidate
 	t0 := time.Now()
@@ -433,9 +487,15 @@ func neighbors(s *State, ev *evaluator, o *Options, res *Result, quar *quarantin
 			continue
 		}
 		for _, app := range apps {
-			ft := s.FT.Clone()
+			// Copy-on-write F-Tree: a graph-rewrite candidate never
+			// mutates the tree — it is marked stale and rebuilds a fresh
+			// one when popped — so it shares the parent's tree instead of
+			// cloning it. Trees referenced by candidate states are
+			// treated as immutable everywhere (F-Tree mutations below
+			// clone before Apply), which also makes the shared reads safe
+			// across evaluation workers.
 			out = append(out, &candidate{
-				state:      &State{G: app.Graph, FT: ft, stale: true},
+				state:      &State{G: app.Graph, FT: s.FT, stale: true},
 				oldMutated: mapToEval(s, app.OldMutated),
 				rule:       name,
 				site:       app.Site(),

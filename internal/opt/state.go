@@ -2,6 +2,7 @@ package opt
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"magis/internal/cost"
@@ -44,6 +45,8 @@ func (s *State) Summary() string {
 }
 
 // Stats aggregates the optimization-time breakdown reported in Fig. 15.
+// With Workers > 1 the wall-clock breakdown timers sum the per-worker
+// busy times, so they can exceed elapsed time.
 type Stats struct {
 	Trans, Sched, Simul, Hash, Filtered int
 	TransTime, SchedTime, SimulTime     time.Duration
@@ -52,7 +55,41 @@ type Stats struct {
 	Rescheduled                         int // total ops rescheduled incrementally
 }
 
-// evaluator prices M-States.
+// add accumulates o into s, merging a worker's shard after a parallel
+// search.
+func (s *Stats) add(o *Stats) {
+	s.Trans += o.Trans
+	s.Sched += o.Sched
+	s.Simul += o.Simul
+	s.Hash += o.Hash
+	s.Filtered += o.Filtered
+	s.TransTime += o.TransTime
+	s.SchedTime += o.SchedTime
+	s.SimulTime += o.SimulTime
+	s.HashTime += o.HashTime
+	s.Iterations += o.Iterations
+	s.Rescheduled += o.Rescheduled
+}
+
+// reachCache lazily builds one read-only reachability index over a parent
+// state's eval graph, shared by every worker of an expansion. sync.Once
+// makes the build race-free; the index is immutable after construction, so
+// concurrent NW queries need no further locking.
+type reachCache struct {
+	g    *graph.Graph
+	once sync.Once
+	idx  *graph.ReachIndex
+}
+
+func (rc *reachCache) index() *graph.ReachIndex {
+	rc.once.Do(func() { rc.idx = graph.NewReachIndex(rc.g) })
+	return rc.idx
+}
+
+// evaluator prices M-States. Each search worker owns one: the scheduler
+// and scratch buffers below are reused across candidates and must never be
+// shared between goroutines. Read-only inputs (cost model, parent state,
+// reach index) are shared across the pool.
 type evaluator struct {
 	model *cost.Model
 	sc    *sched.Scheduler
@@ -60,21 +97,25 @@ type evaluator struct {
 	full  bool // force full rescheduling (ablation)
 	stats *Stats
 
-	// reach caches the parent eval-graph's reachability index across the
-	// candidates of one expansion.
-	reach    *graph.ReachIndex
-	reachFor *graph.Graph
+	// rc is the expansion-shared reachability cache over the parent's eval
+	// graph, set by the search before each expansion.
+	rc *reachCache
+
+	// hs and ss are per-evaluator scratch buffers keeping the WL-hash and
+	// lifetime-simulation hot paths off the allocator.
+	hs graph.HashScratch
+	ss sched.Scratch
 }
 
 func newEvaluator(model *cost.Model, full bool, stats *Stats) *evaluator {
-	sc := &sched.Scheduler{}
-	return &evaluator{
+	e := &evaluator{
 		model: model,
-		sc:    sc,
-		col:   collapser{model: model, sc: sc},
+		sc:    &sched.Scheduler{},
 		full:  full,
 		stats: stats,
 	}
+	e.col = collapser{model: model, sc: e.sc, ss: &e.ss}
+	return e
 }
 
 // collapse fills in EvalG and regions for s (the cheap half of
@@ -105,19 +146,19 @@ func (e *evaluator) evaluate(s *State, prev *State, oldMutated []graph.NodeID) e
 		s.Sched = e.sc.ScheduleGraph(eg)
 		e.stats.Rescheduled += len(s.Sched)
 	} else {
-		if e.reachFor != prev.EvalG {
-			e.reach = graph.NewReachIndex(prev.EvalG)
-			e.reachFor = prev.EvalG
+		var reach *graph.ReachIndex
+		if e.rc != nil && e.rc.g == prev.EvalG {
+			reach = e.rc.index()
 		}
 		var n int
-		s.Sched, n = e.sc.IncrementalR(prev.EvalG, eg, oldMutated, prev.Sched, e.reach)
+		s.Sched, n = e.sc.IncrementalR(prev.EvalG, eg, oldMutated, prev.Sched, reach)
 		e.stats.Rescheduled += n
 	}
 	e.stats.Sched++
 	e.stats.SchedTime += time.Since(t0)
 
 	t1 := time.Now()
-	prof := sched.Simulate(eg, s.Sched)
+	prof := e.ss.Simulate(eg, s.Sched)
 	s.PeakMem = prof.Peak
 	s.Hot = prof.Hotspots
 	r := sim.Run(eg, s.Sched, sim.Config{
@@ -139,7 +180,7 @@ func (e *evaluator) evaluate(s *State, prev *State, oldMutated []graph.NodeID) e
 // with identical collapsed structure are duplicates for the search.
 func (e *evaluator) hash(s *State) uint64 {
 	t := time.Now()
-	h := s.EvalG.WLHash()
+	h := s.EvalG.WLHashScratch(&e.hs)
 	e.stats.Hash++
 	e.stats.HashTime += time.Since(t)
 	return h

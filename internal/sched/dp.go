@@ -18,6 +18,10 @@ type Scheduler struct {
 	BeamLimit int
 	// BeamWidth is the beam width for medium sub-problems.
 	BeamWidth int
+
+	// scratch is reused across scheduling calls; a Scheduler is therefore
+	// not safe for concurrent use (the search gives each worker its own).
+	scratch Scratch
 }
 
 func (sc *Scheduler) maxExact() int {
@@ -117,7 +121,7 @@ func (sc *Scheduler) exact(g *graph.Graph) Schedule {
 	p := newProblem(g)
 	n := len(p.ids)
 	// Upper bound from greedy to prune the DP.
-	bound := PeakOnly(g, sc.beam(g, 1))
+	bound := sc.scratch.PeakOnly(g, sc.beam(g, 1))
 
 	memo := map[uint64]dpEntry{0: {}}
 	frontier := []uint64{0}

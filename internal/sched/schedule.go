@@ -87,30 +87,69 @@ type MemProfile struct {
 	Hotspots graph.Set
 }
 
-// Simulate computes the memory profile of executing g in the given order.
-func Simulate(g *graph.Graph, order Schedule) *MemProfile {
+// Scratch holds reusable lifetime-analysis buffers for Simulate and
+// PeakOnly. The search simulates every surviving candidate, so
+// per-evaluator scratch structs keep this hot path off the allocator. The
+// zero value is ready to use; a Scratch must not be shared between
+// goroutines.
+type Scratch struct {
+	pos    map[graph.NodeID]int
+	freeAt [][]graph.NodeID
+	last   []int
+}
+
+// lifetimes fills pos, freeAt, and last for (g, order): freeAt[i] lists
+// nodes whose output can be freed after step i completes, last[i] is the
+// step through which order[i]'s output stays alive.
+func (sc *Scratch) lifetimes(g *graph.Graph, order Schedule) {
 	n := len(order)
-	pos := make(map[graph.NodeID]int, n)
-	for i, v := range order {
-		pos[v] = i
+	if sc.pos == nil {
+		sc.pos = make(map[graph.NodeID]int, n)
+	} else {
+		clear(sc.pos)
 	}
-	// free[i] lists nodes whose output can be freed after step i completes.
-	freeAt := make([][]graph.NodeID, n)
-	last := make([]int, n)
+	for i, v := range order {
+		sc.pos[v] = i
+	}
+	if cap(sc.freeAt) < n {
+		sc.freeAt = make([][]graph.NodeID, n)
+	} else {
+		sc.freeAt = sc.freeAt[:n]
+	}
+	for i := range sc.freeAt {
+		sc.freeAt[i] = sc.freeAt[i][:0]
+	}
+	if cap(sc.last) < n {
+		sc.last = make([]int, n)
+	} else {
+		sc.last = sc.last[:n]
+	}
 	for i, v := range order {
 		f := i // if never consumed, freed at end (kept alive through i=own)
-		for _, c := range g.Suc(v) {
-			if p, ok := pos[c]; ok && p > f {
+		g.EachSucEdge(v, func(c graph.NodeID) {
+			if p, ok := sc.pos[c]; ok && p > f {
 				f = p
 			}
-		}
-		if len(g.Suc(v)) == 0 {
+		})
+		if g.SucEdges(v) == 0 {
 			f = n - 1 // graph outputs stay alive to the end
 		}
-		last[i] = f
-		freeAt[f] = append(freeAt[f], v)
+		sc.last[i] = f
+		sc.freeAt[f] = append(sc.freeAt[f], v)
 	}
-	prof := &MemProfile{PerStep: make([]int64, n), PeakStep: -1}
+}
+
+// Simulate computes the memory profile of executing g in the given order.
+func Simulate(g *graph.Graph, order Schedule) *MemProfile {
+	return (&Scratch{}).Simulate(g, order)
+}
+
+// Simulate is the package-level Simulate with reused work buffers. The
+// returned profile owns fresh PerStep and Hotspots storage and stays valid
+// after the scratch is reused.
+func (sc *Scratch) Simulate(g *graph.Graph, order Schedule) *MemProfile {
+	sc.lifetimes(g, order)
+	prof := &MemProfile{PerStep: make([]int64, len(order)), PeakStep: -1}
 	var cur int64
 	for i, v := range order {
 		node := g.Node(v)
@@ -121,7 +160,7 @@ func Simulate(g *graph.Graph, order Schedule) *MemProfile {
 			prof.Peak = m
 			prof.PeakStep = i
 		}
-		for _, dead := range freeAt[i] {
+		for _, dead := range sc.freeAt[i] {
 			cur -= OutDeviceBytes(g.Node(dead))
 		}
 	}
@@ -132,7 +171,7 @@ func Simulate(g *graph.Graph, order Schedule) *MemProfile {
 			continue
 		}
 		for j := 0; j <= i; j++ {
-			if last[j] >= i {
+			if sc.last[j] >= i {
 				prof.Hotspots[order[j]] = true
 			}
 		}
@@ -143,24 +182,12 @@ func Simulate(g *graph.Graph, order Schedule) *MemProfile {
 // PeakOnly computes only the peak memory of the order — the hot loop of
 // the DP scheduler and search, kept allocation-light.
 func PeakOnly(g *graph.Graph, order Schedule) int64 {
-	n := len(order)
-	pos := make(map[graph.NodeID]int, n)
-	for i, v := range order {
-		pos[v] = i
-	}
-	freeAt := make([][]graph.NodeID, n)
-	for i, v := range order {
-		f := i
-		for _, c := range g.Suc(v) {
-			if p, ok := pos[c]; ok && p > f {
-				f = p
-			}
-		}
-		if len(g.Suc(v)) == 0 {
-			f = n - 1
-		}
-		freeAt[f] = append(freeAt[f], v)
-	}
+	return (&Scratch{}).PeakOnly(g, order)
+}
+
+// PeakOnly is the package-level PeakOnly with reused work buffers.
+func (sc *Scratch) PeakOnly(g *graph.Graph, order Schedule) int64 {
+	sc.lifetimes(g, order)
 	var cur, peak int64
 	for i, v := range order {
 		node := g.Node(v)
@@ -168,7 +195,7 @@ func PeakOnly(g *graph.Graph, order Schedule) int64 {
 		if m := cur + ExecTransientBytes(node); m > peak {
 			peak = m
 		}
-		for _, dead := range freeAt[i] {
+		for _, dead := range sc.freeAt[i] {
 			cur -= OutDeviceBytes(g.Node(dead))
 		}
 	}
