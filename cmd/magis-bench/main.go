@@ -5,11 +5,18 @@
 //
 //	magis-bench [-scale 0.25] [-budget 5s] [-workers N] table2 fig9 ... | all
 //	magis-bench -cpuprofile cpu.pprof -memprofile mem.pprof fig15
+//	magis-bench -scale 0.05 -budget 2s -faults 8 audit
 //
 // At -scale 1 and -budget 3m this is the paper's configuration; smaller
 // values trade fidelity for runtime. -workers sets the search's parallel
 // candidate evaluation (0 = GOMAXPROCS); profiles are written on exit and
 // inspected with `go tool pprof`.
+//
+// The audit target (also reachable via the -audit flag) is the
+// execution-feasibility harness: each workload's plan is cross-validated
+// by the differential audit, replayed under -faults seeded fault scenarios
+// (-fault-seed), and — when infeasible — repaired through the adaptive
+// re-optimization ladder with a -headroom budget margin.
 //
 // SIGINT/SIGTERM cancels in-flight searches: the current target renders
 // with whatever best-so-far states were reached, remaining targets are
@@ -27,7 +34,12 @@ import (
 	"syscall"
 	"time"
 
+	"magis/internal/cost"
 	"magis/internal/expr"
+	"magis/internal/faults"
+	"magis/internal/models"
+	"magis/internal/opt"
+	"magis/internal/robust"
 )
 
 func main() {
@@ -37,27 +49,44 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel candidate evaluations per search (0 = GOMAXPROCS, 1 = sequential)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
 		memprofile = flag.String("memprofile", "", "write an allocation profile taken at exit to this path")
+
+		auditFlag = flag.Bool("audit", false, "run the execution-feasibility audit target after the others")
+		faultsN   = flag.Int("faults", 0, "fault scenarios per workload in the audit target (0 = audit only)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
+		headroom  = flag.Float64("headroom", 0.10, "budget margin the re-optimization ladder reserves, in (0,0.9]")
 	)
 	flag.Parse()
 	if *scale <= 0 || *scale > 1 {
 		fmt.Fprintf(os.Stderr, "invalid -scale %v: must be in (0,1]\n", *scale)
 		os.Exit(2)
 	}
+	if *faultsN < 0 {
+		fmt.Fprintf(os.Stderr, "invalid -faults %d: must be >= 0\n", *faultsN)
+		os.Exit(2)
+	}
+	if *headroom <= 0 || *headroom > 0.9 {
+		fmt.Fprintf(os.Stderr, "invalid -headroom %v: must be in (0,0.9]\n", *headroom)
+		os.Exit(2)
+	}
 
 	known := map[string]bool{
 		"table2": true, "fig9": true, "fig10": true, "fig11": true,
 		"fig12": true, "fig13": true, "fig14": true, "fig15": true, "fig16": true,
+		"audit": true,
 	}
 	targets := flag.Args()
-	if len(targets) == 0 {
+	if len(targets) == 0 && !*auditFlag {
 		targets = []string{"table2"}
 	}
 	if len(targets) == 1 && targets[0] == "all" {
 		targets = []string{"table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
 	}
+	if *auditFlag {
+		targets = append(targets, "audit")
+	}
 	for _, t := range targets {
 		if !known[t] {
-			fmt.Fprintf(os.Stderr, "unknown target %q (want table2, fig9..fig16, or all)\n", t)
+			fmt.Fprintf(os.Stderr, "unknown target %q (want table2, fig9..fig16, audit, or all)\n", t)
 			os.Exit(2)
 		}
 	}
@@ -128,6 +157,8 @@ func main() {
 			fmt.Print(expr.RenderFig15(expr.Fig15(cfg, nil)))
 		case "fig16":
 			fmt.Print(expr.RenderFig16(expr.Fig16(cfg, nil)))
+		case "audit":
+			runAudit(ctx, cfg, *faultsN, *faultSeed, *headroom)
 		}
 		if ctx.Err() != nil {
 			fmt.Printf("(%s interrupted after %v; rows reflect best-so-far states)\n\n",
@@ -135,5 +166,93 @@ func main() {
 			continue
 		}
 		fmt.Printf("(%s took %v)\n\n", t, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runAudit is the execution-feasibility harness: per workload it audits
+// the baseline plan against a zero-headroom budget (the worst of the three
+// peak estimators), replays it under the seeded fault scenarios, and walks
+// the re-optimization ladder when the plan is infeasible.
+func runAudit(ctx context.Context, cfg expr.Config, scenarios int, seed int64, headroom float64) {
+	m := cost.NewModel(cost.RTX3090())
+	b := func(n int) int {
+		s := int(float64(n) * cfg.Scale)
+		if s < 1 {
+			return 1
+		}
+		return s
+	}
+	workloads := []*models.Workload{
+		models.MLP(b(8192), 256, 512, 10, 4),
+		models.UNet(b(32), 256),
+	}
+	fmt.Printf("execution-feasibility audit: %d fault scenario(s), seed %d, headroom %.0f%%\n",
+		scenarios, seed, 100*headroom)
+	fmt.Printf("%-16s %-10s %-12s %-10s %-12s %-10s %s\n",
+		"workload", "budget", "rung", "peak", "latency", "audit", "replay")
+	for _, w := range workloads {
+		if ctx.Err() != nil {
+			fmt.Println("interrupted: skipping remaining workloads")
+			return
+		}
+		base := opt.Baseline(w.G, m)
+		ar := faults.Audit(base.EvalG, base.Sched, faults.AuditConfig{Model: m})
+		budget := ar.SchedPeak
+		if ar.SimPeak > budget {
+			budget = ar.SimPeak
+		}
+		if ar.ArenaSize > budget {
+			budget = ar.ArenaSize
+		}
+		lad, err := robust.Reoptimize(ctx, w.G, m, robust.Options{
+			Opt: opt.Options{
+				Mode:       opt.LatencyUnderMemory,
+				MemLimit:   budget,
+				TimeBudget: cfg.Budget,
+				Workers:    cfg.Workers,
+			},
+			Budget:       budget,
+			Headroom:     headroom,
+			Faults:       faults.Defaults(seed, scenarios),
+			ReplayFaults: scenarios > 0,
+			Initial:      &opt.Result{Best: base, Stopped: opt.StopConverged},
+		})
+		if err != nil {
+			fmt.Printf("%-16s %v\n", w.Name, err)
+			continue
+		}
+		last := lad.Attempts[len(lad.Attempts)-1]
+		pass, warn, fail := 0, 0, 0
+		for _, c := range last.Audit.Checks {
+			switch c.Status {
+			case faults.Pass:
+				pass++
+			case faults.Warn:
+				warn++
+			default:
+				fail++
+			}
+		}
+		rung := "none"
+		if lad.Survived {
+			rung = lad.Rung.String()
+		}
+		replay := "off"
+		if last.Replay != nil {
+			replay = fmt.Sprintf("%d/%d", last.Replay.Passed, len(last.Replay.Results))
+		}
+		fmt.Printf("%-16s %-10s %-12s %-10s %-12s %-10s %s\n",
+			w.Name, fmt.Sprintf("%.2f GB", float64(budget)/(1<<30)), rung,
+			fmt.Sprintf("%.2f GB", float64(lad.Best.PeakMem)/(1<<30)),
+			fmt.Sprintf("%.2f ms", lad.Best.Latency*1e3),
+			fmt.Sprintf("%dp/%dw/%df", pass, warn, fail), replay)
+		if !lad.Survived {
+			for _, c := range last.Audit.Failed() {
+				fmt.Printf("  audit failure: [%s] %s: %s\n", c.Status, c.Name, c.Detail)
+			}
+			if last.Replay != nil && !last.Replay.OK() {
+				fmt.Printf("  %s\n", last.Replay)
+			}
+		}
 	}
 }

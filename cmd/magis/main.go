@@ -11,6 +11,14 @@
 // peak memory is minimized; with -mode latency, -limit is the memory ratio
 // vs the unoptimized baseline (0.6 = 60%) and latency is minimized.
 //
+// -audit cross-validates the optimized plan's three peak estimators
+// (differential plan audit) and walks the adaptive re-optimization ladder
+// if the plan is infeasible; -faults N additionally replays the plan under
+// N seeded fault scenarios (cost-model noise, swap-bandwidth degradation,
+// transient transfer failures, co-tenant budget squeezes) before trusting
+// it. A plan repaired by a ladder rung replaces the base result, including
+// for -emit.
+//
 // SIGINT/SIGTERM cancels the search; the best state found so far is
 // printed and the process exits 0 (the search is anytime — an interrupted
 // run is a valid, just less optimized, result).
@@ -28,8 +36,10 @@ import (
 
 	"magis/internal/codegen"
 	"magis/internal/cost"
+	"magis/internal/faults"
 	"magis/internal/models"
 	"magis/internal/opt"
+	"magis/internal/robust"
 	"magis/internal/sched"
 )
 
@@ -43,6 +53,11 @@ func main() {
 		level   = flag.Int("L", 4, "F-Tree max level")
 		workers = flag.Int("workers", 0, "parallel candidate evaluations (0 = GOMAXPROCS, 1 = sequential)")
 		emit    = flag.String("emit", "", "write a PyTorch script for the optimized graph to this path")
+
+		audit     = flag.Bool("audit", false, "differential plan audit + re-optimization ladder (implied by -faults)")
+		faultsN   = flag.Int("faults", 0, "replay the plan under N seeded fault scenarios (0 = off)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
+		headroom  = flag.Float64("headroom", 0.10, "budget margin the re-optimization ladder reserves, in (0,0.9]")
 	)
 	flag.Parse()
 
@@ -53,6 +68,12 @@ func main() {
 	}
 	if *mode != "mem" && *mode != "latency" {
 		fatalf("unknown -mode %q: want mem or latency", *mode)
+	}
+	if *faultsN < 0 {
+		fatalf("invalid -faults %d: must be >= 0", *faultsN)
+	}
+	if *headroom <= 0 || *headroom > 0.9 {
+		fatalf("invalid -headroom %v: must be in (0,0.9]", *headroom)
 	}
 	w, err := workload(*model, *scale)
 	if err != nil {
@@ -107,6 +128,45 @@ func main() {
 	for _, h := range res.History {
 		fmt.Printf("  t=%-10v peak %.2f GB  latency %.2f ms\n",
 			h.Elapsed.Round(time.Millisecond), gb(h.PeakMem), h.Latency*1e3)
+	}
+
+	if *audit || *faultsN > 0 {
+		lo := robust.Options{
+			Opt:          o,
+			Headroom:     *headroom,
+			Faults:       faults.Defaults(*faultSeed, *faultsN),
+			ReplayFaults: *faultsN > 0,
+			Initial:      res,
+		}
+		fmt.Println("\nexecution feasibility:")
+		lad, err := robust.Reoptimize(ctx, w.G, m, lo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, a := range lad.Attempts {
+			fmt.Printf("rung %-11s", a.Rung)
+			if a.Err != "" {
+				fmt.Printf(" skipped: %s\n", a.Err)
+				continue
+			}
+			if a.MemLimit > 0 {
+				fmt.Printf(" limit %.2f GB ", gb(a.MemLimit))
+			}
+			fmt.Printf(" peak %.2f GB  latency %.2f ms  feasible=%v\n",
+				gb(a.PeakMem), a.Latency*1e3, a.Feasible)
+			fmt.Print(a.Audit)
+			if a.Replay != nil {
+				fmt.Printf("  %s\n", a.Replay)
+			}
+		}
+		fmt.Printf("ladder: %s\n", lad.Summary())
+		if lad.Survived && lad.Repaired {
+			best = lad.Best
+			fmt.Printf("repaired: %s\n", best.Summary())
+		} else if !lad.Survived {
+			fmt.Println("warning: no rung produced a feasible plan; keeping the base result")
+		}
 	}
 
 	if *emit != "" {

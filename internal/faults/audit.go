@@ -1,0 +1,278 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"magis/internal/cost"
+	"magis/internal/graph"
+	"magis/internal/memplan"
+	"magis/internal/sched"
+	"magis/internal/sim"
+)
+
+// The differential plan audit. The repo computes peak memory three
+// independent ways — the §2.1 per-step lifetime model (internal/sched),
+// the continuous-time event simulation (internal/sim), and the offline
+// arena allocator (internal/memplan). A correct plan keeps all three in
+// agreement within explicit bounds; divergence means one of the models
+// (or the plan itself) is wrong, exactly the cross-check a production
+// service needs before trusting a simulated peak.
+
+// CheckStatus grades one audit check.
+type CheckStatus int
+
+const (
+	// Pass: the invariant holds.
+	Pass CheckStatus = iota
+	// Warn: within the extended tolerance band; worth inspecting.
+	Warn
+	// Fail: the invariant is violated; the plan must not be trusted.
+	Fail
+)
+
+// String renders the status for reports.
+func (s CheckStatus) String() string {
+	switch s {
+	case Pass:
+		return "pass"
+	case Warn:
+		return "warn"
+	case Fail:
+		return "FAIL"
+	default:
+		return "unknown"
+	}
+}
+
+// Check is one named audit check with its diagnostic, mirroring the
+// per-rule record style of opt.Diagnostics.
+type Check struct {
+	// Name identifies the check ("schedule-valid", "peak-sched-vs-sim", ...).
+	Name string
+	// Status grades the outcome.
+	Status CheckStatus
+	// Detail explains the measurement behind the grade.
+	Detail string
+}
+
+// AuditConfig bounds the audit.
+type AuditConfig struct {
+	// Model prices the simulation estimator (required).
+	Model *cost.Model
+	// Budget enables the budget-headroom check when positive.
+	Budget int64
+	// PeakTolerance is the allowed relative divergence between the
+	// lifetime-step peak and the continuous-time sim peak; up to twice the
+	// tolerance grades Warn, beyond that Fail (default 0.25).
+	PeakTolerance float64
+	// FragWarn is the fragmentation fraction above which the arena layout
+	// grades Warn (default 0.5).
+	FragWarn float64
+}
+
+func (c AuditConfig) withDefaults() AuditConfig {
+	if c.PeakTolerance <= 0 {
+		c.PeakTolerance = 0.25
+	}
+	if c.FragWarn <= 0 {
+		c.FragWarn = 0.5
+	}
+	return c
+}
+
+// AuditReport is the structured outcome of one differential plan audit.
+type AuditReport struct {
+	// Checks holds every check run, in a fixed order.
+	Checks []Check
+	// SchedPeak is the §2.1 per-step lifetime peak (sched.Simulate).
+	SchedPeak int64
+	// SimPeak is the continuous-time event-simulation peak (sim.Run).
+	SimPeak int64
+	// ArenaSize is the offline allocator's arena span (memplan.Build).
+	ArenaSize int64
+	// LifetimePeak is memplan's recomputed lifetime lower bound.
+	LifetimePeak int64
+	// Fragmentation is the allocator overhead beyond the lifetime peak.
+	Fragmentation float64
+}
+
+// OK reports that no check failed (warnings allowed).
+func (r *AuditReport) OK() bool {
+	for _, c := range r.Checks {
+		if c.Status == Fail {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed returns the failing checks.
+func (r *AuditReport) Failed() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if c.Status == Fail {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the full per-check report.
+func (r *AuditReport) String() string {
+	var b strings.Builder
+	for _, c := range r.Checks {
+		fmt.Fprintf(&b, "  [%s] %-22s %s\n", c.Status, c.Name, c.Detail)
+	}
+	return b.String()
+}
+
+func (r *AuditReport) add(name string, status CheckStatus, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, Status: status, Detail: fmt.Sprintf(format, args...)})
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }
+
+// blockPeak is the true lower bound on the arena: the maximum total size
+// of simultaneously live placed blocks, by step-indexed sweep.
+func blockPeak(blocks []memplan.Block) int64 {
+	type ev struct {
+		step  int
+		delta int64
+	}
+	events := make([]ev, 0, 2*len(blocks))
+	for _, b := range blocks {
+		events = append(events, ev{b.Start, b.Size}, ev{b.End + 1, -b.Size})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].step != events[j].step {
+			return events[i].step < events[j].step
+		}
+		return events[i].delta < events[j].delta
+	})
+	var cur, peak int64
+	for _, e := range events {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// Audit cross-validates the plan (g, order) across the three peak
+// estimators and the arena layout invariants. It never returns an error:
+// an unusable plan surfaces as failed checks in the report, and checks
+// that depend on a failed prerequisite are skipped.
+func Audit(g *graph.Graph, order sched.Schedule, cfg AuditConfig) *AuditReport {
+	cfg = cfg.withDefaults()
+	r := &AuditReport{}
+
+	// Structural prerequisites: a malformed graph or order makes every
+	// downstream estimate meaningless.
+	if err := graph.Validate(g); err != nil {
+		r.add("graph-valid", Fail, "%v", err)
+		return r
+	}
+	r.add("graph-valid", Pass, "%d nodes", g.Len())
+	if err := order.Validate(g); err != nil {
+		r.add("schedule-valid", Fail, "%v", err)
+		return r
+	}
+	r.add("schedule-valid", Pass, "%d steps", len(order))
+
+	// Estimator 1: per-step lifetime model.
+	prof := sched.Simulate(g, order)
+	r.SchedPeak = prof.Peak
+
+	// Estimator 2: continuous-time two-stream simulation.
+	sr := sim.Run(g, order, sim.Config{Model: cfg.Model})
+	r.SimPeak = sr.Peak
+
+	// Estimator 3: offline arena allocation.
+	plan, err := memplan.Build(g, order)
+	if err != nil {
+		r.add("memplan-build", Fail, "%v", err)
+		return r
+	}
+	r.ArenaSize = plan.ArenaSize
+	r.LifetimePeak = plan.LifetimePeak
+	r.Fragmentation = plan.Fragmentation()
+
+	// Cross-check 1: the two lifetime analyses (sched.Simulate runs inside
+	// memplan.Build too) must agree exactly — they implement the same model.
+	if r.SchedPeak == r.LifetimePeak {
+		r.add("peak-sched-vs-memplan", Pass, "both lifetime models report %.2f MB", mb(r.SchedPeak))
+	} else {
+		r.add("peak-sched-vs-memplan", Fail,
+			"sched lifetime peak %.2f MB != memplan lifetime peak %.2f MB",
+			mb(r.SchedPeak), mb(r.LifetimePeak))
+	}
+
+	// Cross-check 2: the continuous-time peak may diverge from the step
+	// model (copy-stream overlap shifts allocation times) but only within
+	// tolerance.
+	ref := r.SchedPeak
+	if ref < 1 {
+		ref = 1
+	}
+	div := float64(r.SimPeak-r.SchedPeak) / float64(ref)
+	if div < 0 {
+		div = -div
+	}
+	switch {
+	case div <= cfg.PeakTolerance:
+		r.add("peak-sched-vs-sim", Pass, "sim %.2f MB vs sched %.2f MB (%.1f%% apart)",
+			mb(r.SimPeak), mb(r.SchedPeak), 100*div)
+	case div <= 2*cfg.PeakTolerance:
+		r.add("peak-sched-vs-sim", Warn, "sim %.2f MB vs sched %.2f MB (%.1f%% apart, tolerance %.0f%%)",
+			mb(r.SimPeak), mb(r.SchedPeak), 100*div, 100*cfg.PeakTolerance)
+	default:
+		r.add("peak-sched-vs-sim", Fail, "sim %.2f MB vs sched %.2f MB (%.1f%% apart, tolerance %.0f%%)",
+			mb(r.SimPeak), mb(r.SchedPeak), 100*div, 100*cfg.PeakTolerance)
+	}
+
+	// Arena invariants: no two lifetime-overlapping blocks may share
+	// addresses, and the arena can never undercut the peak of its own
+	// placed blocks. (LifetimePeak also counts exec-transient bytes, which
+	// the arena deliberately does not place, so the lower bound is computed
+	// from the blocks themselves.)
+	if err := plan.Verify(); err != nil {
+		r.add("memplan-nonoverlap", Fail, "%v", err)
+	} else {
+		r.add("memplan-nonoverlap", Pass, "%d blocks disjoint under lifetime conflicts", len(plan.Blocks))
+	}
+	if bp := blockPeak(plan.Blocks); plan.ArenaSize >= bp {
+		r.add("arena-vs-lifetime", Pass, "arena %.2f MB >= placed-block peak %.2f MB",
+			mb(plan.ArenaSize), mb(bp))
+	} else {
+		r.add("arena-vs-lifetime", Fail, "arena %.2f MB < placed-block peak %.2f MB",
+			mb(plan.ArenaSize), mb(bp))
+	}
+	if r.Fragmentation <= cfg.FragWarn {
+		r.add("fragmentation", Pass, "%.1f%% over the lifetime peak", 100*r.Fragmentation)
+	} else {
+		r.add("fragmentation", Warn, "%.1f%% over the lifetime peak (warn at %.0f%%)",
+			100*r.Fragmentation, 100*cfg.FragWarn)
+	}
+
+	// Budget headroom: the most pessimistic estimator must still fit.
+	if cfg.Budget > 0 {
+		worst := r.SchedPeak
+		if r.SimPeak > worst {
+			worst = r.SimPeak
+		}
+		if r.ArenaSize > worst {
+			worst = r.ArenaSize
+		}
+		if worst <= cfg.Budget {
+			r.add("budget-headroom", Pass, "worst estimator %.2f MB fits budget %.2f MB (%.1f%% headroom)",
+				mb(worst), mb(cfg.Budget), 100*(1-float64(worst)/float64(cfg.Budget)))
+		} else {
+			r.add("budget-headroom", Fail, "worst estimator %.2f MB exceeds budget %.2f MB",
+				mb(worst), mb(cfg.Budget))
+		}
+	}
+	return r
+}

@@ -1,0 +1,92 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"magis/internal/cost"
+	"magis/internal/models"
+	"magis/internal/sched"
+)
+
+func auditFind(t *testing.T, r *AuditReport, name string) Check {
+	t.Helper()
+	for _, c := range r.Checks {
+		if c.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("check %q missing from report:\n%s", name, r)
+	return Check{}
+}
+
+func TestAuditPassesOnBaselinePlan(t *testing.T) {
+	w := models.MLP(64, 32, 64, 10, 2)
+	order := sched.Schedule(w.G.Topo())
+	m := cost.NewModel(cost.RTX3090())
+	r := Audit(w.G, order, AuditConfig{Model: m})
+	if !r.OK() {
+		t.Fatalf("baseline plan must audit clean:\n%s", r)
+	}
+	for _, name := range []string{
+		"graph-valid", "schedule-valid", "peak-sched-vs-memplan",
+		"peak-sched-vs-sim", "memplan-nonoverlap", "arena-vs-lifetime",
+		"fragmentation",
+	} {
+		auditFind(t, r, name)
+	}
+	if r.SchedPeak <= 0 || r.SimPeak <= 0 || r.ArenaSize <= 0 {
+		t.Errorf("peaks not populated: %+v", r)
+	}
+	if c := auditFind(t, r, "peak-sched-vs-memplan"); c.Status != Pass {
+		t.Errorf("lifetime models must agree exactly: %+v", c)
+	}
+}
+
+func TestAuditFlagsCorruptSchedule(t *testing.T) {
+	w := models.MLP(64, 32, 64, 10, 2)
+	order := sched.Schedule(w.G.Topo())
+	// Swap the first and last steps: consumers now run before producers.
+	bad := append(sched.Schedule(nil), order...)
+	bad[0], bad[len(bad)-1] = bad[len(bad)-1], bad[0]
+	r := Audit(w.G, bad, AuditConfig{Model: cost.NewModel(cost.RTX3090())})
+	if r.OK() {
+		t.Fatalf("corrupt schedule must fail the audit:\n%s", r)
+	}
+	if c := auditFind(t, r, "schedule-valid"); c.Status != Fail {
+		t.Errorf("schedule-valid should be the failing check, got %+v", c)
+	}
+}
+
+func TestAuditBudgetHeadroom(t *testing.T) {
+	w := models.MLP(64, 32, 64, 10, 2)
+	order := sched.Schedule(w.G.Topo())
+	m := cost.NewModel(cost.RTX3090())
+	loose := Audit(w.G, order, AuditConfig{Model: m, Budget: 1 << 40})
+	if c := auditFind(t, loose, "budget-headroom"); c.Status != Pass {
+		t.Errorf("1TB budget must pass: %+v", c)
+	}
+	tight := Audit(w.G, order, AuditConfig{Model: m, Budget: 1})
+	if c := auditFind(t, tight, "budget-headroom"); c.Status != Fail {
+		t.Errorf("1-byte budget must fail: %+v", c)
+	}
+	if tight.OK() {
+		t.Error("a failing check must fail the report")
+	}
+	none := Audit(w.G, order, AuditConfig{Model: m})
+	for _, c := range none.Checks {
+		if c.Name == "budget-headroom" {
+			t.Error("budget check must be skipped when no budget is set")
+		}
+	}
+}
+
+func TestAuditDeterministic(t *testing.T) {
+	w := models.MLP(32, 16, 32, 10, 2)
+	order := sched.Schedule(w.G.Topo())
+	a := Audit(w.G, order, AuditConfig{Model: cost.NewModel(cost.RTX3090()), Budget: 1 << 30})
+	b := Audit(w.G, order, AuditConfig{Model: cost.NewModel(cost.RTX3090()), Budget: 1 << 30})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("audit not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

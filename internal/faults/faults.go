@@ -1,0 +1,207 @@
+// Package faults is the execution-feasibility layer: it hardens the
+// *plan* the way internal/opt's guard/quarantine machinery hardens the
+// *search*. A seeded, deterministic Injector perturbs the simulated
+// execution — multiplicative cost-model noise, degraded swap bandwidth,
+// transient Store/Load failures, and transient device-budget squeezes
+// simulating co-tenant pressure — and Replay re-runs an optimized plan
+// under N such scenarios through internal/sim. Audit cross-validates the
+// repo's three independent peak-memory estimators (sched lifetime peak,
+// sim continuous-time peak, memplan arena peak) against each other with
+// explicit tolerance bounds.
+//
+// Determinism contract: every perturbation is a pure hash of
+// (seed, scenario index, node ID), never a function of evaluation order,
+// so a fixed seed reproduces the exact same scenarios across runs, across
+// schedules of the same graph, and across any opt.Options.Workers value.
+package faults
+
+import (
+	"magis/internal/graph"
+	"magis/internal/ops"
+	"magis/internal/sim"
+)
+
+// Config parameterizes the fault model. The zero value of any field means
+// "that fault class is disabled"; Defaults returns the standard scenario
+// mix used by the CLIs.
+type Config struct {
+	// Seed drives every scenario's perturbations.
+	Seed int64
+	// Scenarios is the number of seeded fault scenarios a Replay runs.
+	Scenarios int
+	// CostNoise is the half-width of the multiplicative latency noise on
+	// every operator: latencies scale by a factor in [1-CostNoise,
+	// 1+CostNoise] (cost-model error).
+	CostNoise float64
+	// SwapDegrade is the maximum extra slowdown of Store/Load transfers:
+	// transfer latencies scale by up to 1+SwapDegrade on top of CostNoise
+	// (contended host link).
+	SwapDegrade float64
+	// TransferFailRate is the per-attempt probability that a Store/Load
+	// suffers a transient failure (absorbed by the simulator's bounded
+	// retry-with-backoff model).
+	TransferFailRate float64
+	// BudgetSqueeze is the maximum fraction of the device budget
+	// transiently taken away by co-tenant pressure.
+	BudgetSqueeze float64
+	// SqueezeWindows is how many transient squeeze windows each scenario
+	// places on the execution timeline.
+	SqueezeWindows int
+	// MaxRetries bounds absorbed failures per transfer (sim.FaultHooks).
+	MaxRetries int
+	// RetryBackoff is the base retry backoff in seconds.
+	RetryBackoff float64
+}
+
+// Defaults returns the standard scenario mix: ±20% cost noise, up to +50%
+// swap slowdown, 5% transient transfer failures, and two squeeze windows
+// taking up to 15% of the budget.
+func Defaults(seed int64, scenarios int) Config {
+	return Config{
+		Seed:             seed,
+		Scenarios:        scenarios,
+		CostNoise:        0.20,
+		SwapDegrade:      0.50,
+		TransferFailRate: 0.05,
+		BudgetSqueeze:    0.15,
+		SqueezeWindows:   2,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scenarios <= 0 {
+		c.Scenarios = 8
+	}
+	if c.SqueezeWindows <= 0 && c.BudgetSqueeze > 0 {
+		c.SqueezeWindows = 2
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50e-6
+	}
+	return c
+}
+
+// Injector derives deterministic fault scenarios from a Config.
+type Injector struct {
+	cfg Config
+}
+
+// NewInjector returns an injector for cfg (defaults applied).
+func NewInjector(cfg Config) *Injector {
+	return &Injector{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Scenario returns the i-th seeded fault scenario. Scenarios are
+// independent of each other and stable across calls.
+func (in *Injector) Scenario(i int) *Scenario {
+	return &Scenario{cfg: in.cfg, idx: i}
+}
+
+// Scenario is one deterministic assignment of faults. Its methods plug
+// directly into sim.FaultHooks and the Replay budget check.
+type Scenario struct {
+	cfg Config
+	idx int
+}
+
+// Hash salts separating the independent fault channels.
+const (
+	saltNoise uint64 = 0xA24BAED4963EE407
+	saltSwap  uint64 = 0x9FB21C651E98DF25
+	saltFail  uint64 = 0xD6E8FEB86659FD93
+	saltWin   uint64 = 0x589965CC75374CC3
+)
+
+// mix hashes (seed, scenario, key, salt) to a uniform uint64 with a
+// splitmix64 finalizer — schedule-order independent by construction.
+func mix(seed int64, scenario int, key int64, salt uint64) uint64 {
+	x := uint64(seed) ^ salt
+	x += uint64(scenario+1) * 0x9E3779B97F4A7C15
+	x += uint64(key+1) * 0xBF58476D1CE4E5B9
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// unit maps a hash to [0,1).
+func unit(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+func (s *Scenario) unit(key int64, salt uint64) float64 {
+	return unit(mix(s.cfg.Seed, s.idx, key, salt))
+}
+
+// LatencyScale implements sim.FaultHooks.LatencyScale: multiplicative
+// cost-model noise on every operator, plus swap-bandwidth degradation on
+// transfers.
+func (s *Scenario) LatencyScale(n *graph.Node) float64 {
+	f := 1.0
+	if s.cfg.CostNoise > 0 {
+		f *= 1 + s.cfg.CostNoise*(2*s.unit(int64(n.ID), saltNoise)-1)
+	}
+	if s.cfg.SwapDegrade > 0 && ops.IsTransfer(n.Op.Kind()) {
+		f *= 1 + s.cfg.SwapDegrade*s.unit(int64(n.ID), saltSwap)
+	}
+	if f <= 0 {
+		f = 1e-3 // latencies never vanish, whatever the config says
+	}
+	return f
+}
+
+// TransferFailures implements sim.FaultHooks.TransferFailures: the number
+// of consecutive transient failures the transfer suffers, geometrically
+// distributed with rate TransferFailRate and capped one past MaxRetries
+// (so an unlucky transfer can still abort).
+func (s *Scenario) TransferFailures(n *graph.Node) int {
+	if s.cfg.TransferFailRate <= 0 || !ops.IsTransfer(n.Op.Kind()) {
+		return 0
+	}
+	k := 0
+	for k <= s.cfg.MaxRetries {
+		if s.unit(int64(n.ID)*257+int64(k), saltFail) >= s.cfg.TransferFailRate {
+			break
+		}
+		k++
+	}
+	return k
+}
+
+// BudgetAt returns the device budget available at time t of an execution
+// spanning [0, horizon]: the nominal budget minus any active transient
+// squeeze window. Windows are placed deterministically per scenario; each
+// covers 5–25% of the horizon and takes between half and all of
+// BudgetSqueeze.
+func (s *Scenario) BudgetAt(t, horizon float64, budget int64) int64 {
+	if s.cfg.BudgetSqueeze <= 0 || horizon <= 0 || budget <= 0 {
+		return budget
+	}
+	b := budget
+	for j := 0; j < s.cfg.SqueezeWindows; j++ {
+		center := s.unit(int64(j)*3+0, saltWin) * horizon
+		width := (0.05 + 0.20*s.unit(int64(j)*3+1, saltWin)) * horizon
+		depth := s.cfg.BudgetSqueeze * (0.5 + 0.5*s.unit(int64(j)*3+2, saltWin))
+		if t >= center-width/2 && t <= center+width/2 {
+			if sq := int64(float64(budget) * (1 - depth)); sq < b {
+				b = sq
+			}
+		}
+	}
+	return b
+}
+
+// Hooks bundles the scenario into the simulator's fault interface.
+func (s *Scenario) Hooks() *sim.FaultHooks {
+	return &sim.FaultHooks{
+		LatencyScale:     s.LatencyScale,
+		TransferFailures: s.TransferFailures,
+		MaxRetries:       s.cfg.MaxRetries,
+		RetryBackoff:     s.cfg.RetryBackoff,
+	}
+}

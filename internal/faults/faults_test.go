@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"magis/internal/cost"
+	"magis/internal/graph"
+	"magis/internal/models"
+	"magis/internal/ops"
+	"magis/internal/sched"
+	"magis/internal/sim"
+	"magis/internal/tensor"
+)
+
+// swapChain builds a tiny plan with one Store/Load pair, so transfer
+// faults have somewhere to land.
+func swapChain() (*graph.Graph, sched.Schedule) {
+	g := graph.New()
+	sh := tensor.S(1 << 16)
+	x := g.Add(ops.NewInput(sh, tensor.F32))
+	a := g.Add(ops.NewGELU(sh, tensor.F32), x)
+	st := g.Add(ops.NewStore(sh, tensor.F32), a)
+	b := g.Add(ops.NewGELU(sh, tensor.F32), a)
+	c := g.Add(ops.NewGELU(sh, tensor.F32), b)
+	ld := g.Add(ops.NewLoad(sh, tensor.F32), st)
+	g.Add(ops.NewAdd(sh, sh, tensor.F32), c, ld)
+	return g, g.Topo()
+}
+
+func TestInjectorDeterministicAndSeedSensitive(t *testing.T) {
+	g, _ := swapChain()
+	cfg := Defaults(42, 4)
+	a, b := NewInjector(cfg), NewInjector(cfg)
+	other := NewInjector(Defaults(43, 4))
+	differs := false
+	for i := 0; i < 4; i++ {
+		sa, sb, so := a.Scenario(i), b.Scenario(i), other.Scenario(i)
+		for _, id := range g.NodeIDs() {
+			n := g.Node(id)
+			if sa.LatencyScale(n) != sb.LatencyScale(n) {
+				t.Fatalf("scenario %d node %d: LatencyScale not deterministic", i, id)
+			}
+			if sa.TransferFailures(n) != sb.TransferFailures(n) {
+				t.Fatalf("scenario %d node %d: TransferFailures not deterministic", i, id)
+			}
+			if sa.LatencyScale(n) != so.LatencyScale(n) {
+				differs = true
+			}
+		}
+		for _, tt := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			if sa.BudgetAt(tt, 1, 1<<30) != sb.BudgetAt(tt, 1, 1<<30) {
+				t.Fatalf("scenario %d: BudgetAt not deterministic", i)
+			}
+		}
+	}
+	if !differs {
+		t.Error("seed 42 and 43 produced identical perturbations everywhere")
+	}
+}
+
+func TestLatencyScaleBounds(t *testing.T) {
+	g, _ := swapChain()
+	cfg := Defaults(7, 16)
+	in := NewInjector(cfg)
+	for i := 0; i < 16; i++ {
+		sc := in.Scenario(i)
+		for _, id := range g.NodeIDs() {
+			n := g.Node(id)
+			f := sc.LatencyScale(n)
+			lo, hi := 1-cfg.CostNoise, 1+cfg.CostNoise
+			if ops.IsTransfer(n.Op.Kind()) {
+				hi *= 1 + cfg.SwapDegrade
+			}
+			if f < lo || f > hi {
+				t.Errorf("scenario %d node %d: scale %v outside [%v,%v]", i, id, f, lo, hi)
+			}
+		}
+	}
+}
+
+func TestSimRetryWithBackoffAndAbort(t *testing.T) {
+	g, order := swapChain()
+	m := cost.NewModel(cost.RTX3090())
+	clean := sim.Run(g, order, sim.Config{Model: m})
+	if clean.Retries != 0 || clean.TransferAborts != 0 || clean.Faults != nil {
+		t.Fatalf("pristine run reported faults: %+v", clean)
+	}
+
+	// Force 2 transient failures on every transfer: absorbed by retries.
+	twoFails := &sim.FaultHooks{
+		TransferFailures: func(n *graph.Node) int { return 2 },
+		MaxRetries:       3,
+		RetryBackoff:     1e-4,
+	}
+	r := sim.Run(g, order, sim.Config{Model: m, Faults: twoFails})
+	if r.Retries != 4 { // 2 transfers x 2 retries
+		t.Errorf("want 4 retries, got %d", r.Retries)
+	}
+	if r.TransferAborts != 0 {
+		t.Errorf("retries within MaxRetries must not abort, got %d", r.TransferAborts)
+	}
+	if r.Latency <= clean.Latency {
+		t.Errorf("retries must cost time: %v <= %v", r.Latency, clean.Latency)
+	}
+	if r.RetryTime <= 0 {
+		t.Error("RetryTime not surfaced")
+	}
+	if len(r.Faults) != 2 {
+		t.Errorf("want 2 fault points on the timeline, got %d", len(r.Faults))
+	}
+
+	// Force more failures than MaxRetries: the transfer aborts.
+	tooMany := &sim.FaultHooks{
+		TransferFailures: func(n *graph.Node) int { return 9 },
+		MaxRetries:       3,
+	}
+	r = sim.Run(g, order, sim.Config{Model: m, Faults: tooMany})
+	if r.TransferAborts != 2 {
+		t.Errorf("want 2 aborts, got %d", r.TransferAborts)
+	}
+	for _, fp := range r.Faults {
+		if !fp.Aborted {
+			t.Errorf("fault point %+v should be marked aborted", fp)
+		}
+	}
+}
+
+func TestReplayZeroFaultsPasses(t *testing.T) {
+	w := models.MLP(64, 32, 64, 10, 2)
+	m := cost.NewModel(cost.RTX3090())
+	order := sched.Schedule(w.G.Topo())
+	peak := sched.Simulate(w.G, order).Peak
+	rep := Replay(w.G, order, m, peak*2, Config{Seed: 1, Scenarios: 4})
+	if !rep.OK() {
+		t.Fatalf("zero-magnitude faults must pass: %s", rep)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("want 4 scenarios, got %d", len(rep.Results))
+	}
+}
+
+func TestReplayBudgetSqueezeFails(t *testing.T) {
+	w := models.MLP(64, 32, 64, 10, 2)
+	m := cost.NewModel(cost.RTX3090())
+	order := sched.Schedule(w.G.Topo())
+	peak := sched.Simulate(w.G, order).Peak
+	// Budget exactly at peak: any squeeze window overlapping the peak
+	// violates. Many scenarios and wide squeezes make a hit certain.
+	cfg := Config{Seed: 5, Scenarios: 8, BudgetSqueeze: 0.5, SqueezeWindows: 4}
+	rep := Replay(w.G, order, m, peak, cfg)
+	if rep.OK() {
+		t.Fatal("budget squeeze at zero headroom should fail some scenario")
+	}
+	f := rep.FirstFailure()
+	if f == nil || f.Violation == nil {
+		t.Fatal("failure must carry a budget violation")
+	}
+	if f.Violation.Budget >= peak {
+		t.Errorf("violation budget %d not squeezed below peak %d", f.Violation.Budget, peak)
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	w := models.MLP(64, 32, 64, 10, 2)
+	m := cost.NewModel(cost.RTX3090())
+	order := sched.Schedule(w.G.Topo())
+	peak := sched.Simulate(w.G, order).Peak
+	cfg := Defaults(11, 6)
+	a := Replay(w.G, order, m, peak, cfg)
+	b := Replay(w.G, order, cost.NewModel(cost.RTX3090()), peak, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replay not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestScenarioLatencyPerturbsRun(t *testing.T) {
+	g, order := swapChain()
+	m := cost.NewModel(cost.RTX3090())
+	clean := sim.Run(g, order, sim.Config{Model: m})
+	sc := NewInjector(Config{Seed: 3, Scenarios: 1, CostNoise: 0.3}).Scenario(0)
+	r := sim.Run(g, order, sim.Config{Model: m, Faults: sc.Hooks()})
+	if math.Abs(r.Latency-clean.Latency) < 1e-12 {
+		t.Error("cost noise left the latency bit-identical")
+	}
+}

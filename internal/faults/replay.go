@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+
+	"magis/internal/cost"
+	"magis/internal/graph"
+	"magis/internal/sched"
+	"magis/internal/sim"
+)
+
+// BudgetViolation pinpoints the first time a scenario's available budget
+// was exceeded.
+type BudgetViolation struct {
+	// Time is seconds into the simulated execution.
+	Time float64
+	// Mem is the device memory in use at Time.
+	Mem int64
+	// Budget is the (possibly squeezed) budget available at Time.
+	Budget int64
+}
+
+// ScenarioResult is one scenario's replay outcome.
+type ScenarioResult struct {
+	// Scenario is the scenario index (0-based).
+	Scenario int
+	// Latency and Peak are the perturbed execution's measurements.
+	Latency float64
+	Peak    int64
+	// Retries counts transfer attempts absorbed by retry-with-backoff.
+	Retries int
+	// Aborts counts transfers that failed past MaxRetries.
+	Aborts int
+	// Violation is the first budget excess, nil if the plan always fit.
+	Violation *BudgetViolation
+	// Pass reports that the plan survived: no aborts and no violation.
+	Pass bool
+}
+
+// ReplayReport aggregates a plan's behaviour across all fault scenarios.
+type ReplayReport struct {
+	// Budget is the nominal device budget the plan was checked against
+	// (0 = only abort-freedom was checked).
+	Budget int64
+	// Results holds one entry per scenario, in scenario order.
+	Results []ScenarioResult
+	// Passed and Failed count scenarios.
+	Passed, Failed int
+}
+
+// OK reports that the plan survived every scenario.
+func (r *ReplayReport) OK() bool { return r.Failed == 0 }
+
+// FirstFailure returns the first failing scenario, or nil.
+func (r *ReplayReport) FirstFailure() *ScenarioResult {
+	for i := range r.Results {
+		if !r.Results[i].Pass {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// String renders a one-line summary for logs and CLI output.
+func (r *ReplayReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replay: %d/%d scenarios passed", r.Passed, r.Passed+r.Failed)
+	if f := r.FirstFailure(); f != nil {
+		if f.Aborts > 0 {
+			fmt.Fprintf(&b, "; scenario %d: %d transfer abort(s)", f.Scenario, f.Aborts)
+		}
+		if f.Violation != nil {
+			fmt.Fprintf(&b, "; scenario %d: %.2f MB over the %.2f MB budget at t=%.2fms",
+				f.Scenario, float64(f.Violation.Mem-f.Violation.Budget)/(1<<20),
+				float64(f.Violation.Budget)/(1<<20), f.Violation.Time*1e3)
+		}
+	}
+	return b.String()
+}
+
+// Replay executes the plan (g, order) under every scenario of cfg and
+// checks it against budget: at every timeline point the device memory in
+// use must fit the scenario's (transiently squeezed) budget, and no
+// transfer may abort. budget <= 0 skips the budget check.
+//
+// The replay is deterministic: identical reports for identical
+// (g, order, cfg), independent of wall-clock and of how the plan was found.
+func Replay(g *graph.Graph, order sched.Schedule, model *cost.Model, budget int64, cfg Config) *ReplayReport {
+	in := NewInjector(cfg)
+	cfg = in.Config()
+	rep := &ReplayReport{Budget: budget}
+	for i := 0; i < cfg.Scenarios; i++ {
+		sc := in.Scenario(i)
+		r := sim.Run(g, order, sim.Config{Model: model, Timeline: true, Faults: sc.Hooks()})
+		sr := ScenarioResult{
+			Scenario: i,
+			Latency:  r.Latency,
+			Peak:     r.Peak,
+			Retries:  r.Retries,
+			Aborts:   r.TransferAborts,
+		}
+		sr.Pass = sr.Aborts == 0
+		if budget > 0 {
+			for _, p := range r.Timeline {
+				if b := sc.BudgetAt(p.Time, r.Latency, budget); p.Mem > b {
+					sr.Violation = &BudgetViolation{Time: p.Time, Mem: p.Mem, Budget: b}
+					sr.Pass = false
+					break
+				}
+			}
+		}
+		if sr.Pass {
+			rep.Passed++
+		} else {
+			rep.Failed++
+		}
+		rep.Results = append(rep.Results, sr)
+	}
+	return rep
+}

@@ -28,6 +28,18 @@ const (
 	kindLoad  = "Load"
 )
 
+// opaque reports that a payload exposes byte accounting but no shape
+// structure — a collapsed fission region. Every catalog operator is an
+// ops.Spec (InputShaped) with a ranked output shape, so "not InputShaped
+// and shapeless" precisely identifies the region nodes of an evaluation
+// graph.
+func opaque(op Op) bool {
+	if _, shaped := op.(InputShaped); shaped {
+		return false
+	}
+	return op.OutShape().Rank() == 0
+}
+
 // Validate checks the full set of structural invariants every graph the
 // optimizer accepts must satisfy:
 //
@@ -37,11 +49,16 @@ const (
 //  3. shape agreement — for every node whose payload records expected
 //     input shapes (InputShaped), the number of inputs matches and each
 //     producer's output shape equals the shape the consumer expects
-//     (local shape re-inference over every edge);
+//     (local shape re-inference over every edge); edges from opaque
+//     producers — payloads that are not InputShaped and declare no output
+//     shape, i.e. collapsed fission regions carrying byte sizes — are
+//     exempt, mirroring the consumer-side exemption;
 //  4. Store/Load pairing — a Load consumes exactly one Store, a Store has
 //     exactly one producer (which is not itself a transfer), and every
 //     consumer of a Store is a Load (host-resident tensors cannot feed
-//     device compute directly).
+//     device compute directly). Opaque nodes are exempt on either end:
+//     a collapsed region may contain the matching Load or Store among
+//     its members.
 //
 // A buggy transformation rule violating any of these corrupts every later
 // scheduling and memory measurement, so the optimizer runs Validate on
@@ -107,6 +124,9 @@ func Validate(g *Graph) error {
 				ErrInvariant, id, n.Op.Kind(), len(n.Ins), is.NumIns())
 		}
 		for i, in := range n.Ins {
+			if opaque(g.nodes[in].Op) {
+				continue // opaque producers (collapsed regions) declare no shape
+			}
 			got := g.nodes[in].Op.OutShape()
 			want := is.InShape(i)
 			if !got.Equal(want) {
@@ -122,7 +142,7 @@ func Validate(g *Graph) error {
 			if len(n.Ins) != 1 {
 				return fmt.Errorf("%w: Load %d has %d producers, want 1", ErrInvariant, id, len(n.Ins))
 			}
-			if p := g.nodes[n.Ins[0]]; p.Op.Kind() != kindStore {
+			if p := g.nodes[n.Ins[0]]; p.Op.Kind() != kindStore && !opaque(p.Op) {
 				return fmt.Errorf("%w: Load %d consumes %s %d, want Store",
 					ErrInvariant, id, p.Op.Kind(), p.ID)
 			}
@@ -139,7 +159,7 @@ func Validate(g *Graph) error {
 				return fmt.Errorf("%w: Store %d has no Load consumer", ErrInvariant, id)
 			}
 			for _, c := range cs {
-				if g.nodes[c].Op.Kind() != kindLoad {
+				if g.nodes[c].Op.Kind() != kindLoad && !opaque(g.nodes[c].Op) {
 					return fmt.Errorf("%w: Store %d feeds %s %d, host tensors only feed Loads",
 						ErrInvariant, id, g.nodes[c].Op.Kind(), c)
 				}

@@ -119,3 +119,46 @@ func TestValidateStoreLoadPairing(t *testing.T) {
 		t.Fatalf("dangling Store not flagged: %v", err)
 	}
 }
+
+func TestValidateOpaqueRegionExemptions(t *testing.T) {
+	// op("Region") is not InputShaped and declares no output shape —
+	// exactly the profile of a collapsed fission region in an evaluation
+	// graph. Validate must accept it on either end of a transfer pair,
+	// because the matching Store or Load lives among the region's members.
+
+	// A Store feeding a region (the Load is inside the region).
+	g := New()
+	a := g.Add(op("In", 4))
+	st := g.Add(op(kindStore, 4), a)
+	g.Add(op("Region"), st)
+	if err := Validate(g); err != nil {
+		t.Fatalf("Store feeding opaque region rejected: %v", err)
+	}
+
+	// A Load consuming a region (the Store is inside the region).
+	g2 := New()
+	r2 := g2.Add(op("Region"))
+	ld2 := g2.Add(op(kindLoad, 4), r2)
+	g2.Add(op("B", 4), ld2)
+	if err := Validate(g2); err != nil {
+		t.Fatalf("Load consuming opaque region rejected: %v", err)
+	}
+
+	// A shaped consumer of a region skips the shape check on that edge.
+	g3 := New()
+	r3 := g3.Add(op("Region"))
+	g3.Add(shapedOp{testOp{"B", tensor.S(4)}, []tensor.Shape{tensor.S(4)}}, r3)
+	if err := Validate(g3); err != nil {
+		t.Fatalf("shaped consumer of opaque region rejected: %v", err)
+	}
+
+	// The exemption is narrow: a shaped non-transfer op still cannot
+	// consume a Store.
+	g4 := New()
+	a4 := g4.Add(op("In", 4))
+	st4 := g4.Add(op(kindStore, 4), a4)
+	g4.Add(op("B", 4), st4)
+	if err := Validate(g4); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("Store feeding shaped compute not flagged: %v", err)
+	}
+}

@@ -54,7 +54,7 @@ func Save(w io.Writer, g *graph.Graph, order sched.Schedule) error {
 func Load(r io.Reader) (*graph.Graph, sched.Schedule, error) {
 	var f fileFormat
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
-		return nil, nil, fmt.Errorf("graphio: %v", err)
+		return nil, nil, fmt.Errorf("graphio: %w", err)
 	}
 	if f.Version != 1 {
 		return nil, nil, fmt.Errorf("graphio: unsupported version %d", f.Version)
@@ -82,7 +82,7 @@ func Load(r io.Reader) (*graph.Graph, sched.Schedule, error) {
 	}
 	if order != nil {
 		if err := order.Validate(g); err != nil {
-			return nil, nil, fmt.Errorf("graphio: %v", err)
+			return nil, nil, fmt.Errorf("graphio: %w", err)
 		}
 	}
 	return g, order, nil

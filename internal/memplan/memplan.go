@@ -48,7 +48,7 @@ func (p *Plan) Fragmentation() float64 {
 // offline planning heuristic; optimal layout is NP-hard).
 func Build(g *graph.Graph, order sched.Schedule) (*Plan, error) {
 	if err := order.Validate(g); err != nil {
-		return nil, fmt.Errorf("memplan: %v", err)
+		return nil, fmt.Errorf("memplan: %w", err)
 	}
 	pos := make(map[graph.NodeID]int, len(order))
 	for i, v := range order {

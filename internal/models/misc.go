@@ -54,10 +54,21 @@ func SkipChain(n, elems int) (*graph.Graph, graph.NodeID) {
 
 // RandomNASNet builds a forward-only, irregularly wired network resembling
 // NASNet cells (§7.3): each cell has five internal nodes combining two
-// random predecessors with random convolutional operators.
+// random predecessors with random convolutional operators. The seed fully
+// determines the topology.
 func RandomNASNet(seed int64, cells, channels, image, batch int) *Workload {
+	w := RandomNASNetRand(rand.New(rand.NewSource(seed)), cells, channels, image, batch)
+	w.Name = fmt.Sprintf("NASNet-rand%d", seed)
+	return w
+}
+
+// RandomNASNetRand is RandomNASNet with the random source injected instead
+// of owned: deterministic harnesses (the fault-replay and memory-planner
+// property tests) thread one seeded *rand.Rand through a whole batch of
+// generated workloads, so the n-th graph of a run is reproducible without
+// this package ever touching global math/rand state.
+func RandomNASNetRand(r *rand.Rand, cells, channels, image, batch int) *Workload {
 	dt := tensor.TF32
-	r := rand.New(rand.NewSource(seed))
 	b := &cnnBuilder{g: graph.New(), dt: dt}
 	g := b.g
 	img := g.AddNamed("image", ops.NewInput(tensor.S(batch, 3, image, image), dt))
@@ -110,5 +121,5 @@ func RandomNASNet(seed int64, cells, channels, image, batch int) *Workload {
 	}
 	// A small head so the graph has one output.
 	loss := b.classify(prevOuts[0], 10, batch)
-	return &Workload{Name: fmt.Sprintf("NASNet-rand%d", seed), G: g, Loss: loss, Batch: batch, DType: dt}
+	return &Workload{Name: "NASNet-rand", G: g, Loss: loss, Batch: batch, DType: dt}
 }

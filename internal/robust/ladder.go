@@ -1,0 +1,276 @@
+// Package robust is the adaptive re-optimization ladder: given a plan
+// that fails the differential audit or the fault-injected replay
+// (internal/faults), it re-runs the M-Optimizer through an escalating
+// sequence of degradation rungs until a plan survives. Each rung trades a
+// little more latency for a lot more safety margin:
+//
+//	as-is       the plan exactly as the base search produced it
+//	headroom    re-optimize with the effective budget shrunk by a
+//	            headroom margin, so transient co-tenant squeezes fit
+//	aggressive  additionally raise re-mat/swap aggressiveness (more rule
+//	            sites and candidates per expansion, more iterations)
+//	micro-batch additionally pre-split the whole graph into sequential
+//	            micro-batches (the §7.2.4 whole-graph F-Trans) before
+//	            searching — the last-resort memory floor
+//
+// The ladder reuses the search hardening of internal/opt unchanged:
+// context cancellation layers under each rung's TimeBudget, rule panics
+// stay quarantined per run, and Options.Workers parallelizes candidate
+// evaluation. Because both the search (for any worker count) and the
+// fault injector are deterministic, the surviving rung and every attached
+// report are reproducible for a fixed fault seed.
+package robust
+
+import (
+	"context"
+	"fmt"
+
+	"magis/internal/baselines"
+	"magis/internal/cost"
+	"magis/internal/faults"
+	"magis/internal/graph"
+	"magis/internal/opt"
+)
+
+// Rung identifies one level of the degradation ladder.
+type Rung int
+
+const (
+	// RungAsIs evaluates the plan the base options produce.
+	RungAsIs Rung = iota
+	// RungHeadroom shrinks the effective memory budget by the headroom
+	// margin before re-optimizing.
+	RungHeadroom
+	// RungAggressive also raises rule aggressiveness: twice the rule sites
+	// and F-Tree candidates per expansion and twice the iteration budget.
+	RungAggressive
+	// RungMicroBatch also pre-splits the whole graph into sequential
+	// micro-batches before searching.
+	RungMicroBatch
+
+	numRungs
+)
+
+// String names the rung for reports.
+func (r Rung) String() string {
+	switch r {
+	case RungAsIs:
+		return "as-is"
+	case RungHeadroom:
+		return "headroom"
+	case RungAggressive:
+		return "aggressive"
+	case RungMicroBatch:
+		return "micro-batch"
+	default:
+		return fmt.Sprintf("rung(%d)", int(r))
+	}
+}
+
+// Options configures the ladder.
+type Options struct {
+	// Opt is the base search configuration; rungs above RungAsIs override
+	// its Mode/MemLimit (and, higher up, aggressiveness knobs).
+	Opt opt.Options
+	// Budget is the device budget every plan must fit. 0 defaults to
+	// Opt.MemLimit (LatencyUnderMemory mode) or the device capacity.
+	Budget int64
+	// Headroom is the fractional budget margin RungHeadroom reserves
+	// (default 0.10; RungAggressive and RungMicroBatch reserve 1.5x).
+	Headroom float64
+	// Faults configures the replay; Scenarios <= 0 with all magnitudes
+	// zero still runs the audit but skips fault replay.
+	Faults faults.Config
+	// ReplayFaults enables fault-injected replay as a feasibility gate.
+	ReplayFaults bool
+	// Audit bounds the differential audit (Model and Budget are filled in
+	// by the ladder).
+	Audit faults.AuditConfig
+	// MicroBatchFactor is the whole-graph fission factor of RungMicroBatch
+	// (default 2).
+	MicroBatchFactor int
+	// MaxRung caps escalation (default RungMicroBatch).
+	MaxRung Rung
+	// Initial, when set, is reused as RungAsIs's search result instead of
+	// re-running the base search (the CLI passes its already-finished run).
+	Initial *opt.Result
+}
+
+func (o Options) withDefaults(model *cost.Model) Options {
+	if o.Headroom <= 0 {
+		o.Headroom = 0.10
+	}
+	if o.MicroBatchFactor < 2 {
+		o.MicroBatchFactor = 2
+	}
+	if o.MaxRung <= 0 || o.MaxRung >= numRungs {
+		o.MaxRung = RungMicroBatch
+	}
+	if o.Budget <= 0 {
+		if o.Opt.Mode == opt.LatencyUnderMemory && o.Opt.MemLimit > 0 {
+			o.Budget = o.Opt.MemLimit
+		} else if model != nil && model.Dev != nil {
+			o.Budget = model.Dev.Capacity
+		}
+	}
+	return o
+}
+
+// Attempt records one rung's outcome.
+type Attempt struct {
+	// Rung is the ladder level attempted.
+	Rung Rung
+	// MemLimit is the effective memory limit the rung searched under.
+	MemLimit int64
+	// PeakMem and Latency are the rung's best-plan measurements.
+	PeakMem int64
+	Latency float64
+	// Stopped is why the rung's search ended.
+	Stopped opt.StopReason
+	// Audit is the differential audit of the rung's plan.
+	Audit *faults.AuditReport
+	// Replay is the fault-injected replay report (nil when replay is off).
+	Replay *faults.ReplayReport
+	// Feasible reports that the plan survived audit and replay.
+	Feasible bool
+	// Err is set when the rung itself could not run (e.g. the micro-batch
+	// split found no batch dimension); the ladder then escalates past it.
+	Err string
+}
+
+// Result is the ladder's outcome.
+type Result struct {
+	// Attempts lists every rung tried, in order.
+	Attempts []Attempt
+	// Survived reports that some rung produced a feasible plan.
+	Survived bool
+	// Rung is the surviving rung (valid only when Survived).
+	Rung Rung
+	// Repaired reports that the surviving plan needed escalation beyond
+	// the base search.
+	Repaired bool
+	// Best is the surviving plan's state (or the base plan when nothing
+	// survived, so callers still degrade gracefully).
+	Best *opt.State
+	// Opt is the surviving (or fallback) search result.
+	Opt *opt.Result
+}
+
+// Summary renders the ladder outcome for logs and CLI output.
+func (r *Result) Summary() string {
+	if r.Survived {
+		return fmt.Sprintf("plan feasible at rung %q after %d attempt(s)", r.Rung, len(r.Attempts))
+	}
+	return fmt.Sprintf("no feasible plan after %d attempt(s); returning best effort", len(r.Attempts))
+}
+
+// Reoptimize walks the ladder until a rung's plan passes the differential
+// audit and (when enabled) the fault-injected replay. The search hardening
+// of opt.OptimizeCtx applies per rung; cancelling ctx stops the ladder at
+// the current rung with the attempts recorded so far.
+func Reoptimize(ctx context.Context, g *graph.Graph, model *cost.Model, o Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o = o.withDefaults(model)
+	res := &Result{}
+	for rung := RungAsIs; rung <= o.MaxRung; rung++ {
+		att := Attempt{Rung: rung}
+		or, err := runRung(ctx, g, model, o, rung, &att)
+		if err != nil {
+			att.Err = err.Error()
+			res.Attempts = append(res.Attempts, att)
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		st := or.Best
+		att.PeakMem = st.PeakMem
+		att.Latency = st.Latency
+		att.Stopped = or.Stopped
+		ac := o.Audit
+		ac.Model = model
+		if ac.Budget <= 0 {
+			ac.Budget = o.Budget
+		}
+		att.Audit = faults.Audit(st.EvalG, st.Sched, ac)
+		feasible := att.Audit.OK()
+		if o.ReplayFaults {
+			att.Replay = faults.Replay(st.EvalG, st.Sched, model, o.Budget, o.Faults)
+			feasible = feasible && att.Replay.OK()
+		}
+		att.Feasible = feasible
+		res.Attempts = append(res.Attempts, att)
+		if res.Best == nil {
+			res.Best, res.Opt = st, or // graceful-degradation fallback
+		}
+		if feasible {
+			res.Survived = true
+			res.Rung = rung
+			res.Repaired = rung > RungAsIs
+			res.Best, res.Opt = st, or
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return res, nil
+}
+
+// runRung configures and executes one rung's search.
+func runRung(ctx context.Context, g *graph.Graph, model *cost.Model, o Options, rung Rung, att *Attempt) (*opt.Result, error) {
+	oo := o.Opt
+	gg := g
+	switch rung {
+	case RungAsIs:
+		att.MemLimit = oo.MemLimit
+		if o.Initial != nil {
+			if o.Initial.Best == nil {
+				return nil, fmt.Errorf("robust: initial result has no best state")
+			}
+			return o.Initial, nil
+		}
+	case RungHeadroom:
+		att.MemLimit = shrink(o.Budget, o.Headroom)
+		oo.Mode = opt.LatencyUnderMemory
+		oo.MemLimit = att.MemLimit
+	case RungAggressive, RungMicroBatch:
+		att.MemLimit = shrink(o.Budget, 1.5*o.Headroom)
+		oo.Mode = opt.LatencyUnderMemory
+		oo.MemLimit = att.MemLimit
+		oo.MaxSites = raised(oo.MaxSites, 8)
+		oo.MaxCandidates = raised(oo.MaxCandidates, 64)
+		if oo.MaxIterations > 0 {
+			oo.MaxIterations *= 2
+		}
+		if rung == RungMicroBatch {
+			split, err := baselines.SplitBatch(g, o.MicroBatchFactor)
+			if err != nil {
+				return nil, fmt.Errorf("robust: micro-batch fission: %w", err)
+			}
+			gg = split
+		}
+	}
+	return opt.OptimizeCtx(ctx, gg, model, oo)
+}
+
+// shrink reserves a fractional margin off the budget.
+func shrink(budget int64, margin float64) int64 {
+	if budget <= 0 {
+		return budget
+	}
+	if margin > 0.9 {
+		margin = 0.9
+	}
+	return int64(float64(budget) * (1 - margin))
+}
+
+// raised doubles a knob from its explicit or default value.
+func raised(v, def int) int {
+	if v <= 0 {
+		v = def
+	}
+	return 2 * v
+}

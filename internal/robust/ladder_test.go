@@ -1,0 +1,237 @@
+package robust
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"magis/internal/cost"
+	"magis/internal/faults"
+	"magis/internal/models"
+	"magis/internal/opt"
+)
+
+func testModel() *cost.Model { return cost.NewModel(cost.RTX3090()) }
+
+// fatMLP mirrors the opt package's test workload: activations dominate
+// weights, so re-mat and scheduling have real slack to cut the peak.
+func fatMLP() *models.Workload { return models.MLP(4096, 128, 256, 10, 3) }
+
+// deterministicOpt bounds the search by iterations instead of wall-clock,
+// the same contract opt's parallel determinism tests rely on.
+func deterministicOpt(workers int) opt.Options {
+	return opt.Options{
+		Mode:          opt.LatencyUnderMemory,
+		TimeBudget:    -1, // disabled: MaxIterations is the only bound
+		MaxIterations: 12,
+		Workers:       workers,
+	}
+}
+
+// worstEstimator is the budget the differential audit holds a plan to.
+func worstEstimator(r *faults.AuditReport) int64 {
+	w := r.SchedPeak
+	if r.SimPeak > w {
+		w = r.SimPeak
+	}
+	if r.ArenaSize > w {
+		w = r.ArenaSize
+	}
+	return w
+}
+
+// squeezeOptions is the shared end-to-end scenario: a budget exactly at the
+// baseline plan's worst estimator (zero headroom), perturbed by transient
+// co-tenant squeezes taking up to 30% of it.
+func squeezeOptions(workers int, budget int64, base *opt.State) Options {
+	return Options{
+		Opt:      deterministicOpt(workers),
+		Budget:   budget,
+		Headroom: 0.30,
+		Faults: faults.Config{
+			Seed:           9,
+			Scenarios:      6,
+			BudgetSqueeze:  0.30,
+			SqueezeWindows: 4,
+		},
+		ReplayFaults: true,
+		Initial:      &opt.Result{Best: base, Stopped: opt.StopConverged},
+	}
+}
+
+// TestLadderRepairsBudgetSqueeze is the end-to-end graceful-degradation
+// contract: the baseline plan audits clean and survives a zero-magnitude
+// replay, fails replay once transient budget squeezes are injected, and a
+// later ladder rung repairs it — with the surviving rung recorded.
+func TestLadderRepairsBudgetSqueeze(t *testing.T) {
+	w := fatMLP()
+	m := testModel()
+	base := opt.Baseline(w.G, m)
+	audit := faults.Audit(base.EvalG, base.Sched, faults.AuditConfig{Model: m})
+	if !audit.OK() {
+		t.Fatalf("baseline must audit clean:\n%s", audit)
+	}
+	budget := worstEstimator(audit)
+
+	// Step 1: with zero-magnitude faults the plan fits its budget.
+	clean := faults.Replay(base.EvalG, base.Sched, m, budget, faults.Config{Seed: 9, Scenarios: 4})
+	if !clean.OK() {
+		t.Fatalf("plan must pass a fault-free replay: %s", clean)
+	}
+
+	// Step 2: transient squeezes push the (zero-headroom) plan over.
+	o := squeezeOptions(1, budget, base)
+	squeezed := faults.Replay(base.EvalG, base.Sched, m, budget, o.Faults)
+	if squeezed.OK() {
+		t.Fatal("budget squeeze at zero headroom should fail the replay")
+	}
+
+	// Step 3: the ladder escalates until a rung survives.
+	res, err := Reoptimize(context.Background(), w.G, m, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Attempts) == 0 {
+		t.Fatal("no attempts recorded")
+	}
+	first := res.Attempts[0]
+	if first.Rung != RungAsIs || first.Feasible {
+		t.Fatalf("as-is rung should have been attempted and failed, got %+v", first)
+	}
+	if first.Replay == nil || first.Replay.OK() {
+		t.Fatal("as-is failure must come from the fault replay")
+	}
+	if !first.Audit.OK() {
+		t.Fatalf("as-is plan should fail replay, not audit:\n%s", first.Audit)
+	}
+	if !res.Survived {
+		for _, a := range res.Attempts {
+			t.Logf("rung %s: feasible=%v err=%q\n%s", a.Rung, a.Feasible, a.Err, a.Audit)
+		}
+		t.Fatal("no rung produced a feasible plan")
+	}
+	if !res.Repaired || res.Rung == RungAsIs {
+		t.Fatalf("repair must need escalation, got rung %s", res.Rung)
+	}
+	last := res.Attempts[len(res.Attempts)-1]
+	if last.Rung != res.Rung || !last.Feasible {
+		t.Fatalf("surviving rung %s not recorded as the last feasible attempt %+v", res.Rung, last)
+	}
+	if last.Replay == nil || !last.Replay.OK() || !last.Audit.OK() {
+		t.Fatal("surviving attempt must carry passing audit and replay reports")
+	}
+	if res.Best == nil || res.Best.PeakMem > budget {
+		t.Fatalf("surviving plan peak %d exceeds budget %d", res.Best.PeakMem, budget)
+	}
+}
+
+// ladderSummary flattens the run for cross-worker comparison: everything
+// except wall-clock timers must be bit-identical.
+type ladderSummary struct {
+	survived, repaired bool
+	rung               Rung
+	bestHash           uint64
+	bestPeak           int64
+	bestLatency        float64
+	rungs              []Rung
+	memLimits          []int64
+	feasible           []bool
+	audits             []*faults.AuditReport
+	replays            []*faults.ReplayReport
+}
+
+func summarize(t *testing.T, workers int) ladderSummary {
+	t.Helper()
+	w := fatMLP()
+	m := testModel()
+	base := opt.Baseline(w.G, m)
+	audit := faults.Audit(base.EvalG, base.Sched, faults.AuditConfig{Model: m})
+	res, err := Reoptimize(context.Background(), w.G, m, squeezeOptions(workers, worstEstimator(audit), base))
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	s := ladderSummary{
+		survived:    res.Survived,
+		repaired:    res.Repaired,
+		rung:        res.Rung,
+		bestHash:    res.Best.EvalG.WLHash(),
+		bestPeak:    res.Best.PeakMem,
+		bestLatency: res.Best.Latency,
+	}
+	for _, a := range res.Attempts {
+		s.rungs = append(s.rungs, a.Rung)
+		s.memLimits = append(s.memLimits, a.MemLimit)
+		s.feasible = append(s.feasible, a.Feasible)
+		s.audits = append(s.audits, a.Audit)
+		s.replays = append(s.replays, a.Replay)
+	}
+	return s
+}
+
+// TestLadderDeterministicAcrossWorkers is the reproducibility contract the
+// ISSUE pins: for a fixed fault seed the full ladder outcome — every
+// attempt's AuditReport and ReplayReport included — is identical across
+// runs and across opt worker counts.
+func TestLadderDeterministicAcrossWorkers(t *testing.T) {
+	ref := summarize(t, 1)
+	again := summarize(t, 1)
+	if !reflect.DeepEqual(ref, again) {
+		t.Fatalf("ladder not deterministic across runs:\n%+v\nvs\n%+v", ref, again)
+	}
+	got := summarize(t, 4)
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("ladder outcome differs between Workers=1 and Workers=4:\n%+v\nvs\n%+v", ref, got)
+	}
+}
+
+// TestLadderInitialReused: a pre-computed search result short-circuits the
+// as-is rung, so a CLI can feed its finished run straight into the ladder.
+func TestLadderInitialReused(t *testing.T) {
+	w := fatMLP()
+	m := testModel()
+	base := opt.Baseline(w.G, m)
+	audit := faults.Audit(base.EvalG, base.Sched, faults.AuditConfig{Model: m})
+	budget := worstEstimator(audit) * 2 // generous: as-is must survive untouched
+	res, err := Reoptimize(context.Background(), w.G, m, Options{
+		Opt:     deterministicOpt(1),
+		Budget:  budget,
+		Initial: &opt.Result{Best: base, Stopped: opt.StopConverged},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Survived || res.Rung != RungAsIs || res.Repaired {
+		t.Fatalf("generous budget must pass as-is, got %s", res.Summary())
+	}
+	if res.Best != base {
+		t.Error("as-is rung must reuse the provided initial state")
+	}
+	if res.Attempts[0].Audit == nil || !res.Attempts[0].Audit.OK() {
+		t.Error("as-is attempt must still be audited")
+	}
+}
+
+// TestLadderCancellation: cancelling the context stops escalation but the
+// attempts so far stay recorded and the best-effort fallback is returned.
+func TestLadderCancellation(t *testing.T) {
+	w := fatMLP()
+	m := testModel()
+	base := opt.Baseline(w.G, m)
+	audit := faults.Audit(base.EvalG, base.Sched, faults.AuditConfig{Model: m})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: only the (Initial-backed) as-is rung runs
+	o := squeezeOptions(1, worstEstimator(audit), base)
+	res, err := Reoptimize(ctx, w.G, m, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Survived {
+		t.Fatal("cancelled ladder cannot have escalated to a repair")
+	}
+	if len(res.Attempts) == 0 {
+		t.Fatal("the as-is attempt must be recorded despite cancellation")
+	}
+	if res.Best == nil {
+		t.Fatal("graceful degradation requires a best-effort fallback state")
+	}
+}

@@ -26,6 +26,57 @@ type Config struct {
 	NodeCost func(n *graph.Node) (lat float64, ok bool)
 	// Timeline requests a memory-over-time trace (Fig. 16).
 	Timeline bool
+	// Faults perturbs the execution (fault-injection replay); nil runs the
+	// pristine simulation with zero overhead.
+	Faults *FaultHooks
+}
+
+// FaultHooks lets a fault injector perturb a simulated execution. All hooks
+// must be deterministic functions of the node for a replay to be
+// reproducible; internal/faults derives them from a seeded scenario.
+type FaultHooks struct {
+	// LatencyScale returns a multiplicative factor on the node's modeled
+	// latency (1 = unperturbed). It models cost-model error on compute
+	// operators and degraded host-link bandwidth on transfers.
+	LatencyScale func(n *graph.Node) float64
+	// TransferFailures returns how many transient failures a Store/Load
+	// suffers before succeeding. Failures are absorbed by a bounded
+	// retry-with-backoff model: each failed attempt costs the transfer's
+	// latency plus an exponentially growing backoff delay. A transfer still
+	// failing after MaxRetries aborts (counted in Result.TransferAborts).
+	TransferFailures func(n *graph.Node) int
+	// MaxRetries bounds absorbed failures per transfer (default 3).
+	MaxRetries int
+	// RetryBackoff is the base backoff delay in seconds, doubling per
+	// attempt (default 50µs).
+	RetryBackoff float64
+}
+
+func (h *FaultHooks) maxRetries() int {
+	if h.MaxRetries <= 0 {
+		return 3
+	}
+	return h.MaxRetries
+}
+
+func (h *FaultHooks) backoff() float64 {
+	if h.RetryBackoff <= 0 {
+		return 50e-6
+	}
+	return h.RetryBackoff
+}
+
+// FaultPoint records one absorbed (or aborted) transfer fault on the
+// simulated timeline.
+type FaultPoint struct {
+	// Time is when the faulty transfer was issued.
+	Time float64
+	// Node is the transfer operator that faulted.
+	Node graph.NodeID
+	// Retries is the number of extra attempts the copy stream absorbed.
+	Retries int
+	// Aborted reports that the transfer still failed after MaxRetries.
+	Aborted bool
 }
 
 // SelfCosted marks node payloads that price their own execution (e.g.
@@ -51,6 +102,17 @@ type Result struct {
 	CopyBusy    float64
 	// Timeline is the memory trace (only when Config.Timeline).
 	Timeline []Point
+	// Retries counts transfer attempts repeated after transient faults
+	// (only with Config.Faults).
+	Retries int
+	// RetryTime is the extra copy-stream time spent re-running failed
+	// transfers, backoff included.
+	RetryTime float64
+	// TransferAborts counts transfers that still failed after MaxRetries —
+	// a nonzero value means the plan did not complete under the scenario.
+	TransferAborts int
+	// Faults lists the absorbed transfer faults in schedule order.
+	Faults []FaultPoint
 }
 
 // Run simulates executing g in the given order under cfg.
@@ -78,6 +140,11 @@ func Run(g *graph.Graph, order sched.Schedule, cfg Config) *Result {
 	for _, v := range order {
 		node := g.Node(v)
 		lat := latency(node)
+		if cfg.Faults != nil && cfg.Faults.LatencyScale != nil {
+			if f := cfg.Faults.LatencyScale(node); f > 0 {
+				lat *= f
+			}
+		}
 		ready := 0.0
 		for _, p := range g.Pre(v) {
 			if f := finish[p]; f > ready {
@@ -95,10 +162,36 @@ func Run(g *graph.Graph, order sched.Schedule, cfg Config) *Result {
 			if prevComputeStart > s {
 				s = prevComputeStart
 			}
+			// Transient faults: each failed attempt re-pays the transfer
+			// latency plus an exponential backoff before the retry.
+			dur := lat
+			if h := cfg.Faults; h != nil && h.TransferFailures != nil {
+				if k := h.TransferFailures(node); k > 0 {
+					maxR := h.maxRetries()
+					absorbed := k
+					if absorbed > maxR {
+						absorbed = maxR
+					}
+					var extra float64
+					for i := 0; i < absorbed; i++ {
+						extra += lat + h.backoff()*float64(int64(1)<<i)
+					}
+					dur += extra
+					res.Retries += absorbed
+					res.RetryTime += extra
+					aborted := k > maxR
+					if aborted {
+						res.TransferAborts++
+					}
+					res.Faults = append(res.Faults, FaultPoint{
+						Time: s, Node: v, Retries: absorbed, Aborted: aborted,
+					})
+				}
+			}
 			start[v] = s
-			finish[v] = s + lat
+			finish[v] = s + dur
 			copyFree = finish[v]
-			res.CopyBusy += lat
+			res.CopyBusy += dur
 		} else {
 			s := ready
 			if computeFree > s {
