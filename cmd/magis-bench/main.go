@@ -29,11 +29,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
+	"magis/internal/cliutil"
 	"magis/internal/cost"
 	"magis/internal/expr"
 	"magis/internal/faults"
@@ -54,18 +57,12 @@ func main() {
 		faultsN   = flag.Int("faults", 0, "fault scenarios per workload in the audit target (0 = audit only)")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
 		headroom  = flag.Float64("headroom", 0.10, "budget margin the re-optimization ladder reserves, in (0,0.9]")
+		ckDir     = flag.String("checkpoint", "", "checkpoint the audit target's ladders into per-workload subdirectories of this path (re-running on the same path resumes them)")
 	)
 	flag.Parse()
-	if *scale <= 0 || *scale > 1 {
-		fmt.Fprintf(os.Stderr, "invalid -scale %v: must be in (0,1]\n", *scale)
-		os.Exit(2)
-	}
-	if *faultsN < 0 {
-		fmt.Fprintf(os.Stderr, "invalid -faults %d: must be >= 0\n", *faultsN)
-		os.Exit(2)
-	}
-	if *headroom <= 0 || *headroom > 0.9 {
-		fmt.Fprintf(os.Stderr, "invalid -headroom %v: must be in (0,0.9]\n", *headroom)
+	if err := (cliutil.Search{Scale: *scale, Budget: *budget, Workers: *workers,
+		Headroom: *headroom, Faults: *faultsN}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -158,7 +155,7 @@ func main() {
 		case "fig16":
 			fmt.Print(expr.RenderFig16(expr.Fig16(cfg, nil)))
 		case "audit":
-			runAudit(ctx, cfg, *faultsN, *faultSeed, *headroom)
+			runAudit(ctx, cfg, *faultsN, *faultSeed, *headroom, *ckDir)
 		}
 		if ctx.Err() != nil {
 			fmt.Printf("(%s interrupted after %v; rows reflect best-so-far states)\n\n",
@@ -172,8 +169,11 @@ func main() {
 // runAudit is the execution-feasibility harness: per workload it audits
 // the baseline plan against a zero-headroom budget (the worst of the three
 // peak estimators), replays it under the seeded fault scenarios, and walks
-// the re-optimization ladder when the plan is infeasible.
-func runAudit(ctx context.Context, cfg expr.Config, scenarios int, seed int64, headroom float64) {
+// the re-optimization ladder when the plan is infeasible. With ckDir set,
+// each workload's ladder checkpoints into its own subdirectory: an
+// interrupted audit re-run on the same path replays completed rungs
+// instead of re-searching them.
+func runAudit(ctx context.Context, cfg expr.Config, scenarios int, seed int64, headroom float64, ckDir string) {
 	m := cost.NewModel(cost.RTX3090())
 	b := func(n int) int {
 		s := int(float64(n) * cfg.Scale)
@@ -204,7 +204,7 @@ func runAudit(ctx context.Context, cfg expr.Config, scenarios int, seed int64, h
 		if ar.ArenaSize > budget {
 			budget = ar.ArenaSize
 		}
-		lad, err := robust.Reoptimize(ctx, w.G, m, robust.Options{
+		ro := robust.Options{
 			Opt: opt.Options{
 				Mode:       opt.LatencyUnderMemory,
 				MemLimit:   budget,
@@ -216,7 +216,11 @@ func runAudit(ctx context.Context, cfg expr.Config, scenarios int, seed int64, h
 			Faults:       faults.Defaults(seed, scenarios),
 			ReplayFaults: scenarios > 0,
 			Initial:      &opt.Result{Best: base, Stopped: opt.StopConverged},
-		})
+		}
+		if ckDir != "" {
+			ro.CheckpointDir = filepath.Join(ckDir, dirName(w.Name))
+		}
+		lad, err := robust.Reoptimize(ctx, w.G, m, ro)
 		if err != nil {
 			fmt.Printf("%-16s %v\n", w.Name, err)
 			continue
@@ -246,6 +250,9 @@ func runAudit(ctx context.Context, cfg expr.Config, scenarios int, seed int64, h
 			fmt.Sprintf("%.2f GB", float64(lad.Best.PeakMem)/(1<<30)),
 			fmt.Sprintf("%.2f ms", lad.Best.Latency*1e3),
 			fmt.Sprintf("%dp/%dw/%df", pass, warn, fail), replay)
+		if lad.CheckpointErr != "" {
+			fmt.Printf("  checkpoint degraded: %s\n", lad.CheckpointErr)
+		}
 		if !lad.Survived {
 			for _, c := range last.Audit.Failed() {
 				fmt.Printf("  audit failure: [%s] %s: %s\n", c.Status, c.Name, c.Detail)
@@ -255,4 +262,16 @@ func runAudit(ctx context.Context, cfg expr.Config, scenarios int, seed int64, h
 			}
 		}
 	}
+}
+
+// dirName makes a workload name filesystem-friendly.
+func dirName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
 }

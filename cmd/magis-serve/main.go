@@ -1,0 +1,96 @@
+// Command magis-serve runs the MAGIS optimizer as a supervised service: an
+// HTTP front-end over a bounded job queue with admission control, per-job
+// panic isolation, a stall watchdog, and crash-safe drain.
+//
+// Usage:
+//
+//	magis-serve -addr :8080 -queue 8 -jobs 2 -checkpoint-dir /var/lib/magis
+//
+// Endpoints:
+//
+//	POST /optimize   submit a job: {"model":"bert","mode":"mem","budget":"30s"}
+//	                 202 + job id; 429 when the queue is full; 503 draining
+//	GET  /jobs/{id}  job state, progress, and result
+//	GET  /healthz    liveness + queue depth, capacity, in-flight jobs
+//	GET  /metrics    service counters (admissions, rejections, stalls, ...)
+//
+// SIGTERM/SIGINT drains: admission stops, in-flight searches are cancelled
+// (each writes a final checkpoint), and the process exits once the workers
+// stop. Restarting with the same -checkpoint-dir re-admits interrupted
+// jobs and resumes them from their snapshots.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"magis/internal/cost"
+	"magis/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		queue   = flag.Int("queue", 8, "admission queue depth (a full queue rejects with 429)")
+		jobs    = flag.Int("jobs", 1, "jobs run concurrently")
+		budget  = flag.Duration("budget", 10*time.Second, "default per-job search budget")
+		maxBudg = flag.Duration("max-budget", 5*time.Minute, "largest budget a request may ask for")
+		ckDir   = flag.String("checkpoint-dir", "", "job checkpoint directory (enables crash-safe jobs and restart recovery)")
+		ckEvery = flag.Int("checkpoint-every", 0, "checkpoint flush cadence in expansions (0 = default)")
+		stall   = flag.Duration("stall-window", 30*time.Second, "cancel a job with no expansion progress for this long (negative disables)")
+		drainT  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for jobs to checkpoint and stop")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Model:            cost.NewModel(cost.RTX3090()),
+		QueueDepth:       *queue,
+		Workers:          *jobs,
+		DefaultBudget:    *budget,
+		MaxBudget:        *maxBudg,
+		CheckpointDir:    *ckDir,
+		CheckpointEveryN: *ckEvery,
+		StallWindow:      *stall,
+		Logf:             log.Printf,
+	})
+	if n := s.Start(); n > 0 {
+		log.Printf("recovered %d checkpointed job(s) from %s", n, *ckDir)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("magis-serve listening on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		return
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting, cancel in-flight searches (each
+	// writes its final checkpoint), then close the listener.
+	log.Printf("signal received; draining (timeout %v)", *drainT)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	sctx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	_ = hs.Shutdown(sctx)
+	log.Printf("drained; exiting")
+}

@@ -22,6 +22,12 @@
 // SIGINT/SIGTERM cancels the search; the best state found so far is
 // printed and the process exits 0 (the search is anytime — an interrupted
 // run is a valid, just less optimized, result).
+//
+// -checkpoint makes the search crash-safe: it periodically snapshots its
+// full state to the given path (atomically), and a later run with
+// -resume <path> continues from the snapshot under the remaining budget —
+// including after SIGKILL. A resumed run takes its workload and options
+// from the snapshot; -model/-mode/-limit/-budget are ignored.
 package main
 
 import (
@@ -34,9 +40,11 @@ import (
 	"syscall"
 	"time"
 
+	"magis/internal/cliutil"
 	"magis/internal/codegen"
 	"magis/internal/cost"
 	"magis/internal/faults"
+	"magis/internal/graph"
 	"magis/internal/models"
 	"magis/internal/opt"
 	"magis/internal/robust"
@@ -52,7 +60,11 @@ func main() {
 		budget  = flag.Duration("budget", 10*time.Second, "search time budget (paper: 3m)")
 		level   = flag.Int("L", 4, "F-Tree max level")
 		workers = flag.Int("workers", 0, "parallel candidate evaluations (0 = GOMAXPROCS, 1 = sequential)")
+		iters   = flag.Int("iters", 0, "cap search expansions (0 = budget-bound only; fixed work => deterministic result)")
 		emit    = flag.String("emit", "", "write a PyTorch script for the optimized graph to this path")
+
+		ckpt   = flag.String("checkpoint", "", "periodically snapshot the search to this path (crash-safe; see -resume)")
+		resume = flag.String("resume", "", "continue an interrupted search from this checkpoint under its remaining budget")
 
 		audit     = flag.Bool("audit", false, "differential plan audit + re-optimization ladder (implied by -faults)")
 		faultsN   = flag.Int("faults", 0, "replay the plan under N seeded fault scenarios (0 = off)")
@@ -63,49 +75,83 @@ func main() {
 
 	// Validate every flag before doing any work, so a typo fails in
 	// milliseconds rather than after a multi-second baseline evaluation.
-	if *scale <= 0 || *scale > 1 {
-		fatalf("invalid -scale %v: must be in (0,1]", *scale)
+	if err := (cliutil.Search{Scale: *scale, Budget: *budget, Workers: *workers,
+		Headroom: *headroom, Faults: *faultsN}).Validate(); err != nil {
+		fatalf("%v", err)
 	}
 	if *mode != "mem" && *mode != "latency" {
 		fatalf("unknown -mode %q: want mem or latency", *mode)
 	}
-	if *faultsN < 0 {
-		fatalf("invalid -faults %d: must be >= 0", *faultsN)
+	if *iters < 0 {
+		fatalf("invalid -iters %d: must be >= 0", *iters)
 	}
-	if *headroom <= 0 || *headroom > 0.9 {
-		fatalf("invalid -headroom %v: must be in (0,0.9]", *headroom)
-	}
-	w, err := workload(*model, *scale)
-	if err != nil {
-		fatalf("%v (want resnet|bert|vit|unet|unetpp|gptneo|btlm|mlp)", err)
+	if *resume != "" {
+		if *ckpt != "" {
+			fatalf("-resume and -checkpoint are mutually exclusive: a resumed search keeps checkpointing to its own snapshot path")
+		}
+		if *audit || *faultsN > 0 {
+			fatalf("-audit/-faults cannot be combined with -resume (run them on the finished result instead)")
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	m := cost.NewModel(cost.RTX3090())
-	base := opt.Baseline(w.G, m)
-	fmt.Printf("workload: %s\n", w)
-	fmt.Printf("baseline: %s\n", base.Summary())
-
-	o := opt.Options{TimeBudget: *budget, MaxLevel: *level, Workers: *workers}
-	switch *mode {
-	case "mem":
-		o.Mode = opt.MemoryUnderLatency
-		o.LatencyLimit = base.Latency * (1 + *limit)
-		fmt.Printf("goal: minimize memory, latency <= +%.0f%%\n", 100**limit)
-	case "latency":
-		o.Mode = opt.LatencyUnderMemory
-		o.MemLimit = int64(*limit * float64(base.PeakMem))
-		fmt.Printf("goal: minimize latency, memory <= %.0f%% (%.2f GB)\n", 100**limit, gb(o.MemLimit))
-	}
-
+	var (
+		res   *opt.Result
+		o     opt.Options
+		input *graph.Graph
+		wName string
+	)
 	start := time.Now()
-	res, err := opt.OptimizeCtx(ctx, w.G, m, o)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if *resume != "" {
+		info, err := opt.ReadCheckpointInfo(*resume)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("resuming %s from %s: %d expansion(s) done, %v already spent\n",
+			info.Label, *resume, info.Iterations, info.Elapsed.Round(time.Millisecond))
+		res, err = opt.Resume(ctx, *resume, m, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		wName = info.Label
+	} else {
+		w, err := models.ByName(*model, *scale)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		base := opt.Baseline(w.G, m)
+		fmt.Printf("workload: %s\n", w)
+		fmt.Printf("baseline: %s\n", base.Summary())
+
+		o = opt.Options{TimeBudget: *budget, MaxLevel: *level, Workers: *workers, MaxIterations: *iters}
+		switch *mode {
+		case "mem":
+			o.Mode = opt.MemoryUnderLatency
+			o.LatencyLimit = base.Latency * (1 + *limit)
+			fmt.Printf("goal: minimize memory, latency <= +%.0f%%\n", 100**limit)
+		case "latency":
+			o.Mode = opt.LatencyUnderMemory
+			o.MemLimit = int64(*limit * float64(base.PeakMem))
+			fmt.Printf("goal: minimize latency, memory <= %.0f%% (%.2f GB)\n", 100**limit, gb(o.MemLimit))
+		}
+		if *ckpt != "" {
+			o.Checkpoint = opt.Checkpoint{Path: *ckpt, Label: w.Name}
+			fmt.Printf("checkpointing to %s\n", *ckpt)
+		}
+
+		res, err = opt.OptimizeCtx(ctx, w.G, m, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		input = w.G
+		wName = w.Name
 	}
+	base := res.Baseline
 	best := res.Best
 	fmt.Printf("\nsearch stopped: %s after %v (%d iterations, %d transformations, %d duplicates filtered)\n",
 		res.Stopped, time.Since(start).Round(time.Millisecond),
@@ -113,6 +159,13 @@ func main() {
 	if n := res.Diagnostics.Panics(); n > 0 {
 		fmt.Printf("contained: %d rule panic(s); quarantined rules: %s\n",
 			n, strings.Join(res.Diagnostics.Quarantined(), ", "))
+	}
+	if ck := res.Checkpoint; ck != nil {
+		if ck.Err != "" {
+			fmt.Fprintf(os.Stderr, "checkpoint degraded: %s\n", ck.Err)
+		} else {
+			fmt.Printf("checkpoint: %d snapshot(s) written to %s\n", ck.Writes, ck.Path)
+		}
 	}
 	fmt.Printf("best:     %s\n", best.Summary())
 	fmt.Printf("result:   peak %.2f GB (%.0f%% of baseline), latency %.2f ms (%+.1f%%)\n",
@@ -139,7 +192,7 @@ func main() {
 			Initial:      res,
 		}
 		fmt.Println("\nexecution feasibility:")
-		lad, err := robust.Reoptimize(ctx, w.G, m, lo)
+		lad, err := robust.Reoptimize(ctx, input, m, lo)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -177,7 +230,7 @@ func main() {
 		}
 		sc := &sched.Scheduler{}
 		src, err := codegen.PyTorch(mg, sc.ScheduleGraph(mg), codegen.Options{
-			Label: fmt.Sprintf("%s (%s mode, limit %.2f)", w.Name, *mode, *limit),
+			Label: fmt.Sprintf("%s (%s mode, limit %.2f)", wName, *mode, *limit),
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -197,32 +250,3 @@ func fatalf(format string, args ...any) {
 }
 
 func gb(b int64) float64 { return float64(b) / (1 << 30) }
-
-func workload(name string, scale float64) (*models.Workload, error) {
-	b := func(n int) int {
-		s := int(float64(n) * scale)
-		if s < 1 {
-			return 1
-		}
-		return s
-	}
-	switch strings.ToLower(name) {
-	case "resnet", "resnet50":
-		return models.ResNet50(b(64), 224), nil
-	case "bert":
-		return models.BERTBase(b(32), 512), nil
-	case "vit":
-		return models.ViTBase(b(64), 224, 16), nil
-	case "unet":
-		return models.UNet(b(32), 256), nil
-	case "unetpp", "unet++":
-		return models.UNetPP(b(16), 256), nil
-	case "gptneo", "gpt-neo":
-		return models.GPTNeo13B(b(32), 512), nil
-	case "btlm":
-		return models.BTLM3B(b(32), 512), nil
-	case "mlp":
-		return models.MLP(b(8192), 256, 512, 10, 4), nil
-	}
-	return nil, fmt.Errorf("unknown model %q", name)
-}

@@ -1,0 +1,48 @@
+// Package cliutil holds the flag validation shared by the magis binaries
+// (magis, magis-bench, magis-serve), so every front-end rejects the same
+// bad inputs with the same messages — and rejects them in milliseconds,
+// before any multi-second workload construction or baseline evaluation.
+package cliutil
+
+import (
+	"fmt"
+	"time"
+)
+
+// Search are the search-shaping flag values common to the magis binaries.
+// Zero values are NOT defaults here: each binary applies its own flag
+// defaults first and validates the final values.
+type Search struct {
+	// Scale is the workload batch-size scale factor, in (0,1].
+	Scale float64
+	// Budget is the search time budget per run; must be positive.
+	Budget time.Duration
+	// Workers is the parallel candidate-evaluation width; 0 means
+	// GOMAXPROCS, negative is invalid.
+	Workers int
+	// Headroom is the re-optimization ladder's budget margin, in (0,0.9].
+	Headroom float64
+	// Faults is the fault-replay scenario count; negative is invalid.
+	Faults int
+}
+
+// Validate returns the first invalid flag as an error phrased for direct
+// CLI output (it names the flag).
+func (s Search) Validate() error {
+	if s.Scale <= 0 || s.Scale > 1 {
+		return fmt.Errorf("invalid -scale %v: must be in (0,1]", s.Scale)
+	}
+	if s.Budget <= 0 {
+		return fmt.Errorf("invalid -budget %v: must be positive", s.Budget)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("invalid -workers %d: must be >= 0 (0 = GOMAXPROCS)", s.Workers)
+	}
+	if s.Headroom <= 0 || s.Headroom > 0.9 {
+		return fmt.Errorf("invalid -headroom %v: must be in (0,0.9]", s.Headroom)
+	}
+	if s.Faults < 0 {
+		return fmt.Errorf("invalid -faults %d: must be >= 0", s.Faults)
+	}
+	return nil
+}

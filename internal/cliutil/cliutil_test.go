@@ -1,0 +1,66 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func valid() Search {
+	return Search{Scale: 1, Budget: 5 * time.Second, Workers: 0, Headroom: 0.10, Faults: 0}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Search)
+		wantErr string // "" = valid
+	}{
+		{"defaults", func(s *Search) {}, ""},
+		{"max scale", func(s *Search) { s.Scale = 1 }, ""},
+		{"tiny scale", func(s *Search) { s.Scale = 0.01 }, ""},
+		{"sequential workers", func(s *Search) { s.Workers = 1 }, ""},
+		{"many workers", func(s *Search) { s.Workers = 64 }, ""},
+		{"max headroom", func(s *Search) { s.Headroom = 0.9 }, ""},
+		{"with faults", func(s *Search) { s.Faults = 8 }, ""},
+
+		{"zero scale", func(s *Search) { s.Scale = 0 }, "-scale"},
+		{"negative scale", func(s *Search) { s.Scale = -0.5 }, "-scale"},
+		{"overscale", func(s *Search) { s.Scale = 1.5 }, "-scale"},
+		{"zero budget", func(s *Search) { s.Budget = 0 }, "-budget"},
+		{"negative budget", func(s *Search) { s.Budget = -time.Second }, "-budget"},
+		{"negative workers", func(s *Search) { s.Workers = -1 }, "-workers"},
+		{"zero headroom", func(s *Search) { s.Headroom = 0 }, "-headroom"},
+		{"negative headroom", func(s *Search) { s.Headroom = -0.1 }, "-headroom"},
+		{"excess headroom", func(s *Search) { s.Headroom = 0.95 }, "-headroom"},
+		{"negative faults", func(s *Search) { s.Faults = -1 }, "-faults"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := valid()
+			tc.mutate(&s)
+			err := s.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error naming %s", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("Validate() = %q, want it to name %s", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidateReportsFirstError pins the precedence so scripts matching on
+// stderr stay stable.
+func TestValidateReportsFirstError(t *testing.T) {
+	s := Search{Scale: -1, Budget: -1, Workers: -1, Headroom: -1, Faults: -1}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "-scale") {
+		t.Errorf("Validate() = %v, want the -scale error first", err)
+	}
+}

@@ -95,6 +95,53 @@ func (g *Graph) AddNamed(name string, op Op, ins ...NodeID) NodeID {
 	return id
 }
 
+// AddWithID inserts a node under a caller-chosen ID, used by snapshot
+// restore to rebuild a graph bit-identically (rewrites leave ID gaps that a
+// compacting loader would close, changing iteration order downstream). The
+// ID must be fresh and non-negative; all producers must already exist.
+func (g *Graph) AddWithID(id NodeID, name string, op Op, ins ...NodeID) error {
+	if id < 0 {
+		return fmt.Errorf("graph: AddWithID: negative id %d", id)
+	}
+	if _, ok := g.nodes[id]; ok {
+		return fmt.Errorf("graph: AddWithID: id %d already exists", id)
+	}
+	for _, in := range ins {
+		if _, ok := g.nodes[in]; !ok {
+			return fmt.Errorf("graph: AddWithID: input %d does not exist", in)
+		}
+	}
+	n := &Node{ID: id, Op: op, Ins: append([]NodeID(nil), ins...), Name: name}
+	g.nodes[id] = n
+	for _, in := range ins {
+		g.suc[in] = append(g.suc[in], id)
+	}
+	if id >= g.next {
+		g.next = id + 1
+	}
+	return nil
+}
+
+// NextID returns the ID the next Add will assign. IDs are never reused, so
+// this is strictly greater than every ID ever allocated in the lineage.
+func (g *Graph) NextID() NodeID { return g.next }
+
+// SetNextID raises the next fresh ID, so a restored graph keeps allocating
+// in the same sequence as the snapshotted original even when the highest
+// IDs belonged to since-removed nodes. It cannot move backwards past an
+// existing node.
+func (g *Graph) SetNextID(next NodeID) error {
+	for id := range g.nodes {
+		if id >= next {
+			return fmt.Errorf("graph: SetNextID(%d): node %d already exists", next, id)
+		}
+	}
+	if next > g.next {
+		g.next = next
+	}
+	return nil
+}
+
 // Node returns the node with the given ID, or nil if absent.
 func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
 

@@ -2,6 +2,15 @@
 // optimized programs can be saved, inspected, diffed, and reloaded by
 // downstream tooling. Only operator graphs serialize (collapsed fission
 // regions are a search-time construct; materialize first).
+//
+// Two encodings live here:
+//
+//   - Save/Load, the portable interchange format: node IDs are compacted
+//     on load, suitable for handing graphs between tools.
+//   - Record/GraphRecord.Restore, the snapshot encoding used by search
+//     checkpoints (internal/opt): node IDs and the fresh-ID counter are
+//     preserved exactly, so a restored graph behaves bit-identically to
+//     the snapshotted one (iteration order, future ID allocation).
 package graphio
 
 import (
@@ -14,8 +23,17 @@ import (
 	"magis/internal/sched"
 )
 
+// Magic identifies a graphio file; files written before the header was
+// introduced carry an empty magic and remain loadable.
+const Magic = "magis-graph"
+
+// FormatVersion is the on-disk format version Save writes and Load
+// accepts. Bump it on any incompatible change to the envelope below.
+const FormatVersion = 1
+
 // fileFormat is the on-disk envelope.
 type fileFormat struct {
+	Magic    string         `json:"magic,omitempty"`
 	Version  int            `json:"version"`
 	Nodes    []nodeFormat   `json:"nodes"`
 	Schedule []graph.NodeID `json:"schedule,omitempty"`
@@ -30,34 +48,27 @@ type nodeFormat struct {
 
 // Save writes g (and an optional schedule; pass nil for none) as JSON.
 func Save(w io.Writer, g *graph.Graph, order sched.Schedule) error {
-	f := fileFormat{Version: 1, Schedule: order}
-	for _, v := range g.Topo() {
-		n := g.Node(v)
-		spec, ok := n.Op.(*ops.Spec)
-		if !ok {
-			return fmt.Errorf("graphio: node %d has non-serializable payload %q", v, n.Op.Kind())
-		}
-		f.Nodes = append(f.Nodes, nodeFormat{
-			ID:   v,
-			Name: n.Name,
-			Op:   spec.Marshal(),
-			Ins:  n.Ins,
-		})
+	f := fileFormat{Magic: Magic, Version: FormatVersion, Schedule: order}
+	nodes, err := encodeNodes(g)
+	if err != nil {
+		return err
 	}
+	f.Nodes = nodes
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(f)
 }
 
 // Load reads a graph (and schedule, possibly nil) written by Save.
-// Node IDs are preserved.
+// Node IDs are compacted: the loaded graph allocates them densely in file
+// order. Schedules are remapped accordingly.
 func Load(r io.Reader) (*graph.Graph, sched.Schedule, error) {
 	var f fileFormat
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
 		return nil, nil, fmt.Errorf("graphio: %w", err)
 	}
-	if f.Version != 1 {
-		return nil, nil, fmt.Errorf("graphio: unsupported version %d", f.Version)
+	if err := checkHeader(f.Magic, f.Version); err != nil {
+		return nil, nil, err
 	}
 	g := graph.New()
 	remap := make(map[graph.NodeID]graph.NodeID, len(f.Nodes))
@@ -86,4 +97,73 @@ func Load(r io.Reader) (*graph.Graph, sched.Schedule, error) {
 		}
 	}
 	return g, order, nil
+}
+
+// checkHeader validates the magic/version pair with errors that name both
+// what was found and what this build supports.
+func checkHeader(magic string, version int) error {
+	if magic != "" && magic != Magic {
+		return fmt.Errorf("graphio: not a graph file: magic %q (want %q)", magic, Magic)
+	}
+	if version != FormatVersion {
+		return fmt.Errorf("graphio: unsupported format version %d (this build reads version %d); re-save the graph with a matching build", version, FormatVersion)
+	}
+	return nil
+}
+
+// GraphRecord is the snapshot encoding of one graph: node IDs and the
+// fresh-ID counter are preserved exactly. It marshals to/from JSON and is
+// embedded inside search checkpoints.
+type GraphRecord struct {
+	// Next is the graph's fresh-ID counter (strictly above every ID ever
+	// allocated in the lineage, including removed nodes).
+	Next graph.NodeID `json:"next"`
+	// Nodes lists the live nodes in topological order.
+	Nodes []nodeFormat `json:"nodes"`
+}
+
+// Record captures g as an ID-exact snapshot. Every payload must be an
+// *ops.Spec (logical graphs only; collapsed regions do not serialize).
+func Record(g *graph.Graph) (*GraphRecord, error) {
+	nodes, err := encodeNodes(g)
+	if err != nil {
+		return nil, err
+	}
+	return &GraphRecord{Next: g.NextID(), Nodes: nodes}, nil
+}
+
+// Restore rebuilds the recorded graph with identical node IDs and fresh-ID
+// counter.
+func (r *GraphRecord) Restore() (*graph.Graph, error) {
+	g := graph.New()
+	for _, n := range r.Nodes {
+		if err := g.AddWithID(n.ID, n.Name, ops.FromRaw(n.Op), n.Ins...); err != nil {
+			return nil, fmt.Errorf("graphio: restore: %w", err)
+		}
+	}
+	if err := g.SetNextID(r.Next); err != nil {
+		return nil, fmt.Errorf("graphio: restore: %w", err)
+	}
+	return g, nil
+}
+
+// encodeNodes serializes the node table in topological order so every
+// node's inputs are declared before it (rewrites can produce IDs out of
+// topological order, so ascending-ID order would not suffice).
+func encodeNodes(g *graph.Graph) ([]nodeFormat, error) {
+	var out []nodeFormat
+	for _, v := range g.Topo() {
+		n := g.Node(v)
+		spec, ok := n.Op.(*ops.Spec)
+		if !ok {
+			return nil, fmt.Errorf("graphio: node %d has non-serializable payload %q", v, n.Op.Kind())
+		}
+		out = append(out, nodeFormat{
+			ID:   v,
+			Name: n.Name,
+			Op:   spec.Marshal(),
+			Ins:  n.Ins,
+		})
+	}
+	return out, nil
 }

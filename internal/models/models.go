@@ -9,6 +9,7 @@ package models
 
 import (
 	"fmt"
+	"strings"
 
 	"magis/internal/autodiff"
 	"magis/internal/graph"
@@ -62,6 +63,43 @@ func Table2(scale float64) []*Workload {
 		GPTNeo13B(b(32), 512),
 		BTLM3B(b(32), 512),
 	}
+}
+
+// ByName builds one workload by its CLI/API name at the given batch-size
+// scale factor in (0,1] (1 = the paper configuration). The recognized
+// names are listed by Names.
+func ByName(name string, scale float64) (*Workload, error) {
+	b := func(n int) int {
+		s := int(float64(n) * scale)
+		if s < 1 {
+			return 1
+		}
+		return s
+	}
+	switch strings.ToLower(name) {
+	case "resnet", "resnet50":
+		return ResNet50(b(64), 224), nil
+	case "bert":
+		return BERTBase(b(32), 512), nil
+	case "vit":
+		return ViTBase(b(64), 224, 16), nil
+	case "unet":
+		return UNet(b(32), 256), nil
+	case "unetpp", "unet++":
+		return UNetPP(b(16), 256), nil
+	case "gptneo", "gpt-neo":
+		return GPTNeo13B(b(32), 512), nil
+	case "btlm":
+		return BTLM3B(b(32), 512), nil
+	case "mlp":
+		return MLP(b(8192), 256, 512, 10, 4), nil
+	}
+	return nil, fmt.Errorf("models: unknown workload %q (want %s)", name, strings.Join(Names(), "|"))
+}
+
+// Names lists the workload names ByName recognizes, in display order.
+func Names() []string {
+	return []string{"resnet", "bert", "vit", "unet", "unetpp", "gptneo", "btlm", "mlp"}
 }
 
 // SmallSuite returns laptop-scale versions of the workloads (reduced

@@ -29,6 +29,15 @@ func guard(rule, site string, fn func() error) (err error) {
 	return fn()
 }
 
+// Guard runs fn with the same panic containment the search applies to
+// rules: a panic comes back as a *RuleError attributed to (component,
+// site) with a bounded stack, a plain error passes through unchanged.
+// Service layers wrap whole jobs in it so one poisoned request cannot
+// take down the process.
+func Guard(component, site string, fn func() error) error {
+	return guard(component, site, fn)
+}
+
 // quarantine tracks per-rule failure streaks. A rule whose applications
 // fail (panic or invariant violation) limit times in a row with no
 // intervening success is quarantined: skipped for the rest of the run.

@@ -77,8 +77,19 @@ type Options struct {
 	// leaving a pure scheduling-rule optimizer (the Fig. 2 swap-only
 	// comparison point).
 	DisableFission bool
-	// Rules overrides the rule catalog (default rules.All()).
+	// Rules overrides the rule catalog (default rules.All()). Checkpoints
+	// persist rules by Name(), so a custom catalog is resumable only when
+	// every rule is part of rules.All().
 	Rules []rules.Rule
+	// Checkpoint enables crash-safe snapshots of the search state (set
+	// Path). See the Checkpoint type for cadence knobs and Resume for the
+	// recovery path.
+	Checkpoint Checkpoint
+	// OnExpansion, when set, is called on the search goroutine after every
+	// completed expansion with the total expansion count. Service layers
+	// use it as a liveness signal for stall watchdogs; it must be fast and
+	// must not retain references into the search.
+	OnExpansion func(completed int)
 }
 
 func (o *Options) defaults() {
@@ -208,6 +219,11 @@ type Result struct {
 	// Diagnostics records contained failures: per-rule panic and
 	// quarantine counters and the first recovered panics.
 	Diagnostics Diagnostics
+	// Checkpoint reports the checkpointing activity of the run (nil when
+	// Options.Checkpoint was not enabled). Write failures degrade the
+	// search to uncheckpointed rather than aborting it; the first error is
+	// recorded here.
+	Checkpoint *CheckpointStatus
 }
 
 type stateQueue struct {
@@ -262,14 +278,6 @@ func Optimize(g *graph.Graph, model *cost.Model, o Options) (*Result, error) {
 // Result.Stopped plus Result.Diagnostics report how the run ended.
 func OptimizeCtx(ctx context.Context, g *graph.Graph, model *cost.Model, o Options) (*Result, error) {
 	o.defaults()
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if o.TimeBudget > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, o.TimeBudget)
-		defer cancel()
-	}
 	res := &Result{}
 	if err := guard("init", "baseline evaluation", func() error {
 		res.Baseline = Baseline(g, model)
@@ -310,20 +318,92 @@ func OptimizeCtx(ctx context.Context, g *graph.Graph, model *cost.Model, o Optio
 	}
 
 	l := &searchLoop{
-		o:     &o,
-		res:   res,
-		quar:  quar,
-		seen:  make(map[uint64]bool),
-		q:     &stateQueue{opts: &o},
-		best:  init,
-		start: start,
+		o:      &o,
+		res:    res,
+		quar:   quar,
+		seen:   make(map[uint64]bool),
+		q:      &stateQueue{opts: &o},
+		best:   init,
+		start:  start,
+		input:  g,
+		model:  model,
+		pool:   pool,
+		ftOpts: ftOpts,
 	}
-	res.History = append(res.History, HistoryPoint{time.Since(start), init.PeakMem, init.Latency})
+	res.History = append(res.History, HistoryPoint{l.elapsed(), init.PeakMem, init.Latency})
 	heap.Init(l.q)
 	heap.Push(l.q, init)
 	l.seen[ev.hash(init)] = true
+	l.run(ctx)
+	return res, nil
+}
+
+// searchLoop is the order-sensitive half of the search: everything below
+// runs on the search goroutine only, in candidate-index order, regardless
+// of Options.Workers. It is also the unit of checkpointing — a snapshot at
+// an expansion boundary captures exactly the fields below (plus the worker
+// pool's stats shards, folded in), and Resume reconstructs them.
+type searchLoop struct {
+	o     *Options
+	res   *Result
+	quar  *quarantine
+	seen  map[uint64]bool
+	q     *stateQueue
+	best  *State
+	start time.Time
+	// prior is the wall-clock consumed by earlier incarnations of this
+	// search (zero for a fresh run); elapsed() adds it to the current
+	// incarnation's clock for history stamps and budget accounting.
+	prior time.Duration
+	// input is the original input graph, embedded in checkpoints so Resume
+	// can re-derive the baseline.
+	input  *graph.Graph
+	model  *cost.Model
+	pool   *evalPool
+	ftOpts ftree.Options
+}
+
+// elapsed is the total search wall-clock across incarnations.
+func (l *searchLoop) elapsed() time.Duration { return l.prior + time.Since(l.start) }
+
+// run executes the search loop until convergence, budget exhaustion, or
+// cancellation, then finalizes the result. The remaining TimeBudget (total
+// minus prior incarnations) is layered on top of ctx as a deadline.
+func (l *searchLoop) run(ctx context.Context) {
+	o, res, pool := l.o, l.res, l.pool
+	ev := pool.primary()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.TimeBudget > 0 {
+		remaining := o.TimeBudget - l.prior
+		if remaining <= 0 {
+			res.Stopped = StopDeadline
+			pool.flush(&res.Stats)
+			res.Best = l.best
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, remaining)
+		defer cancel()
+	}
+	var ck *checkpointer
+	if o.Checkpoint.Path != "" {
+		ck = newCheckpointer(o.Checkpoint)
+		res.Checkpoint = &ck.status
+	}
+	// tainted marks an exit in the middle of an expansion: the live state
+	// has absorbed only a prefix of the expansion's candidates, so it is
+	// NOT a valid resume point; the last boundary snapshot is.
+	tainted := false
 	res.Stopped = StopConverged
 	for l.q.Len() > 0 {
+		if ck != nil {
+			// Expansion boundary: the state right now is a consistent
+			// prefix of the run. Snapshot it (and flush to disk on the
+			// configured cadence).
+			ck.boundary(l)
+		}
 		if err := ctx.Err(); err != nil {
 			res.Stopped = stopReason(err)
 			break
@@ -338,17 +418,17 @@ func OptimizeCtx(ctx context.Context, g *graph.Graph, model *cost.Model, o Optio
 			if o.DisableFission {
 				s.FT = &ftree.Tree{}
 			} else if err := guard(ftreeRuleName, "tree rebuild", func() error {
-				s.FT = rebuildTree(s, ftOpts)
+				s.FT = rebuildTree(s, l.ftOpts)
 				return nil
 			}); err != nil {
 				// A state whose tree cannot be re-analyzed still explores
 				// graph rewrites; it just loses its fission moves.
-				res.Diagnostics.notePanic(err, quar)
+				res.Diagnostics.notePanic(err, l.quar)
 				s.FT = &ftree.Tree{}
 			}
 			s.stale = false
 		}
-		cands := neighbors(s, &o, res, quar)
+		cands := neighbors(s, o, res, l.quar)
 		// One reachability index per parent state, built lazily on the
 		// first incremental reschedule and shared read-only by every
 		// worker of the expansion.
@@ -364,10 +444,10 @@ func OptimizeCtx(ctx context.Context, g *graph.Graph, model *cost.Model, o Optio
 					res.Stopped = stopReason(err)
 					break
 				}
-				l.absorb(cand, processCandidate(ev, cand, s, &o, l.seen))
+				l.absorb(cand, processCandidate(ev, cand, s, o, l.seen))
 			}
 		} else {
-			outs := pool.run(ctx, cands, s, rc, &o, l.seen)
+			outs := pool.run(ctx, cands, s, rc, o, l.seen)
 			for i, out := range outs {
 				if out == nil {
 					res.Stopped = stopReason(ctx.Err())
@@ -377,25 +457,18 @@ func OptimizeCtx(ctx context.Context, g *graph.Graph, model *cost.Model, o Optio
 			}
 		}
 		if res.Stopped != StopConverged {
+			tainted = true
 			break // the candidate loop was interrupted mid-expansion
+		}
+		if o.OnExpansion != nil {
+			o.OnExpansion(res.Stats.Iterations)
 		}
 	}
 	pool.flush(&res.Stats)
 	res.Best = l.best
-	return res, nil
-}
-
-// searchLoop is the order-sensitive half of the search: everything below
-// runs on the search goroutine only, in candidate-index order, regardless
-// of Options.Workers.
-type searchLoop struct {
-	o     *Options
-	res   *Result
-	quar  *quarantine
-	seen  map[uint64]bool
-	q     *stateQueue
-	best  *State
-	start time.Time
+	if ck != nil {
+		ck.final(l, tainted)
+	}
 }
 
 // absorb merges one candidate's evaluation outcome, reproducing the

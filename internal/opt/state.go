@@ -162,18 +162,23 @@ func (e *evaluator) evaluate(s *State, prev *State, oldMutated []graph.NodeID) e
 	s.PeakMem = prof.Peak
 	s.Hot = prof.Hotspots
 	r := sim.Run(eg, s.Sched, sim.Config{
-		Model: e.model,
-		NodeCost: func(n *graph.Node) (float64, bool) {
-			if rop, ok := n.Op.(*RegionOp); ok {
-				return rop.Latency(), true
-			}
-			return 0, false
-		},
+		Model:    e.model,
+		NodeCost: regionNodeCost,
 	})
 	s.Latency = r.Latency
 	e.stats.Simul++
 	e.stats.SimulTime += time.Since(t1)
 	return nil
+}
+
+// regionNodeCost prices collapsed fission regions by their analytically
+// computed latency; every other node falls back to the cost model. Shared
+// by live evaluation and checkpoint restore so both price identically.
+func regionNodeCost(n *graph.Node) (float64, bool) {
+	if rop, ok := n.Op.(*RegionOp); ok {
+		return rop.Latency(), true
+	}
+	return 0, false
 }
 
 // hash returns the Weisfeiler-Lehman hash of the evaluation graph: states

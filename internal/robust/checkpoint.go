@@ -1,0 +1,82 @@
+package robust
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"magis/internal/fsatomic"
+)
+
+// Ladder checkpointing: with Options.CheckpointDir set, each rung's search
+// checkpoints into <dir>/rung-<n>.ckpt (the internal/opt snapshot format)
+// and a manifest at <dir>/ladder.json records the completed attempts,
+// rewritten atomically between rungs. After a crash, Reoptimize on the
+// same directory replays the recorded attempts without re-running them,
+// resumes a half-finished rung from its search checkpoint, and continues
+// the escalation from there. Only attempts that ran to completion are
+// persisted — a rung interrupted by cancellation stays un-recorded so the
+// next incarnation re-enters it through its search checkpoint.
+//
+// The directory is operator-owned: files are left in place after a
+// successful ladder (the manifest then documents the full escalation) and
+// may be deleted wholesale to restart from scratch.
+
+// manifestVersion is the ladder manifest format version.
+const manifestVersion = 1
+
+const manifestMagic = "magis-ladder"
+
+type ladderManifest struct {
+	Magic    string    `json:"magic"`
+	Version  int       `json:"version"`
+	Attempts []Attempt `json:"attempts"`
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, "ladder.json") }
+
+// rungCheckpointPath is where the given rung's search snapshot lives.
+func rungCheckpointPath(dir string, rung Rung) string {
+	return filepath.Join(dir, fmt.Sprintf("rung-%d.ckpt", int(rung)))
+}
+
+// loadManifest reads a prior incarnation's progress; a missing file means
+// a fresh ladder. A present-but-invalid manifest is a hard error — the
+// operator must decide between deleting the directory and fixing it.
+func loadManifest(dir string) (*ladderManifest, error) {
+	data, err := os.ReadFile(manifestPath(dir))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("robust: ladder manifest: %w", err)
+	}
+	var m ladderManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("robust: ladder manifest: %w", err)
+	}
+	if m.Magic != manifestMagic {
+		return nil, fmt.Errorf("robust: %s is not a ladder manifest (magic %q)", manifestPath(dir), m.Magic)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("robust: ladder manifest version %d (this build reads version %d)", m.Version, manifestVersion)
+	}
+	return &m, nil
+}
+
+// saveManifest atomically rewrites the manifest with the attempts so far.
+func saveManifest(dir string, attempts []Attempt) error {
+	data, err := json.Marshal(ladderManifest{
+		Magic:    manifestMagic,
+		Version:  manifestVersion,
+		Attempts: attempts,
+	})
+	if err != nil {
+		return fmt.Errorf("robust: ladder manifest: %w", err)
+	}
+	if err := fsatomic.WriteFile(manifestPath(dir), data, 0o644); err != nil {
+		return fmt.Errorf("robust: ladder manifest: %w", err)
+	}
+	return nil
+}

@@ -24,6 +24,8 @@ package robust
 import (
 	"context"
 	"fmt"
+	"os"
+	"time"
 
 	"magis/internal/baselines"
 	"magis/internal/cost"
@@ -94,6 +96,12 @@ type Options struct {
 	// Initial, when set, is reused as RungAsIs's search result instead of
 	// re-running the base search (the CLI passes its already-finished run).
 	Initial *opt.Result
+	// CheckpointDir makes the ladder crash-safe: rung searches checkpoint
+	// into the directory and completed attempts are recorded in an atomic
+	// manifest, so a Reoptimize on the same directory after a crash skips
+	// finished rungs and resumes the interrupted one. Empty disables
+	// checkpointing. See internal/robust/checkpoint.go for the layout.
+	CheckpointDir string
 }
 
 func (o Options) withDefaults(model *cost.Model) Options {
@@ -154,6 +162,10 @@ type Result struct {
 	Best *opt.State
 	// Opt is the surviving (or fallback) search result.
 	Opt *opt.Result
+	// CheckpointErr records the first ladder-manifest write failure (empty
+	// on a clean run or when checkpointing is off); the ladder itself
+	// continues un-checkpointed.
+	CheckpointErr string
 }
 
 // Summary renders the ladder outcome for logs and CLI output.
@@ -174,7 +186,62 @@ func Reoptimize(ctx context.Context, g *graph.Graph, model *cost.Model, o Option
 	}
 	o = o.withDefaults(model)
 	res := &Result{}
-	for rung := RungAsIs; rung <= o.MaxRung; rung++ {
+	startRung := RungAsIs
+	if o.CheckpointDir != "" {
+		if err := os.MkdirAll(o.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("robust: checkpoint dir: %w", err)
+		}
+		man, err := loadManifest(o.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		if man != nil {
+			// Replay the prior incarnation's completed rungs without
+			// re-running them. States are recovered from the rungs' search
+			// checkpoints via frozenResume, which restores the snapshot's
+			// best plan without spending any leftover TimeBudget — the
+			// recorded attempt was audited against exactly that plan.
+			res.Attempts = man.Attempts
+			startRung = Rung(len(man.Attempts))
+			restored := false
+			for i, a := range man.Attempts {
+				if a.Err != "" {
+					continue
+				}
+				if !a.Feasible {
+					// Earliest successful rung = graceful-degradation
+					// fallback.
+					if !restored {
+						if or, err := frozenResume(ctx, rungCheckpointPath(o.CheckpointDir, a.Rung), model); err == nil {
+							res.Best, res.Opt = or.Best, or
+						}
+						restored = true
+					}
+					continue
+				}
+				// A recorded feasible attempt means the prior incarnation
+				// finished the ladder: reconstruct its outcome instead of
+				// escalating past the surviving rung.
+				or, err := frozenResume(ctx, rungCheckpointPath(o.CheckpointDir, a.Rung), model)
+				if err != nil && a.Rung == RungAsIs && o.Initial != nil {
+					or, err = o.Initial, nil // as-is ran off Initial, no snapshot
+				}
+				if err != nil {
+					// Surviving plan unrecoverable (deleted snapshot):
+					// deterministically re-run from that rung.
+					res.Attempts = man.Attempts[:i]
+					startRung = a.Rung
+					break
+				}
+				res.Survived = true
+				res.Rung = a.Rung
+				res.Repaired = a.Rung > RungAsIs
+				res.Best, res.Opt = or.Best, or
+				return res, nil
+			}
+		}
+	}
+	for rung := startRung; rung <= o.MaxRung; rung++ {
 		att := Attempt{Rung: rung}
 		or, err := runRung(ctx, g, model, o, rung, &att)
 		if err != nil {
@@ -183,6 +250,7 @@ func Reoptimize(ctx context.Context, g *graph.Graph, model *cost.Model, o Option
 			if ctx.Err() != nil {
 				break
 			}
+			persistLadder(o, res)
 			continue
 		}
 		st := or.Best
@@ -210,16 +278,50 @@ func Reoptimize(ctx context.Context, g *graph.Graph, model *cost.Model, o Option
 			res.Rung = rung
 			res.Repaired = rung > RungAsIs
 			res.Best, res.Opt = st, or
+			// A feasible-but-cancelled rung still returns (the search is
+			// anytime) but stays out of the manifest: its snapshot holds a
+			// half-finished search, so the next incarnation re-enters the
+			// rung rather than trusting a partial result as final.
+			if ctx.Err() == nil {
+				persistLadder(o, res)
+			}
 			return res, nil
 		}
 		if ctx.Err() != nil {
+			// Interrupted mid-rung: leave this attempt out of the manifest
+			// so the next incarnation re-enters the rung through its search
+			// checkpoint instead of skipping it half-done.
 			break
 		}
+		persistLadder(o, res)
 	}
 	return res, nil
 }
 
-// runRung configures and executes one rung's search.
+// frozenResume restores a completed rung's snapshot without continuing
+// the search. A plain Resume of a time-budget-bound rung would keep
+// searching under the leftover budget and could silently swap in a plan
+// the recorded audit never saw; shrinking the budget to a nanosecond makes
+// the resume exit at the loop gate with exactly the snapshot's best.
+func frozenResume(ctx context.Context, path string, model *cost.Model) (*opt.Result, error) {
+	return opt.Resume(ctx, path, model, func(o *opt.Options) { o.TimeBudget = time.Nanosecond })
+}
+
+// persistLadder records the completed attempts in the manifest. A write
+// failure degrades the ladder to un-checkpointed (mirroring the search's
+// checkpoint semantics) and is reported via Result.CheckpointErr.
+func persistLadder(o Options, res *Result) {
+	if o.CheckpointDir == "" {
+		return
+	}
+	if err := saveManifest(o.CheckpointDir, res.Attempts); err != nil && res.CheckpointErr == "" {
+		res.CheckpointErr = err.Error()
+	}
+}
+
+// runRung configures and executes one rung's search. With checkpointing
+// on, a rung whose snapshot file already exists (a prior incarnation
+// crashed inside it) is resumed instead of restarted.
 func runRung(ctx context.Context, g *graph.Graph, model *cost.Model, o Options, rung Rung, att *Attempt) (*opt.Result, error) {
 	oo := o.Opt
 	gg := g
@@ -251,6 +353,18 @@ func runRung(ctx context.Context, g *graph.Graph, model *cost.Model, o Options, 
 				return nil, fmt.Errorf("robust: micro-batch fission: %w", err)
 			}
 			gg = split
+		}
+	}
+	if o.CheckpointDir != "" {
+		path := rungCheckpointPath(o.CheckpointDir, rung)
+		if _, err := os.Stat(path); err == nil {
+			return opt.Resume(ctx, path, model, nil)
+		}
+		oo.Checkpoint = opt.Checkpoint{
+			Path:     path,
+			EveryN:   o.Opt.Checkpoint.EveryN,
+			Interval: o.Opt.Checkpoint.Interval,
+			Label:    "ladder " + rung.String(),
 		}
 	}
 	return opt.OptimizeCtx(ctx, gg, model, oo)

@@ -1,0 +1,473 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"magis/internal/models"
+	"magis/internal/opt"
+)
+
+// searchFn runs one job's search. The Server's default is searchJob; tests
+// substitute their own to control timing without real optimization work.
+type searchFn func(ctx context.Context, j *job) (*opt.Result, error)
+
+// Job states. A cancelled job whose checkpoint survived is resumable: a
+// restarted server re-admits it from the snapshot.
+const (
+	stateQueued    = "queued"
+	stateRunning   = "running"
+	stateDone      = "done"
+	stateFailed    = "failed"
+	stateCancelled = "cancelled"
+)
+
+// interruptReason distinguishes why a job's context was cancelled, which
+// decides its post-mortem: drain leaves a resumable checkpoint behind, a
+// first stall re-admits the job to resume immediately.
+type interruptReason int
+
+const (
+	reasonNone interruptReason = iota
+	reasonDrain
+	reasonStall
+)
+
+func (r interruptReason) String() string {
+	switch r {
+	case reasonDrain:
+		return "draining"
+	case reasonStall:
+		return "stalled"
+	default:
+		return "none"
+	}
+}
+
+type job struct {
+	id     string
+	req    OptimizeRequest
+	budget time.Duration
+
+	mu sync.Mutex
+	// resumePath, when non-empty, tells the runner to continue from an
+	// existing snapshot instead of starting a fresh search.
+	resumePath   string
+	resumes      int
+	state        string
+	created      time.Time
+	started      time.Time
+	finished     time.Time
+	cancel       context.CancelFunc
+	interrupted  interruptReason
+	expansions   int
+	lastProgress time.Time
+	err          string
+	summary      *jobSummary
+}
+
+// jobSummary is the result payload of a finished job.
+type jobSummary struct {
+	PeakMemBytes int64   `json:"peak_mem_bytes"`
+	LatencySec   float64 `json:"latency_sec"`
+	Iterations   int     `json:"iterations"`
+	Stopped      string  `json:"stopped"`
+}
+
+// jobView is the JSON shape of /jobs/{id}.
+type jobView struct {
+	ID         string      `json:"id"`
+	State      string      `json:"state"`
+	Model      string      `json:"model"`
+	Mode       string      `json:"mode,omitempty"`
+	BudgetSec  float64     `json:"budget_sec"`
+	Created    time.Time   `json:"created"`
+	Started    *time.Time  `json:"started,omitempty"`
+	Finished   *time.Time  `json:"finished,omitempty"`
+	Expansions int         `json:"expansions"`
+	Resumes    int         `json:"resumes,omitempty"`
+	Resumable  bool        `json:"resumable,omitempty"`
+	Error      string      `json:"error,omitempty"`
+	Result     *jobSummary `json:"result,omitempty"`
+}
+
+// progress records one completed expansion; the watchdog reads
+// lastProgress to tell a working search from a stalled one.
+func (j *job) progress(completed int) {
+	j.mu.Lock()
+	j.expansions = completed
+	j.lastProgress = time.Now()
+	j.mu.Unlock()
+}
+
+// interrupt cancels the job for the given reason. A running job keeps its
+// state until the runner observes the cancellation; a still-queued job is
+// finished on the spot. Returns whether a queued job was cancelled here.
+func (j *job) interrupt(r interruptReason) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case stateQueued:
+		j.state = stateCancelled
+		j.interrupted = r
+		j.finished = time.Now()
+		j.err = "cancelled before start: " + r.String()
+		return true
+	case stateRunning:
+		j.interrupted = r
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return false
+}
+
+func (s *Server) newJob(req OptimizeRequest, budget time.Duration) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	j := &job{
+		id:      fmt.Sprintf("job-%d", s.nextID),
+		req:     req,
+		budget:  budget,
+		state:   stateQueued,
+		created: time.Now(),
+	}
+	s.jobs[j.id] = j
+	return j
+}
+
+// forget unregisters a job that was never admitted (queue full).
+func (s *Server) forget(j *job) {
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	s.mu.Unlock()
+}
+
+func (s *Server) jobView(j *job) jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:         j.id,
+		State:      j.state,
+		Model:      j.req.Model,
+		Mode:       j.req.Mode,
+		BudgetSec:  j.budget.Seconds(),
+		Created:    j.created,
+		Expansions: j.expansions,
+		Resumes:    j.resumes,
+		Error:      j.err,
+		Result:     j.summary,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.state == stateCancelled {
+		v.Resumable = j.resumePath != "" || s.checkpointExists(j)
+	}
+	return v
+}
+
+// worker pops jobs until drain; on drain, whatever is left in the queue is
+// cancelled rather than silently dropped.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			s.flushQueue()
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// flushQueue cancels every still-queued job; safe to call from several
+// goroutines.
+func (s *Server) flushQueue() {
+	for {
+		select {
+		case j := <-s.queue:
+			if j.interrupt(reasonDrain) {
+				s.met.Cancelled.Add(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// runJob executes one job under panic isolation with a deadline derived
+// from its requested budget (the search's own TimeBudget plus slack for
+// baseline evaluation and checkpoint writes).
+func (s *Server) runJob(j *job) {
+	deadline := j.budget + j.budget/2 + 5*time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state != stateQueued { // cancelled while queued, drain race
+		j.mu.Unlock()
+		return
+	}
+	j.state = stateRunning
+	j.started = time.Now()
+	j.lastProgress = j.started
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	// opt.Guard converts a panicking search into an error: the job fails,
+	// the service survives.
+	var res *opt.Result
+	err := opt.Guard("serve", "job "+j.id, func() error {
+		var serr error
+		res, serr = s.runSearch(ctx, j)
+		return serr
+	})
+	s.finishJob(j, res, err)
+}
+
+// finishJob settles a job's final state and decides whether an interrupted
+// one comes back: a first stall with a checkpoint is re-admitted to resume;
+// drain leaves the checkpoint for the next incarnation of the server.
+func (s *Server) finishJob(j *job, res *opt.Result, err error) {
+	j.mu.Lock()
+	reason := j.interrupted
+	resumes := j.resumes
+	j.cancel = nil
+	j.finished = time.Now()
+	j.mu.Unlock()
+
+	switch {
+	case err != nil:
+		j.mu.Lock()
+		j.state = stateFailed
+		j.err = err.Error()
+		j.mu.Unlock()
+		s.met.Failed.Add(1)
+		s.cfg.Logf("serve: %s failed: %v", j.id, err)
+
+	case reason == reasonStall && resumes < 1 && s.checkpointExists(j):
+		s.met.Stalled.Add(1)
+		if s.requeueResume(j) {
+			return
+		}
+		s.setCancelled(j, "stalled; could not re-admit for resume")
+
+	case reason != reasonNone:
+		if reason == reasonStall {
+			s.met.Stalled.Add(1)
+		}
+		s.setCancelled(j, "cancelled: "+reason.String())
+
+	default:
+		j.mu.Lock()
+		j.state = stateDone
+		if res != nil && res.Best != nil {
+			j.summary = &jobSummary{
+				PeakMemBytes: res.Best.PeakMem,
+				LatencySec:   res.Best.Latency,
+				Iterations:   res.Stats.Iterations,
+				Stopped:      res.Stopped.String(),
+			}
+		}
+		j.mu.Unlock()
+		s.met.Completed.Add(1)
+		s.removeCheckpoint(j)
+		s.cfg.Logf("serve: %s done", j.id)
+	}
+}
+
+func (s *Server) setCancelled(j *job, msg string) {
+	j.mu.Lock()
+	j.state = stateCancelled
+	j.err = msg
+	j.mu.Unlock()
+	s.met.Cancelled.Add(1)
+	if s.checkpointExists(j) {
+		s.cfg.Logf("serve: %s cancelled; checkpoint retained for resume", j.id)
+	} else {
+		s.cfg.Logf("serve: %s cancelled", j.id)
+	}
+}
+
+// requeueResume re-admits a stalled job to continue from its checkpoint.
+// Admission stays non-blocking: a full queue or a draining server refuses,
+// and the job settles as cancelled-but-resumable instead.
+func (s *Server) requeueResume(j *job) bool {
+	if s.draining.Load() {
+		return false
+	}
+	j.mu.Lock()
+	j.state = stateQueued
+	j.resumePath = s.checkpointPath(j.id)
+	j.resumes++
+	j.interrupted = reasonNone
+	j.err = ""
+	j.mu.Unlock()
+	select {
+	case s.queue <- j:
+		s.met.Resumed.Add(1)
+		s.cfg.Logf("serve: %s stalled; resuming from checkpoint", j.id)
+		return true
+	default:
+		return false
+	}
+}
+
+// searchJob is the production searchFn: fresh jobs build their workload and
+// optimize with per-job checkpointing; interrupted jobs resume from their
+// snapshot (opt.Resume restores options, elapsed budget, and search state).
+func (s *Server) searchJob(ctx context.Context, j *job) (*opt.Result, error) {
+	onExp := func(completed int) {
+		j.progress(completed)
+		s.met.Expansions.Add(1)
+	}
+	if path := j.resumeFrom(); path != "" {
+		return opt.Resume(ctx, path, s.cfg.Model, func(o *opt.Options) {
+			o.OnExpansion = onExp
+		})
+	}
+
+	w, err := models.ByName(j.req.Model, j.req.Scale)
+	if err != nil {
+		return nil, err
+	}
+	base := opt.Baseline(w.G, s.cfg.Model)
+	o := opt.Options{
+		TimeBudget:    j.budget,
+		Workers:       j.req.Workers,
+		MaxIterations: j.req.Iterations,
+		OnExpansion:   onExp,
+	}
+	switch j.req.Mode {
+	case "latency":
+		o.Mode = opt.LatencyUnderMemory
+		o.MemLimit = int64(j.req.Limit * float64(base.PeakMem))
+	default:
+		o.Mode = opt.MemoryUnderLatency
+		o.LatencyLimit = base.Latency * (1 + j.req.Limit)
+	}
+	if s.cfg.CheckpointDir != "" {
+		o.Checkpoint = opt.Checkpoint{
+			Path:   s.checkpointPath(j.id),
+			EveryN: s.cfg.CheckpointEveryN,
+			Label:  j.req.Model,
+		}
+	}
+	return opt.OptimizeCtx(ctx, w.G, s.cfg.Model, o)
+}
+
+func (j *job) resumeFrom() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resumePath
+}
+
+func (s *Server) checkpointPath(id string) string {
+	return filepath.Join(s.cfg.CheckpointDir, id+".ckpt")
+}
+
+func (s *Server) checkpointExists(j *job) bool {
+	if s.cfg.CheckpointDir == "" {
+		return false
+	}
+	_, err := os.Stat(s.checkpointPath(j.id))
+	return err == nil
+}
+
+func (s *Server) removeCheckpoint(j *job) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	if err := os.Remove(s.checkpointPath(j.id)); err != nil && !os.IsNotExist(err) {
+		s.cfg.Logf("serve: removing checkpoint of %s: %v", j.id, err)
+	}
+}
+
+// recoverCheckpoints re-admits jobs a previous incarnation left
+// checkpointed (drained or crashed mid-search). Unreadable snapshots are
+// skipped with a log line, never deleted — the operator decides.
+func (s *Server) recoverCheckpoints() int {
+	if s.cfg.CheckpointDir == "" {
+		return 0
+	}
+	if err := os.MkdirAll(s.cfg.CheckpointDir, 0o755); err != nil {
+		s.cfg.Logf("serve: checkpoint dir: %v", err)
+		return 0
+	}
+	entries, err := os.ReadDir(s.cfg.CheckpointDir)
+	if err != nil {
+		s.cfg.Logf("serve: checkpoint dir: %v", err)
+		return 0
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "job-") || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	n := 0
+	for _, name := range names {
+		id := strings.TrimSuffix(name, ".ckpt")
+		path := filepath.Join(s.cfg.CheckpointDir, name)
+		info, err := opt.ReadCheckpointInfo(path)
+		if err != nil {
+			s.cfg.Logf("serve: skipping unreadable checkpoint %s: %v", name, err)
+			continue
+		}
+		s.mu.Lock()
+		// Keep fresh job IDs clear of recovered ones.
+		var seq int64
+		if _, serr := fmt.Sscanf(id, "job-%d", &seq); serr == nil && seq > s.nextID {
+			s.nextID = seq
+		}
+		if _, dup := s.jobs[id]; dup {
+			s.mu.Unlock()
+			continue
+		}
+		j := &job{
+			id:         id,
+			req:        OptimizeRequest{Model: info.Label},
+			budget:     s.cfg.DefaultBudget,
+			resumePath: path,
+			resumes:    1,
+			state:      stateQueued,
+			created:    time.Now(),
+		}
+		s.jobs[id] = j
+		s.mu.Unlock()
+		select {
+		case s.queue <- j:
+			s.met.Admitted.Add(1)
+			s.met.Resumed.Add(1)
+			s.cfg.Logf("serve: recovered %s (%s, %d expansions so far)", id, info.Label, info.Iterations)
+			n++
+		default:
+			// Queue smaller than the backlog: leave the snapshot for the
+			// next restart rather than over-admitting.
+			s.forget(j)
+			s.cfg.Logf("serve: queue full; %s stays checkpointed on disk", id)
+		}
+	}
+	return n
+}

@@ -1,0 +1,384 @@
+// Package serve is the supervised service front-end for long-running
+// MAGIS searches: an HTTP API over a bounded job queue with admission
+// control, per-job panic isolation, a stall watchdog, and crash-safe
+// drain built on the search checkpoints of internal/opt.
+//
+// Operational posture:
+//
+//   - Admission is non-blocking: a full queue rejects with 429 (and a
+//     Retry-After hint) before any work starts; a draining server rejects
+//     with 503. Accepted jobs get a deadline derived from their requested
+//     search budget.
+//   - Every job runs under opt.Guard, so a panicking search marks one job
+//     failed instead of killing the process.
+//   - A watchdog cancels jobs that stop making expansion progress for a
+//     stall window; a stalled job with a checkpoint is re-admitted once to
+//     resume from its last snapshot.
+//   - Drain (SIGTERM in cmd/magis-serve) stops admission, cancels
+//     in-flight searches — each writes a final checkpoint on the way out —
+//     and waits for the workers. A restarted server pointed at the same
+//     checkpoint directory re-admits those jobs and resumes them.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"magis/internal/cost"
+	"magis/internal/models"
+)
+
+// Config configures a Server. Model is required; everything else has
+// serviceable defaults.
+type Config struct {
+	// Model prices every search (required).
+	Model *cost.Model
+	// QueueDepth bounds the number of admitted-but-not-running jobs
+	// (default 8). Beyond it, /optimize returns 429.
+	QueueDepth int
+	// Workers is the number of jobs run concurrently (default 1; each
+	// search parallelizes internally via its own Workers option).
+	Workers int
+	// DefaultBudget is the search budget when a request omits one
+	// (default 10s); MaxBudget caps what a request may ask for
+	// (default 5m).
+	DefaultBudget time.Duration
+	MaxBudget     time.Duration
+	// CheckpointDir enables crash-safe jobs: each search checkpoints into
+	// <dir>/<job-id>.ckpt, and Start re-admits any checkpoints found there
+	// (jobs interrupted by a previous drain or crash). Empty disables
+	// checkpointing, stall resume, and restart recovery.
+	CheckpointDir string
+	// CheckpointEveryN is the snapshot flush cadence in expansions
+	// (0 = the opt default).
+	CheckpointEveryN int
+	// StallWindow is how long a running job may go without completing an
+	// expansion before the watchdog cancels it (default 30s; negative
+	// disables the watchdog). StallPoll is the scan interval (default
+	// StallWindow/4).
+	StallWindow time.Duration
+	StallPoll   time.Duration
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 10 * time.Second
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 5 * time.Minute
+	}
+	if c.StallWindow == 0 {
+		c.StallWindow = 30 * time.Second
+	}
+	if c.StallPoll <= 0 {
+		c.StallPoll = c.StallWindow / 4
+		if c.StallPoll <= 0 {
+			c.StallPoll = time.Second
+		}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// metrics are the service-level counters exposed by /metrics.
+type metrics struct {
+	Admitted         atomic.Int64
+	RejectedFull     atomic.Int64
+	RejectedDraining atomic.Int64
+	RejectedInvalid  atomic.Int64
+	Completed        atomic.Int64
+	Failed           atomic.Int64
+	Cancelled        atomic.Int64
+	Stalled          atomic.Int64
+	Resumed          atomic.Int64
+	Expansions       atomic.Int64
+}
+
+// Server is the service. Create with New, wire Handler into an HTTP
+// server, call Start, and Drain on shutdown.
+type Server struct {
+	cfg Config
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int64
+
+	queue    chan *job
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	inFlight atomic.Int64
+	met      metrics
+
+	// runSearch executes one job's search; replaced by tests to control
+	// timing without real optimization work.
+	runSearch searchFn
+}
+
+// New builds a Server; call Start to launch its workers.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:  cfg.withDefaults(),
+		jobs: make(map[string]*job),
+	}
+	s.queue = make(chan *job, s.cfg.QueueDepth)
+	s.stop = make(chan struct{})
+	s.runSearch = s.searchJob
+	return s
+}
+
+// Start launches the worker pool and the stall watchdog, and — when a
+// checkpoint directory is configured — re-admits jobs a previous
+// incarnation left checkpointed. It returns the number of recovered jobs.
+func (s *Server) Start() int {
+	recovered := s.recoverCheckpoints()
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	if s.cfg.StallWindow > 0 {
+		s.wg.Add(1)
+		go s.watchdog()
+	}
+	return recovered
+}
+
+// Drain stops admission, cancels every in-flight search (each writes its
+// final checkpoint on the way out), marks still-queued jobs cancelled, and
+// waits for the workers — or for ctx, whichever ends first.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.stop)
+		s.mu.Lock()
+		jobs := make([]*job, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			jobs = append(jobs, j)
+		}
+		s.mu.Unlock()
+		for _, j := range jobs {
+			if j.interrupt(reasonDrain) {
+				s.met.Cancelled.Add(1)
+			}
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		// Anything admitted in the instant between the draining check and
+		// the workers exiting is cancelled, not silently stranded.
+		s.flushQueue()
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/optimize", s.handleOptimize)
+	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// OptimizeRequest is the /optimize POST body.
+type OptimizeRequest struct {
+	// Model names the workload (see internal/models.Names).
+	Model string `json:"model"`
+	// Scale is the batch-size scale factor in (0,1] (default 1).
+	Scale float64 `json:"scale,omitempty"`
+	// Mode is "mem" (minimize memory under a latency limit, the default)
+	// or "latency" (minimize latency under a memory limit).
+	Mode string `json:"mode,omitempty"`
+	// Limit is the constraint: allowed latency overhead for mode "mem"
+	// (default 0.10), memory ratio vs baseline for mode "latency".
+	Limit float64 `json:"limit,omitempty"`
+	// Budget is the search time budget as a Go duration string
+	// (default Config.DefaultBudget, capped at Config.MaxBudget).
+	Budget string `json:"budget,omitempty"`
+	// Workers is the search's parallel evaluation width (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Iterations caps the number of search expansions (0 = budget-bound
+	// only). Useful for smoke tests and fixed-work benchmark jobs.
+	Iterations int `json:"iterations,omitempty"`
+}
+
+// normalize validates the request and resolves defaults.
+func (r *OptimizeRequest) normalize(cfg Config) (time.Duration, error) {
+	known := false
+	for _, n := range models.Names() {
+		if strings.EqualFold(r.Model, n) {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return 0, fmt.Errorf("unknown model %q (want %s)", r.Model, strings.Join(models.Names(), "|"))
+	}
+	if r.Scale == 0 {
+		r.Scale = 1
+	}
+	if r.Scale < 0 || r.Scale > 1 {
+		return 0, fmt.Errorf("invalid scale %v: must be in (0,1]", r.Scale)
+	}
+	switch r.Mode {
+	case "":
+		r.Mode = "mem"
+	case "mem", "latency":
+	default:
+		return 0, fmt.Errorf("unknown mode %q: want mem or latency", r.Mode)
+	}
+	if r.Limit == 0 {
+		r.Limit = 0.10
+	}
+	if r.Limit < 0 {
+		return 0, fmt.Errorf("invalid limit %v: must be >= 0", r.Limit)
+	}
+	if r.Workers < 0 {
+		return 0, fmt.Errorf("invalid workers %d: must be >= 0", r.Workers)
+	}
+	if r.Iterations < 0 {
+		return 0, fmt.Errorf("invalid iterations %d: must be >= 0", r.Iterations)
+	}
+	budget := cfg.DefaultBudget
+	if r.Budget != "" {
+		d, err := time.ParseDuration(r.Budget)
+		if err != nil {
+			return 0, fmt.Errorf("invalid budget %q: %v", r.Budget, err)
+		}
+		if d <= 0 {
+			return 0, fmt.Errorf("invalid budget %q: must be positive", r.Budget)
+		}
+		budget = d
+	}
+	if budget > cfg.MaxBudget {
+		budget = cfg.MaxBudget
+	}
+	return budget, nil
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.draining.Load() {
+		s.met.RejectedDraining.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "draining: not admitting new jobs")
+		return
+	}
+	var req OptimizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.met.RejectedInvalid.Add(1)
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	budget, err := req.normalize(s.cfg)
+	if err != nil {
+		s.met.RejectedInvalid.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := s.newJob(req, budget)
+	// Non-blocking admission: a full queue rejects before any search work
+	// starts, so overload sheds load instead of building an unbounded
+	// backlog.
+	select {
+	case s.queue <- j:
+		s.met.Admitted.Add(1)
+		s.cfg.Logf("serve: admitted %s (%s, budget %v)", j.id, req.Model, budget)
+		w.Header().Set("Location", "/jobs/"+j.id)
+		writeJSON(w, http.StatusAccepted, s.jobView(j))
+	default:
+		s.forget(j)
+		s.met.RejectedFull.Add(1)
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusTooManyRequests, "queue full (%d queued): retry later", s.cfg.QueueDepth)
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobView(j))
+}
+
+// handleHealthz reports liveness plus the load picture an orchestrator
+// needs for readiness decisions: queue occupancy and in-flight work.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.mu.Lock()
+	total := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"queue_depth":    len(s.queue),
+		"queue_capacity": cap(s.queue),
+		"in_flight":      s.inFlight.Load(),
+		"jobs":           total,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]int64{
+		"admitted":          s.met.Admitted.Load(),
+		"rejected_full":     s.met.RejectedFull.Load(),
+		"rejected_draining": s.met.RejectedDraining.Load(),
+		"rejected_invalid":  s.met.RejectedInvalid.Load(),
+		"completed":         s.met.Completed.Load(),
+		"failed":            s.met.Failed.Load(),
+		"cancelled":         s.met.Cancelled.Load(),
+		"stalled":           s.met.Stalled.Load(),
+		"resumed":           s.met.Resumed.Load(),
+		"expansions":        s.met.Expansions.Load(),
+		"in_flight":         s.inFlight.Load(),
+		"queue_depth":       int64(len(s.queue)),
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

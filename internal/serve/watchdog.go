@@ -1,0 +1,49 @@
+package serve
+
+import "time"
+
+// The watchdog is the supervision half of the service: a search that stops
+// completing expansions — wedged in a pathological candidate evaluation,
+// or starved by the host — is cancelled after StallWindow without
+// progress. Cancellation is safe because the search is anytime and
+// checkpointed: finishJob then re-admits the job once from its last
+// snapshot (skipping whatever the snapshot's frontier orders after the
+// wedged candidate is a non-goal — the snapshot replays the same frontier,
+// so a deterministic wedge fails again and the job settles as cancelled
+// rather than ping-ponging forever).
+
+func (s *Server) watchdog() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.StallPoll)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.scanStalls()
+		}
+	}
+}
+
+// scanStalls cancels running jobs with no expansion progress inside the
+// stall window. Collect-then-interrupt keeps the lock ordering one-way
+// (Server.mu before job.mu, interrupt takes only job.mu).
+func (s *Server) scanStalls() {
+	now := time.Now()
+	var stalled []*job
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == stateRunning && j.interrupted == reasonNone &&
+			now.Sub(j.lastProgress) > s.cfg.StallWindow {
+			stalled = append(stalled, j)
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, j := range stalled {
+		s.cfg.Logf("serve: %s made no progress for %v; cancelling", j.id, s.cfg.StallWindow)
+		j.interrupt(reasonStall)
+	}
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"magis/internal/graph"
+	"magis/internal/ops"
+	"magis/internal/sched"
+	"magis/internal/tensor"
+)
+
+// The retry-with-backoff model of FaultHooks runs on the simulator's
+// virtual clock, so every test here is deterministic: time only advances
+// when the model says it does.
+
+// transferScenario is one Store whose transfer faults, followed by a
+// consumer — the minimal graph that exercises the retry path.
+func transferScenario() (*graph.Graph, sched.Schedule, graph.NodeID) {
+	g := graph.New()
+	sh := tensor.S(1024, 1024)
+	x := g.Add(ops.NewInput(sh, tensor.F32))
+	st := g.Add(ops.NewStore(sh, tensor.F32), x)
+	ld := g.Add(ops.NewLoad(sh, tensor.F32), st)
+	y := g.Add(ops.NewReLU(sh, tensor.F32), ld)
+	return g, sched.Schedule{x, st, ld, y}, st
+}
+
+// failStore returns hooks that fail the given transfer k times.
+func failStore(target graph.NodeID, k int) *FaultHooks {
+	return &FaultHooks{
+		TransferFailures: func(n *graph.Node) int {
+			if n.ID == target {
+				return k
+			}
+			return 0
+		},
+	}
+}
+
+// TestRetryCountIsBounded: failures beyond MaxRetries are not absorbed one
+// by one — the transfer aborts after exactly MaxRetries extra attempts.
+func TestRetryCountIsBounded(t *testing.T) {
+	g, order, st := transferScenario()
+	h := failStore(st, 10)
+	h.MaxRetries = 4
+	r := Run(g, order, Config{Model: model(), Faults: h})
+	if r.Retries != 4 {
+		t.Errorf("Retries = %d, want exactly MaxRetries (4)", r.Retries)
+	}
+	if r.TransferAborts != 1 {
+		t.Errorf("TransferAborts = %d, want 1", r.TransferAborts)
+	}
+	if len(r.Faults) != 1 || !r.Faults[0].Aborted || r.Faults[0].Node != st {
+		t.Errorf("fault points %+v, want one aborted fault at node %d", r.Faults, st)
+	}
+
+	// Failures within the bound are absorbed and the plan completes.
+	h = failStore(st, 2)
+	h.MaxRetries = 4
+	r = Run(g, order, Config{Model: model(), Faults: h})
+	if r.Retries != 2 || r.TransferAborts != 0 {
+		t.Errorf("absorbed run: Retries=%d aborts=%d, want 2/0", r.Retries, r.TransferAborts)
+	}
+	if len(r.Faults) != 1 || r.Faults[0].Aborted || r.Faults[0].Retries != 2 {
+		t.Errorf("fault points %+v, want one absorbed 2-retry fault", r.Faults)
+	}
+}
+
+// TestBackoffGrowsMonotonically: each extra attempt costs the transfer
+// latency plus an exponentially doubling backoff, so the marginal cost of
+// attempt i+1 strictly exceeds that of attempt i.
+func TestBackoffGrowsMonotonically(t *testing.T) {
+	g, order, st := transferScenario()
+	m := model()
+	backoff := 100e-6
+	lat := m.NodeLatency(g.Node(st))
+
+	// Marginal retry cost per extra failure, measured via RetryTime.
+	var prevTotal, prevMarginal float64
+	for k := 1; k <= 4; k++ {
+		h := failStore(st, k)
+		h.MaxRetries = 8
+		h.RetryBackoff = backoff
+		r := Run(g, order, Config{Model: m, Faults: h})
+		marginal := r.RetryTime - prevTotal
+		want := lat + backoff*math.Pow(2, float64(k-1))
+		if diff := marginal - want; diff < -1e-12 || diff > 1e-12 {
+			t.Errorf("attempt %d marginal cost %g, want lat+backoff*2^%d = %g", k, marginal, k-1, want)
+		}
+		if k > 1 && marginal <= prevMarginal {
+			t.Errorf("attempt %d cost %g not greater than attempt %d cost %g",
+				k, marginal, k-1, prevMarginal)
+		}
+		prevTotal = r.RetryTime
+		prevMarginal = marginal
+	}
+}
+
+// TestRetryTimeExtendsTheTimeline: absorbed retries push the makespan by
+// exactly RetryTime when the transfer is on the critical path.
+func TestRetryTimeExtendsTheTimeline(t *testing.T) {
+	g, order, st := transferScenario()
+	m := model()
+	clean := Run(g, order, Config{Model: m})
+	h := failStore(st, 3)
+	faulty := Run(g, order, Config{Model: m, Faults: h})
+	want := clean.Latency + faulty.RetryTime
+	if diff := faulty.Latency - want; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("faulty latency %g, want clean+RetryTime = %g", faulty.Latency, want)
+	}
+	if faulty.RetryTime <= 0 {
+		t.Error("RetryTime not recorded")
+	}
+}
+
+// TestPermanentFaultAbortsInsteadOfLooping: a transfer that fails
+// "forever" (a permanent fault) terminates the simulation in bounded time
+// with an abort — the retry loop must never chase the failure count.
+func TestPermanentFaultAbortsInsteadOfLooping(t *testing.T) {
+	g, order, st := transferScenario()
+	h := failStore(st, math.MaxInt32)
+	r := Run(g, order, Config{Model: model(), Faults: h})
+	if r.TransferAborts != 1 {
+		t.Fatalf("TransferAborts = %d, want 1", r.TransferAborts)
+	}
+	if r.Retries != 3 {
+		t.Errorf("Retries = %d, want the default MaxRetries (3)", r.Retries)
+	}
+	if math.IsInf(r.Latency, 0) || math.IsNaN(r.Latency) || r.Latency <= 0 {
+		t.Errorf("latency after permanent fault = %g, want finite positive", r.Latency)
+	}
+}
+
+// TestRetryDefaults pins the documented defaults: MaxRetries 3 and a 50µs
+// base backoff.
+func TestRetryDefaults(t *testing.T) {
+	h := &FaultHooks{}
+	if h.maxRetries() != 3 {
+		t.Errorf("default MaxRetries = %d, want 3", h.maxRetries())
+	}
+	if h.backoff() != 50e-6 {
+		t.Errorf("default RetryBackoff = %g, want 50e-6", h.backoff())
+	}
+
+	g, order, st := transferScenario()
+	m := model()
+	lat := m.NodeLatency(g.Node(st))
+	r := Run(g, order, Config{Model: m, Faults: failStore(st, 1)})
+	want := lat + 50e-6
+	if diff := r.RetryTime - want; diff < -1e-12 || diff > 1e-12 {
+		t.Errorf("single retry cost %g, want lat+50µs = %g", r.RetryTime, want)
+	}
+}
