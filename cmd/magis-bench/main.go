@@ -18,6 +18,13 @@
 // (-fault-seed), and — when infeasible — repaired through the adaptive
 // re-optimization ladder with a -headroom budget margin.
 //
+// The verify target numerically verifies a miniature version of each
+// evaluation workload: its graph is optimized, executed against the
+// memory plan's concrete arena offsets, and cross-checked against the
+// unoptimized graph (see internal/verify). -mutate corrupts one plan
+// offset per workload first and expects the checker to trap it; any
+// unclean verification report makes the process exit 1.
+//
 // SIGINT/SIGTERM cancels in-flight searches: the current target renders
 // with whatever best-so-far states were reached, remaining targets are
 // skipped, and the process exits 0.
@@ -32,6 +39,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"slices"
 	"strings"
 	"syscall"
 	"time"
@@ -40,9 +48,13 @@ import (
 	"magis/internal/cost"
 	"magis/internal/expr"
 	"magis/internal/faults"
+	"magis/internal/memplan"
 	"magis/internal/models"
 	"magis/internal/opt"
 	"magis/internal/robust"
+	"magis/internal/sched"
+	"magis/internal/tensor"
+	"magis/internal/verify"
 )
 
 func main() {
@@ -52,6 +64,9 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel candidate evaluations per search (0 = GOMAXPROCS, 1 = sequential)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
 		memprofile = flag.String("memprofile", "", "write an allocation profile taken at exit to this path")
+
+		verifySeed = flag.Uint64("verify-seed", 1, "seed for the verify target's numeric inputs")
+		mutate     = flag.Bool("mutate", false, "verify target: corrupt one memory-plan offset per workload first; the arena checker must then trap it and the run exits non-zero")
 
 		auditFlag = flag.Bool("audit", false, "run the execution-feasibility audit target after the others")
 		faultsN   = flag.Int("faults", 0, "fault scenarios per workload in the audit target (0 = audit only)")
@@ -69,7 +84,7 @@ func main() {
 	known := map[string]bool{
 		"table2": true, "fig9": true, "fig10": true, "fig11": true,
 		"fig12": true, "fig13": true, "fig14": true, "fig15": true, "fig16": true,
-		"audit": true,
+		"audit": true, "verify": true,
 	}
 	targets := flag.Args()
 	if len(targets) == 0 && !*auditFlag {
@@ -83,9 +98,13 @@ func main() {
 	}
 	for _, t := range targets {
 		if !known[t] {
-			fmt.Fprintf(os.Stderr, "unknown target %q (want table2, fig9..fig16, audit, or all)\n", t)
+			fmt.Fprintf(os.Stderr, "unknown target %q (want table2, fig9..fig16, audit, verify, or all)\n", t)
 			os.Exit(2)
 		}
+	}
+	if *mutate && !slices.Contains(targets, "verify") {
+		fmt.Fprintln(os.Stderr, "-mutate only applies to the verify target")
+		os.Exit(2)
 	}
 
 	// Profiling starts after argument validation so a typo can't leave a
@@ -129,6 +148,7 @@ func main() {
 	defer stop()
 	cfg := expr.Config{Scale: *scale, Budget: *budget, Ctx: ctx, Workers: *workers}
 
+	verifyFailed := false
 	for _, t := range targets {
 		if ctx.Err() != nil {
 			fmt.Printf("interrupted: skipping remaining targets from %s on\n", t)
@@ -156,6 +176,10 @@ func main() {
 			fmt.Print(expr.RenderFig16(expr.Fig16(cfg, nil)))
 		case "audit":
 			runAudit(ctx, cfg, *faultsN, *faultSeed, *headroom, *ckDir)
+		case "verify":
+			if !runVerify(ctx, cfg, *verifySeed, *mutate) {
+				verifyFailed = true
+			}
 		}
 		if ctx.Err() != nil {
 			fmt.Printf("(%s interrupted after %v; rows reflect best-so-far states)\n\n",
@@ -164,6 +188,97 @@ func main() {
 		}
 		fmt.Printf("(%s took %v)\n\n", t, time.Since(start).Round(time.Millisecond))
 	}
+	if verifyFailed {
+		os.Exit(1)
+	}
+}
+
+// verifySuite is the numeric-verification face of the seven evaluation
+// workloads: same architectures as Table 2, shrunk until a pure-Go
+// float64 execution of forward+backward+SGD finishes in seconds.
+func verifySuite() []*models.Workload {
+	return []*models.Workload{
+		models.ResNet50Config(2, 32, []int{1, 1, 1, 1}),
+		models.TransformerLM("BERT-mini", 2, 16, 64, 2, 4, 256, tensor.TF32, false),
+		models.ViTBase(1, 16, 16),
+		models.UNetConfig(1, 32, 8, 2),
+		models.UNetPPConfig(1, 32, 8, 2),
+		models.TransformerLM("GPT-Neo-mini", 1, 16, 64, 2, 4, 256, tensor.BF16, false),
+		models.TransformerLM("BTLM-mini", 1, 16, 80, 2, 4, 256, tensor.BF16, false),
+	}
+}
+
+// runVerify numerically verifies every suite workload: the graph is
+// optimized under the usual memory objective, materialized, executed
+// against its memory plan's concrete arena offsets, and cross-checked
+// against the unoptimized graph on seeded inputs. With mutate set, the
+// optimization step is skipped and one plan offset is corrupted instead —
+// the checker must trap it, so a "failing" run is the expected outcome
+// and the non-zero exit is what scripts/verify_mutation.sh asserts.
+// Returns true when every report is clean.
+func runVerify(ctx context.Context, cfg expr.Config, seed uint64, mutate bool) bool {
+	m := cost.NewModel(cost.RTX3090())
+	ok := true
+	if mutate {
+		fmt.Printf("mutation smoke: one corrupted plan offset per workload, seed %d\n", seed)
+	} else {
+		fmt.Printf("numeric plan verification: optimized vs reference execution, seed %d\n", seed)
+	}
+	for _, w := range verifySuite() {
+		if ctx.Err() != nil {
+			fmt.Println("interrupted: skipping remaining workloads")
+			break
+		}
+		var rep *verify.Report
+		if mutate {
+			sc := &sched.Scheduler{}
+			order := sc.ScheduleGraph(w.G)
+			plan, err := memplan.Build(w.G, order)
+			if err != nil {
+				fmt.Printf("verify %s: FAIL — memplan: %v\n", w.Name, err)
+				ok = false
+				continue
+			}
+			desc, injected := verify.InjectOffsetFault(plan)
+			if !injected {
+				fmt.Printf("verify %s: FAIL — no concurrently-live blocks to corrupt\n", w.Name)
+				ok = false
+				continue
+			}
+			fmt.Printf("injected: %s\n", desc)
+			rep = verify.CheckPlan(w.G, w.G, order, plan, seed)
+			if rep.OK() {
+				fmt.Printf("verify %s: injected fault went UNDETECTED\n", w.Name)
+			}
+		} else {
+			base := opt.Baseline(w.G, m)
+			res, err := opt.OptimizeCtx(ctx, w.G, m, opt.Options{
+				Mode:          opt.MemoryUnderLatency,
+				LatencyLimit:  base.Latency * 1.1,
+				TimeBudget:    cfg.Budget,
+				Workers:       cfg.Workers,
+				MaxIterations: 60,
+			})
+			if err != nil {
+				fmt.Printf("verify %s: FAIL — optimize: %v\n", w.Name, err)
+				ok = false
+				continue
+			}
+			mg, err := res.Best.FT.Materialize(res.Best.G)
+			if err != nil {
+				fmt.Printf("verify %s: FAIL — materialize: %v\n", w.Name, err)
+				ok = false
+				continue
+			}
+			rep = verify.Check(w.G, mg, seed)
+		}
+		rep.Workload = w.Name
+		if !rep.OK() {
+			ok = false
+		}
+		fmt.Print(rep)
+	}
+	return ok
 }
 
 // runAudit is the execution-feasibility harness: per workload it audits

@@ -23,6 +23,11 @@
 // printed and the process exits 0 (the search is anytime — an interrupted
 // run is a valid, just less optimized, result).
 //
+// -verify numerically executes the optimized plan against the memory
+// planner's concrete arena offsets (trapping use-after-free and overlap
+// bugs) and cross-checks its outputs against the unoptimized graph on
+// seeded inputs; a failed verification exits 1.
+//
 // -checkpoint makes the search crash-safe: it periodically snapshots its
 // full state to the given path (atomically), and a later run with
 // -resume <path> continues from the snapshot under the remaining budget —
@@ -49,6 +54,7 @@ import (
 	"magis/internal/opt"
 	"magis/internal/robust"
 	"magis/internal/sched"
+	"magis/internal/verify"
 )
 
 func main() {
@@ -65,6 +71,9 @@ func main() {
 
 		ckpt   = flag.String("checkpoint", "", "periodically snapshot the search to this path (crash-safe; see -resume)")
 		resume = flag.String("resume", "", "continue an interrupted search from this checkpoint under its remaining budget")
+
+		verifyPlan = flag.Bool("verify", false, "numerically verify the optimized plan: arena-safe execution + output cross-check vs the input graph")
+		verifySeed = flag.Uint64("verify-seed", 1, "seed for the verification inputs")
 
 		audit     = flag.Bool("audit", false, "differential plan audit + re-optimization ladder (implied by -faults)")
 		faultsN   = flag.Int("faults", 0, "replay the plan under N seeded fault scenarios (0 = off)")
@@ -91,6 +100,9 @@ func main() {
 		}
 		if *audit || *faultsN > 0 {
 			fatalf("-audit/-faults cannot be combined with -resume (run them on the finished result instead)")
+		}
+		if *verifyPlan {
+			fatalf("-verify cannot be combined with -resume: the snapshot has no input graph to cross-check against")
 		}
 	}
 
@@ -189,6 +201,8 @@ func main() {
 			Headroom:     *headroom,
 			Faults:       faults.Defaults(*faultSeed, *faultsN),
 			ReplayFaults: *faultsN > 0,
+			Verify:       *verifyPlan,
+			VerifySeed:   *verifySeed,
 			Initial:      res,
 		}
 		fmt.Println("\nexecution feasibility:")
@@ -212,6 +226,9 @@ func main() {
 			if a.Replay != nil {
 				fmt.Printf("  %s\n", a.Replay)
 			}
+			if a.Verify != nil {
+				fmt.Printf("  %s", a.Verify)
+			}
 		}
 		fmt.Printf("ladder: %s\n", lad.Summary())
 		if lad.Survived && lad.Repaired {
@@ -219,6 +236,19 @@ func main() {
 			fmt.Printf("repaired: %s\n", best.Summary())
 		} else if !lad.Survived {
 			fmt.Println("warning: no rung produced a feasible plan; keeping the base result")
+		}
+	}
+
+	if *verifyPlan {
+		mg, err := best.FT.Materialize(best.G)
+		if err != nil {
+			fatalf("materialize for verification: %v", err)
+		}
+		rep := verify.Check(input, mg, *verifySeed)
+		rep.Workload = wName
+		fmt.Printf("\n%s", rep)
+		if !rep.OK() {
+			os.Exit(1)
 		}
 	}
 

@@ -1,0 +1,132 @@
+package autodiff
+
+import (
+	"math"
+	"testing"
+
+	"magis/internal/graph"
+	"magis/internal/ops"
+	"magis/internal/refexec"
+	"magis/internal/sched"
+	"magis/internal/tensor"
+)
+
+// gradcheck compares every parameter gradient Backward produced against
+// central finite differences of the loss under the reference interpreter.
+// The perturbation is applied post-quantization and the divisor is the
+// actually-applied delta (qplus - qminus), so dtype rounding does not
+// masquerade as a wrong derivative. Sampling a handful of elements per
+// parameter keeps the 2-executions-per-element cost bounded.
+func gradcheck(t *testing.T, g *graph.Graph, loss graph.NodeID, seed uint64) {
+	t.Helper()
+	grads, err := Backward(g, loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := sched.Schedule(g.Topo())
+	leaves := refexec.SeedLeaves(g, seed)
+	vals, err := refexec.Exec(g, order, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossAt := func(param graph.NodeID, idx int, v float64) float64 {
+		t.Helper()
+		perturbed := make(map[graph.NodeID][]float64, len(leaves))
+		for id, buf := range leaves {
+			perturbed[id] = buf
+		}
+		buf := append([]float64(nil), leaves[param]...)
+		buf[idx] = v
+		perturbed[param] = buf
+		pv, err := refexec.Exec(g, order, perturbed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pv[loss][0]
+	}
+	const eps = 1e-3
+	for param, gnode := range grads {
+		dt := g.Node(param).Op.DType()
+		analytic := vals[gnode]
+		n := len(analytic)
+		if n != len(leaves[param]) {
+			t.Fatalf("param %d: gradient has %d elements, param has %d", param, n, len(leaves[param]))
+		}
+		stride := n/4 + 1
+		for idx := 0; idx < n; idx += stride {
+			v := leaves[param][idx]
+			qplus := dt.Quantize(v + eps)
+			qminus := dt.Quantize(v - eps)
+			delta := qplus - qminus
+			if delta == 0 {
+				continue // eps vanished under this dtype's rounding
+			}
+			fd := (lossAt(param, idx, qplus) - lossAt(param, idx, qminus)) / delta
+			ad := analytic[idx]
+			lim := 1e-3 + 2e-2*math.Max(math.Abs(ad), math.Abs(fd))
+			if d := math.Abs(ad - fd); d > lim || math.IsNaN(d) {
+				t.Errorf("param %s (%d) elem %d: analytic %.6g vs finite-diff %.6g (|Δ|=%.3g > %.3g)",
+					g.Node(param).Name, param, idx, ad, fd, d, lim)
+			}
+		}
+	}
+}
+
+// TestGradcheckMLP: Linear→BiasAdd→GELU→Linear→CrossEntropy. Covers the
+// dense backward kernels (LinearBwdW, BiasBwd, GELUBwd, CrossEntropyBwd).
+func TestGradcheckMLP(t *testing.T) {
+	g := graph.New()
+	dt := tensor.F32
+	x := g.AddNamed("x", ops.NewInput(tensor.S(2, 3), dt))
+	w1 := g.AddNamed("w1", ops.NewParam(tensor.S(3, 6), dt))
+	b1 := g.AddNamed("b1", ops.NewParam(tensor.S(6), dt))
+	w2 := g.AddNamed("w2", ops.NewParam(tensor.S(6, 4), dt))
+	lbl := g.AddNamed("labels", ops.NewInput(tensor.S(2), dt))
+	h := g.Add(ops.NewLinear(tensor.S(2, 3), tensor.S(3, 6), false, dt), x, w1)
+	hb := g.Add(ops.NewBiasAdd(tensor.S(2, 6), tensor.S(6), dt), h, b1)
+	act := g.Add(ops.NewGELU(tensor.S(2, 6), dt), hb)
+	logits := g.Add(ops.NewLinear(tensor.S(2, 6), tensor.S(6, 4), false, dt), act, w2)
+	loss := g.AddNamed("loss", ops.NewCrossEntropy(tensor.S(2, 4), tensor.S(2), dt), logits, lbl)
+	gradcheck(t, g, loss, 17)
+}
+
+// TestGradcheckAttention: a single-head-split attention block
+// (SplitHeads, scaled-dot-product scores, Softmax, context matmul,
+// MergeHeads, LayerNorm) into a token-level CrossEntropy. Covers the
+// attention-path backward kernels (BatchMatmul transposes, SoftmaxBwd,
+// LayerNormBwdX/P, ScaleBwd).
+func TestGradcheckAttention(t *testing.T) {
+	g := graph.New()
+	dt := tensor.F32
+	const (
+		b, s, c, heads, vocab = 1, 4, 8, 2, 5
+	)
+	xsh := tensor.S(b, s, c)
+	hsh := tensor.S(b, heads, s, c/heads)
+	ssh := tensor.S(b, heads, s, s)
+	csh := tensor.S(c)
+
+	x := g.AddNamed("x", ops.NewInput(xsh, dt))
+	wq := g.AddNamed("wq", ops.NewParam(tensor.S(c, c), dt))
+	wk := g.AddNamed("wk", ops.NewParam(tensor.S(c, c), dt))
+	wv := g.AddNamed("wv", ops.NewParam(tensor.S(c, c), dt))
+	q := g.Add(ops.NewLinear(xsh, tensor.S(c, c), false, dt), x, wq)
+	k := g.Add(ops.NewLinear(xsh, tensor.S(c, c), false, dt), x, wk)
+	v := g.Add(ops.NewLinear(xsh, tensor.S(c, c), false, dt), x, wv)
+	qh := g.Add(ops.NewSplitHeads(xsh, heads, dt), q)
+	kh := g.Add(ops.NewSplitHeads(xsh, heads, dt), k)
+	vh := g.Add(ops.NewSplitHeads(xsh, heads, dt), v)
+	scores := g.Add(ops.NewBatchMatmul(hsh, hsh, false, true, dt), qh, kh)
+	scaled := g.Add(ops.NewScale(ssh, dt), scores)
+	probs := g.Add(ops.NewSoftmax(ssh, 4, dt), scaled)
+	ctx := g.Add(ops.NewBatchMatmul(ssh, hsh, false, false, dt), probs, vh)
+	merged := g.Add(ops.NewMergeHeads(hsh, dt), ctx)
+	gamma := g.AddNamed("ln.g", ops.NewParam(csh, dt))
+	beta := g.AddNamed("ln.b", ops.NewParam(csh, dt))
+	ln := g.Add(ops.NewLayerNorm(xsh, csh, csh, dt), merged, gamma, beta)
+	head := g.AddNamed("head", ops.NewParam(tensor.S(c, vocab), dt))
+	logits := g.Add(ops.NewLinear(xsh, tensor.S(c, vocab), false, dt), ln, head)
+	lbl := g.AddNamed("labels", ops.NewInput(tensor.S(b, s), dt))
+	loss := g.AddNamed("loss", ops.NewCrossEntropy(tensor.S(b, s, vocab), tensor.S(b, s), dt), logits, lbl)
+	gradcheck(t, g, loss, 23)
+}

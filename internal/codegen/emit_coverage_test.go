@@ -1,0 +1,44 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"magis/internal/graph"
+	"magis/internal/ops"
+	"magis/internal/tensor"
+	"magis/internal/verify"
+)
+
+// TestEveryKindEmits: every registered operator kind has an emission
+// rule. The catalog graph (internal/verify) contains one node of each
+// kind, so a kind falling through to the default case surfaces here as
+// a hard error rather than as a silent clone in generated scripts.
+func TestEveryKindEmits(t *testing.T) {
+	g := verify.CatalogGraph()
+	src, err := PyTorch(g, g.Topo(), Options{Label: "catalog"})
+	if err != nil {
+		t.Fatalf("catalog graph does not emit: %v", err)
+	}
+	if strings.Contains(src, "TODO") || strings.Contains(src, "unknown operator") {
+		t.Fatal("emitted script contains a placeholder for an unhandled operator")
+	}
+}
+
+// TestUnknownKindFailsEmission: an unregistered operator kind must fail
+// code generation instead of degrading to a clone placeholder.
+func TestUnknownKindFailsEmission(t *testing.T) {
+	g := graph.New()
+	x := g.Add(ops.NewInput(tensor.S(2, 2), tensor.F32))
+	g.Add(ops.FromRaw(ops.Raw{
+		Kind:  "Bogus",
+		Ins:   []tensor.Shape{tensor.S(2, 2)},
+		Out:   tensor.S(2, 2),
+		DType: tensor.F32,
+	}), x)
+	if _, err := PyTorch(g, g.Topo(), Options{}); err == nil {
+		t.Fatal("emission of an unknown operator kind succeeded; want hard error")
+	} else if !strings.Contains(err.Error(), "Bogus") {
+		t.Fatalf("error does not name the offending kind: %v", err)
+	}
+}

@@ -177,7 +177,12 @@ func (e *emitter) emitOp(v graph.NodeID) {
 		e.pf("        %s = %s.to(dev, non_blocking=True)\n", out, in(0))
 		e.pf("    torch.cuda.current_stream().wait_stream(copy_stream)\n")
 	default:
-		e.pf("    %s = %s.clone()  # TODO: unknown operator %q\n", out, in(0), kind)
+		// An operator without an emission rule must fail loudly: a clone
+		// placeholder would silently change the computed function, which
+		// the numeric verifier (internal/verify) exists to rule out.
+		if e.err == nil {
+			e.err = fmt.Errorf("codegen: no emission rule for operator kind %q", kind)
+		}
 	}
 }
 

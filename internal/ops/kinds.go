@@ -1,0 +1,49 @@
+package ops
+
+import "sort"
+
+// structuralKinds are the operator kinds that carry no FLOPs and therefore
+// do not appear in the flops registry: graph leaves, pure data-movement
+// reshapes, and the host-transfer pair.
+var structuralKinds = []string{
+	KindInput, KindParam,
+	KindSlice, KindConcat, KindTranspose, KindReshape,
+	"SplitHeads", "MergeHeads",
+	KindStore, KindLoad,
+}
+
+// Kinds enumerates every registered operator kind — compute kinds from the
+// flops registry plus the zero-FLOP structural kinds — in sorted order.
+// Coverage tests (codegen emission, reference execution) iterate this list
+// so a newly registered operator cannot silently miss a backend.
+func Kinds() []string {
+	seen := make(map[string]bool, len(flopsRegistry)+len(structuralKinds))
+	out := make([]string, 0, len(flopsRegistry)+len(structuralKinds))
+	for k := range flopsRegistry {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for _, k := range structuralKinds {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsRegistered reports whether kind names a registered operator.
+func IsRegistered(kind string) bool {
+	if _, ok := flopsRegistry[kind]; ok {
+		return true
+	}
+	for _, k := range structuralKinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,1091 @@
+package refexec
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"magis/internal/ops"
+	"magis/internal/tensor"
+)
+
+// Constants mirroring the emitted-kernel semantics (internal/codegen):
+// Scale multiplies by 0.125, ApplySGD uses a fixed learning rate, and the
+// normalization ops share one epsilon.
+const (
+	scaleFactor = 0.125
+	sgdLR       = 1e-4
+	normEps     = 1e-5
+)
+
+// kernelFunc computes one operator's output from its input buffers.
+type kernelFunc func(s *ops.Spec, ins [][]float64) ([]float64, error)
+
+// Supported reports whether the interpreter can execute the given
+// operator kind. Leaves are "supported" in the sense that Exec resolves
+// them from seeded buffers rather than a kernel.
+func Supported(kind string) bool {
+	return ops.IsLeaf(kind) || kernels[kind] != nil
+}
+
+// EvalSpec dispatches spec to its kernel.
+func EvalSpec(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	k := kernels[s.Kind()]
+	if k == nil {
+		return nil, fmt.Errorf("no reference kernel for operator %q", s.Kind())
+	}
+	if want := s.NumIns(); len(ins) != want {
+		return nil, fmt.Errorf("%s: got %d inputs, want %d", s.Kind(), len(ins), want)
+	}
+	for i := range ins {
+		if want := int(s.InShape(i).Elems()); len(ins[i]) != want {
+			return nil, fmt.Errorf("%s: input %d has %d elements, shape needs %d", s.Kind(), i, len(ins[i]), want)
+		}
+	}
+	return k(s, ins)
+}
+
+var kernels = map[string]kernelFunc{
+	ops.KindMatmul:    evalMatmul,
+	ops.KindBatchMM:   evalBatchMatmul,
+	"Linear":          evalLinear,
+	"LinearBwdW":      evalLinearBwdW,
+	ops.KindConv2d:    evalConv2d,
+	"ConvBwdData":     evalConvBwdData,
+	"ConvBwdFilter":   evalConvBwdFilter,
+	ops.KindPool2d:    evalPool2d,
+	"PoolBwd":         evalPoolBwd,
+	"Upsample2d":      evalUpsample2d,
+	"UpsampleBwd":     evalUpsampleBwd,
+	"ReLU":            unary(func(x float64) float64 { return math.Max(x, 0) }),
+	"GELU":            unary(gelu),
+	"Tanh":            unary(math.Tanh),
+	"Sigmoid":         unary(sigmoid),
+	"Dropout":         unary(func(x float64) float64 { return x }), // deterministic identity
+	"Scale":           unary(func(x float64) float64 { return x * scaleFactor }),
+	"ReLUBwd":         unaryBwd(func(x float64) float64 { return step(x) }),
+	"GELUBwd":         unaryBwd(geluPrime),
+	"TanhBwd":         unaryBwd(func(x float64) float64 { t := math.Tanh(x); return 1 - t*t }),
+	"SigmoidBwd":      unaryBwd(func(x float64) float64 { s := sigmoid(x); return s * (1 - s) }),
+	"DropoutBwd":      unaryBwd(func(float64) float64 { return 1 }),
+	"ScaleBwd":        unaryBwd(func(float64) float64 { return scaleFactor }),
+	"Add":             binary(func(a, b float64) float64 { return a + b }),
+	"Mul":             binary(func(a, b float64) float64 { return a * b }),
+	"BiasAdd":         evalBiasAdd,
+	ops.KindSoftmax:   evalSoftmax,
+	"SoftmaxBwd":      evalSoftmaxBwd,
+	ops.KindLayerNorm: evalLayerNorm,
+	"LayerNormBwdX":   evalLayerNormBwdX,
+	"LayerNormBwdP":   evalLayerNormBwdP,
+	"BatchNorm2d":     evalBatchNorm2d,
+	"BatchNormBwdX":   evalBatchNormBwdX,
+	"BatchNormBwdP":   evalBatchNormBwdP,
+	ops.KindReduce:    evalReduce,
+	"Broadcast":       evalBroadcast,
+	"Pad":             evalPad,
+	ops.KindSlice:     evalSlice,
+	ops.KindConcat:    evalConcat,
+	ops.KindTranspose: evalTranspose,
+	ops.KindReshape:   evalCopy,
+	"SplitHeads":      evalSplitHeads,
+	"MergeHeads":      evalMergeHeads,
+	ops.KindEmbedding: evalEmbedding,
+	"EmbeddingBwd":    evalEmbeddingBwd,
+	"BiasBwd":         evalBiasBwd,
+	ops.KindCrossEnt:  evalCrossEntropy,
+	"CrossEntropyBwd": evalCrossEntropyBwd,
+	"ApplySGD":        evalApplySGD,
+	// In plain execution Store/Load are the identity; the arena checker
+	// routes their data through a simulated host arena instead.
+	ops.KindStore: evalCopy,
+	ops.KindLoad:  evalCopy,
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func step(x float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}
+
+// gelu is the tanh approximation; geluPrime is its exact derivative, so
+// gradchecks of GELUBwd against this forward are tight.
+func gelu(x float64) float64 {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+}
+
+func geluPrime(x float64) float64 {
+	const c = 0.7978845608028654
+	u := c * (x + 0.044715*x*x*x)
+	t := math.Tanh(u)
+	return 0.5*(1+t) + 0.5*x*(1-t*t)*c*(1+3*0.044715*x*x)
+}
+
+func unary(f func(float64) float64) kernelFunc {
+	return func(s *ops.Spec, ins [][]float64) ([]float64, error) {
+		out := make([]float64, len(ins[0]))
+		for i, v := range ins[0] {
+			out[i] = f(v)
+		}
+		return out, nil
+	}
+}
+
+// unaryBwd computes dy * f'(x) for the (saved-x, dy) input convention.
+func unaryBwd(fp func(float64) float64) kernelFunc {
+	return func(s *ops.Spec, ins [][]float64) ([]float64, error) {
+		x, dy := ins[0], ins[1]
+		out := make([]float64, len(x))
+		for i := range x {
+			out[i] = dy[i] * fp(x[i])
+		}
+		return out, nil
+	}
+}
+
+func binary(f func(a, b float64) float64) kernelFunc {
+	return func(s *ops.Spec, ins [][]float64) ([]float64, error) {
+		a, b := ins[0], ins[1]
+		out := make([]float64, len(a))
+		for i := range a {
+			out[i] = f(a[i], b[i])
+		}
+		return out, nil
+	}
+}
+
+func evalCopy(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	return append([]float64(nil), ins[0]...), nil
+}
+
+// mm computes out[m,n] = A·B with optional transposes, where A is (m,k)
+// after ta and B is (k,n) after tb. The inner loop order is fixed so that
+// two executions of the same contraction are bitwise identical.
+func mm(out, a, b []float64, m, n, k int, ta, tb bool) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for l := 0; l < k; l++ {
+				av := 0.0
+				if ta {
+					av = a[l*m+i]
+				} else {
+					av = a[i*k+l]
+				}
+				bv := 0.0
+				if tb {
+					bv = b[j*k+l]
+				} else {
+					bv = b[l*n+j]
+				}
+				acc += av * bv
+			}
+			out[i*n+j] = acc
+		}
+	}
+}
+
+func transFlags(attr string) (ta, tb bool, err error) {
+	if len(attr) != 2 {
+		return false, false, fmt.Errorf("bad matmul attr %q", attr)
+	}
+	return attr[0] == 'T', attr[1] == 'T', nil
+}
+
+func evalMatmul(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	ta, tb, err := transFlags(s.Attr())
+	if err != nil {
+		return nil, err
+	}
+	os := s.OutShape()
+	m, n := os.Dim(1), os.Dim(2)
+	as := s.InShape(0)
+	k := as.Dim(2)
+	if ta {
+		k = as.Dim(1)
+	}
+	out := make([]float64, m*n)
+	mm(out, ins[0], ins[1], m, n, k, ta, tb)
+	return out, nil
+}
+
+func evalBatchMatmul(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	ta, tb, err := transFlags(s.Attr())
+	if err != nil {
+		return nil, err
+	}
+	os := s.OutShape()
+	r := os.Rank()
+	m, n := os.Dim(r-1), os.Dim(r)
+	as := s.InShape(0)
+	k := as.Dim(as.Rank())
+	if ta {
+		k = as.Dim(as.Rank() - 1)
+	}
+	batch := int(os.Elems()) / (m * n)
+	out := make([]float64, os.Elems())
+	for bi := 0; bi < batch; bi++ {
+		mm(out[bi*m*n:(bi+1)*m*n], ins[0][bi*m*k:(bi+1)*m*k], ins[1][bi*k*n:(bi+1)*k*n], m, n, k, ta, tb)
+	}
+	return out, nil
+}
+
+// evalLinear flattens the leading dims of x into rows; attr "T" means the
+// weight is stored [n,k] and multiplied transposed.
+func evalLinear(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	xs := s.InShape(0)
+	k := xs.Dim(xs.Rank())
+	rows := int(xs.Elems()) / k
+	os := s.OutShape()
+	n := os.Dim(os.Rank())
+	out := make([]float64, os.Elems())
+	mm(out, ins[0], ins[1], rows, n, k, false, s.Attr() == "T")
+	return out, nil
+}
+
+// evalLinearBwdW accumulates dW[k,n] = Σ_rows x(row,·)ᵀ · dy(row,·).
+func evalLinearBwdW(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	xs := s.InShape(0)
+	k := xs.Dim(xs.Rank())
+	rows := int(xs.Elems()) / k
+	os := s.OutShape()
+	n := os.Dim(2)
+	out := make([]float64, k*n)
+	mm(out, ins[0], ins[1], k, n, rows, true, false)
+	return out, nil
+}
+
+func convAttr(attr string) (stride, pad int, err error) {
+	if _, err := fmt.Sscanf(attr, "s%dp%d", &stride, &pad); err != nil {
+		return 0, 0, fmt.Errorf("bad conv attr %q: %w", attr, err)
+	}
+	return stride, pad, nil
+}
+
+func evalConv2d(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	stride, pad, err := convAttr(s.Attr())
+	if err != nil {
+		return nil, err
+	}
+	xs, ws, os := s.InShape(0), s.InShape(1), s.OutShape()
+	N, C, H, W := xs.Dim(1), xs.Dim(2), xs.Dim(3), xs.Dim(4)
+	K, R, S := ws.Dim(1), ws.Dim(3), ws.Dim(4)
+	OH, OW := os.Dim(3), os.Dim(4)
+	x, w := ins[0], ins[1]
+	out := make([]float64, os.Elems())
+	for n := 0; n < N; n++ {
+		for k := 0; k < K; k++ {
+			for oh := 0; oh < OH; oh++ {
+				for ow := 0; ow < OW; ow++ {
+					var acc float64
+					for c := 0; c < C; c++ {
+						for r := 0; r < R; r++ {
+							ih := oh*stride - pad + r
+							if ih < 0 || ih >= H {
+								continue
+							}
+							for q := 0; q < S; q++ {
+								iw := ow*stride - pad + q
+								if iw < 0 || iw >= W {
+									continue
+								}
+								acc += x[((n*C+c)*H+ih)*W+iw] * w[((k*C+c)*R+r)*S+q]
+							}
+						}
+					}
+					out[((n*K+k)*OH+oh)*OW+ow] = acc
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// evalConvBwdData scatters dy through the filter: the exact transpose of
+// the forward convolution.
+func evalConvBwdData(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	stride, pad, err := convAttr(s.Attr())
+	if err != nil {
+		return nil, err
+	}
+	ds, ws, os := s.InShape(0), s.InShape(1), s.OutShape()
+	N, K, OH, OW := ds.Dim(1), ds.Dim(2), ds.Dim(3), ds.Dim(4)
+	C, R, S := ws.Dim(2), ws.Dim(3), ws.Dim(4)
+	H, W := os.Dim(3), os.Dim(4)
+	dy, w := ins[0], ins[1]
+	out := make([]float64, os.Elems())
+	for n := 0; n < N; n++ {
+		for k := 0; k < K; k++ {
+			for oh := 0; oh < OH; oh++ {
+				for ow := 0; ow < OW; ow++ {
+					g := dy[((n*K+k)*OH+oh)*OW+ow]
+					for c := 0; c < C; c++ {
+						for r := 0; r < R; r++ {
+							ih := oh*stride - pad + r
+							if ih < 0 || ih >= H {
+								continue
+							}
+							for q := 0; q < S; q++ {
+								iw := ow*stride - pad + q
+								if iw < 0 || iw >= W {
+									continue
+								}
+								out[((n*C+c)*H+ih)*W+iw] += g * w[((k*C+c)*R+r)*S+q]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func evalConvBwdFilter(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	stride, pad, err := convAttr(s.Attr())
+	if err != nil {
+		return nil, err
+	}
+	xs, ds, os := s.InShape(0), s.InShape(1), s.OutShape()
+	N, C, H, W := xs.Dim(1), xs.Dim(2), xs.Dim(3), xs.Dim(4)
+	K, OH, OW := ds.Dim(2), ds.Dim(3), ds.Dim(4)
+	R, S := os.Dim(3), os.Dim(4)
+	x, dy := ins[0], ins[1]
+	out := make([]float64, os.Elems())
+	for n := 0; n < N; n++ {
+		for k := 0; k < K; k++ {
+			for oh := 0; oh < OH; oh++ {
+				for ow := 0; ow < OW; ow++ {
+					g := dy[((n*K+k)*OH+oh)*OW+ow]
+					for c := 0; c < C; c++ {
+						for r := 0; r < R; r++ {
+							ih := oh*stride - pad + r
+							if ih < 0 || ih >= H {
+								continue
+							}
+							for q := 0; q < S; q++ {
+								iw := ow*stride - pad + q
+								if iw < 0 || iw >= W {
+									continue
+								}
+								out[((k*C+c)*R+r)*S+q] += g * x[((n*C+c)*H+ih)*W+iw]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func poolAttr(attr string) (kind string, k, stride int, err error) {
+	parts := strings.SplitN(attr, ",", 2)
+	if len(parts) != 2 {
+		return "", 0, 0, fmt.Errorf("bad pool attr %q", attr)
+	}
+	if _, err := fmt.Sscanf(parts[1], "k%ds%d", &k, &stride); err != nil {
+		return "", 0, 0, fmt.Errorf("bad pool attr %q: %w", attr, err)
+	}
+	return parts[0], k, stride, nil
+}
+
+func evalPool2d(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	kind, kk, stride, err := poolAttr(s.Attr())
+	if err != nil {
+		return nil, err
+	}
+	xs, os := s.InShape(0), s.OutShape()
+	N, C, H, W := xs.Dim(1), xs.Dim(2), xs.Dim(3), xs.Dim(4)
+	OH, OW := os.Dim(3), os.Dim(4)
+	x := ins[0]
+	out := make([]float64, os.Elems())
+	for n := 0; n < N; n++ {
+		for c := 0; c < C; c++ {
+			for oh := 0; oh < OH; oh++ {
+				for ow := 0; ow < OW; ow++ {
+					acc := math.Inf(-1)
+					if kind == "avg" {
+						acc = 0
+					}
+					for r := 0; r < kk; r++ {
+						for q := 0; q < kk; q++ {
+							ih, iw := oh*stride+r, ow*stride+q
+							if ih >= H || iw >= W {
+								continue
+							}
+							v := x[((n*C+c)*H+ih)*W+iw]
+							if kind == "avg" {
+								acc += v
+							} else if v > acc {
+								acc = v
+							}
+						}
+					}
+					if kind == "avg" {
+						acc /= float64(kk * kk)
+					}
+					out[((n*C+c)*OH+oh)*OW+ow] = acc
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// evalPoolBwd routes dy to the window's argmax (first maximum wins) for
+// max pooling, or spreads it uniformly for average pooling.
+func evalPoolBwd(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	kind, kk, stride, err := poolAttr(s.Attr())
+	if err != nil {
+		return nil, err
+	}
+	xs, ds := s.InShape(0), s.InShape(1)
+	N, C, H, W := xs.Dim(1), xs.Dim(2), xs.Dim(3), xs.Dim(4)
+	OH, OW := ds.Dim(3), ds.Dim(4)
+	x, dy := ins[0], ins[1]
+	out := make([]float64, xs.Elems())
+	for n := 0; n < N; n++ {
+		for c := 0; c < C; c++ {
+			for oh := 0; oh < OH; oh++ {
+				for ow := 0; ow < OW; ow++ {
+					g := dy[((n*C+c)*OH+oh)*OW+ow]
+					if kind == "avg" {
+						share := g / float64(kk*kk)
+						for r := 0; r < kk; r++ {
+							for q := 0; q < kk; q++ {
+								ih, iw := oh*stride+r, ow*stride+q
+								if ih >= H || iw >= W {
+									continue
+								}
+								out[((n*C+c)*H+ih)*W+iw] += share
+							}
+						}
+						continue
+					}
+					best, bi := math.Inf(-1), -1
+					for r := 0; r < kk; r++ {
+						for q := 0; q < kk; q++ {
+							ih, iw := oh*stride+r, ow*stride+q
+							if ih >= H || iw >= W {
+								continue
+							}
+							if v := x[((n*C+c)*H+ih)*W+iw]; v > best {
+								best, bi = v, ((n*C+c)*H+ih)*W+iw
+							}
+						}
+					}
+					if bi >= 0 {
+						out[bi] += g
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func evalUpsample2d(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	var f int
+	if _, err := fmt.Sscanf(s.Attr(), "f%d", &f); err != nil {
+		return nil, fmt.Errorf("bad upsample attr %q: %w", s.Attr(), err)
+	}
+	xs, os := s.InShape(0), s.OutShape()
+	N, C, H, W := xs.Dim(1), xs.Dim(2), xs.Dim(3), xs.Dim(4)
+	OH, OW := os.Dim(3), os.Dim(4)
+	x := ins[0]
+	out := make([]float64, os.Elems())
+	for n := 0; n < N; n++ {
+		for c := 0; c < C; c++ {
+			for oh := 0; oh < OH; oh++ {
+				for ow := 0; ow < OW; ow++ {
+					ih, iw := oh/f, ow/f
+					if ih >= H {
+						ih = H - 1
+					}
+					if iw >= W {
+						iw = W - 1
+					}
+					out[((n*C+c)*OH+oh)*OW+ow] = x[((n*C+c)*H+ih)*W+iw]
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// evalUpsampleBwd sums each f×f patch of dy back into its source cell —
+// the exact adjoint of nearest-neighbor upsampling.
+func evalUpsampleBwd(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	var f int
+	if _, err := fmt.Sscanf(s.Attr(), "f%d", &f); err != nil {
+		return nil, fmt.Errorf("bad upsample attr %q: %w", s.Attr(), err)
+	}
+	ds, os := s.InShape(0), s.OutShape()
+	N, C, OH, OW := ds.Dim(1), ds.Dim(2), ds.Dim(3), ds.Dim(4)
+	H, W := os.Dim(3), os.Dim(4)
+	dy := ins[0]
+	out := make([]float64, os.Elems())
+	for n := 0; n < N; n++ {
+		for c := 0; c < C; c++ {
+			for oh := 0; oh < OH; oh++ {
+				for ow := 0; ow < OW; ow++ {
+					ih, iw := oh/f, ow/f
+					if ih >= H {
+						ih = H - 1
+					}
+					if iw >= W {
+						iw = W - 1
+					}
+					out[((n*C+c)*H+ih)*W+iw] += dy[((n*C+c)*OH+oh)*OW+ow]
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func evalBiasAdd(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	x, b := ins[0], ins[1]
+	c := len(b)
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] + b[i%c]
+	}
+	return out, nil
+}
+
+// axisSplit decomposes a shape around a 1-based axis into (outer, length,
+// inner) strides for axis-wise iteration.
+func axisSplit(sh tensor.Shape, axis int) (outer, length, inner int) {
+	outer, length, inner = 1, sh.Dim(axis), 1
+	for d := 1; d < axis; d++ {
+		outer *= sh.Dim(d)
+	}
+	for d := axis + 1; d <= sh.Rank(); d++ {
+		inner *= sh.Dim(d)
+	}
+	return outer, length, inner
+}
+
+func softmaxAxis(s *ops.Spec) (int, error) {
+	var a int
+	if _, err := fmt.Sscanf(s.Attr(), "a%d", &a); err != nil {
+		return 0, fmt.Errorf("bad softmax attr %q: %w", s.Attr(), err)
+	}
+	return a, nil
+}
+
+func evalSoftmax(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	axis, err := softmaxAxis(s)
+	if err != nil {
+		return nil, err
+	}
+	outer, l, inner := axisSplit(s.InShape(0), axis)
+	x := ins[0]
+	out := make([]float64, len(x))
+	for o := 0; o < outer; o++ {
+		for i := 0; i < inner; i++ {
+			max := math.Inf(-1)
+			for j := 0; j < l; j++ {
+				if v := x[(o*l+j)*inner+i]; v > max {
+					max = v
+				}
+			}
+			var sum float64
+			for j := 0; j < l; j++ {
+				e := math.Exp(x[(o*l+j)*inner+i] - max)
+				out[(o*l+j)*inner+i] = e
+				sum += e
+			}
+			for j := 0; j < l; j++ {
+				out[(o*l+j)*inner+i] /= sum
+			}
+		}
+	}
+	return out, nil
+}
+
+// evalSoftmaxBwd computes dx = y ⊙ (dy - Σ_axis dy·y), the exact softmax
+// jacobian-vector product given the forward output y.
+func evalSoftmaxBwd(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	axis, err := softmaxAxis(s)
+	if err != nil {
+		return nil, err
+	}
+	outer, l, inner := axisSplit(s.InShape(0), axis)
+	y, dy := ins[0], ins[1]
+	out := make([]float64, len(y))
+	for o := 0; o < outer; o++ {
+		for i := 0; i < inner; i++ {
+			var dot float64
+			for j := 0; j < l; j++ {
+				idx := (o*l+j)*inner + i
+				dot += dy[idx] * y[idx]
+			}
+			for j := 0; j < l; j++ {
+				idx := (o*l+j)*inner + i
+				out[idx] = y[idx] * (dy[idx] - dot)
+			}
+		}
+	}
+	return out, nil
+}
+
+// rowStats returns the biased mean and variance of one length-c row.
+func rowStats(x []float64) (mean, variance float64) {
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	for _, v := range x {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= float64(len(x))
+	return mean, variance
+}
+
+func evalLayerNorm(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	x, gamma, beta := ins[0], ins[1], ins[2]
+	c := len(gamma)
+	out := make([]float64, len(x))
+	for r := 0; r*c < len(x); r++ {
+		row := x[r*c : (r+1)*c]
+		mean, variance := rowStats(row)
+		inv := 1 / math.Sqrt(variance+normEps)
+		for j := 0; j < c; j++ {
+			out[r*c+j] = (row[j]-mean)*inv*gamma[j] + beta[j]
+		}
+	}
+	return out, nil
+}
+
+// evalLayerNormBwdX is the exact input gradient:
+// dx = (g - mean(g) - x̂·mean(g·x̂)) / sqrt(σ²+ε) with g = dy·γ.
+func evalLayerNormBwdX(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	x, dy, gamma := ins[0], ins[1], ins[2]
+	c := len(gamma)
+	out := make([]float64, len(x))
+	g := make([]float64, c)
+	for r := 0; r*c < len(x); r++ {
+		row := x[r*c : (r+1)*c]
+		mean, variance := rowStats(row)
+		inv := 1 / math.Sqrt(variance+normEps)
+		var gMean, gxMean float64
+		for j := 0; j < c; j++ {
+			g[j] = dy[r*c+j] * gamma[j]
+			gMean += g[j]
+			gxMean += g[j] * (row[j] - mean) * inv
+		}
+		gMean /= float64(c)
+		gxMean /= float64(c)
+		for j := 0; j < c; j++ {
+			xhat := (row[j] - mean) * inv
+			out[r*c+j] = (g[j] - gMean - xhat*gxMean) * inv
+		}
+	}
+	return out, nil
+}
+
+// evalLayerNormBwdP is dγ: Σ_rows dy·x̂ (dβ is emitted as BiasBwd).
+func evalLayerNormBwdP(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	x, dy := ins[0], ins[1]
+	c := s.OutShape().Dim(1)
+	out := make([]float64, c)
+	for r := 0; r*c < len(x); r++ {
+		row := x[r*c : (r+1)*c]
+		mean, variance := rowStats(row)
+		inv := 1 / math.Sqrt(variance+normEps)
+		for j := 0; j < c; j++ {
+			out[j] += dy[r*c+j] * (row[j] - mean) * inv
+		}
+	}
+	return out, nil
+}
+
+// channelStats returns per-channel mean and biased variance over N,H,W.
+func channelStats(x []float64, n, c, hw int) (mean, variance []float64) {
+	mean = make([]float64, c)
+	variance = make([]float64, c)
+	cnt := float64(n * hw)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			base := (ni*c + ci) * hw
+			for i := 0; i < hw; i++ {
+				mean[ci] += x[base+i]
+			}
+		}
+	}
+	for ci := range mean {
+		mean[ci] /= cnt
+	}
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			base := (ni*c + ci) * hw
+			for i := 0; i < hw; i++ {
+				d := x[base+i] - mean[ci]
+				variance[ci] += d * d
+			}
+		}
+	}
+	for ci := range variance {
+		variance[ci] /= cnt
+	}
+	return mean, variance
+}
+
+func evalBatchNorm2d(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	xs := s.InShape(0)
+	n, c, hw := xs.Dim(1), xs.Dim(2), xs.Dim(3)*xs.Dim(4)
+	x, gamma := ins[0], ins[1]
+	mean, variance := channelStats(x, n, c, hw)
+	out := make([]float64, len(x))
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			inv := gamma[ci] / math.Sqrt(variance[ci]+normEps)
+			base := (ni*c + ci) * hw
+			for i := 0; i < hw; i++ {
+				out[base+i] = (x[base+i] - mean[ci]) * inv
+			}
+		}
+	}
+	return out, nil
+}
+
+// evalBatchNormBwdX keeps the documented surrogate dy - mean(dy) per
+// channel, matching the emitted kernel rather than the exact jacobian.
+func evalBatchNormBwdX(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	xs := s.InShape(0)
+	n, c, hw := xs.Dim(1), xs.Dim(2), xs.Dim(3)*xs.Dim(4)
+	dy := ins[1]
+	dyMean, _ := channelStats(dy, n, c, hw)
+	out := make([]float64, len(dy))
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			base := (ni*c + ci) * hw
+			for i := 0; i < hw; i++ {
+				out[base+i] = dy[base+i] - dyMean[ci]
+			}
+		}
+	}
+	return out, nil
+}
+
+func evalBatchNormBwdP(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	xs := s.InShape(0)
+	n, c, hw := xs.Dim(1), xs.Dim(2), xs.Dim(3)*xs.Dim(4)
+	x, dy := ins[0], ins[1]
+	mean, variance := channelStats(x, n, c, hw)
+	out := make([]float64, c)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			inv := 1 / math.Sqrt(variance[ci]+normEps)
+			base := (ni*c + ci) * hw
+			for i := 0; i < hw; i++ {
+				out[ci] += dy[base+i] * (x[base+i] - mean[ci]) * inv
+			}
+		}
+	}
+	return out, nil
+}
+
+func evalReduce(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	parts := strings.SplitN(s.Attr(), ",", 2)
+	var axis int
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("bad reduce attr %q", s.Attr())
+	}
+	if _, err := fmt.Sscanf(parts[1], "a%d", &axis); err != nil {
+		return nil, fmt.Errorf("bad reduce attr %q: %w", s.Attr(), err)
+	}
+	outer, l, inner := axisSplit(s.InShape(0), axis)
+	x := ins[0]
+	out := make([]float64, outer*inner)
+	for o := 0; o < outer; o++ {
+		for i := 0; i < inner; i++ {
+			var acc float64
+			for j := 0; j < l; j++ {
+				acc += x[(o*l+j)*inner+i]
+			}
+			if parts[0] == "Mean" {
+				acc /= float64(l)
+			}
+			out[o*inner+i] = acc
+		}
+	}
+	return out, nil
+}
+
+// evalBroadcast replicates x along a new axis (the emitted expand — no
+// 1/n scaling, matching codegen).
+func evalBroadcast(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	var axis, n int
+	if _, err := fmt.Sscanf(s.Attr(), "a%d,n%d", &axis, &n); err != nil {
+		return nil, fmt.Errorf("bad broadcast attr %q: %w", s.Attr(), err)
+	}
+	outer, l, inner := axisSplit(s.OutShape(), axis)
+	if l != n {
+		return nil, fmt.Errorf("broadcast axis %d has length %d, attr says %d", axis, l, n)
+	}
+	x := ins[0]
+	out := make([]float64, outer*l*inner)
+	for o := 0; o < outer; o++ {
+		for j := 0; j < l; j++ {
+			for i := 0; i < inner; i++ {
+				out[(o*l+j)*inner+i] = x[o*inner+i]
+			}
+		}
+	}
+	return out, nil
+}
+
+func evalPad(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	var dim, start, total int
+	if _, err := fmt.Sscanf(s.Attr(), "d%d,%d+%d", &dim, &start, &total); err != nil {
+		return nil, fmt.Errorf("bad pad attr %q: %w", s.Attr(), err)
+	}
+	outer, l, inner := axisSplit(s.InShape(0), dim)
+	x := ins[0]
+	out := make([]float64, outer*total*inner)
+	for o := 0; o < outer; o++ {
+		for j := 0; j < l; j++ {
+			copy(out[(o*total+start+j)*inner:(o*total+start+j)*inner+inner], x[(o*l+j)*inner:(o*l+j)*inner+inner])
+		}
+	}
+	return out, nil
+}
+
+func evalSlice(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	dim, start, length, ok := ops.ParseSliceAttr(s)
+	if !ok {
+		return nil, fmt.Errorf("bad slice attr %q", s.Attr())
+	}
+	outer, l, inner := axisSplit(s.InShape(0), dim)
+	x := ins[0]
+	out := make([]float64, outer*length*inner)
+	for o := 0; o < outer; o++ {
+		for j := 0; j < length; j++ {
+			copy(out[(o*length+j)*inner:(o*length+j+1)*inner], x[(o*l+start+j)*inner:(o*l+start+j)*inner+inner])
+		}
+	}
+	return out, nil
+}
+
+func evalConcat(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	var dim, cnt int
+	if _, err := fmt.Sscanf(s.Attr(), "d%d,n%d", &dim, &cnt); err != nil {
+		return nil, fmt.Errorf("bad concat attr %q: %w", s.Attr(), err)
+	}
+	outer, total, inner := axisSplit(s.OutShape(), dim)
+	out := make([]float64, outer*total*inner)
+	off := 0
+	for i, x := range ins {
+		l := s.InShape(i).Dim(dim)
+		for o := 0; o < outer; o++ {
+			for j := 0; j < l; j++ {
+				copy(out[(o*total+off+j)*inner:(o*total+off+j)*inner+inner], x[(o*l+j)*inner:(o*l+j+1)*inner])
+			}
+		}
+		off += l
+	}
+	return out, nil
+}
+
+func evalTranspose(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	attr := strings.Trim(strings.TrimPrefix(s.Attr(), "p"), "[]")
+	fields := strings.Fields(attr)
+	xs, os := s.InShape(0), s.OutShape()
+	r := xs.Rank()
+	if len(fields) != r {
+		return nil, fmt.Errorf("bad transpose attr %q for rank %d", s.Attr(), r)
+	}
+	perm := make([]int, r)
+	for i, f := range fields {
+		p, err := strconv.Atoi(f)
+		if err != nil || p < 0 || p >= r {
+			return nil, fmt.Errorf("bad transpose attr %q", s.Attr())
+		}
+		perm[i] = p
+	}
+	inStride := make([]int, r)
+	st := 1
+	for d := r - 1; d >= 0; d-- {
+		inStride[d] = st
+		st *= xs.Dim(d + 1)
+	}
+	x := ins[0]
+	out := make([]float64, os.Elems())
+	oidx := make([]int, r)
+	for o := range out {
+		// Decompose o into the output multi-index, then map through perm.
+		rem := o
+		for d := r - 1; d >= 0; d-- {
+			oidx[d] = rem % os.Dim(d+1)
+			rem /= os.Dim(d + 1)
+		}
+		src := 0
+		for d := 0; d < r; d++ {
+			src += oidx[d] * inStride[perm[d]]
+		}
+		out[o] = x[src]
+	}
+	return out, nil
+}
+
+func evalSplitHeads(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	os := s.OutShape()
+	b, h, t, hd := os.Dim(1), os.Dim(2), os.Dim(3), os.Dim(4)
+	x := ins[0]
+	out := make([]float64, os.Elems())
+	for bi := 0; bi < b; bi++ {
+		for hi := 0; hi < h; hi++ {
+			for ti := 0; ti < t; ti++ {
+				for c := 0; c < hd; c++ {
+					out[((bi*h+hi)*t+ti)*hd+c] = x[(bi*t+ti)*h*hd+hi*hd+c]
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func evalMergeHeads(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	xs := s.InShape(0)
+	b, h, t, hd := xs.Dim(1), xs.Dim(2), xs.Dim(3), xs.Dim(4)
+	x := ins[0]
+	out := make([]float64, xs.Elems())
+	for bi := 0; bi < b; bi++ {
+		for hi := 0; hi < h; hi++ {
+			for ti := 0; ti < t; ti++ {
+				for c := 0; c < hd; c++ {
+					out[(bi*t+ti)*h*hd+hi*hd+c] = x[((bi*h+hi)*t+ti)*hd+c]
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// clampIndex folds any real value into [0, bound) the way the executor
+// treats index tensors: truncate, wrap negatives, map NaN to 0.
+func clampIndex(v float64, bound int) int {
+	if math.IsNaN(v) || bound <= 0 {
+		return 0
+	}
+	m := math.Mod(v, float64(bound))
+	if m < 0 {
+		m += float64(bound)
+	}
+	return int(m)
+}
+
+func evalEmbedding(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	ids, table := ins[0], ins[1]
+	ts := s.InShape(1)
+	v, c := ts.Dim(1), ts.Dim(2)
+	out := make([]float64, len(ids)*c)
+	for i, id := range ids {
+		row := clampIndex(id, v)
+		copy(out[i*c:(i+1)*c], table[row*c:(row+1)*c])
+	}
+	return out, nil
+}
+
+func evalEmbeddingBwd(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	ids, dy := ins[0], ins[1]
+	os := s.OutShape()
+	v, c := os.Dim(1), os.Dim(2)
+	out := make([]float64, v*c)
+	for i, id := range ids {
+		row := clampIndex(id, v)
+		for j := 0; j < c; j++ {
+			out[row*c+j] += dy[i*c+j]
+		}
+	}
+	return out, nil
+}
+
+func evalBiasBwd(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	dy := ins[0]
+	c := s.OutShape().Dim(1)
+	out := make([]float64, c)
+	for i, v := range dy {
+		out[i%c] += v
+	}
+	return out, nil
+}
+
+func evalCrossEntropy(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	logits, labels := ins[0], ins[1]
+	ls := s.InShape(0)
+	v := ls.Dim(ls.Rank())
+	rows := len(labels)
+	var loss float64
+	for r := 0; r < rows; r++ {
+		row := logits[r*v : (r+1)*v]
+		max := math.Inf(-1)
+		for _, x := range row {
+			if x > max {
+				max = x
+			}
+		}
+		var sum float64
+		for _, x := range row {
+			sum += math.Exp(x - max)
+		}
+		lbl := clampIndex(labels[r], v)
+		loss += max + math.Log(sum) - row[lbl]
+	}
+	loss /= float64(rows)
+	out := make([]float64, s.OutShape().Elems())
+	for i := range out {
+		out[i] = loss
+	}
+	return out, nil
+}
+
+// evalCrossEntropyBwd is the exact gradient of the mean row loss:
+// (softmax(logits) - onehot(label)) / rows.
+func evalCrossEntropyBwd(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	logits, labels := ins[0], ins[1]
+	ls := s.InShape(0)
+	v := ls.Dim(ls.Rank())
+	rows := len(labels)
+	out := make([]float64, len(logits))
+	for r := 0; r < rows; r++ {
+		row := logits[r*v : (r+1)*v]
+		max := math.Inf(-1)
+		for _, x := range row {
+			if x > max {
+				max = x
+			}
+		}
+		var sum float64
+		for _, x := range row {
+			sum += math.Exp(x - max)
+		}
+		lbl := clampIndex(labels[r], v)
+		for j := 0; j < v; j++ {
+			p := math.Exp(row[j]-max) / sum
+			if j == lbl {
+				p -= 1
+			}
+			out[r*v+j] = p / float64(rows)
+		}
+	}
+	return out, nil
+}
+
+func evalApplySGD(s *ops.Spec, ins [][]float64) ([]float64, error) {
+	w, gw := ins[0], ins[1]
+	out := make([]float64, len(w))
+	for i := range w {
+		out[i] = w[i] - sgdLR*gw[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+// Package refexec is a reference interpreter for the graph IR: it gives
+// tensors real contents and executes any graph — including transformed
+// graphs containing Store/Load transfer pairs — on small deterministic
+// seeded inputs.
+//
+// It exists for verification, not performance (see internal/verify): a
+// rewrite rule or a memory plan is correct exactly when the numbers it
+// produces match the numbers the untransformed graph produces. All
+// arithmetic is float64, but every operator output is re-quantized to the
+// node's dtype (tensor.DType.Quantize), so two executions of structurally
+// identical graphs are bitwise equal and tolerance is only needed where a
+// rewrite genuinely reassociates arithmetic.
+//
+// Backward operators are implemented as true derivatives of their forward
+// counterparts wherever the operator's inputs suffice, which is what makes
+// finite-difference gradchecking of internal/autodiff possible. The two
+// deliberate exceptions match the emitted-kernel semantics instead:
+// Dropout is the deterministic identity (so DropoutBwd is exact), and
+// BatchNormBwdX keeps the documented surrogate dy - mean(dy).
+package refexec
+
+import (
+	"fmt"
+
+	"magis/internal/graph"
+	"magis/internal/ops"
+	"magis/internal/sched"
+)
+
+// Values holds one buffer per executed node, keyed by node ID.
+type Values map[graph.NodeID][]float64
+
+// Run executes g under the given schedule (nil means topological order)
+// with leaves seeded from seed, and returns every node's value.
+func Run(g *graph.Graph, order sched.Schedule, seed uint64) (Values, error) {
+	if order == nil {
+		order = sched.Schedule(g.Topo())
+	}
+	return Exec(g, order, SeedLeaves(g, seed))
+}
+
+// Exec executes g in schedule order using the given leaf buffers.
+func Exec(g *graph.Graph, order sched.Schedule, leaves map[graph.NodeID][]float64) (Values, error) {
+	if err := order.Validate(g); err != nil {
+		return nil, fmt.Errorf("refexec: %w", err)
+	}
+	vals := make(Values, len(order))
+	for _, v := range order {
+		out, err := EvalNode(g, v, leaves, func(in graph.NodeID) []float64 { return vals[in] })
+		if err != nil {
+			return nil, err
+		}
+		vals[v] = out
+	}
+	return vals, nil
+}
+
+// EvalNode computes node v's output, resolving input values through read.
+// Leaves take their buffer from leaves; every other node dispatches to its
+// registered kernel and is quantized to the node's dtype. The plan-level
+// arena checker reuses this with a read function that decodes values out
+// of the planned arena.
+func EvalNode(g *graph.Graph, v graph.NodeID, leaves map[graph.NodeID][]float64, read func(graph.NodeID) []float64) ([]float64, error) {
+	n := g.Node(v)
+	spec, ok := n.Op.(*ops.Spec)
+	if !ok {
+		return nil, fmt.Errorf("refexec: node %d has non-operator payload %q: materialize fission regions before executing", v, n.Op.Kind())
+	}
+	kind := spec.Kind()
+	if ops.IsLeaf(kind) {
+		buf, ok := leaves[v]
+		if !ok {
+			return nil, fmt.Errorf("refexec: no seeded buffer for leaf %d (%s)", v, kind)
+		}
+		if want := int(spec.OutShape().Elems()); len(buf) != want {
+			return nil, fmt.Errorf("refexec: leaf %d (%s) buffer has %d elements, shape needs %d", v, kind, len(buf), want)
+		}
+		return buf, nil
+	}
+	ins := make([][]float64, len(n.Ins))
+	for i, in := range n.Ins {
+		ins[i] = read(in)
+		if ins[i] == nil {
+			return nil, fmt.Errorf("refexec: node %d (%s) reads node %d before it was computed", v, kind, in)
+		}
+	}
+	out, err := EvalSpec(spec, ins)
+	if err != nil {
+		return nil, fmt.Errorf("refexec: node %d: %w", v, err)
+	}
+	dt := spec.DType()
+	for i := range out {
+		out[i] = dt.Quantize(out[i])
+	}
+	return out, nil
+}
+
+// SeedLeaves builds deterministic input/parameter buffers for g: every
+// leaf gets values derived from (seed, node ID), so the same graph and
+// seed always execute identically, and a transformed copy of the graph
+// (which preserves leaf IDs) sees the very same inputs. Leaves consumed
+// as integer indices — embedding ids, cross-entropy labels, the same
+// predicate codegen applies — get in-range integers instead of reals.
+func SeedLeaves(g *graph.Graph, seed uint64) map[graph.NodeID][]float64 {
+	bounds := indexBounds(g)
+	out := make(map[graph.NodeID][]float64)
+	for _, v := range g.NodeIDs() {
+		n := g.Node(v)
+		if !ops.IsLeaf(n.Op.Kind()) {
+			continue
+		}
+		dt := n.Op.DType()
+		buf := make([]float64, n.Op.OutShape().Elems())
+		r := newRNG(seed, uint64(v))
+		if vr := bounds[v]; vr > 0 {
+			for i := range buf {
+				buf[i] = dt.Quantize(float64(r.next() % uint64(vr)))
+			}
+		} else {
+			for i := range buf {
+				buf[i] = dt.Quantize(r.float()*0.5 - 0.25)
+			}
+		}
+		out[v] = buf
+	}
+	return out
+}
+
+// indexBounds returns, for every node consumed as integer indices, the
+// tightest exclusive upper bound its values must respect.
+func indexBounds(g *graph.Graph) map[graph.NodeID]int {
+	out := map[graph.NodeID]int{}
+	tighten := func(v graph.NodeID, bound int) {
+		if cur, ok := out[v]; !ok || bound < cur {
+			out[v] = bound
+		}
+	}
+	for _, v := range g.NodeIDs() {
+		n := g.Node(v)
+		spec, ok := n.Op.(*ops.Spec)
+		if !ok {
+			continue
+		}
+		switch spec.Kind() {
+		case ops.KindEmbedding:
+			tighten(n.Ins[0], spec.InShape(1).Dim(1))
+		case "EmbeddingBwd":
+			tighten(n.Ins[0], spec.OutShape().Dim(1))
+		case ops.KindCrossEnt, "CrossEntropyBwd":
+			ls := spec.InShape(0)
+			tighten(n.Ins[1], ls.Dim(ls.Rank()))
+		}
+	}
+	return out
+}
+
+// rng is a splitmix64 stream, keyed by (seed, stream) so each leaf draws
+// an independent deterministic sequence.
+type rng struct{ s uint64 }
+
+func newRNG(seed, stream uint64) *rng {
+	return &rng{s: (seed + 0x9E3779B97F4A7C15) ^ (stream+1)*0xBF58476D1CE4E5B9}
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// float returns a uniform value in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }

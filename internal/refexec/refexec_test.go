@@ -1,0 +1,208 @@
+package refexec_test
+
+import (
+	"math"
+	"testing"
+
+	"magis/internal/graph"
+	"magis/internal/models"
+	"magis/internal/ops"
+	"magis/internal/refexec"
+	"magis/internal/tensor"
+)
+
+// TestEveryKindHasKernel: the registry and the interpreter must not
+// drift — an operator that can appear in a graph must be executable.
+func TestEveryKindHasKernel(t *testing.T) {
+	for _, k := range ops.Kinds() {
+		if !refexec.Supported(k) {
+			t.Errorf("operator kind %q has no reference kernel", k)
+		}
+	}
+}
+
+func eval(t *testing.T, s *ops.Spec, ins ...[]float64) []float64 {
+	t.Helper()
+	out, err := refexec.EvalSpec(s, ins)
+	if err != nil {
+		t.Fatalf("EvalSpec(%s): %v", s.Kind(), err)
+	}
+	return out
+}
+
+func wantSlice(t *testing.T, got, want []float64, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d elements, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("elem %d: got %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKernelSpotChecks(t *testing.T) {
+	dt := tensor.F32
+
+	// [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50]
+	mmSpec := ops.NewMatmul(tensor.S(2, 2), tensor.S(2, 2), false, false, dt)
+	wantSlice(t, eval(t, mmSpec, []float64{1, 2, 3, 4}, []float64{5, 6, 7, 8}),
+		[]float64{19, 22, 43, 50}, 0)
+
+	// Transposed variants agree with the plain product.
+	nt := ops.NewMatmul(tensor.S(2, 2), tensor.S(2, 2), false, true, dt)
+	wantSlice(t, eval(t, nt, []float64{1, 2, 3, 4}, []float64{5, 7, 6, 8}),
+		[]float64{19, 22, 43, 50}, 0)
+	tn := ops.NewMatmul(tensor.S(2, 2), tensor.S(2, 2), true, false, dt)
+	wantSlice(t, eval(t, tn, []float64{1, 3, 2, 4}, []float64{5, 6, 7, 8}),
+		[]float64{19, 22, 43, 50}, 0)
+
+	// 1×1×2×2 conv, 3×3 filter of ones, stride 1 pad 1 on all-ones input:
+	// each output counts its in-bounds neighborhood.
+	conv := ops.NewConv2d(tensor.S(1, 1, 2, 2), tensor.S(1, 1, 3, 3), 1, 1, dt)
+	ones9 := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1}
+	wantSlice(t, eval(t, conv, []float64{1, 1, 1, 1}, ones9), []float64{4, 4, 4, 4}, 0)
+
+	// Softmax rows sum to 1 and are shift-invariant.
+	sm := ops.NewSoftmax(tensor.S(2, 3), 2, dt)
+	out := eval(t, sm, []float64{1, 2, 3, 1001, 1002, 1003})
+	for r := 0; r < 2; r++ {
+		sum := out[r*3] + out[r*3+1] + out[r*3+2]
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("softmax row %d sums to %g", r, sum)
+		}
+	}
+	if math.Abs(out[0]-out[3]) > 1e-12 {
+		t.Error("softmax not shift-invariant")
+	}
+
+	// CrossEntropy of uniform logits is ln(V).
+	ce := ops.NewCrossEntropy(tensor.S(2, 4), tensor.S(2), dt)
+	wantSlice(t, eval(t, ce, make([]float64, 8), []float64{0, 3}),
+		[]float64{math.Log(4)}, 1e-12)
+
+	// Max pool 2×2 stride 2.
+	pool := ops.NewPool2d(tensor.S(1, 1, 2, 2), "max", 2, 2, dt)
+	wantSlice(t, eval(t, pool, []float64{1, 5, 2, 3}), []float64{5}, 0)
+
+	// SplitHeads∘MergeHeads is the identity.
+	x := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	sh := ops.NewSplitHeads(tensor.S(1, 3, 4), 2, dt) // [1,3,4] -> [1,2,3,2]
+	split := eval(t, sh, x)
+	mh := ops.NewMergeHeads(tensor.S(1, 2, 3, 2), dt)
+	wantSlice(t, eval(t, mh, split), x, 0)
+
+	// Transpose [2,3] -> [3,2].
+	tr := ops.NewTranspose(tensor.S(2, 3), []int{1, 0}, dt)
+	wantSlice(t, eval(t, tr, []float64{1, 2, 3, 4, 5, 6}), []float64{1, 4, 2, 5, 3, 6}, 0)
+
+	// Slice+Concat along dim 2 reassembles the tensor.
+	s1 := eval(t, ops.NewSlice(tensor.S(2, 3), 2, 0, 1, dt), []float64{1, 2, 3, 4, 5, 6})
+	s2 := eval(t, ops.NewSlice(tensor.S(2, 3), 2, 1, 2, dt), []float64{1, 2, 3, 4, 5, 6})
+	cc := ops.NewConcat([]tensor.Shape{tensor.S(2, 1), tensor.S(2, 2)}, 2, dt)
+	wantSlice(t, eval(t, cc, s1, s2), []float64{1, 2, 3, 4, 5, 6}, 0)
+
+	// Pad places the slice back at its offset, zero elsewhere.
+	pad := ops.NewPad(tensor.S(2, 2), 2, 1, 3, dt)
+	wantSlice(t, eval(t, pad, []float64{2, 3, 5, 6}), []float64{0, 2, 3, 0, 5, 6}, 0)
+
+	// Embedding gathers rows; out-of-range ids wrap instead of crashing.
+	emb := ops.NewEmbedding(tensor.S(3), tensor.S(2, 2), dt)
+	wantSlice(t, eval(t, emb, []float64{0, 1, 5}, []float64{10, 11, 20, 21}),
+		[]float64{10, 11, 20, 21, 20, 21}, 0)
+}
+
+// TestStoreLoadRoundTrip: a Store/Load pair is the identity in plain
+// execution, so swapped graphs compute the same function.
+func TestStoreLoadRoundTrip(t *testing.T) {
+	dt := tensor.F32
+	g := graph.New()
+	x := g.Add(ops.NewInput(tensor.S(2, 2), dt))
+	r := g.Add(ops.NewReLU(tensor.S(2, 2), dt), x)
+	st := g.Add(ops.NewStore(tensor.S(2, 2), dt), r)
+	ld := g.Add(ops.NewLoad(tensor.S(2, 2), dt), st)
+	out := g.Add(ops.NewTanh(tensor.S(2, 2), dt), ld)
+
+	vals, err := refexec.Run(g, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals[r] {
+		if vals[ld][i] != vals[r][i] {
+			t.Fatalf("load elem %d = %g, stored %g", i, vals[ld][i], vals[r][i])
+		}
+	}
+	if len(vals[out]) != 4 {
+		t.Fatal("missing final value")
+	}
+}
+
+// TestModelExecutionDeterministic: a full training graph (forward,
+// backward, SGD) executes end to end, produces finite values, and two
+// runs with the same seed are bitwise identical.
+func TestModelExecutionDeterministic(t *testing.T) {
+	w := models.MLP(4, 6, 8, 3, 2)
+	a, err := refexec.Run(w.G, nil, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := refexec.Run(w.G, nil, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != w.G.Len() {
+		t.Fatalf("executed %d nodes, graph has %d", len(a), w.G.Len())
+	}
+	for id, av := range a {
+		for i := range av {
+			if math.IsNaN(av[i]) || math.IsInf(av[i], 0) {
+				t.Fatalf("node %d elem %d is %g", id, i, av[i])
+			}
+			if av[i] != b[id][i] {
+				t.Fatalf("node %d not deterministic", id)
+			}
+		}
+	}
+	if loss := a[w.Loss]; len(loss) == 0 || loss[0] <= 0 {
+		t.Fatalf("implausible loss %v", a[w.Loss])
+	}
+}
+
+// TestSeedLeavesRespectsIndexBounds: leaves consumed as embedding ids or
+// cross-entropy labels are seeded with in-range integers.
+func TestSeedLeavesRespectsIndexBounds(t *testing.T) {
+	const vocab = 17
+	w := models.TransformerLM("seed-test", 2, 8, 16, 1, 2, vocab, tensor.TF32, false)
+	leaves := refexec.SeedLeaves(w.G, 5)
+	for _, id := range w.G.NodeIDs() {
+		n := w.G.Node(id)
+		if n.Name != "ids" && n.Name != "labels" {
+			continue
+		}
+		for i, v := range leaves[id] {
+			if v != math.Trunc(v) || v < 0 || v >= vocab {
+				t.Fatalf("%s[%d] = %g, want integer in [0,%d)", n.Name, i, v, vocab)
+			}
+		}
+	}
+}
+
+// TestBF16Quantization: outputs of a bf16 node carry at most 8 mantissa
+// bits — the interpreter really does round at every step.
+func TestBF16Quantization(t *testing.T) {
+	dt := tensor.BF16
+	g := graph.New()
+	a := g.Add(ops.NewInput(tensor.S(4), dt))
+	b := g.Add(ops.NewInput(tensor.S(4), dt))
+	sum := g.Add(ops.NewAdd(tensor.S(4), tensor.S(4), dt), a, b)
+	vals, err := refexec.Run(g, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals[sum] {
+		if q := dt.Quantize(v); q != v {
+			t.Errorf("bf16 output %g not quantized (rounds to %g)", v, q)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"magis/internal/faults"
 	"magis/internal/graph"
 	"magis/internal/opt"
+	"magis/internal/verify"
 )
 
 // Rung identifies one level of the degradation ladder.
@@ -85,6 +86,13 @@ type Options struct {
 	Faults faults.Config
 	// ReplayFaults enables fault-injected replay as a feasibility gate.
 	ReplayFaults bool
+	// Verify adds numeric plan verification (internal/verify) as a
+	// feasibility gate: every rung's plan — in particular a repaired one —
+	// is executed against its memory plan's arena offsets and
+	// cross-checked against the input graph before it may survive.
+	Verify bool
+	// VerifySeed seeds the verification inputs.
+	VerifySeed uint64
 	// Audit bounds the differential audit (Model and Budget are filled in
 	// by the ladder).
 	Audit faults.AuditConfig
@@ -139,7 +147,11 @@ type Attempt struct {
 	Audit *faults.AuditReport
 	// Replay is the fault-injected replay report (nil when replay is off).
 	Replay *faults.ReplayReport
-	// Feasible reports that the plan survived audit and replay.
+	// Verify is the numeric verification report (nil when verification is
+	// off — including in manifests written before the gate existed).
+	Verify *verify.Report `json:",omitempty"`
+	// Feasible reports that the plan survived audit, replay, and
+	// verification.
 	Feasible bool
 	// Err is set when the rung itself could not run (e.g. the micro-batch
 	// split found no batch dimension); the ladder then escalates past it.
@@ -268,6 +280,10 @@ func Reoptimize(ctx context.Context, g *graph.Graph, model *cost.Model, o Option
 			att.Replay = faults.Replay(st.EvalG, st.Sched, model, o.Budget, o.Faults)
 			feasible = feasible && att.Replay.OK()
 		}
+		if o.Verify {
+			att.Verify = verifyAttempt(g, st, o.VerifySeed)
+			feasible = feasible && att.Verify.OK()
+		}
 		att.Feasible = feasible
 		res.Attempts = append(res.Attempts, att)
 		if res.Best == nil {
@@ -296,6 +312,19 @@ func Reoptimize(ctx context.Context, g *graph.Graph, model *cost.Model, o Option
 		persistLadder(o, res)
 	}
 	return res, nil
+}
+
+// verifyAttempt numerically verifies one rung's plan against the input
+// graph (see internal/verify). input may be nil (e.g. a resumed search):
+// the cross-check then degrades to the arena-safety self-check. A
+// materialization failure is itself a verification failure — a plan that
+// cannot be lowered to a concrete graph is not executable.
+func verifyAttempt(input *graph.Graph, st *opt.State, seed uint64) *verify.Report {
+	mg, err := st.FT.Materialize(st.G)
+	if err != nil {
+		return &verify.Report{Err: fmt.Sprintf("materialize: %v", err)}
+	}
+	return verify.Check(input, mg, seed)
 }
 
 // frozenResume restores a completed rung's snapshot without continuing

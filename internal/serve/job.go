@@ -10,8 +10,10 @@ import (
 	"sync"
 	"time"
 
+	"magis/internal/graph"
 	"magis/internal/models"
 	"magis/internal/opt"
+	"magis/internal/verify"
 )
 
 // searchFn runs one job's search. The Server's default is searchJob; tests
@@ -69,6 +71,7 @@ type job struct {
 	expansions   int
 	lastProgress time.Time
 	err          string
+	verified     bool
 	summary      *jobSummary
 }
 
@@ -78,6 +81,9 @@ type jobSummary struct {
 	LatencySec   float64 `json:"latency_sec"`
 	Iterations   int     `json:"iterations"`
 	Stopped      string  `json:"stopped"`
+	// Verified reports that the plan passed numeric verification (only
+	// present when the request opted in).
+	Verified bool `json:"verified,omitempty"`
 }
 
 // jobView is the JSON shape of /jobs/{id}.
@@ -284,6 +290,7 @@ func (s *Server) finishJob(j *job, res *opt.Result, err error) {
 				LatencySec:   res.Best.Latency,
 				Iterations:   res.Stats.Iterations,
 				Stopped:      res.Stopped.String(),
+				Verified:     j.verified,
 			}
 		}
 		j.mu.Unlock()
@@ -339,9 +346,15 @@ func (s *Server) searchJob(ctx context.Context, j *job) (*opt.Result, error) {
 		s.met.Expansions.Add(1)
 	}
 	if path := j.resumeFrom(); path != "" {
-		return opt.Resume(ctx, path, s.cfg.Model, func(o *opt.Options) {
+		res, err := opt.Resume(ctx, path, s.cfg.Model, func(o *opt.Options) {
 			o.OnExpansion = onExp
 		})
+		if err == nil && j.req.Verify {
+			// A snapshot carries no input graph; verification degrades to
+			// the arena-safety self-check.
+			err = s.verifyResult(j, nil, res)
+		}
+		return res, err
 	}
 
 	w, err := models.ByName(j.req.Model, j.req.Scale)
@@ -370,7 +383,35 @@ func (s *Server) searchJob(ctx context.Context, j *job) (*opt.Result, error) {
 			Label:  j.req.Model,
 		}
 	}
-	return opt.OptimizeCtx(ctx, w.G, s.cfg.Model, o)
+	res, err := opt.OptimizeCtx(ctx, w.G, s.cfg.Model, o)
+	if err == nil && j.req.Verify {
+		err = s.verifyResult(j, w.G, res)
+	}
+	return res, err
+}
+
+// verifyResult is the opt-in verification gate: before a job settles as
+// done, its best plan is materialized, executed against the memory
+// plan's arena offsets, and cross-checked against the input graph (see
+// internal/verify). A dirty report fails the job — a plan that corrupts
+// memory or changes the computed function must not be returned to a
+// client as a success.
+func (s *Server) verifyResult(j *job, input *graph.Graph, res *opt.Result) error {
+	if res == nil || res.Best == nil {
+		return nil
+	}
+	mg, err := res.Best.FT.Materialize(res.Best.G)
+	if err != nil {
+		return fmt.Errorf("verify: materialize: %w", err)
+	}
+	rep := verify.Check(input, mg, j.req.VerifySeed)
+	if !rep.OK() {
+		return fmt.Errorf("verification failed: %s", strings.TrimSpace(rep.String()))
+	}
+	j.mu.Lock()
+	j.verified = true
+	j.mu.Unlock()
+	return nil
 }
 
 func (j *job) resumeFrom() string {

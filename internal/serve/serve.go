@@ -223,6 +223,12 @@ type OptimizeRequest struct {
 	// Iterations caps the number of search expansions (0 = budget-bound
 	// only). Useful for smoke tests and fixed-work benchmark jobs.
 	Iterations int `json:"iterations,omitempty"`
+	// Verify numerically verifies the optimized plan (arena-safe
+	// execution plus output cross-check against the unoptimized graph)
+	// before the job settles; a failed verification fails the job.
+	Verify bool `json:"verify,omitempty"`
+	// VerifySeed seeds the verification inputs (default 0 stream).
+	VerifySeed uint64 `json:"verify_seed,omitempty"`
 }
 
 // normalize validates the request and resolves defaults.

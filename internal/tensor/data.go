@@ -1,0 +1,181 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// This file gives tensors real contents for the reference executor
+// (internal/refexec) and the arena-safety checker (internal/verify). The
+// rest of the optimizer never materializes data; numeric verification
+// does, and it needs two things from the dtype: value semantics (Quantize)
+// and a byte encoding (PutElem/GetElem) so a value can round-trip through
+// a planned arena exactly.
+//
+// All computation happens in float64; Quantize is applied after every
+// operator so the reference semantics match what a real kernel at that
+// precision would retain. The invariant tying the two halves together is
+//
+//	GetElem(PutElem(Quantize(v))) == Quantize(v)
+//
+// for every finite v — storing a quantized value is lossless.
+
+// Quantize rounds v to the nearest value representable in the dtype and
+// returns it as float64. Integer dtypes truncate toward zero; Bool maps
+// any non-zero value to 1.
+func (d DType) Quantize(v float64) float64 {
+	switch d {
+	case F32, TF32:
+		// TF32 keeps f32 range; its reduced mantissa only applies inside
+		// tensor-core matmuls, so storage-wise it is f32.
+		return float64(float32(v))
+	case BF16:
+		return bf16ToF64(bf16FromF32(float32(v)))
+	case F16:
+		return f16ToF64(f16FromF32(float32(v)))
+	case I64:
+		return float64(clampInt(v, math.MinInt64, math.MaxInt64))
+	case I32:
+		return float64(int32(clampInt(v, math.MinInt32, math.MaxInt32)))
+	case Bool:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	}
+	return v
+}
+
+// PutElem encodes one quantized element into b[:d.Size()], little-endian.
+func (d DType) PutElem(b []byte, v float64) {
+	switch d {
+	case F32, TF32:
+		binary.LittleEndian.PutUint32(b, math.Float32bits(float32(v)))
+	case BF16:
+		binary.LittleEndian.PutUint16(b, bf16FromF32(float32(v)))
+	case F16:
+		binary.LittleEndian.PutUint16(b, f16FromF32(float32(v)))
+	case I64:
+		binary.LittleEndian.PutUint64(b, uint64(clampInt(v, math.MinInt64, math.MaxInt64)))
+	case I32:
+		binary.LittleEndian.PutUint32(b, uint32(int32(clampInt(v, math.MinInt32, math.MaxInt32))))
+	case Bool:
+		if v != 0 {
+			b[0] = 1
+		} else {
+			b[0] = 0
+		}
+	}
+}
+
+// GetElem decodes one element from b[:d.Size()].
+func (d DType) GetElem(b []byte) float64 {
+	switch d {
+	case F32, TF32:
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(b)))
+	case BF16:
+		return bf16ToF64(binary.LittleEndian.Uint16(b))
+	case F16:
+		return f16ToF64(binary.LittleEndian.Uint16(b))
+	case I64:
+		return float64(int64(binary.LittleEndian.Uint64(b)))
+	case I32:
+		return float64(int32(binary.LittleEndian.Uint32(b)))
+	case Bool:
+		if b[0] != 0 {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// clampInt converts v to an integer, truncating toward zero and saturating
+// at the given bounds (Go's float→int conversion is implementation-defined
+// out of range). NaN maps to 0.
+func clampInt(v, lo, hi float64) int64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case v <= lo:
+		return int64(lo)
+	case v >= hi:
+		return int64(hi)
+	}
+	return int64(v)
+}
+
+// bf16FromF32 rounds f to bfloat16 (round-to-nearest-even on the dropped
+// 16 mantissa bits). NaN keeps a quiet payload; rounding may overflow to
+// infinity, matching hardware.
+func bf16FromF32(f float32) uint16 {
+	b := math.Float32bits(f)
+	if f != f {
+		return uint16(b>>16) | 0x0040 // quiet NaN
+	}
+	b += 0x7FFF + (b>>16)&1
+	return uint16(b >> 16)
+}
+
+func bf16ToF64(h uint16) float64 {
+	return float64(math.Float32frombits(uint32(h) << 16))
+}
+
+// f16FromF32 rounds f to IEEE 754 binary16 with round-to-nearest-even,
+// handling subnormals, overflow to infinity, and NaN.
+func f16FromF32(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b >> 16 & 0x8000)
+	abs := b & 0x7FFFFFFF
+	if abs >= 0x7F800000 { // Inf or NaN
+		if abs > 0x7F800000 {
+			return sign | 0x7E00
+		}
+		return sign | 0x7C00
+	}
+	e := int32(abs >> 23) // biased f32 exponent
+	if e >= 143 {         // >= 2^16: overflows f16
+		return sign | 0x7C00
+	}
+	if e >= 113 { // normal f16
+		m := abs & 0x7FFFFF
+		out := uint32(e-112)<<10 | m>>13
+		rem := m & 0x1FFF
+		if rem > 0x1000 || (rem == 0x1000 && out&1 == 1) {
+			out++ // carry into the exponent yields the correct next binade
+		}
+		return sign | uint16(out)
+	}
+	if e < 102 { // < 2^-25: underflows to zero
+		return sign
+	}
+	// Subnormal: shift the 24-bit significand down to units of 2^-24.
+	full := abs&0x7FFFFF | 0x800000
+	shift := uint32(126 - e) // 14..24
+	out := full >> shift
+	rem := full & (1<<shift - 1)
+	half := uint32(1) << (shift - 1)
+	if rem > half || (rem == half && out&1 == 1) {
+		out++
+	}
+	return sign | uint16(out)
+}
+
+func f16ToF64(h uint16) float64 {
+	sign := 1.0
+	if h&0x8000 != 0 {
+		sign = -1
+	}
+	exp := int(h >> 10 & 0x1F)
+	man := int(h & 0x3FF)
+	switch exp {
+	case 0:
+		return sign * math.Ldexp(float64(man), -24)
+	case 0x1F:
+		if man != 0 {
+			return math.NaN()
+		}
+		return sign * math.Inf(1)
+	}
+	return sign * math.Ldexp(float64(man|0x400), exp-25)
+}

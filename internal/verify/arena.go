@@ -1,0 +1,295 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"magis/internal/graph"
+	"magis/internal/memplan"
+	"magis/internal/ops"
+	"magis/internal/refexec"
+	"magis/internal/sched"
+)
+
+// Trap records one arena-safety violation observed while executing a
+// graph against its memory plan's concrete offsets.
+type Trap struct {
+	Step   int          `json:"step"`
+	Node   graph.NodeID `json:"node"`
+	Kind   string       `json:"kind"` // read-freed | read-overwritten | read-uninitialized | write-out-of-lifetime | out-of-arena
+	Detail string       `json:"detail"`
+}
+
+func (t Trap) String() string {
+	return fmt.Sprintf("step %d node %d %s: %s", t.Step, t.Node, t.Kind, t.Detail)
+}
+
+const maxTraps = 32
+
+// Report is the structured result of plan-level verification. It is
+// JSON-serializable so CLIs and the service can emit it directly.
+type Report struct {
+	Workload       string     `json:"workload,omitempty"`
+	Nodes          int        `json:"nodes"`
+	Blocks         int        `json:"blocks"`
+	ArenaBytes     int64      `json:"arena_bytes"`
+	StaticErr      string     `json:"static_err,omitempty"` // memplan.Plan.Verify on the checked plan
+	Traps          []Trap     `json:"traps,omitempty"`      // first maxTraps violations
+	TrapsTotal     int        `json:"traps_total"`
+	OutputsChecked int        `json:"outputs_checked"`
+	Mismatches     []Mismatch `json:"mismatches,omitempty"`
+	MaxAbsErr      float64    `json:"max_abs_err"`
+	Err            string     `json:"err,omitempty"` // hard failure before/during execution
+}
+
+// OK reports whether the plan passed every check.
+func (r *Report) OK() bool {
+	return r.Err == "" && r.StaticErr == "" && r.TrapsTotal == 0 && len(r.Mismatches) == 0
+}
+
+// String renders the report one line per finding, prefixed so scripts can
+// grep for "trap:" / "mismatch:" / "error:".
+func (r *Report) String() string {
+	var b strings.Builder
+	status := "OK"
+	if !r.OK() {
+		status = "FAIL"
+	}
+	name := r.Workload
+	if name != "" {
+		name = " " + name
+	}
+	fmt.Fprintf(&b, "verify%s: %s — %d nodes, %d arena blocks, %d bytes, %d output(s) checked, max |err| %.3g\n",
+		name, status, r.Nodes, r.Blocks, r.ArenaBytes, r.OutputsChecked, r.MaxAbsErr)
+	if r.Err != "" {
+		fmt.Fprintf(&b, "  error: %s\n", r.Err)
+	}
+	if r.StaticErr != "" {
+		fmt.Fprintf(&b, "  static: %s\n", r.StaticErr)
+	}
+	for _, t := range r.Traps {
+		fmt.Fprintf(&b, "  trap: %s\n", t)
+	}
+	if r.TrapsTotal > len(r.Traps) {
+		fmt.Fprintf(&b, "  trap: ... %d more\n", r.TrapsTotal-len(r.Traps))
+	}
+	for _, m := range r.Mismatches {
+		fmt.Fprintf(&b, "  mismatch: output %d (ref %d) elem %d: got %g, want %g\n", m.Node, m.Ref, m.Index, m.Got, m.Want)
+	}
+	return b.String()
+}
+
+// Check schedules and memory-plans the optimized graph, then runs full
+// plan-level verification against the input graph. input may be nil (no
+// original available, e.g. a resumed search): the cross-check then
+// compares against a plain reference execution of the optimized graph
+// itself, which still proves the arena execution corrupts nothing.
+// optimized must be materialized (no fission-region payloads) — exactly
+// what ftree.Tree.Materialize returns.
+func Check(input, optimized *graph.Graph, seed uint64) *Report {
+	sc := &sched.Scheduler{}
+	order := sc.ScheduleGraph(optimized)
+	plan, err := memplan.Build(optimized, order)
+	if err != nil {
+		return &Report{Nodes: optimized.Len(), Err: fmt.Sprintf("memplan: %v", err)}
+	}
+	return CheckPlan(input, optimized, order, plan, seed)
+}
+
+// CheckPlan verifies one concrete (graph, schedule, plan) triple: it
+// executes the optimized graph in schedule order reading and writing
+// every tensor through the plan's arena offsets (recording traps), then
+// cross-checks the surviving outputs against a plain reference execution
+// of input (or of optimized itself when input is nil).
+func CheckPlan(input, optimized *graph.Graph, order sched.Schedule, plan *memplan.Plan, seed uint64) *Report {
+	rep := &Report{Nodes: optimized.Len(), Blocks: len(plan.Blocks), ArenaBytes: plan.ArenaSize}
+	if err := plan.Verify(); err != nil {
+		rep.StaticErr = err.Error()
+	}
+	leaves := refexec.SeedLeaves(optimized, seed)
+	outs, err := execArena(optimized, order, plan, leaves, rep)
+	if err != nil {
+		rep.Err = err.Error()
+		return rep
+	}
+	refG, refVals := input, refexec.Values(nil)
+	if refG != nil {
+		refVals, err = refexec.Run(refG, nil, seed)
+	} else {
+		refG = optimized
+		refVals, err = refexec.Exec(refG, order, leaves)
+	}
+	if err != nil {
+		rep.Err = fmt.Sprintf("reference execution: %v", err)
+		return rep
+	}
+	mms, maxErr, err := MatchOutputs(refG, refVals, optimized, outs)
+	if err != nil {
+		rep.Err = err.Error()
+		return rep
+	}
+	rep.Mismatches = mms
+	rep.MaxAbsErr = maxErr
+	rep.OutputsChecked = len(optimized.Outputs())
+	return rep
+}
+
+// execArena executes g step by step against the plan: every tensor value
+// is encoded into its block's bytes on write and decoded back on read,
+// with per-byte ownership tracking. Store outputs live in a simulated
+// host arena instead (they own no device block), and Loads read them
+// back — the actual round-trip a swap performs. Violations are recorded
+// as traps and execution continues, so one bad offset yields a report,
+// not a crash. Returns the values of g's outputs, decoded at the final
+// step.
+func execArena(g *graph.Graph, order sched.Schedule, plan *memplan.Plan, leaves map[graph.NodeID][]float64, rep *Report) (refexec.Values, error) {
+	blockOf := make(map[graph.NodeID]int, len(plan.Blocks))
+	for i, b := range plan.Blocks {
+		blockOf[b.Node] = i
+	}
+	arena := make([]byte, plan.ArenaSize)
+	owner := make([]int32, plan.ArenaSize)
+	for i := range owner {
+		owner[i] = -1
+	}
+	host := make(map[graph.NodeID][]float64)
+	trap := func(step int, v graph.NodeID, kind, detail string) {
+		rep.TrapsTotal++
+		if len(rep.Traps) < maxTraps {
+			rep.Traps = append(rep.Traps, Trap{Step: step, Node: v, Kind: kind, Detail: detail})
+		}
+	}
+	// decode reads node in's value through the arena at the given step,
+	// trapping lifetime and ownership violations but still returning the
+	// bytes found there so execution can continue.
+	decode := func(step int, consumer, in graph.NodeID) []float64 {
+		n := g.Node(in)
+		if ops.IsStore(n.Op.Kind()) {
+			return host[in]
+		}
+		bi, ok := blockOf[in]
+		if !ok {
+			return nil
+		}
+		b := plan.Blocks[bi]
+		if step > b.End {
+			trap(step, consumer, "read-freed", fmt.Sprintf("input %d's block was freed at step %d", in, b.End))
+		}
+		dt := n.Op.DType()
+		es := int(dt.Size())
+		elems := int(n.Op.OutShape().Elems())
+		buf := make([]float64, elems)
+		trapped := false
+		for e := 0; e < elems; e++ {
+			off := b.Offset + int64(e*es)
+			if off+int64(es) > int64(len(arena)) {
+				if !trapped {
+					trapped = true
+					trap(step, consumer, "out-of-arena", fmt.Sprintf("input %d byte %d beyond arena size %d", in, off, len(arena)))
+				}
+				continue
+			}
+			for by := int64(0); by < int64(es); by++ {
+				if o := owner[off+by]; o != int32(bi) && !trapped {
+					trapped = true
+					if o < 0 {
+						trap(step, consumer, "read-uninitialized", fmt.Sprintf("input %d byte %d was never written", in, off+by))
+					} else {
+						trap(step, consumer, "read-overwritten", fmt.Sprintf("input %d byte %d now owned by block %d (node %d)", in, off+by, o, plan.Blocks[o].Node))
+					}
+				}
+			}
+			buf[e] = dt.GetElem(arena[off : off+int64(es)])
+		}
+		return buf
+	}
+	for step, v := range order {
+		out, err := refexec.EvalNode(g, v, leaves, func(in graph.NodeID) []float64 { return decode(step, v, in) })
+		if err != nil {
+			return nil, err
+		}
+		n := g.Node(v)
+		if ops.IsStore(n.Op.Kind()) {
+			host[v] = out
+			continue
+		}
+		bi, ok := blockOf[v]
+		if !ok {
+			if sched.OutDeviceBytes(n) > 0 {
+				return nil, fmt.Errorf("node %d (%s) produces %d device bytes but has no arena block", v, n.Op.Kind(), sched.OutDeviceBytes(n))
+			}
+			continue
+		}
+		b := plan.Blocks[bi]
+		if step < b.Start || step > b.End {
+			trap(step, v, "write-out-of-lifetime", fmt.Sprintf("block live [%d,%d]", b.Start, b.End))
+		}
+		dt := n.Op.DType()
+		es := int(dt.Size())
+		if need := int64(len(out) * es); b.Size < need {
+			return nil, fmt.Errorf("node %d (%s): block size %d < value size %d", v, n.Op.Kind(), b.Size, need)
+		}
+		for e, val := range out {
+			off := b.Offset + int64(e*es)
+			if off+int64(es) > int64(len(arena)) {
+				trap(step, v, "out-of-arena", fmt.Sprintf("write byte %d beyond arena size %d", off, len(arena)))
+				break
+			}
+			dt.PutElem(arena[off:off+int64(es)], val)
+			for by := int64(0); by < int64(es); by++ {
+				owner[off+by] = int32(bi)
+			}
+		}
+	}
+	final := len(order) - 1
+	outs := make(refexec.Values)
+	for _, id := range g.Outputs() {
+		if ops.IsStore(g.Node(id).Op.Kind()) {
+			outs[id] = host[id]
+			continue
+		}
+		outs[id] = decode(final, id, id)
+	}
+	return outs, nil
+}
+
+// InjectOffsetFault deliberately corrupts plan in place — the mutation
+// the smoke test uses to prove the checker detects real bugs. It shifts
+// one block's offset so it overlaps a concurrently-live block by one
+// byte (preferring a literally adjacent pair, falling back to a full
+// alias). Returns a description of the injected fault, or ok=false if no
+// two blocks are ever live at once.
+func InjectOffsetFault(plan *memplan.Plan) (string, bool) {
+	// b must be born strictly inside a's lifetime so a is still read (or
+	// decoded as an output) after b's write stamps the stolen byte.
+	overlapping := func(a, b memplan.Block) bool {
+		return b.Start > a.Start && b.Start < a.End
+	}
+	for j := range plan.Blocks {
+		b := plan.Blocks[j]
+		for i := range plan.Blocks {
+			a := plan.Blocks[i]
+			if i == j || !overlapping(a, b) {
+				continue
+			}
+			if b.Offset == a.Offset+a.Size && b.Offset > 0 {
+				plan.Blocks[j].Offset--
+				return fmt.Sprintf("block %d (node %d) offset %d -> %d: overlaps live block %d (node %d) by one byte",
+					j, b.Node, b.Offset, b.Offset-1, i, a.Node), true
+			}
+		}
+	}
+	for j := range plan.Blocks {
+		b := plan.Blocks[j]
+		for i := range plan.Blocks {
+			a := plan.Blocks[i]
+			if i == j || !overlapping(a, b) || a.Offset == b.Offset {
+				continue
+			}
+			plan.Blocks[j].Offset = a.Offset
+			return fmt.Sprintf("block %d (node %d) offset %d -> %d: aliases live block %d (node %d)",
+				j, b.Node, b.Offset, a.Offset, i, a.Node), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,81 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"magis/internal/memplan"
+	"magis/internal/models"
+	"magis/internal/rules"
+	"magis/internal/sched"
+)
+
+// TestCheckCleanPlan: a freshly planned, untransformed training graph
+// passes every arena check, and because quantization happens at every
+// step the arena execution agrees with plain refexec bitwise.
+func TestCheckCleanPlan(t *testing.T) {
+	w := models.MLP(4, 6, 8, 3, 2)
+	rep := Check(w.G, w.G, 11)
+	if !rep.OK() {
+		t.Fatalf("clean plan fails verification:\n%s", rep)
+	}
+	if rep.MaxAbsErr != 0 {
+		t.Errorf("arena execution diverges from plain execution by %g; identical graphs must agree bitwise", rep.MaxAbsErr)
+	}
+	if rep.OutputsChecked == 0 {
+		t.Error("no outputs were checked")
+	}
+	if rep.Blocks == 0 || rep.ArenaBytes == 0 {
+		t.Errorf("implausible plan stats: %d blocks, %d bytes", rep.Blocks, rep.ArenaBytes)
+	}
+}
+
+// TestCheckSwappedGraph: a graph transformed with Store/Load pairs
+// round-trips tensors through the simulated host arena and still
+// matches the untransformed original.
+func TestCheckSwappedGraph(t *testing.T) {
+	g := GenGraph("Swap", 3)
+	apps := rules.SwapRule{}.Apply(g, &rules.Context{})
+	if len(apps) == 0 {
+		t.Fatal("SwapRule found no site on its generated graph")
+	}
+	rep := Check(g, apps[0].Graph, 3)
+	if !rep.OK() {
+		t.Fatalf("swapped graph fails verification:\n%s", rep)
+	}
+}
+
+// TestInjectOffsetFault: corrupting one block offset by one byte must
+// trip the arena checker — this is the detection guarantee the
+// mutation smoke test (scripts/verify_mutation.sh) relies on.
+func TestInjectOffsetFault(t *testing.T) {
+	w := models.MLP(4, 6, 8, 3, 2)
+	sc := &sched.Scheduler{}
+	order := sc.ScheduleGraph(w.G)
+	plan, err := memplan.Build(w.G, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, ok := InjectOffsetFault(plan)
+	if !ok {
+		t.Fatal("no two concurrently-live blocks to corrupt")
+	}
+	rep := CheckPlan(w.G, w.G, order, plan, 11)
+	if rep.OK() {
+		t.Fatalf("injected fault (%s) went undetected:\n%s", desc, rep)
+	}
+	if rep.TrapsTotal == 0 {
+		t.Fatalf("fault %q detected without any trap:\n%s", desc, rep)
+	}
+	if s := rep.String(); !strings.Contains(s, "trap:") || !strings.Contains(s, "FAIL") {
+		t.Errorf("report not greppable:\n%s", s)
+	}
+}
+
+// TestReportString: the clean-report rendering scripts parse.
+func TestReportString(t *testing.T) {
+	rep := &Report{Workload: "mlp", Nodes: 3, OutputsChecked: 1}
+	if s := rep.String(); !strings.Contains(s, "OK") || !strings.Contains(s, "mlp") {
+		t.Errorf("unexpected report rendering: %q", s)
+	}
+}

@@ -1,0 +1,113 @@
+package verify
+
+import (
+	"magis/internal/graph"
+	"magis/internal/ops"
+	"magis/internal/tensor"
+)
+
+// CatalogGraph builds one valid graph containing at least one node of
+// every registered operator kind (ops.Kinds()). It is the shared
+// coverage fixture: refexec must execute it, codegen must emit it, and
+// the arena checker must plan and verify it. Kept as disconnected
+// islands so each operator family stays at its natural rank.
+func CatalogGraph() *graph.Graph {
+	dt := tensor.F32
+	g := graph.New()
+
+	// Spatial island: conv, batchnorm, pooling, upsampling and their
+	// backwards, all around a 1×2×4×4 activation.
+	xs := tensor.S(1, 2, 4, 4)
+	ws := tensor.S(3, 2, 3, 3)
+	ys := tensor.S(1, 3, 4, 4)
+	x := g.Add(ops.NewInput(xs, dt))
+	w := g.Add(ops.NewParam(ws, dt))
+	conv := g.Add(ops.NewConv2d(xs, ws, 1, 1, dt), x, w)
+	gammaBN := g.Add(ops.NewParam(tensor.S(3), dt))
+	bn := g.Add(ops.NewBatchNorm2d(ys, tensor.S(3), dt), conv, gammaBN)
+	pool := g.Add(ops.NewPool2d(ys, "max", 2, 2, dt), bn)
+	up := g.Add(ops.NewUpsample2d(tensor.S(1, 3, 2, 2), 2, dt), pool)
+	g.Add(ops.NewConvBwdData(ys, ws, xs, 1, 1, dt), up, w)
+	g.Add(ops.NewConvBwdFilter(xs, ys, ws, 1, 1, dt), x, up)
+	g.Add(ops.NewPoolBwd(ys, tensor.S(1, 3, 2, 2), "max", 2, 2, dt), bn, pool)
+	g.Add(ops.NewUpsampleBwd(tensor.S(1, 3, 2, 2), ys, 2, dt), up)
+	g.Add(ops.NewBatchNorm2dBwdX(ys, ys, dt), conv, up)
+	g.Add(ops.NewBatchNorm2dBwdP(ys, ys, dt), conv, up)
+
+	// Dense island: matmul/linear, bias, softmax, layernorm and their
+	// backwards on [2,4] activations.
+	x2 := g.Add(ops.NewInput(tensor.S(2, 3), dt))
+	w2 := g.Add(ops.NewParam(tensor.S(3, 4), dt))
+	mm := g.Add(ops.NewMatmul(tensor.S(2, 3), tensor.S(3, 4), false, false, dt), x2, w2)
+	lin := g.Add(ops.NewLinear(tensor.S(2, 3), tensor.S(3, 4), false, dt), x2, w2)
+	g.Add(ops.NewLinearBwdW(tensor.S(2, 3), tensor.S(2, 4), dt), x2, mm)
+	bias := g.Add(ops.NewParam(tensor.S(4), dt))
+	ba := g.Add(ops.NewBiasAdd(tensor.S(2, 4), tensor.S(4), dt), lin, bias)
+	g.Add(ops.NewBiasBwd(tensor.S(2, 4), dt), ba)
+	sm := g.Add(ops.NewSoftmax(tensor.S(2, 4), 2, dt), ba)
+	g.Add(ops.NewSoftmaxBwd(tensor.S(2, 4), tensor.S(2, 4), 2, dt), sm, mm)
+	gamma := g.Add(ops.NewParam(tensor.S(4), dt))
+	beta := g.Add(ops.NewParam(tensor.S(4), dt))
+	g.Add(ops.NewLayerNorm(tensor.S(2, 4), tensor.S(4), tensor.S(4), dt), ba, gamma, beta)
+	g.Add(ops.NewLayerNormBwdX(tensor.S(2, 4), tensor.S(2, 4), tensor.S(4), dt), ba, mm, gamma)
+	g.Add(ops.NewLayerNormBwdParams(tensor.S(2, 4), tensor.S(2, 4), dt), ba, mm)
+	bx := g.Add(ops.NewInput(tensor.S(2, 2, 3), dt))
+	by := g.Add(ops.NewInput(tensor.S(2, 3, 2), dt))
+	g.Add(ops.NewBatchMatmul(tensor.S(2, 2, 3), tensor.S(2, 3, 2), false, false, dt), bx, by)
+
+	// Elementwise island: the six unaries, their backwards, and the
+	// binaries, all on [2,3].
+	es := tensor.S(2, 3)
+	e := g.Add(ops.NewInput(es, dt))
+	relu := g.Add(ops.NewReLU(es, dt), e)
+	gelu := g.Add(ops.NewGELU(es, dt), e)
+	tnh := g.Add(ops.NewTanh(es, dt), e)
+	sig := g.Add(ops.NewSigmoid(es, dt), e)
+	drp := g.Add(ops.NewDropout(es, dt), e)
+	scl := g.Add(ops.NewScale(es, dt), e)
+	g.Add(ops.NewEltwiseBwd("ReLUBwd", es, es, dt, 2), e, relu)
+	g.Add(ops.NewEltwiseBwd("GELUBwd", es, es, dt, 2), e, gelu)
+	g.Add(ops.NewEltwiseBwd("TanhBwd", es, es, dt, 2), tnh, relu)
+	g.Add(ops.NewEltwiseBwd("SigmoidBwd", es, es, dt, 2), sig, relu)
+	g.Add(ops.NewEltwiseBwd("DropoutBwd", es, es, dt, 2), drp, relu)
+	g.Add(ops.NewEltwiseBwd("ScaleBwd", es, es, dt, 2), scl, relu)
+	add := g.Add(ops.NewAdd(es, es, dt), relu, gelu)
+	g.Add(ops.NewMul(es, es, dt), tnh, sig)
+
+	// Layout island: reduce/broadcast, slice/concat/pad, transpose,
+	// reshape.
+	r := g.Add(ops.NewInput(tensor.S(2, 4), dt))
+	red := g.Add(ops.NewReduce("Mean", tensor.S(2, 4), 2, dt), r)
+	g.Add(ops.NewBroadcast(tensor.S(2), 2, 4, dt), red)
+	s1 := g.Add(ops.NewSlice(tensor.S(2, 4), 2, 0, 2, dt), r)
+	s2 := g.Add(ops.NewSlice(tensor.S(2, 4), 2, 2, 2, dt), r)
+	g.Add(ops.NewConcat([]tensor.Shape{tensor.S(2, 2), tensor.S(2, 2)}, 2, dt), s1, s2)
+	g.Add(ops.NewPad(tensor.S(2, 2), 2, 1, 4, dt), s1)
+	g.Add(ops.NewTranspose(tensor.S(2, 4), []int{1, 0}, dt), r)
+	g.Add(ops.NewReshape(tensor.S(2, 4), tensor.S(4, 2), dt), r)
+
+	// Attention-head reshapes.
+	h := g.Add(ops.NewInput(tensor.S(2, 4, 6), dt))
+	split := g.Add(ops.NewSplitHeads(tensor.S(2, 4, 6), 2, dt), h)
+	g.Add(ops.NewMergeHeads(tensor.S(2, 2, 4, 3), dt), split)
+
+	// Index island: embedding and cross-entropy with their backwards.
+	ids := g.Add(ops.NewInput(tensor.S(3), dt))
+	table := g.Add(ops.NewParam(tensor.S(5, 4), dt))
+	emb := g.Add(ops.NewEmbedding(tensor.S(3), tensor.S(5, 4), dt), ids, table)
+	g.Add(ops.NewEmbeddingBwd(tensor.S(3), tensor.S(3, 4), tensor.S(5, 4), dt), ids, emb)
+	logits := g.Add(ops.NewInput(tensor.S(2, 5), dt))
+	labels := g.Add(ops.NewInput(tensor.S(2), dt))
+	g.Add(ops.NewCrossEntropy(tensor.S(2, 5), tensor.S(2), dt), logits, labels)
+	g.Add(ops.NewCrossEntropyBwd(tensor.S(2, 5), tensor.S(2), dt), logits, labels)
+
+	// Optimizer step and host transfer.
+	w3 := g.Add(ops.NewParam(es, dt))
+	gw := g.Add(ops.NewInput(es, dt))
+	g.Add(ops.NewApplySGD(es, es, dt), w3, gw)
+	st := g.Add(ops.NewStore(es, dt), add)
+	ld := g.Add(ops.NewLoad(es, dt), st)
+	g.Add(ops.NewTanh(es, dt), ld)
+
+	return g
+}

@@ -1,0 +1,268 @@
+// Package verify proves — numerically, on real data — that the
+// optimizer's output computes the same function as its input. It layers
+// two checks on the reference interpreter (internal/refexec):
+//
+//   - Rule-level equivalence (this file): every rewrite rule is applied
+//     to seeded random graphs embedding its trigger pattern, and the
+//     transformed graph's outputs must match the original's within a
+//     dtype-aware tolerance. Run table-driven (TestRuleEquivalence) and
+//     as a fuzz target (FuzzRuleEquivalence), following the differential
+//     testing TASO applies to its substitution rules.
+//
+//   - Plan-level arena safety (arena.go): the optimized graph is executed
+//     in schedule order against the memplan's concrete offsets, trapping
+//     reads of freed or overwritten regions and out-of-lifetime writes,
+//     and its final outputs are cross-checked against the unoptimized
+//     graph.
+package verify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"magis/internal/graph"
+	"magis/internal/ops"
+	"magis/internal/refexec"
+	"magis/internal/rules"
+	"magis/internal/tensor"
+)
+
+// Tolerance returns the (rtol, atol) pair for comparing values of the
+// given dtype. Quantization happens after every operator in refexec, so
+// structurally identical graphs match bitwise; tolerance only has to
+// absorb genuine reassociation introduced by merges, reassociation
+// rewrites, and batch fission. Low-precision floats get loose bounds
+// (one bf16 ulp at magnitude 1 is ~4e-3); integers and booleans must be
+// exact.
+func Tolerance(dt tensor.DType) (rtol, atol float64) {
+	switch dt {
+	case tensor.BF16:
+		return 3e-2, 1e-2
+	case tensor.F16:
+		return 1e-2, 1e-3
+	case tensor.I64, tensor.I32, tensor.Bool:
+		return 0, 0
+	default: // F32, TF32
+		return 1e-4, 1e-5
+	}
+}
+
+// Mismatch records one output element that diverged beyond tolerance.
+type Mismatch struct {
+	// Node is the diverging output in the transformed graph; Ref is the
+	// node it was matched against in the reference graph.
+	Node  graph.NodeID `json:"node"`
+	Ref   graph.NodeID `json:"ref"`
+	Index int          `json:"index"`
+	Got   float64      `json:"got"`
+	Want  float64      `json:"want"`
+}
+
+const maxMismatches = 32
+
+// MatchOutputs compares a transformed graph's outputs against reference
+// values. Node IDs are never reused and rewrites clone the graph, so an
+// output whose ID exists in the reference compares directly; outputs new
+// to the transformed graph (introduced by a rewrite) are paired with the
+// reference outputs that vanished, in ascending ID order. A count
+// mismatch between the two leftover sets is a structural failure.
+// Returns at most maxMismatches mismatches plus the max absolute error
+// over all compared elements.
+func MatchOutputs(ref *graph.Graph, rv refexec.Values, tg *graph.Graph, tv refexec.Values) ([]Mismatch, float64, error) {
+	var (
+		mismatches []Mismatch
+		maxErr     float64
+		fresh      []graph.NodeID
+	)
+	compare := func(tid, rid graph.NodeID) error {
+		got, want := tv[tid], rv[rid]
+		if got == nil || want == nil {
+			return fmt.Errorf("output %d (ref %d) has no value (transformed %v, reference %v)", tid, rid, got != nil, want != nil)
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("output %d has %d elements, reference node %d has %d", tid, len(got), rid, len(want))
+		}
+		rtol, atol := Tolerance(ref.Node(rid).Op.DType())
+		for i := range got {
+			d := got[i] - want[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > maxErr {
+				maxErr = d
+			}
+			lim := atol + rtol*math.Max(math.Abs(got[i]), math.Abs(want[i]))
+			if d > lim || d != d { // NaN disagreement also lands here
+				if len(mismatches) < maxMismatches {
+					mismatches = append(mismatches, Mismatch{Node: tid, Ref: rid, Index: i, Got: got[i], Want: want[i]})
+				}
+			}
+		}
+		return nil
+	}
+	for _, id := range tg.Outputs() {
+		if ref.Has(id) {
+			if err := compare(id, id); err != nil {
+				return nil, maxErr, err
+			}
+		} else {
+			fresh = append(fresh, id)
+		}
+	}
+	var vanished []graph.NodeID
+	for _, id := range ref.Outputs() {
+		if !tg.Has(id) {
+			vanished = append(vanished, id)
+		}
+	}
+	if len(fresh) != len(vanished) {
+		return nil, maxErr, fmt.Errorf("output sets do not correspond: transformed gained %d output(s) %v, reference lost %d %v",
+			len(fresh), fresh, len(vanished), vanished)
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
+	sort.Slice(vanished, func(i, j int) bool { return vanished[i] < vanished[j] })
+	for i := range fresh {
+		if err := compare(fresh[i], vanished[i]); err != nil {
+			return nil, maxErr, err
+		}
+	}
+	return mismatches, maxErr, nil
+}
+
+// CheckRule generates nothing itself: it applies rule to g (which must
+// embed the rule's trigger pattern — see GenGraph), executes the original
+// and every transformed candidate on the same seeded leaves, and returns
+// an error describing the first divergence. Rules clone the graph and
+// preserve leaf IDs, so both executions see identical inputs.
+func CheckRule(rule rules.Rule, g *graph.Graph, seed uint64) error {
+	apps := rule.Apply(g, &rules.Context{})
+	if len(apps) == 0 {
+		return fmt.Errorf("verify: rule %s produced no application on its generated graph", rule.Name())
+	}
+	base, err := refexec.Run(g, nil, seed)
+	if err != nil {
+		return fmt.Errorf("verify: reference execution: %w", err)
+	}
+	for _, app := range apps {
+		if err := graph.Validate(app.Graph); err != nil {
+			return fmt.Errorf("verify: %s: invalid graph: %w", app.Site(), err)
+		}
+		nv, err := refexec.Run(app.Graph, nil, seed)
+		if err != nil {
+			return fmt.Errorf("verify: %s: transformed execution: %w", app.Site(), err)
+		}
+		mms, _, err := MatchOutputs(g, base, app.Graph, nv)
+		if err != nil {
+			return fmt.Errorf("verify: %s: %w", app.Site(), err)
+		}
+		if len(mms) > 0 {
+			m := mms[0]
+			return fmt.Errorf("verify: %s: output %d diverges from reference %d at elem %d: got %g, want %g (%d element(s) out of tolerance)",
+				app.Site(), m.Node, m.Ref, m.Index, m.Got, m.Want, len(mms))
+		}
+	}
+	return nil
+}
+
+// GenGraph builds a small random graph that embeds the trigger pattern of
+// the named rule, with dimensions, dtype, and incidental structure drawn
+// from seed. Every rule in rules.All() is guaranteed at least one
+// application site on its generated graph.
+func GenGraph(rule string, seed uint64) *graph.Graph {
+	r := &genRNG{s: seed}
+	dt := []tensor.DType{tensor.F32, tensor.TF32, tensor.BF16}[r.intn(3)]
+	m, k, n := 2+r.intn(3), 2+r.intn(3), 2+r.intn(3)
+	g := graph.New()
+	switch rule {
+	case "MergeMatmuls":
+		x := g.Add(ops.NewInput(tensor.S(m, k), dt))
+		w1 := g.Add(ops.NewParam(tensor.S(k, n), dt))
+		w2 := g.Add(ops.NewParam(tensor.S(k, n+1), dt))
+		m1 := g.Add(ops.NewMatmul(tensor.S(m, k), tensor.S(k, n), false, false, dt), x, w1)
+		m2 := g.Add(ops.NewMatmul(tensor.S(m, k), tensor.S(k, n+1), false, false, dt), x, w2)
+		g.Add(ops.NewReLU(tensor.S(m, n), dt), m1)
+		g.Add(ops.NewGELU(tensor.S(m, n+1), dt), m2)
+	case "MergeConvs":
+		c, h := 1+r.intn(2), 3+r.intn(3)
+		k1, k2 := 1+r.intn(2), 1+r.intn(2)
+		xs := tensor.S(1, c, h, h)
+		x := g.Add(ops.NewInput(xs, dt))
+		w1 := g.Add(ops.NewParam(tensor.S(k1, c, 3, 3), dt))
+		w2 := g.Add(ops.NewParam(tensor.S(k2, c, 3, 3), dt))
+		c1 := g.Add(ops.NewConv2d(xs, tensor.S(k1, c, 3, 3), 1, 1, dt), x, w1)
+		c2 := g.Add(ops.NewConv2d(xs, tensor.S(k2, c, 3, 3), 1, 1, dt), x, w2)
+		g.Add(ops.NewReLU(tensor.S(1, k1, h, h), dt), c1)
+		g.Add(ops.NewTanh(tensor.S(1, k2, h, h), dt), c2)
+	case "AddReassoc":
+		sh := tensor.S(m, n)
+		a := g.Add(ops.NewInput(sh, dt))
+		b := g.Add(ops.NewInput(sh, dt))
+		c := g.Add(ops.NewInput(sh, dt))
+		inner := g.Add(ops.NewAdd(sh, sh, dt), a, b)
+		top := g.Add(ops.NewAdd(sh, sh, dt), inner, c)
+		g.Add(ops.NewReLU(sh, dt), top)
+	case "SliceConcatElim":
+		w := 2 + r.intn(4)
+		cut := 1 + r.intn(w-1)
+		sh := tensor.S(m, w)
+		src := g.Add(ops.NewInput(sh, dt))
+		s1 := g.Add(ops.NewSlice(sh, 2, 0, cut, dt), src)
+		s2 := g.Add(ops.NewSlice(sh, 2, cut, w-cut, dt), src)
+		cc := g.Add(ops.NewConcat([]tensor.Shape{tensor.S(m, cut), tensor.S(m, w-cut)}, 2, dt), s1, s2)
+		g.Add(ops.NewReLU(sh, dt), cc)
+	case "DeRemat":
+		sh := tensor.S(m, n)
+		x := g.Add(ops.NewInput(sh, dt))
+		r1 := g.Add(ops.NewReLU(sh, dt), x)
+		r2 := g.Add(ops.NewReLU(sh, dt), x)
+		g1 := g.Add(ops.NewGELU(sh, dt), r1)
+		g2 := g.Add(ops.NewTanh(sh, dt), r2)
+		g.Add(ops.NewAdd(sh, sh, dt), g1, g2)
+	case "DeSwap":
+		sh := tensor.S(m, n)
+		x := g.Add(ops.NewInput(sh, dt))
+		rl := g.Add(ops.NewReLU(sh, dt), x)
+		st := g.Add(ops.NewStore(sh, dt), rl)
+		ld := g.Add(ops.NewLoad(sh, dt), st)
+		g.Add(ops.NewGELU(sh, dt), ld)
+	default:
+		// Remat, RematChain, Swap (and any future scheduling rule): a
+		// linear chain ending in a multi-consumer tensor.
+		x := g.Add(ops.NewInput(tensor.S(m, k), dt))
+		w := g.Add(ops.NewParam(tensor.S(k, n), dt))
+		sh := tensor.S(m, n)
+		cur := g.Add(ops.NewLinear(tensor.S(m, k), tensor.S(k, n), false, dt), x, w)
+		// At least one unary keeps the multi-consumer tensor's ancestor
+		// chain ≥2 ops deep, which RematChain requires.
+		for i, depth := 0, 1+r.intn(2); i < depth; i++ {
+			switch r.intn(3) {
+			case 0:
+				cur = g.Add(ops.NewTanh(sh, dt), cur)
+			case 1:
+				cur = g.Add(ops.NewSigmoid(sh, dt), cur)
+			default:
+				cur = g.Add(ops.NewReLU(sh, dt), cur)
+			}
+		}
+		b1 := g.Add(ops.NewGELU(sh, dt), cur)
+		b2 := g.Add(ops.NewScale(sh, dt), cur)
+		sum := g.Add(ops.NewAdd(sh, sh, dt), b1, b2)
+		g.Add(ops.NewTanh(sh, dt), sum)
+	}
+	return g
+}
+
+// genRNG is a tiny splitmix64 for generator choices, independent of the
+// leaf-seeding stream.
+type genRNG struct{ s uint64 }
+
+func (r *genRNG) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+func (r *genRNG) intn(n int) int { return int(r.next() % uint64(n)) }

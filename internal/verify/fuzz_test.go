@@ -1,0 +1,28 @@
+package verify
+
+import (
+	"testing"
+
+	"magis/internal/rules"
+)
+
+// FuzzRuleEquivalence drives rule-level equivalence checking from the
+// fuzzer: each input picks a rule and a seed, generates a graph
+// embedding that rule's trigger pattern, applies the rule, and demands
+// numerically equivalent outputs. Run bounded in CI with
+// -fuzztime (see .github/workflows); failures minimize to a
+// (rule, seed) pair that reproduces deterministically.
+func FuzzRuleEquivalence(f *testing.F) {
+	all := rules.All()
+	for i := range all {
+		f.Add(uint8(i), uint64(1))
+		f.Add(uint8(i), uint64(42))
+	}
+	f.Fuzz(func(t *testing.T, ri uint8, seed uint64) {
+		rule := all[int(ri)%len(all)]
+		g := GenGraph(rule.Name(), seed)
+		if err := CheckRule(rule, g, seed); err != nil {
+			t.Fatalf("rule %s seed %d: %v", rule.Name(), seed, err)
+		}
+	})
+}

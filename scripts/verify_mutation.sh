@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Mutation smoke test for the numeric plan verifier: inject an off-by-one
+# into one memory-plan offset (magis-bench -mutate verify) and require the
+# arena checker to catch it — non-zero exit AND a structured trap or
+# mismatch in the report. A verifier that waves a corrupted plan through
+# is strictly worse than no verifier, so this script is the verifier's own
+# regression test.
+#
+#   ./scripts/verify_mutation.sh            # all 7 mini workloads
+#
+# Also runs the clean (unmutated) suite first and requires it to PASS, so
+# a detection can't be faked by the verifier simply failing everything.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+
+go build -o "$dir/magis-bench" ./cmd/magis-bench
+
+echo "== clean verification (must pass)"
+"$dir/magis-bench" -budget 1s verify | tee "$dir/clean.out"
+if grep -qE 'FAIL|trap:|mismatch:' "$dir/clean.out"; then
+    echo "FAIL: clean plans did not verify — verifier or planner is broken" >&2
+    exit 1
+fi
+
+echo "== mutated verification (must be caught)"
+# NB: flags must precede the target — the Go flag parser stops at the
+# first positional argument.
+if "$dir/magis-bench" -budget 1s -mutate verify > "$dir/mutated.out" 2>&1; then
+    cat "$dir/mutated.out"
+    echo "FAIL: verifier exited 0 on plans with a corrupted offset" >&2
+    exit 1
+fi
+cat "$dir/mutated.out"
+
+# The failure must be a structured detection (a trap, an output mismatch,
+# or a static overlap report), not an unrelated crash.
+if ! grep -qE 'trap:|mismatch:|static:' "$dir/mutated.out"; then
+    echo "FAIL: non-zero exit but no structured trap/mismatch report" >&2
+    exit 1
+fi
+if ! grep -q 'FAIL' "$dir/mutated.out"; then
+    echo "FAIL: report does not mark any workload as failed" >&2
+    exit 1
+fi
+
+echo "OK: corrupted offset detected with a structured report"
