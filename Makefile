@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench-core
+.PHONY: build test race bench-core cache-chaos
 
 build:
 	go build ./...
@@ -15,3 +15,8 @@ race:
 # (see scripts/bench_core.sh; BENCHTIME=5x for more stable numbers).
 bench-core:
 	./scripts/bench_core.sh
+
+# Damages the persistent plan cache in every way a deployment can
+# (bit flips, truncation, junk floods, SIGKILL) against a live server.
+cache-chaos:
+	./scripts/cache_chaos.sh

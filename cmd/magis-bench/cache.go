@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"magis/internal/cost"
+	"magis/internal/expr"
+	"magis/internal/opt"
+	"magis/internal/plancache"
+)
+
+// runCacheBench measures the plan cache life cycle over the miniature
+// evaluation suite: a cold search, verification-gated admission, an exact
+// hit (served from disk, no search), and a warm-started search seeded by
+// the cached plan under a smaller budget. It quantifies what the service
+// buys from the cache: hits cost microseconds-to-milliseconds against
+// seconds of search, and the admission cost is dominated by numeric
+// verification — the price of never caching an unproven plan.
+func runCacheBench(ctx context.Context, cfg expr.Config) {
+	dir, err := os.MkdirTemp("", "magis-plancache-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	cache, err := plancache.Open(plancache.Config{Dir: dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+
+	m := cost.NewModel(cost.RTX3090())
+	fmt.Println("plan cache: cold search vs verified admission vs exact hit vs warm start")
+	fmt.Printf("%-14s %10s %10s %12s %10s %9s\n", "workload", "cold", "admit", "hit", "warm", "hit-x")
+	for _, w := range verifySuite() {
+		if ctx.Err() != nil {
+			return
+		}
+		o := opt.Options{
+			Mode:          opt.MemoryUnderLatency,
+			TimeBudget:    cfg.Budget,
+			MaxIterations: 60,
+			Workers:       cfg.Workers,
+		}
+		base := opt.Baseline(w.G, m)
+		o.LatencyLimit = base.Latency * 1.1
+		fp := plancache.FingerprintFor(m, o)
+
+		t0 := time.Now()
+		res, err := opt.OptimizeCtx(ctx, w.G, m, o)
+		if err != nil || res.Best == nil {
+			fmt.Printf("%-14s search failed: %v\n", w.Name, err)
+			continue
+		}
+		cold := time.Since(t0)
+
+		t0 = time.Now()
+		if err := cache.Put(w.G, fp, res.Best); err != nil {
+			fmt.Printf("%-14s admission refused: %v\n", w.Name, err)
+			continue
+		}
+		admit := time.Since(t0)
+
+		t0 = time.Now()
+		if _, ok := cache.Get(w.G, fp); !ok {
+			fmt.Printf("%-14s exact lookup missed after Put\n", w.Name)
+			continue
+		}
+		hit := time.Since(t0)
+
+		// A tighter budget misses the exact key; the cached plan seeds
+		// the search instead.
+		o2 := o
+		o2.MaxIterations = 20
+		fp2 := plancache.FingerprintFor(m, o2)
+		var seeds []*opt.State
+		for _, nh := range cache.Near(w.G, fp2) {
+			if st, serr := nh.Plan.Seed(); serr == nil {
+				seeds = append(seeds, st)
+			}
+		}
+		t0 = time.Now()
+		if _, err := opt.OptimizeSeeded(ctx, w.G, m, o2, seeds...); err != nil {
+			fmt.Printf("%-14s warm search failed: %v\n", w.Name, err)
+			continue
+		}
+		warm := time.Since(t0)
+
+		speedup := float64(cold) / float64(hit)
+		fmt.Printf("%-14s %10s %10s %12s %10s %8.0fx\n",
+			w.Name, cold.Round(time.Millisecond), admit.Round(time.Millisecond),
+			hit.Round(time.Microsecond), warm.Round(time.Millisecond), speedup)
+	}
+	st := cache.Stats()
+	fmt.Printf("cache: %d entries, %d puts, %d hits, %d near-hits, %d rejected, %d quarantined\n",
+		st.Entries, st.Puts, st.Hits, st.NearHits, st.PutRejected, st.Quarantined)
+}

@@ -18,6 +18,10 @@
 // (-fault-seed), and — when infeasible — repaired through the adaptive
 // re-optimization ladder with a -headroom budget margin.
 //
+// The cache target benchmarks the persistent plan cache life cycle on the
+// same miniature suite: cold search, verification-gated admission, exact
+// hit, and a warm-started search seeded from the cached plan.
+//
 // The verify target numerically verifies a miniature version of each
 // evaluation workload: its graph is optimized, executed against the
 // memory plan's concrete arena offsets, and cross-checked against the
@@ -84,7 +88,7 @@ func main() {
 	known := map[string]bool{
 		"table2": true, "fig9": true, "fig10": true, "fig11": true,
 		"fig12": true, "fig13": true, "fig14": true, "fig15": true, "fig16": true,
-		"audit": true, "verify": true,
+		"audit": true, "verify": true, "cache": true,
 	}
 	targets := flag.Args()
 	if len(targets) == 0 && !*auditFlag {
@@ -98,7 +102,7 @@ func main() {
 	}
 	for _, t := range targets {
 		if !known[t] {
-			fmt.Fprintf(os.Stderr, "unknown target %q (want table2, fig9..fig16, audit, verify, or all)\n", t)
+			fmt.Fprintf(os.Stderr, "unknown target %q (want table2, fig9..fig16, audit, verify, cache, or all)\n", t)
 			os.Exit(2)
 		}
 	}
@@ -180,6 +184,8 @@ func main() {
 			if !runVerify(ctx, cfg, *verifySeed, *mutate) {
 				verifyFailed = true
 			}
+		case "cache":
+			runCacheBench(ctx, cfg)
 		}
 		if ctx.Err() != nil {
 			fmt.Printf("(%s interrupted after %v; rows reflect best-so-far states)\n\n",

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	magis-serve -addr :8080 -queue 8 -jobs 2 -checkpoint-dir /var/lib/magis
+//	magis-serve -addr :8080 -queue 8 -jobs 2 -checkpoint-dir /var/lib/magis \
+//	            -cache-dir /var/lib/magis/plans
 //
 // Endpoints:
 //
@@ -32,25 +33,44 @@ import (
 	"time"
 
 	"magis/internal/cost"
+	"magis/internal/plancache"
 	"magis/internal/serve"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		queue   = flag.Int("queue", 8, "admission queue depth (a full queue rejects with 429)")
-		jobs    = flag.Int("jobs", 1, "jobs run concurrently")
-		budget  = flag.Duration("budget", 10*time.Second, "default per-job search budget")
-		maxBudg = flag.Duration("max-budget", 5*time.Minute, "largest budget a request may ask for")
-		ckDir   = flag.String("checkpoint-dir", "", "job checkpoint directory (enables crash-safe jobs and restart recovery)")
-		ckEvery = flag.Int("checkpoint-every", 0, "checkpoint flush cadence in expansions (0 = default)")
-		stall   = flag.Duration("stall-window", 30*time.Second, "cancel a job with no expansion progress for this long (negative disables)")
-		drainT  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for jobs to checkpoint and stop")
+		addr     = flag.String("addr", ":8080", "listen address")
+		queue    = flag.Int("queue", 8, "admission queue depth (a full queue rejects with 429)")
+		jobs     = flag.Int("jobs", 1, "jobs run concurrently")
+		budget   = flag.Duration("budget", 10*time.Second, "default per-job search budget")
+		maxBudg  = flag.Duration("max-budget", 5*time.Minute, "largest budget a request may ask for")
+		ckDir    = flag.String("checkpoint-dir", "", "job checkpoint directory (enables crash-safe jobs and restart recovery)")
+		ckEvery  = flag.Int("checkpoint-every", 0, "checkpoint flush cadence in expansions (0 = default)")
+		stall    = flag.Duration("stall-window", 30*time.Second, "cancel a job with no expansion progress for this long (negative disables)")
+		drainT   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for jobs to checkpoint and stop")
+		cacheDir = flag.String("cache-dir", "", "persistent plan cache directory (enables verified-plan reuse, warm starts, and single-flight dedup)")
+		cacheMax = flag.Int("cache-max", 0, "plan cache entry cap before eviction (0 = default)")
 	)
 	flag.Parse()
 
+	model := cost.NewModel(cost.RTX3090())
+	var cache *plancache.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = plancache.Open(plancache.Config{Dir: *cacheDir, MaxEntries: *cacheMax, Logf: log.Printf})
+		if err != nil {
+			// A broken cache directory degrades the service to uncached
+			// operation; it must not keep the optimizer down.
+			log.Printf("plan cache disabled: %v", err)
+			cache = nil
+		} else {
+			st := cache.Stats()
+			log.Printf("plan cache open at %s: %d entries, %d quarantined on scan", *cacheDir, st.Entries, st.Quarantined)
+		}
+	}
+
 	s := serve.New(serve.Config{
-		Model:            cost.NewModel(cost.RTX3090()),
+		Model:            model,
 		QueueDepth:       *queue,
 		Workers:          *jobs,
 		DefaultBudget:    *budget,
@@ -58,6 +78,7 @@ func main() {
 		CheckpointDir:    *ckDir,
 		CheckpointEveryN: *ckEvery,
 		StallWindow:      *stall,
+		Cache:            cache,
 		Logf:             log.Printf,
 	})
 	if n := s.Start(); n > 0 {

@@ -1,14 +1,63 @@
 // Package fsatomic provides crash-consistent file replacement: readers of
 // a path observe either the previous complete content or the new complete
-// content, never a torn write. Checkpoints and manifests are written
-// through it so a SIGKILL mid-write cannot corrupt the last good snapshot.
+// content, never a torn write. Checkpoints, manifests, and cached plans
+// are written through it so a SIGKILL mid-write cannot corrupt the last
+// good snapshot.
+//
+// Beyond plain atomic replacement, the package offers a sealed envelope
+// format (WriteSealed/ReadSealed): payloads framed with a magic string, a
+// format version, and a SHA-256 digest, so a reader can tell a truncated
+// or bit-flipped file from a healthy one before trusting a single payload
+// byte. Failures are classified with sentinel errors (ErrChecksum,
+// ErrVersion, ErrShortWrite, ErrDiskFull) so callers can route corrupt
+// files to quarantine and full disks to graceful degradation instead of
+// treating every failure alike.
 package fsatomic
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 )
+
+// Sentinel errors classifying why a write or sealed read failed. Match
+// with errors.Is.
+var (
+	// ErrShortWrite: the OS accepted fewer bytes than requested without
+	// reporting an error — the temp file was discarded.
+	ErrShortWrite = errors.New("fsatomic: short write")
+	// ErrChecksum: a sealed file's payload digest does not match its
+	// header — the file is truncated or corrupted.
+	ErrChecksum = errors.New("fsatomic: checksum mismatch")
+	// ErrVersion: a sealed file carries a format version this build does
+	// not read.
+	ErrVersion = errors.New("fsatomic: format version mismatch")
+	// ErrDiskFull: the filesystem is out of space (ENOSPC/EDQUOT). The
+	// target path is untouched; callers can degrade (skip the write, evict,
+	// alert) instead of crashing.
+	ErrDiskFull = errors.New("fsatomic: disk full")
+)
+
+// TestHookWriteErr, when non-nil, is invoked after the temp file's bytes
+// are written but before the rename publishes them; returning an error
+// aborts the write as if the OS had failed at that point. It exists so
+// tests can prove that a failed atomic write never leaves a partial file
+// visible. Set it only from tests, and never while writes are in flight.
+var TestHookWriteErr func(path string) error
+
+// classify wraps err with ErrDiskFull when the underlying errno says the
+// filesystem is out of space or quota.
+func classify(err error) error {
+	if errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT) {
+		return fmt.Errorf("%w: %w", ErrDiskFull, err)
+	}
+	return err
+}
 
 // WriteFile atomically replaces path with data: the bytes are written to a
 // temporary file in the same directory, fsynced, and renamed over path.
@@ -20,16 +69,25 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 	}
 	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("fsatomic: %w", err)
+		return fmt.Errorf("fsatomic: %w", classify(err))
 	}
 	tmp := f.Name()
 	cleanup := func(err error) error {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("fsatomic: %w", err)
+		return fmt.Errorf("fsatomic: %w", classify(err))
 	}
-	if _, err := f.Write(data); err != nil {
+	n, err := f.Write(data)
+	if err != nil {
 		return cleanup(err)
+	}
+	if n != len(data) {
+		return cleanup(fmt.Errorf("%w: wrote %d of %d bytes", ErrShortWrite, n, len(data)))
+	}
+	if TestHookWriteErr != nil {
+		if err := TestHookWriteErr(path); err != nil {
+			return cleanup(err)
+		}
 	}
 	// Flush to stable storage before the rename publishes the file, so a
 	// power loss cannot leave a renamed-but-empty checkpoint behind.
@@ -41,11 +99,64 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("fsatomic: %w", err)
+		return fmt.Errorf("fsatomic: %w", classify(err))
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("fsatomic: %w", err)
+		return fmt.Errorf("fsatomic: %w", classify(err))
 	}
 	return nil
+}
+
+// sealedEnvelope is the on-disk framing of WriteSealed: the payload bytes
+// plus everything needed to reject the file before trusting them.
+type sealedEnvelope struct {
+	Magic   string          `json:"magic"`
+	Version int             `json:"version"`
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// WriteSealed atomically writes payload to path inside a checksummed
+// envelope carrying magic and version. The payload must be valid JSON
+// (it is embedded verbatim).
+func WriteSealed(path, magic string, version int, payload []byte, perm os.FileMode) error {
+	sum := sha256.Sum256(payload)
+	env, err := json.Marshal(sealedEnvelope{
+		Magic:   magic,
+		Version: version,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("fsatomic: seal: %w", err)
+	}
+	return WriteFile(path, env, perm)
+}
+
+// ReadSealed reads a file written by WriteSealed and returns its payload
+// after validating the magic, version, and digest. Mismatches return
+// errors matching ErrVersion or ErrChecksum; anything unparsable is a
+// plain error. Callers treat any failure as "this file cannot be
+// trusted" — typically by quarantining it.
+func ReadSealed(path, magic string, version int) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fsatomic: %w", err)
+	}
+	var env sealedEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("fsatomic: %s: not a sealed file: %w", filepath.Base(path), err)
+	}
+	if env.Magic != magic {
+		return nil, fmt.Errorf("fsatomic: %s: magic %q (want %q)", filepath.Base(path), env.Magic, magic)
+	}
+	if env.Version != version {
+		return nil, fmt.Errorf("%w: %s: version %d (this build reads %d)", ErrVersion, filepath.Base(path), env.Version, version)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if got := hex.EncodeToString(sum[:]); got != env.SHA256 {
+		return nil, fmt.Errorf("%w: %s: header %s, payload %s", ErrChecksum, filepath.Base(path), env.SHA256, got)
+	}
+	return env.Payload, nil
 }

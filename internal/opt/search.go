@@ -277,6 +277,18 @@ func Optimize(g *graph.Graph, model *cost.Model, o Options) (*Result, error) {
 // contained (see RuleError), repeatedly failing rules are quarantined, and
 // Result.Stopped plus Result.Diagnostics report how the run ended.
 func OptimizeCtx(ctx context.Context, g *graph.Graph, model *cost.Model, o Options) (*Result, error) {
+	return OptimizeSeeded(ctx, g, model, o)
+}
+
+// OptimizeSeeded is OptimizeCtx with warm-start seeds: additional initial
+// frontier states replayed from cached plans (see PlanRecord). Each seed
+// is validated and re-evaluated by the live pipeline before it may enter
+// the frontier; a seed that fails anywhere — invalid graph, stale fission
+// choices, a panic during evaluation — is dropped with a diagnostic and
+// the search proceeds from whatever seeds survived (possibly none, i.e. a
+// cold start). Seeds participate in best-state selection immediately, so
+// an exact replay of a good plan bounds the result from below.
+func OptimizeSeeded(ctx context.Context, g *graph.Graph, model *cost.Model, o Options, seeds ...*State) (*Result, error) {
 	o.defaults()
 	res := &Result{}
 	if err := guard("init", "baseline evaluation", func() error {
@@ -334,8 +346,51 @@ func OptimizeCtx(ctx context.Context, g *graph.Graph, model *cost.Model, o Optio
 	heap.Init(l.q)
 	heap.Push(l.q, init)
 	l.seen[ev.hash(init)] = true
+	for _, sd := range seeds {
+		l.seed(sd)
+	}
 	l.run(ctx)
 	return res, nil
+}
+
+// warmRuleName is the pseudo-rule seed replay failures are attributed to
+// in Diagnostics (and, like any rule, quarantined after repeated failure).
+const warmRuleName = "WarmStart"
+
+// seed admits one warm-start state into the initial frontier. Everything
+// runs under guard: a seed can only ever be dropped, never corrupt the
+// search. Duplicate seeds (or a seed identical to the init state) are
+// filtered by the same WL-hash dedup the search uses.
+func (l *searchLoop) seed(sd *State) {
+	if sd == nil || sd.G == nil {
+		return
+	}
+	ev := l.pool.primary()
+	if err := guard(warmRuleName, "seed graph validation", func() error {
+		return graph.Validate(sd.G)
+	}); err != nil {
+		l.res.Diagnostics.notePanic(err, l.quar)
+		return
+	}
+	if err := guard(warmRuleName, "seed evaluation", func() error {
+		return ev.evaluate(sd, nil, nil)
+	}); err != nil {
+		l.res.Diagnostics.notePanic(err, l.quar)
+		return
+	}
+	h := ev.hash(sd)
+	if l.seen[h] {
+		l.res.Stats.Filtered++
+		return
+	}
+	l.seen[h] = true
+	heap.Push(l.q, sd)
+	l.res.Diagnostics.rule(warmRuleName).Evaluated++
+	if l.o.better(sd, l.best, 1) {
+		l.best = sd
+		l.res.History = append(l.res.History,
+			HistoryPoint{l.elapsed(), sd.PeakMem, sd.Latency})
+	}
 }
 
 // searchLoop is the order-sensitive half of the search: everything below

@@ -1,0 +1,69 @@
+package plancache
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"magis/internal/graph"
+	"magis/internal/ops"
+)
+
+// canonicalBytes returns a deterministic, ID-normalized encoding of g:
+// nodes in topological order with IDs remapped densely (graph.Topo breaks
+// ties by ID, so identical construction yields identical bytes), each
+// carrying its full serialized operator and remapped input list. Two
+// graphs encode equal iff they are the same computation — this is the
+// ground truth a hash-keyed hit is checked against.
+func canonicalBytes(g *graph.Graph) ([]byte, error) {
+	type cnode struct {
+		Name string  `json:"n,omitempty"`
+		Op   ops.Raw `json:"op"`
+		Ins  []int   `json:"ins,omitempty"`
+	}
+	topo := g.Topo()
+	remap := make(map[graph.NodeID]int, len(topo))
+	for i, v := range topo {
+		remap[v] = i
+	}
+	out := make([]cnode, 0, len(topo))
+	for _, v := range topo {
+		n := g.Node(v)
+		spec, ok := n.Op.(*ops.Spec)
+		if !ok {
+			return nil, fmt.Errorf("plancache: node %d: operator %T is not serializable", v, n.Op)
+		}
+		ins := make([]int, len(n.Ins))
+		for j, in := range n.Ins {
+			ins[j] = remap[in]
+		}
+		out = append(out, cnode{Name: n.Name, Op: spec.Marshal(), Ins: ins})
+	}
+	return json.Marshal(out)
+}
+
+// topoHash is the shape-insensitive sibling of graph.WLHash: it hashes
+// operator kinds, dtypes, output ranks, and wiring — but not dimension
+// sizes or attributes — so the same model built at different batch sizes
+// collides on purpose. It keys the near-miss index that feeds warm starts.
+func topoHash(g *graph.Graph) uint64 {
+	labels := make(map[graph.NodeID]uint64, g.Len())
+	var sum uint64
+	for _, v := range g.Topo() {
+		n := g.Node(v)
+		h := hash64(0, n.Op.Kind())
+		h = (h ^ uint64(len(n.Op.OutShape()))) * 1099511628211
+		h = (h ^ uint64(n.Op.DType())) * 1099511628211
+		for _, in := range n.Ins {
+			h = (h ^ labels[in]) * 1099511628211
+		}
+		labels[v] = h
+		sum += h
+	}
+	return (sum ^ 14695981039346656037) * 1099511628211
+}
+
+// topoIndexKey folds the topology hash with the device identity: warm
+// starts only make sense for plans costed on the same hardware.
+func topoIndexKey(topo uint64, device string) uint64 {
+	return hash64(topo, device)
+}

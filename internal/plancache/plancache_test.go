@@ -1,0 +1,369 @@
+package plancache
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"magis/internal/cost"
+	"magis/internal/graph"
+	"magis/internal/models"
+	"magis/internal/opt"
+)
+
+func testOptions() opt.Options {
+	return opt.Options{
+		Mode:            opt.MemoryUnderLatency,
+		TimeBudget:      30 * time.Second,
+		MaxIterations:   8,
+		Workers:         1,
+		CheckInvariants: true,
+	}
+}
+
+// optimized runs a quick search over w and returns its best state.
+func optimized(t *testing.T, g *graph.Graph, model *cost.Model) *opt.State {
+	t.Helper()
+	res, err := opt.Optimize(g, model, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Best
+}
+
+func openCache(t *testing.T, dir string, mut ...func(*Config)) *Cache {
+	t.Helper()
+	cfg := Config{Dir: dir, Logf: t.Logf}
+	for _, m := range mut {
+		m(&cfg)
+	}
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	model := cost.NewModel(cost.RTX3090())
+	w := models.MLP(4, 8, 8, 4, 1)
+	fp := FingerprintFor(model, testOptions())
+	dir := t.TempDir()
+
+	c := openCache(t, dir)
+	if _, ok := c.Get(w.G, fp); ok {
+		t.Fatal("hit on empty cache")
+	}
+	best := optimized(t, w.G, model)
+	if err := c.Put(w.G, fp, best); err != nil {
+		t.Fatalf("Put of a verified plan: %v", err)
+	}
+	h, ok := c.Get(w.G, fp)
+	if !ok {
+		t.Fatal("exact request missed after Put")
+	}
+	if h.PeakMem != best.PeakMem {
+		t.Errorf("hit peak %d, want %d", h.PeakMem, best.PeakMem)
+	}
+	seed, err := h.Plan.Seed()
+	if err != nil || seed.G == nil {
+		t.Fatalf("cached plan does not replay: %v", err)
+	}
+
+	// Another fingerprint (tighter budget) must not share the entry.
+	o2 := testOptions()
+	o2.MaxIterations = 3
+	if _, ok := c.Get(w.G, FingerprintFor(model, o2)); ok {
+		t.Error("hit across differing fingerprints")
+	}
+
+	// Entries persist: a fresh Open over the same dir serves the plan.
+	c2 := openCache(t, dir)
+	if c2.Len() != 1 {
+		t.Fatalf("reopened cache has %d entries, want 1", c2.Len())
+	}
+	if _, ok := c2.Get(w.G, fp); !ok {
+		t.Error("reopened cache missed a healthy entry")
+	}
+	if s := c2.Stats(); s.Quarantined != 0 {
+		t.Errorf("healthy reopen quarantined %d entries", s.Quarantined)
+	}
+}
+
+// TestCollisionDegradesToMiss pins the central safety property: when two
+// non-identical graphs are forced onto the same cache key, lookups answer
+// with a miss — never with the other graph's plan. The two MLP widths
+// share a topology, so only the full canonical comparison can tell them
+// apart.
+func TestCollisionDegradesToMiss(t *testing.T) {
+	model := cost.NewModel(cost.RTX3090())
+	a := models.MLP(4, 8, 8, 4, 1)
+	b := models.MLP(4, 16, 16, 4, 1)
+	fp := FingerprintFor(model, testOptions())
+
+	c := openCache(t, t.TempDir(), func(cfg *Config) {
+		cfg.HashFunc = func(*graph.Graph) uint64 { return 0xdeadbeef }
+	})
+	if c.Key(a.G, fp) != c.Key(b.G, fp) {
+		t.Fatal("test premise broken: keys must collide")
+	}
+	if err := c.Put(a.G, fp, optimized(t, a.G, model)); err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := c.Get(b.G, fp); ok {
+		t.Fatalf("collision served a wrong plan: %+v", h)
+	}
+	if s := c.Stats(); s.Collisions == 0 {
+		t.Error("collision not counted")
+	}
+	// The colliding entry is still valid for its own graph.
+	if _, ok := c.Get(a.G, fp); !ok {
+		t.Error("original graph no longer hits after collision probe")
+	}
+}
+
+// TestScanQuarantinesCorruption: every flavor of on-disk damage — flipped
+// byte, truncation, zero-byte file, garbage, an entry renamed to another
+// key — is moved to quarantine on Open while healthy entries keep serving.
+func TestScanQuarantinesCorruption(t *testing.T) {
+	model := cost.NewModel(cost.RTX3090())
+	w := models.MLP(4, 8, 8, 4, 1)
+	fp := FingerprintFor(model, testOptions())
+	dir := t.TempDir()
+
+	c := openCache(t, dir)
+	if err := c.Put(w.G, fp, optimized(t, w.G, model)); err != nil {
+		t.Fatal(err)
+	}
+	key := c.Key(w.G, fp)
+	healthy := filepath.Join(dir, key+suffix)
+	raw, err := os.ReadFile(healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flipped byte deep in the payload.
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x40
+	writeEntry(t, dir, "1111111111111111-0000000000000000", flipped)
+	// Torn write (truncation that bypassed the atomic path).
+	writeEntry(t, dir, "2222222222222222-0000000000000000", raw[:len(raw)/3])
+	// Zero-byte file.
+	writeEntry(t, dir, "3333333333333333-0000000000000000", nil)
+	// Garbage.
+	writeEntry(t, dir, "4444444444444444-0000000000000000", []byte("\x00\xffnot a cache entry"))
+	// A healthy entry renamed to a different key (fingerprint flip).
+	writeEntry(t, dir, "5555555555555555-0000000000000000", raw)
+
+	c2 := openCache(t, dir)
+	if got := c2.Stats().Quarantined; got != 5 {
+		t.Errorf("quarantined %d entries, want 5", got)
+	}
+	if c2.Len() != 1 {
+		t.Errorf("indexed %d entries, want only the healthy one", c2.Len())
+	}
+	if _, ok := c2.Get(w.G, fp); !ok {
+		t.Error("healthy entry lost in the sweep")
+	}
+	qents, _ := os.ReadDir(c2.QuarantinePath())
+	if len(qents) != 5 {
+		t.Errorf("quarantine dir holds %d files, want 5", len(qents))
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if !e.IsDir() && e.Name() != key+suffix {
+			t.Errorf("damaged file %s left in the serving dir", e.Name())
+		}
+	}
+}
+
+func writeEntry(t *testing.T, dir, key string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, key+suffix), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGetQuarantinesLiveCorruption: damage that lands after the startup
+// scan (bit rot, an operator's stray edit) is caught by the read-back on
+// the hit path: the lookup misses and the file is quarantined.
+func TestGetQuarantinesLiveCorruption(t *testing.T) {
+	model := cost.NewModel(cost.RTX3090())
+	w := models.MLP(4, 8, 8, 4, 1)
+	fp := FingerprintFor(model, testOptions())
+	dir := t.TempDir()
+
+	c := openCache(t, dir)
+	if err := c.Put(w.G, fp, optimized(t, w.G, model)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, c.Key(w.G, fp)+suffix)
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := c.Get(w.G, fp); ok {
+		t.Fatal("tampered entry served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("tampered entry still in the serving dir")
+	}
+	if s := c.Stats(); s.Quarantined != 1 || s.Entries != 0 {
+		t.Errorf("stats after live quarantine: %+v", s)
+	}
+	// And the miss is recoverable: a fresh Put re-admits.
+	if err := c.Put(w.G, fp, optimized(t, w.G, model)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(w.G, fp); !ok {
+		t.Error("cache did not recover after quarantine + re-Put")
+	}
+}
+
+// TestPutRejectsUnverifiable: the admission gate. A "best state" whose
+// graph does not compute the input's function (here: a different hidden
+// width) must never be admitted.
+func TestPutRejectsUnverifiable(t *testing.T) {
+	model := cost.NewModel(cost.RTX3090())
+	w := models.MLP(4, 8, 8, 4, 1)
+	other := models.MLP(4, 16, 16, 4, 1)
+	fp := FingerprintFor(model, testOptions())
+
+	c := openCache(t, t.TempDir())
+	err := c.Put(w.G, fp, &opt.State{G: other.G.Clone()})
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("Put of a wrong plan: err = %v, want ErrRejected", err)
+	}
+	if c.Len() != 0 {
+		t.Error("rejected plan reached the index")
+	}
+	ents, _ := os.ReadDir(c.Dir())
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), suffix) {
+			t.Errorf("rejected plan reached disk: %s", e.Name())
+		}
+	}
+	if s := c.Stats(); s.PutRejected != 1 {
+		t.Errorf("PutRejected = %d, want 1", s.PutRejected)
+	}
+}
+
+// TestNearMiss: entries with the same topology on the same device are
+// offered as warm-start seeds — SameGraph when only the budget differed,
+// plain topology match when the batch size did.
+func TestNearMiss(t *testing.T) {
+	model := cost.NewModel(cost.RTX3090())
+	small := models.MLP(4, 8, 8, 4, 1)
+	big := models.MLP(16, 8, 8, 4, 1)
+	fp := FingerprintFor(model, testOptions())
+	c := openCache(t, t.TempDir())
+	if err := c.Put(small.G, fp, optimized(t, small.G, model)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same graph, different budget: the full plan replays.
+	o2 := testOptions()
+	o2.MaxIterations = 3
+	nh := c.Near(small.G, FingerprintFor(model, o2))
+	if len(nh) != 1 || !nh[0].SameGraph {
+		t.Fatalf("Near(same graph, other budget) = %+v, want one SameGraph hit", nh)
+	}
+
+	// Different batch: topology matches, graph does not.
+	nh = c.Near(big.G, fp)
+	if len(nh) != 1 || nh[0].SameGraph {
+		t.Fatalf("Near(other batch) = %+v, want one topology-only hit", nh)
+	}
+	if seed, err := nh[0].Plan.SeedFor(big.G); err != nil || seed == nil {
+		t.Fatalf("near-miss plan does not replay onto the bigger batch: %v", err)
+	}
+
+	// A different device must not feed warm starts.
+	fpOther := fp
+	fpOther.Device = "other-device"
+	if nh := c.Near(big.G, fpOther); len(nh) != 0 {
+		t.Errorf("Near across devices = %+v, want none", nh)
+	}
+}
+
+func TestEviction(t *testing.T) {
+	model := cost.NewModel(cost.RTX3090())
+	fp := FingerprintFor(model, testOptions())
+	c := openCache(t, t.TempDir(), func(cfg *Config) { cfg.MaxEntries = 2 })
+	ws := []*models.Workload{
+		models.MLP(4, 8, 8, 4, 1),
+		models.MLP(8, 8, 8, 4, 1),
+		models.MLP(16, 8, 8, 4, 1),
+	}
+	for _, w := range ws {
+		if err := c.Put(w.G, fp, optimized(t, w.G, model)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2 after eviction", c.Len())
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", s.Evictions)
+	}
+	// The newest entries survive.
+	if _, ok := c.Get(ws[2].G, fp); !ok {
+		t.Error("newest entry evicted")
+	}
+}
+
+// TestSingleFlightStampede: N concurrent requests for one key produce
+// exactly one leader; every follower observes the leader's result. Run
+// with -race in CI.
+func TestSingleFlightStampede(t *testing.T) {
+	c := openCache(t, t.TempDir())
+	const n = 16
+	var (
+		leaders  int32
+		leaderMu sync.Mutex
+		wg       sync.WaitGroup
+		results  [n]any
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, leader := c.Join("stampede-key")
+			if leader {
+				leaderMu.Lock()
+				leaders++
+				leaderMu.Unlock()
+				time.Sleep(10 * time.Millisecond) // let followers pile up
+				f.Finish("the-plan", nil)
+			}
+			<-f.Done()
+			v, err := f.Result()
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want exactly 1", leaders)
+	}
+	for i, v := range results {
+		if v != "the-plan" {
+			t.Errorf("waiter %d got %v", i, v)
+		}
+	}
+	if s := c.Stats(); s.FlightsShared != n-1 {
+		t.Errorf("FlightsShared = %d, want %d", s.FlightsShared, n-1)
+	}
+	// The flight is deregistered: a new Join leads again.
+	if _, leader := c.Join("stampede-key"); !leader {
+		t.Error("finished flight still registered")
+	}
+}

@@ -1,0 +1,53 @@
+package plancache
+
+// Single-flight request coalescing: when N identical requests miss the
+// cache at once, only the first (the leader) runs the search; the rest
+// wait on its Flight and share the result. The cache's own Put/Get are
+// untouched — a Flight is purely an in-memory rendezvous keyed by the
+// same key the on-disk entry would use.
+
+// Flight is one in-progress computation for a cache key. The leader
+// computes, calls Finish exactly once, and every waiter unblocks with the
+// shared result.
+type Flight struct {
+	c    *Cache
+	key  string
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Join returns the flight for key and whether the caller leads it. The
+// leader must eventually call Finish — deferring it around the
+// computation, so even a panicking search releases the waiters.
+func (c *Cache) Join(key string) (*Flight, bool) {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	if f, ok := c.flights[key]; ok {
+		c.flightsShared.Add(1)
+		return f, false
+	}
+	f := &Flight{c: c, key: key, done: make(chan struct{})}
+	c.flights[key] = f
+	return f, true
+}
+
+// Finish publishes the leader's result and releases all waiters. It is
+// idempotent only in the sense that the flight is deregistered first, so
+// a duplicate call on a stale Flight cannot corrupt a newer one.
+func (f *Flight) Finish(val any, err error) {
+	f.c.fmu.Lock()
+	if f.c.flights[f.key] == f {
+		delete(f.c.flights, f.key)
+	}
+	f.c.fmu.Unlock()
+	f.val, f.err = val, err
+	close(f.done)
+}
+
+// Done is closed once the leader finished; read the result afterwards
+// with Result.
+func (f *Flight) Done() <-chan struct{} { return f.done }
+
+// Result returns the leader's outcome. Only valid after Done is closed.
+func (f *Flight) Result() (any, error) { return f.val, f.err }

@@ -72,6 +72,7 @@ type job struct {
 	lastProgress time.Time
 	err          string
 	verified     bool
+	cacheOutcome string
 	summary      *jobSummary
 }
 
@@ -84,6 +85,11 @@ type jobSummary struct {
 	// Verified reports that the plan passed numeric verification (only
 	// present when the request opted in).
 	Verified bool `json:"verified,omitempty"`
+	// Cache reports how the plan cache served this job: "hit" (answered
+	// from a verified entry, no search), "warm" (search seeded from a
+	// near miss), or "shared" (joined another request's in-flight
+	// search). Empty means a plain search.
+	Cache string `json:"cache,omitempty"`
 }
 
 // jobView is the JSON shape of /jobs/{id}.
@@ -109,6 +115,27 @@ func (j *job) progress(completed int) {
 	j.mu.Lock()
 	j.expansions = completed
 	j.lastProgress = time.Now()
+	j.mu.Unlock()
+}
+
+// touch refreshes the liveness signal without claiming an expansion; jobs
+// waiting on another request's in-flight search use it so the watchdog
+// does not read the wait as a stall.
+func (j *job) touch() {
+	j.mu.Lock()
+	j.lastProgress = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *job) interruptedReason() interruptReason {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.interrupted
+}
+
+func (j *job) setCacheOutcome(o string) {
+	j.mu.Lock()
+	j.cacheOutcome = o
 	j.mu.Unlock()
 }
 
@@ -285,12 +312,17 @@ func (s *Server) finishJob(j *job, res *opt.Result, err error) {
 		j.mu.Lock()
 		j.state = stateDone
 		if res != nil && res.Best != nil {
+			stopped := res.Stopped.String()
+			if j.cacheOutcome == "hit" {
+				stopped = "cache-hit"
+			}
 			j.summary = &jobSummary{
 				PeakMemBytes: res.Best.PeakMem,
 				LatencySec:   res.Best.Latency,
 				Iterations:   res.Stats.Iterations,
-				Stopped:      res.Stopped.String(),
+				Stopped:      stopped,
 				Verified:     j.verified,
+				Cache:        j.cacheOutcome,
 			}
 		}
 		j.mu.Unlock()
@@ -340,6 +372,8 @@ func (s *Server) requeueResume(j *job) bool {
 // searchJob is the production searchFn: fresh jobs build their workload and
 // optimize with per-job checkpointing; interrupted jobs resume from their
 // snapshot (opt.Resume restores options, elapsed budget, and search state).
+// Resumed jobs run before any cache involvement, so the kill-resume
+// determinism guarantee is independent of cache state.
 func (s *Server) searchJob(ctx context.Context, j *job) (*opt.Result, error) {
 	onExp := func(completed int) {
 		j.progress(completed)
@@ -382,6 +416,9 @@ func (s *Server) searchJob(ctx context.Context, j *job) (*opt.Result, error) {
 			EveryN: s.cfg.CheckpointEveryN,
 			Label:  j.req.Model,
 		}
+	}
+	if s.cfg.Cache != nil {
+		return s.cachedSearch(ctx, j, w, base, o)
 	}
 	res, err := opt.OptimizeCtx(ctx, w.G, s.cfg.Model, o)
 	if err == nil && j.req.Verify {
@@ -441,9 +478,36 @@ func (s *Server) removeCheckpoint(j *job) {
 	}
 }
 
+// quarantineCheckpoint moves a checkpoint that failed to read back into
+// CheckpointDir/quarantine, keeping its name (suffixed on collision) for
+// the operator to inspect. Moving — rather than skipping in place — keeps
+// every later restart from re-parsing a file that is known bad, and makes
+// "something was corrupted here" visible as a non-empty directory.
+func (s *Server) quarantineCheckpoint(name string, cause error) {
+	qdir := filepath.Join(s.cfg.CheckpointDir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		s.cfg.Logf("serve: quarantine dir: %v", err)
+		return
+	}
+	dst := filepath.Join(qdir, name)
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", name, i))
+	}
+	if err := os.Rename(filepath.Join(s.cfg.CheckpointDir, name), dst); err != nil {
+		s.cfg.Logf("serve: quarantining checkpoint %s: %v (cause: %v)", name, err, cause)
+		return
+	}
+	s.met.CkptQuarantined.Add(1)
+	s.cfg.Logf("serve: quarantined unreadable checkpoint %s -> %s: %v", name, dst, cause)
+}
+
 // recoverCheckpoints re-admits jobs a previous incarnation left
 // checkpointed (drained or crashed mid-search). Unreadable snapshots are
-// skipped with a log line, never deleted — the operator decides.
+// quarantined — moved aside with a log line, never deleted — so recovery
+// proceeds with the healthy ones and the operator decides the rest.
 func (s *Server) recoverCheckpoints() int {
 	if s.cfg.CheckpointDir == "" {
 		return 0
@@ -473,7 +537,7 @@ func (s *Server) recoverCheckpoints() int {
 		path := filepath.Join(s.cfg.CheckpointDir, name)
 		info, err := opt.ReadCheckpointInfo(path)
 		if err != nil {
-			s.cfg.Logf("serve: skipping unreadable checkpoint %s: %v", name, err)
+			s.quarantineCheckpoint(name, err)
 			continue
 		}
 		s.mu.Lock()

@@ -32,6 +32,7 @@ import (
 
 	"magis/internal/cost"
 	"magis/internal/models"
+	"magis/internal/plancache"
 )
 
 // Config configures a Server. Model is required; everything else has
@@ -64,6 +65,13 @@ type Config struct {
 	// StallWindow/4).
 	StallWindow time.Duration
 	StallPoll   time.Duration
+	// Cache, when set, serves verified plans from the persistent plan
+	// cache: exact hits answer without running a search, near misses
+	// warm-start the search, and concurrent identical requests share one
+	// in-flight search. Resumed jobs bypass the cache entirely, so the
+	// kill-resume determinism guarantee is unchanged. Nil disables
+	// caching.
+	Cache *plancache.Cache
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -108,6 +116,16 @@ type metrics struct {
 	Stalled          atomic.Int64
 	Resumed          atomic.Int64
 	Expansions       atomic.Int64
+	// Plan-cache outcomes, counted per job: answered from an exact entry,
+	// missed, warm-started from a near miss, or shared another request's
+	// in-flight search.
+	CacheHits       atomic.Int64
+	CacheMisses     atomic.Int64
+	CacheWarmStarts atomic.Int64
+	FlightShared    atomic.Int64
+	// CkptQuarantined counts restart-recovery checkpoints that failed to
+	// read back and were moved aside.
+	CkptQuarantined atomic.Int64
 }
 
 // Server is the service. Create with New, wire Handler into an HTTP
@@ -129,6 +147,11 @@ type Server struct {
 	// runSearch executes one job's search; replaced by tests to control
 	// timing without real optimization work.
 	runSearch searchFn
+
+	// hitLat/missLat sample per-job service latency by cache outcome for
+	// the /metrics percentiles.
+	hitLat  latRing
+	missLat latRing
 }
 
 // New builds a Server; call Start to launch its workers.
@@ -363,7 +386,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]int64{
+	out := map[string]any{
 		"admitted":          s.met.Admitted.Load(),
 		"rejected_full":     s.met.RejectedFull.Load(),
 		"rejected_draining": s.met.RejectedDraining.Load(),
@@ -376,7 +399,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"expansions":        s.met.Expansions.Load(),
 		"in_flight":         s.inFlight.Load(),
 		"queue_depth":       int64(len(s.queue)),
-	})
+		"ckpt_quarantined":  s.met.CkptQuarantined.Load(),
+	}
+	if s.cfg.Cache != nil {
+		out["cache_hits"] = s.met.CacheHits.Load()
+		out["cache_misses"] = s.met.CacheMisses.Load()
+		out["cache_warm_starts"] = s.met.CacheWarmStarts.Load()
+		out["flight_shared"] = s.met.FlightShared.Load()
+		out["cache"] = s.cfg.Cache.Stats()
+		out["cache_hit_latency_sec"] = s.hitLat.percentiles()
+		out["cache_miss_latency_sec"] = s.missLat.percentiles()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {

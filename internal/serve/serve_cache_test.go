@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"magis/internal/plancache"
+)
+
+func testCache(t *testing.T) *plancache.Cache {
+	t.Helper()
+	c, err := plancache.Open(plancache.Config{Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// cacheServerConfig is a server wired for real (tiny) searches with a
+// plan cache in front.
+func cacheServerConfig(t *testing.T, workers int) Config {
+	return Config{
+		Model:       testModel(),
+		QueueDepth:  8,
+		Workers:     workers,
+		StallWindow: -1,
+		Cache:       testCache(t),
+		Logf:        t.Logf,
+	}
+}
+
+const cacheReq = `{"model":"mlp","scale":0.01,"budget":"30s","iterations":12,"workers":1}`
+
+// TestCacheHitSkipsSearch: the second identical request is answered from
+// the cache — zero search iterations, summary marked cache-hit and
+// verified (admission re-verified the plan), hit counters and latency
+// percentiles populated.
+func TestCacheHitSkipsSearch(t *testing.T) {
+	s := New(cacheServerConfig(t, 1))
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer drainServer(t, s)
+
+	runCacheJob := func() map[string]any {
+		code, body := post(t, ts, cacheReq)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: %d %v", code, body)
+		}
+		id := body["id"].(string)
+		waitFor(t, "job "+id, func() bool {
+			_, v := get(t, ts, "/jobs/"+id)
+			if v["state"] == stateFailed || v["state"] == stateCancelled {
+				t.Fatalf("job settled badly: %v", v)
+			}
+			return v["state"] == stateDone
+		})
+		_, v := get(t, ts, "/jobs/"+id)
+		return v["result"].(map[string]any)
+	}
+
+	first := runCacheJob()
+	if c, _ := first["cache"].(string); c == "hit" {
+		t.Fatalf("first request cannot be a hit: %v", first)
+	}
+	if first["iterations"].(float64) <= 0 {
+		t.Fatalf("first request did not search: %v", first)
+	}
+
+	second := runCacheJob()
+	if second["cache"] != "hit" || second["stopped"] != "cache-hit" {
+		t.Fatalf("second request not served from cache: %v", second)
+	}
+	if second["iterations"].(float64) != 0 {
+		t.Errorf("cache hit ran %v search iterations, want 0", second["iterations"])
+	}
+	if second["verified"] != true {
+		t.Errorf("cache hit not marked verified: %v", second)
+	}
+	if second["peak_mem_bytes"] != first["peak_mem_bytes"] {
+		t.Errorf("hit peak %v differs from the plan that was cached (%v)", second["peak_mem_bytes"], first["peak_mem_bytes"])
+	}
+
+	_, mets := get(t, ts, "/metrics")
+	if mets["cache_hits"].(float64) != 1 || mets["cache_misses"].(float64) != 1 {
+		t.Errorf("metrics hits=%v misses=%v, want 1/1", mets["cache_hits"], mets["cache_misses"])
+	}
+	hl := mets["cache_hit_latency_sec"].(map[string]any)
+	ml := mets["cache_miss_latency_sec"].(map[string]any)
+	if hl["count"].(float64) != 1 || ml["count"].(float64) != 1 {
+		t.Errorf("latency percentile counts hit=%v miss=%v, want 1/1", hl["count"], ml["count"])
+	}
+	if hl["p50"].(float64) >= ml["p50"].(float64) {
+		t.Errorf("hit p50 %v not faster than miss p50 %v", hl["p50"], ml["p50"])
+	}
+}
+
+// TestCacheStampede: concurrent identical requests never each run a full
+// search — every job settles done with the same plan, and each is either
+// the one leader, a shared waiter, or (if it arrived after completion) a
+// plain hit. Run with -race in CI.
+func TestCacheStampede(t *testing.T) {
+	const n = 3
+	s := New(cacheServerConfig(t, n))
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer drainServer(t, s)
+
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body := post(t, ts, cacheReq)
+			if code != http.StatusAccepted {
+				t.Errorf("submit %d: %d %v", i, code, body)
+				return
+			}
+			ids[i] = body["id"].(string)
+		}(i)
+	}
+	wg.Wait()
+
+	peaks := make(map[float64]bool)
+	var searched float64
+	for _, id := range ids {
+		if id == "" {
+			t.Fatal("a submission failed")
+		}
+		waitFor(t, "job "+id, func() bool {
+			_, v := get(t, ts, "/jobs/"+id)
+			if v["state"] == stateFailed || v["state"] == stateCancelled {
+				t.Fatalf("job %s settled badly: %v", id, v)
+			}
+			return v["state"] == stateDone
+		})
+		_, v := get(t, ts, "/jobs/"+id)
+		res := v["result"].(map[string]any)
+		peaks[res["peak_mem_bytes"].(float64)] = true
+		switch res["cache"] {
+		case "hit", "shared":
+		default:
+			searched++
+		}
+	}
+	if len(peaks) != 1 {
+		t.Errorf("stampede produced %d distinct plans, want 1: %v", len(peaks), peaks)
+	}
+	if searched < 1 {
+		t.Error("no job actually searched")
+	}
+	_, mets := get(t, ts, "/metrics")
+	hits := mets["cache_hits"].(float64)
+	shared := mets["flight_shared"].(float64)
+	if hits+shared+searched < n {
+		t.Errorf("outcomes do not cover the stampede: hits=%v shared=%v searched=%v", hits, shared, searched)
+	}
+}
+
+// TestCacheWarmStartAcrossBudgets: a request for the same model under a
+// different search budget misses the exact key but warm-starts from the
+// near-miss entry.
+func TestCacheWarmStartAcrossBudgets(t *testing.T) {
+	s := New(cacheServerConfig(t, 1))
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer drainServer(t, s)
+
+	run := func(req string) map[string]any {
+		code, body := post(t, ts, req)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: %d %v", code, body)
+		}
+		id := body["id"].(string)
+		waitFor(t, "job "+id, func() bool {
+			_, v := get(t, ts, "/jobs/"+id)
+			if v["state"] == stateFailed || v["state"] == stateCancelled {
+				t.Fatalf("job settled badly: %v", v)
+			}
+			return v["state"] == stateDone
+		})
+		_, v := get(t, ts, "/jobs/"+id)
+		return v["result"].(map[string]any)
+	}
+
+	run(cacheReq)
+	other := run(`{"model":"mlp","scale":0.01,"budget":"30s","iterations":6,"workers":1}`)
+	if other["cache"] != "warm" {
+		t.Fatalf("different-budget request = %v, want a warm start", other)
+	}
+	_, mets := get(t, ts, "/metrics")
+	if mets["cache_warm_starts"].(float64) != 1 {
+		t.Errorf("cache_warm_starts = %v, want 1", mets["cache_warm_starts"])
+	}
+}
+
+// TestRecoveryQuarantinesCorruptCheckpoint: restart recovery moves a
+// truncated checkpoint to CheckpointDir/quarantine — logged and counted,
+// never deleted, never re-admitted — and still serves.
+func TestRecoveryQuarantinesCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "job-7.ckpt"), []byte(`{"magic":"magis-ckpt","version":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Model: testModel(), CheckpointDir: dir, StallWindow: -1, Logf: t.Logf})
+	if n := s.Start(); n != 0 {
+		t.Fatalf("recovered %d jobs from garbage, want 0", n)
+	}
+	defer drainServer(t, s)
+
+	if _, err := os.Stat(filepath.Join(dir, "job-7.ckpt")); !os.IsNotExist(err) {
+		t.Error("corrupt checkpoint left in the serving directory")
+	}
+	qents, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(qents) != 1 || qents[0].Name() != "job-7.ckpt" {
+		t.Fatalf("quarantine dir: %v, %v — want the one corrupt checkpoint", qents, err)
+	}
+	_, mets := get0(t, s, "/metrics")
+	if mets["ckpt_quarantined"].(float64) != 1 {
+		t.Errorf("ckpt_quarantined = %v, want 1", mets["ckpt_quarantined"])
+	}
+	// A second restart on the same directory stays clean: nothing left to
+	// quarantine, nothing resurrected.
+	s2 := New(Config{Model: testModel(), CheckpointDir: dir, StallWindow: -1, Logf: t.Logf})
+	if n := s2.Start(); n != 0 {
+		t.Fatalf("second restart recovered %d jobs, want 0", n)
+	}
+	drainServer(t, s2)
+	_, mets2 := get0(t, s2, "/metrics")
+	if mets2["ckpt_quarantined"].(float64) != 0 {
+		t.Errorf("second restart re-quarantined: %v", mets2["ckpt_quarantined"])
+	}
+}
+
+// TestResumeDeterminismWithCache re-runs the kill-resume acceptance path
+// with the plan cache enabled: a drained job's resume bypasses the cache
+// and still completes exactly its 25 iterations.
+func TestResumeDeterminismWithCache(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := t.TempDir()
+	mkCfg := func() Config {
+		c, err := plancache.Open(plancache.Config{Dir: cacheDir, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{
+			Model:            testModel(),
+			QueueDepth:       4,
+			Workers:          1,
+			DefaultBudget:    30 * time.Second,
+			CheckpointDir:    dir,
+			CheckpointEveryN: 1,
+			StallWindow:      -1,
+			Cache:            c,
+			Logf:             t.Logf,
+		}
+	}
+	s := New(mkCfg())
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+
+	code, body := post(t, ts, `{"model":"mlp","scale":0.05,"budget":"30s","iterations":25,"workers":1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, body)
+	}
+	id := body["id"].(string)
+	waitFor(t, "search progress", func() bool {
+		_, v := get(t, ts, "/jobs/"+id)
+		return v["expansions"].(float64) >= 3
+	})
+	drainServer(t, s)
+	ts.Close()
+
+	s2 := New(mkCfg())
+	if n := s2.Start(); n != 1 {
+		t.Fatalf("recovered %d jobs, want 1", n)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	waitFor(t, "resumed job to finish", func() bool {
+		_, v := get(t, ts2, "/jobs/"+id)
+		if v["state"] == stateFailed || v["state"] == stateCancelled {
+			t.Fatalf("resumed job settled badly: %v", v)
+		}
+		return v["state"] == stateDone
+	})
+	_, v := get(t, ts2, "/jobs/"+id)
+	res := v["result"].(map[string]any)
+	if res["iterations"].(float64) != 25 {
+		t.Errorf("resumed job ran %v iterations total, want 25", res["iterations"])
+	}
+	if c, _ := res["cache"].(string); c != "" {
+		t.Errorf("resumed job touched the cache: %v", res)
+	}
+	drainServer(t, s2)
+}
