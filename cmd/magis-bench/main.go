@@ -52,6 +52,7 @@ import (
 	"magis/internal/cost"
 	"magis/internal/expr"
 	"magis/internal/faults"
+	"magis/internal/graph"
 	"magis/internal/memplan"
 	"magis/internal/models"
 	"magis/internal/opt"
@@ -69,7 +70,11 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
 		memprofile = flag.String("memprofile", "", "write an allocation profile taken at exit to this path")
 
+		strictHash = flag.Bool("strict-hash", false, "disable incremental WL hashing in every search (escape hatch; the two paths are bit-identical)")
+
 		verifySeed = flag.Uint64("verify-seed", 1, "seed for the verify target's numeric inputs")
+		oracleSeqs = flag.Int("oracle-seqs", 100, "randomized rewrite sequences the oracle target compares")
+		oracleSeed = flag.Int64("oracle-seed", 42, "seed for the oracle target's rewrite sequences")
 		mutate     = flag.Bool("mutate", false, "verify target: corrupt one memory-plan offset per workload first; the arena checker must then trap it and the run exits non-zero")
 
 		auditFlag = flag.Bool("audit", false, "run the execution-feasibility audit target after the others")
@@ -88,7 +93,7 @@ func main() {
 	known := map[string]bool{
 		"table2": true, "fig9": true, "fig10": true, "fig11": true,
 		"fig12": true, "fig13": true, "fig14": true, "fig15": true, "fig16": true,
-		"audit": true, "verify": true, "cache": true,
+		"audit": true, "verify": true, "cache": true, "oracle": true,
 	}
 	targets := flag.Args()
 	if len(targets) == 0 && !*auditFlag {
@@ -102,7 +107,7 @@ func main() {
 	}
 	for _, t := range targets {
 		if !known[t] {
-			fmt.Fprintf(os.Stderr, "unknown target %q (want table2, fig9..fig16, audit, verify, cache, or all)\n", t)
+			fmt.Fprintf(os.Stderr, "unknown target %q (want table2, fig9..fig16, audit, verify, cache, oracle, or all)\n", t)
 			os.Exit(2)
 		}
 	}
@@ -150,7 +155,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cfg := expr.Config{Scale: *scale, Budget: *budget, Ctx: ctx, Workers: *workers}
+	cfg := expr.Config{Scale: *scale, Budget: *budget, Ctx: ctx, Workers: *workers, StrictHash: *strictHash}
 
 	verifyFailed := false
 	for _, t := range targets {
@@ -186,6 +191,10 @@ func main() {
 			}
 		case "cache":
 			runCacheBench(ctx, cfg)
+		case "oracle":
+			if !runOracle(*oracleSeqs, *oracleSeed) {
+				verifyFailed = true
+			}
 		}
 		if ctx.Err() != nil {
 			fmt.Printf("(%s interrupted after %v; rows reflect best-so-far states)\n\n",
@@ -197,6 +206,25 @@ func main() {
 	if verifyFailed {
 		os.Exit(1)
 	}
+}
+
+// runOracle runs the differential evaluation oracle: incremental and
+// from-scratch evaluation side by side on randomized rewrite sequences,
+// asserting identical hashes, valid schedules, and consistent peaks (see
+// opt.RunOracle). A non-empty mismatch list makes the process exit 1.
+func runOracle(sequences int, seed int64) bool {
+	rep := opt.RunOracle(opt.OracleConfig{
+		Model: cost.NewModel(cost.RTX3090()),
+		Graphs: []*graph.Graph{
+			models.MLP(512, 64, 128, 10, 3).G,
+			models.UNet(4, 64).G,
+			models.TransformerLM("oracle-lm", 1, 8, 32, 2, 2, 128, tensor.TF32, false).G,
+		},
+		Sequences: sequences,
+		Seed:      seed,
+	})
+	fmt.Print(rep)
+	return rep.OK()
 }
 
 // verifySuite is the numeric-verification face of the seven evaluation

@@ -67,6 +67,7 @@ func main() {
 		level   = flag.Int("L", 4, "F-Tree max level")
 		workers = flag.Int("workers", 0, "parallel candidate evaluations (0 = GOMAXPROCS, 1 = sequential)")
 		iters   = flag.Int("iters", 0, "cap search expansions (0 = budget-bound only; fixed work => deterministic result)")
+		strict  = flag.Bool("strict-hash", false, "disable incremental WL hashing (escape hatch; the two paths are bit-identical)")
 		emit    = flag.String("emit", "", "write a PyTorch script for the optimized graph to this path")
 
 		ckpt   = flag.String("checkpoint", "", "periodically snapshot the search to this path (crash-safe; see -resume)")
@@ -139,7 +140,7 @@ func main() {
 		fmt.Printf("workload: %s\n", w)
 		fmt.Printf("baseline: %s\n", base.Summary())
 
-		o = opt.Options{TimeBudget: *budget, MaxLevel: *level, Workers: *workers, MaxIterations: *iters}
+		o = opt.Options{TimeBudget: *budget, MaxLevel: *level, Workers: *workers, MaxIterations: *iters, StrictHash: *strict}
 		switch *mode {
 		case "mem":
 			o.Mode = opt.MemoryUnderLatency

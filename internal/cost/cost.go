@@ -10,6 +10,7 @@ package cost
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"magis/internal/graph"
 	"magis/internal/ops"
@@ -53,44 +54,39 @@ func RTX3090() *Device {
 
 // Model computes operator latencies against one Device, memoizing results
 // in a performance cache keyed by operator signature — mirroring the
-// paper's simulator with operator performance cache.
+// paper's simulator with operator performance cache. The cache is a
+// sync.Map read concurrently by every search worker; the previous
+// mutex-guarded map serialized the workers (every candidate evaluation
+// prices hundreds of operators) and was a measured cause of the pool's
+// flat scaling.
 type Model struct {
 	Dev *Device
 
-	mu    sync.Mutex
-	cache map[string]float64
-	hits  int64
-	miss  int64
+	cache sync.Map // Spec.SigKey() -> float64 seconds
+	hits  atomic.Int64
+	miss  atomic.Int64
 }
 
 // NewModel returns a Model for dev.
 func NewModel(dev *Device) *Model {
-	return &Model{Dev: dev, cache: make(map[string]float64)}
+	return &Model{Dev: dev}
 }
 
 // OpLatency returns the latency of one execution of s, in seconds.
 // Leaf nodes (Input/Param) cost nothing; transfers are sized by HostBW;
 // compute ops follow a roofline with occupancy-dependent utilization.
 func (m *Model) OpLatency(s *ops.Spec) float64 {
-	kind := s.Kind()
-	if ops.IsLeaf(kind) {
+	if ops.IsLeaf(s.Kind()) {
 		return 0
 	}
-	key := kind + "|" + s.AttrKey() + "|" + s.OutShape().String() + "|" + s.DType().String()
-	m.mu.Lock()
-	if v, ok := m.cache[key]; ok {
-		m.hits++
-		m.mu.Unlock()
-		return v
+	key := s.SigKey()
+	if v, ok := m.cache.Load(key); ok {
+		m.hits.Add(1)
+		return v.(float64)
 	}
-	m.miss++
-	m.mu.Unlock()
-
+	m.miss.Add(1)
 	v := m.rawLatency(s)
-
-	m.mu.Lock()
-	m.cache[key] = v
-	m.mu.Unlock()
+	m.cache.Store(key, v)
 	return v
 }
 
@@ -131,9 +127,7 @@ func (m *Model) TransferLatency(n int64) float64 {
 
 // CacheStats returns (hits, misses) of the performance cache.
 func (m *Model) CacheStats() (hits, misses int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.hits, m.miss
+	return m.hits.Load(), m.miss.Load()
 }
 
 // NodeLatency returns the latency of a graph node's operator. Nodes whose

@@ -34,6 +34,10 @@ type Config struct {
 	// (opt.Options.Workers; 0 = GOMAXPROCS). It changes only how fast the
 	// budget is spent, not which states a given amount of search reaches.
 	Workers int
+	// StrictHash disables incremental WL hashing in every search
+	// (opt.Options.StrictHash): the escape hatch for ruling the
+	// incremental path out while debugging a suspect run.
+	StrictHash bool
 }
 
 func (c Config) defaults() Config {
@@ -70,6 +74,7 @@ func magisMinMem(cfg Config, w *models.Workload, latLimit float64) (*opt.Result,
 		LatencyLimit: latLimit,
 		TimeBudget:   cfg.Budget,
 		Workers:      cfg.Workers,
+		StrictHash:   cfg.StrictHash,
 	})
 }
 
@@ -80,6 +85,7 @@ func magisMinLat(cfg Config, w *models.Workload, memLimit int64) (*opt.Result, e
 		MemLimit:   memLimit,
 		TimeBudget: cfg.Budget,
 		Workers:    cfg.Workers,
+		StrictHash: cfg.StrictHash,
 	})
 }
 

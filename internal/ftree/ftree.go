@@ -61,6 +61,20 @@ func (n *Node) HasEnabledDescendant() bool {
 // graph-level dimension.
 type Tree struct {
 	Roots []*Node
+
+	// domCache retains, per dominator-analysis component (keyed by its
+	// main entry node), the derived dominator graph and tree the build
+	// computed. BuildFrom seeds the next build's dominator computation
+	// from it (graph.DominatorsFrom), re-solving only nodes a rewrite
+	// touched. Immutable after Build and shared across Clone.
+	domCache map[graph.NodeID]domEntry
+}
+
+// domEntry is one cached dominator computation: the pruned component
+// subgraph it ran on and the resulting tree.
+type domEntry struct {
+	g  *graph.Graph
+	dt *graph.DomTree
 }
 
 // Clone deep-copies the tree structure (sharing the immutable Trans).
@@ -68,7 +82,7 @@ func (t *Tree) Clone() *Tree {
 	if t == nil {
 		return nil
 	}
-	c := &Tree{}
+	c := &Tree{domCache: t.domCache}
 	var cp func(n *Node, parent *Node) *Node
 	cp = func(n *Node, parent *Node) *Node {
 		m := &Node{T: n.T, N: n.N, Score: n.Score, Level: n.Level, Parent: parent}
@@ -150,9 +164,19 @@ func (o Options) maxLevel() int {
 // Build constructs the F-Tree for g (Algorithm 1). hot is the memory
 // hot-spot set H from the current schedule's memory profile.
 func Build(g *graph.Graph, hot graph.Set, opt Options) *Tree {
+	return BuildFrom(g, hot, opt, nil)
+}
+
+// BuildFrom is Build warm-started from a previous state's tree: each
+// component's dominator computation reuses prev's cached result for the
+// matching component (same main entry node), re-solving only the nodes
+// the intervening rewrite dirtied. The result is identical to a cold
+// Build — DominatorsFrom is exact — only cheaper.
+func BuildFrom(g *graph.Graph, hot graph.Set, opt Options, prev *Tree) *Tree {
 	L := opt.maxLevel()
 	d := dgraph.Build(g)
 	var cands []*Node
+	domCache := make(map[graph.NodeID]domEntry)
 	for _, comp := range d.Components() {
 		compNodes := graph.NewSet(comp.GraphNodes()...)
 		sub := g.Subgraph(compNodes)
@@ -165,7 +189,10 @@ func Build(g *graph.Graph, hot graph.Set, opt Options) *Tree {
 		// with their edges removed; the nodes themselves remain available
 		// as sliced inputs of candidates.
 		domGraph := sub
-		if entries := sub.Inputs(); len(entries) > 1 {
+		key := graph.Invalid
+		if entries := sub.Inputs(); len(entries) == 1 {
+			key = entries[0]
+		} else if len(entries) > 1 {
 			main := entries[0]
 			best := -1
 			for _, e := range entries {
@@ -181,8 +208,20 @@ func Build(g *graph.Graph, hot graph.Set, opt Options) *Tree {
 				}
 			}
 			domGraph = g.Subgraph(pruned)
+			key = main
 		}
-		dt := graph.Dominators(domGraph)
+		var dt *graph.DomTree
+		if prev != nil && key != graph.Invalid {
+			if ent, ok := prev.domCache[key]; ok {
+				dt = graph.DominatorsFrom(ent.dt, ent.g, domGraph)
+			}
+		}
+		if dt == nil {
+			dt = graph.Dominators(domGraph)
+		}
+		if key != graph.Invalid {
+			domCache[key] = domEntry{g: domGraph, dt: dt}
+		}
 		scores := heatScores(g, domGraph, dt, hot, opt.NaiveFission)
 		smax := 0.0
 		for _, s := range scores {
@@ -243,7 +282,7 @@ func Build(g *graph.Graph, hot graph.Set, opt Options) *Tree {
 	// under the smallest candidate strictly containing it; candidates that
 	// partially overlap an already-kept candidate are dropped (enabling
 	// two interleaved regions would make collapsed evaluation cyclic).
-	t := &Tree{}
+	t := &Tree{domCache: domCache}
 	var kept []*Node
 	for _, c := range cands {
 		laminar := true

@@ -15,35 +15,127 @@ type DomTree struct {
 	order    []NodeID // reverse postorder, for deterministic iteration
 }
 
+// Internal index sentinels for the iterative solver.
+const (
+	domVirtual   int32 = -2 // the virtual root
+	domUndefined int32 = -3
+)
+
 // Dominators computes the dominator tree of g using the iterative
 // Cooper-Harvey-Kennedy algorithm over reverse postorder.
 func Dominators(g *Graph) *DomTree {
 	topo := g.Topo() // a reverse postorder of the DAG from the virtual root
-	idx := make(map[NodeID]int, len(topo))
+	idx := make([]int32, len(g.nodes))
 	for i, v := range topo {
-		idx[v] = i
+		idx[v] = int32(i)
 	}
-	const virtual = -2 // internal index sentinel for the virtual root
-	idom := make([]int, len(topo))
+	idom := make([]int32, len(topo))
 	for i := range idom {
-		idom[i] = -3 // undefined
+		idom[i] = domUndefined
 	}
-	intersect := func(a, b int) int {
+	g.solveIdom(topo, idx, idom, nil)
+	return buildDomTree(topo, idom)
+}
+
+// DominatorsFrom computes the dominator tree of g by delta from prev, the
+// tree of prevG. A node whose entire ancestor cone is unchanged — it
+// exists in prevG with element-wise equal Ins and every producer is itself
+// clean — keeps its previous immediate dominator exactly: dominance of v
+// depends only on the paths from the entries to v, and an unchanged cone
+// means unchanged paths. Only dirty nodes re-enter the fix-point
+// iteration, with the clean idoms as exact boundary values. Falls back to
+// a full computation when prev is nil or more than half the nodes are
+// dirty (the warm start would not pay for its bookkeeping).
+func DominatorsFrom(prev *DomTree, prevG, g *Graph) *DomTree {
+	if prev == nil || prevG == nil {
+		return Dominators(g)
+	}
+	topo := g.Topo()
+	n := len(topo)
+	idx := make([]int32, len(g.nodes))
+	for i, v := range topo {
+		idx[v] = int32(i)
+	}
+	clean := make([]bool, len(g.nodes))
+	dirty := make([]bool, n)
+	dirtyCnt := 0
+	for i, v := range topo {
+		node := g.nodes[v]
+		ok := prevG.Has(v) && idsEqual(prevG.nodes[v].Ins, node.Ins)
+		if ok {
+			for _, in := range node.Ins {
+				if !clean[in] {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			clean[v] = true
+		} else {
+			dirty[i] = true
+			dirtyCnt++
+		}
+	}
+	if 2*dirtyCnt > n {
+		idom := make([]int32, n)
+		for i := range idom {
+			idom[i] = domUndefined
+		}
+		g.solveIdom(topo, idx, idom, nil)
+		return buildDomTree(topo, idom)
+	}
+	idom := make([]int32, n)
+	for i, v := range topo {
+		if dirty[i] {
+			idom[i] = domUndefined
+			continue
+		}
+		p, ok := prev.Parent[v]
+		switch {
+		case !ok:
+			// Defensive: clean implies membership in prev's topo, but a
+			// malformed prev must degrade to recomputation, not corruption.
+			dirty[i] = true
+			idom[i] = domUndefined
+		case p == Invalid:
+			idom[i] = domVirtual
+		case !g.Has(p) || idx[p] >= int32(i):
+			dirty[i] = true
+			idom[i] = domUndefined
+		default:
+			idom[i] = idx[p]
+		}
+	}
+	g.solveIdom(topo, idx, idom, dirty)
+	return buildDomTree(topo, idom)
+}
+
+// solveIdom runs the CHK convergence loop in place. topo is a reverse
+// postorder, idx maps NodeID to its topo position, and idom holds the
+// seeded solution (domUndefined where unknown). When dirty is non-nil only
+// those positions are re-examined — their seeds must be domUndefined and
+// every other position must already hold its exact final value; the
+// monotone iteration then converges to the same fixed point as a full
+// solve. Predecessors come straight from Ins (duplicates are harmless: the
+// intersection meet is idempotent), keeping the inner loop allocation-free.
+func (g *Graph) solveIdom(topo []NodeID, idx, idom []int32, dirty []bool) {
+	intersect := func(a, b int32) int32 {
 		for a != b {
 			for a > b {
-				if idom[a] == virtual {
-					return virtual
+				if idom[a] == domVirtual {
+					return domVirtual
 				}
 				a = idom[a]
 			}
 			for b > a {
-				if idom[b] == virtual {
-					return virtual
+				if idom[b] == domVirtual {
+					return domVirtual
 				}
 				b = idom[b]
 			}
-			if a == virtual || b == virtual {
-				return virtual
+			if a == domVirtual || b == domVirtual {
+				return domVirtual
 			}
 		}
 		return a
@@ -52,24 +144,27 @@ func Dominators(g *Graph) *DomTree {
 	for changed {
 		changed = false
 		for i, v := range topo {
-			preds := g.Pre(v)
-			newIdom := -3
-			if len(preds) == 0 {
-				newIdom = virtual
+			if dirty != nil && !dirty[i] {
+				continue
+			}
+			ins := g.nodes[v].Ins
+			newIdom := domUndefined
+			if len(ins) == 0 {
+				newIdom = domVirtual
 			} else {
-				for _, p := range preds {
+				for _, p := range ins {
 					pi := idx[p]
-					if idom[pi] == -3 {
+					if idom[pi] == domUndefined {
 						continue
 					}
-					if newIdom == -3 {
+					if newIdom == domUndefined {
 						newIdom = pi
 					} else {
 						newIdom = intersect(newIdom, pi)
 					}
 				}
-				if newIdom == -3 {
-					newIdom = virtual
+				if newIdom == domUndefined {
+					newIdom = domVirtual
 				}
 			}
 			if idom[i] != newIdom {
@@ -78,13 +173,18 @@ func Dominators(g *Graph) *DomTree {
 			}
 		}
 	}
+}
+
+// buildDomTree materializes the solved idom array into the map-based
+// public structure.
+func buildDomTree(topo []NodeID, idom []int32) *DomTree {
 	t := &DomTree{
 		Parent:   make(map[NodeID]NodeID, len(topo)),
 		children: make(map[NodeID][]NodeID),
 		order:    topo,
 	}
 	for i, v := range topo {
-		if idom[i] == virtual {
+		if idom[i] == domVirtual {
 			t.Parent[v] = Invalid
 			t.children[Invalid] = append(t.children[Invalid], v)
 		} else {

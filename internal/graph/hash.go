@@ -28,11 +28,29 @@ func fnvUint64(h, x uint64) uint64 {
 }
 
 // HashScratch holds reusable WLHash work buffers. The search hashes every
-// candidate of every expansion; reusing the label map across calls keeps
-// the duplicate filter off the allocator. The zero value is ready to use
-// and a scratch must not be shared between goroutines.
+// candidate of every expansion; reusing the buffers across calls keeps the
+// duplicate filter off the allocator. The zero value is ready to use and a
+// scratch must not be shared between goroutines.
 type HashScratch struct {
-	labels map[NodeID]uint64
+	labels []uint64 // NodeID-indexed node labels
+	topo   TopoScratch
+}
+
+// wlNodeLabel computes x_v = hash(hash(v) ++ x_{u1} ++ x_{u2} ++ ...) given
+// the already-computed producer labels.
+func wlNodeLabel(n *Node, labels []uint64) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvString(h, n.Op.Kind())
+	h = fnvByte(h, 0)
+	for _, d := range n.Op.OutShape() {
+		h = fnvUint64(h, uint64(d))
+	}
+	h = fnvByte(h, byte(n.Op.DType()))
+	h = fnvString(h, n.Op.AttrKey())
+	for _, in := range n.Ins {
+		h = fnvUint64(h, labels[in])
+	}
+	return h
 }
 
 // WLHash computes a Weisfeiler-Lehman-style structural hash of the graph
@@ -51,35 +69,114 @@ func (g *Graph) WLHash() uint64 { return g.WLHashScratch(nil) }
 // WLHashScratch is WLHash with caller-owned work buffers; pass nil to
 // allocate fresh ones.
 func (g *Graph) WLHashScratch(sc *HashScratch) uint64 {
-	var labels map[NodeID]uint64
-	if sc != nil {
-		if sc.labels == nil {
-			sc.labels = make(map[NodeID]uint64, len(g.nodes))
-		} else {
-			clear(sc.labels)
-		}
-		labels = sc.labels
-	} else {
-		labels = make(map[NodeID]uint64, len(g.nodes))
+	if sc == nil {
+		sc = &HashScratch{}
 	}
-	for _, v := range g.Topo() {
-		n := g.nodes[v]
-		h := uint64(fnvOffset64)
-		h = fnvString(h, n.Op.Kind())
-		h = fnvByte(h, 0)
-		for _, d := range n.Op.OutShape() {
-			h = fnvUint64(h, uint64(d))
-		}
-		h = fnvByte(h, byte(n.Op.DType()))
-		h = fnvString(h, n.Op.AttrKey())
-		for _, in := range n.Ins {
-			h = fnvUint64(h, labels[in])
-		}
-		labels[v] = h
+	if cap(sc.labels) < len(g.nodes) {
+		sc.labels = make([]uint64, len(g.nodes))
+	}
+	labels := sc.labels[:len(g.nodes)]
+	order, err := g.TopoInto(&sc.topo)
+	if err != nil {
+		panic(err.Error())
 	}
 	var sum uint64
-	for _, x := range labels {
-		sum += x
+	for _, v := range order {
+		h := wlNodeLabel(g.nodes[v], labels)
+		labels[v] = h
+		sum += h
 	}
 	return fnvUint64(fnvOffset64, sum)
+}
+
+// WLLabels is an immutable snapshot of the per-node WL labels of one graph,
+// the substrate for incremental re-hashing: a child graph produced by a
+// localized rewrite reuses every label whose defining cone is untouched.
+// Safe for concurrent reads.
+type WLLabels struct {
+	g      *Graph   // the graph the labels describe
+	labels []uint64 // NodeID-indexed
+	hash   uint64
+}
+
+// Hash returns the graph hash the snapshot was taken at.
+func (w *WLLabels) Hash() uint64 { return w.hash }
+
+// WLSnapshot computes the graph hash and captures the per-node labels for
+// later incremental re-hashing of derived graphs.
+func (g *Graph) WLSnapshot(sc *HashScratch) *WLLabels {
+	if sc == nil {
+		sc = &HashScratch{}
+	}
+	labels := make([]uint64, len(g.nodes))
+	order, err := g.TopoInto(&sc.topo)
+	if err != nil {
+		panic(err.Error())
+	}
+	var sum uint64
+	for _, v := range order {
+		h := wlNodeLabel(g.nodes[v], labels)
+		labels[v] = h
+		sum += h
+	}
+	return &WLLabels{g: g, labels: labels, hash: fnvUint64(fnvOffset64, sum)}
+}
+
+// WLHashFrom computes g's WL hash by splicing into a parent snapshot: a
+// node's label is reused when the node exists in the parent graph with the
+// same operator payload and input list and every producer's label was
+// itself reused. The check is self-verifying — it inspects graph structure
+// directly rather than trusting a mutation hint — so the result is
+// bit-identical to WLHashScratch for any parent (a wrong parent only costs
+// speed). Node IDs must be lineage-stable between the two graphs, which
+// Clone guarantees. Pass a nil prev to fall back to the full hash.
+//
+// The second return is a snapshot of g's labels for further derivation;
+// computing it is free because the labels are materialized anyway.
+func (g *Graph) WLHashFrom(prev *WLLabels, sc *HashScratch) (uint64, *WLLabels) {
+	if prev == nil || prev.g == nil {
+		w := g.WLSnapshot(sc)
+		return w.hash, w
+	}
+	if sc == nil {
+		sc = &HashScratch{}
+	}
+	labels := make([]uint64, len(g.nodes))
+	order, err := g.TopoInto(&sc.topo)
+	if err != nil {
+		panic(err.Error())
+	}
+	// clean[v]: prev.labels[v] is g's label for v. Op payloads are shared
+	// pointers across clones and immutable by convention, so interface
+	// equality identifies "same operator" without hashing it.
+	if cap(sc.labels) < len(g.nodes) {
+		sc.labels = make([]uint64, len(g.nodes))
+	}
+	clean := make([]bool, len(g.nodes))
+	prevLabels, prevG := prev.labels, prev.g
+	var sum uint64
+	for _, v := range order {
+		n := g.nodes[v]
+		pn := prevG.Node(v)
+		ok := pn != nil && pn.Op == n.Op && idsEqual(pn.Ins, n.Ins)
+		if ok {
+			for _, in := range n.Ins {
+				if !clean[in] {
+					ok = false
+					break
+				}
+			}
+		}
+		var h uint64
+		if ok {
+			clean[v] = true
+			h = prevLabels[v]
+		} else {
+			h = wlNodeLabel(n, labels)
+		}
+		labels[v] = h
+		sum += h
+	}
+	h := fnvUint64(fnvOffset64, sum)
+	return h, &WLLabels{g: g, labels: labels, hash: h}
 }

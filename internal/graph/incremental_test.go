@@ -1,0 +1,210 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"magis/internal/tensor"
+)
+
+// The incremental-maintenance oracle: every delta-maintained structure —
+// WL label splicing (WLHashFrom), reachability rebasing (Rebase), and
+// dominator warm-starting (DominatorsFrom) — must agree exactly with its
+// from-scratch counterpart after arbitrary mutation sequences. The
+// mutations below deliberately include ones no search rewrite produces
+// (leaf removal, input rewiring across the whole graph) because the
+// incremental paths claim self-verification: a wrong or stale "previous"
+// structure may only cost speed, never correctness.
+
+// orOp wraps testOp behind a pointer: WLHashFrom identifies "same
+// operator" by interface equality, relying on the production invariant
+// that Op payloads are shared pointers (*ops.Spec) across clones.
+func orOp(kind string, dims ...int) Op {
+	o := testOp{kind, tensor.S(dims...)}
+	return &o
+}
+
+// oracleDAG builds a random layered DAG using pointer-shaped payloads.
+func oracleDAG(r *rand.Rand, n int) *Graph {
+	g := New()
+	var ids []NodeID
+	for i := 0; i < n; i++ {
+		if len(ids) == 0 || r.Intn(5) == 0 {
+			ids = append(ids, g.Add(orOp("In", 1+r.Intn(8))))
+			continue
+		}
+		k := 1 + r.Intn(2)
+		ins := make([]NodeID, 0, k)
+		for j := 0; j < k; j++ {
+			ins = append(ins, ids[r.Intn(len(ids))])
+		}
+		ids = append(ids, g.Add(orOp(fmt.Sprintf("Op%d", r.Intn(4)), 1+r.Intn(8)), ins...))
+	}
+	return g
+}
+
+// mutate applies one random structural edit to g, preserving acyclicity
+// and lineage-stable IDs (survivors keep their NodeID, as Clone
+// guarantees in the search). Returns false when the chosen edit was not
+// applicable this round.
+func mutate(r *rand.Rand, g *Graph) bool {
+	order := g.Topo()
+	if len(order) == 0 {
+		return false
+	}
+	switch r.Intn(4) {
+	case 0: // duplicate a node and rewire one consumer (remat-style)
+		v := order[r.Intn(len(order))]
+		n := g.Node(v)
+		suc := g.Suc(v)
+		if len(suc) == 0 {
+			return false
+		}
+		dup := g.Add(n.Op, n.Ins...)
+		g.ReplaceInput(suc[r.Intn(len(suc))], v, dup)
+		return true
+	case 1: // rewire an input to a topologically earlier node (no cycle)
+		i := 1 + r.Intn(len(order)-1)
+		v := order[i]
+		n := g.Node(v)
+		if len(n.Ins) == 0 {
+			return false
+		}
+		slot := r.Intn(len(n.Ins))
+		g.ReplaceInputAt(v, slot, order[r.Intn(i)])
+		return true
+	case 2: // remove a sink node
+		for _, i := range r.Perm(len(order)) {
+			v := order[i]
+			if len(g.Suc(v)) == 0 && g.n > 1 {
+				if err := g.Remove(v); err == nil {
+					return true
+				}
+			}
+		}
+		return false
+	default: // add a fresh consumer of random existing nodes
+		k := 1 + r.Intn(2)
+		ins := make([]NodeID, 0, k)
+		for j := 0; j < k; j++ {
+			ins = append(ins, order[r.Intn(len(order))])
+		}
+		g.Add(orOp("New", 1+r.Intn(8)), ins...)
+		return true
+	}
+}
+
+// checkReachEqual compares a rebased index against a fresh one over every
+// node and every ordered pair.
+func checkReachEqual(t *testing.T, tag string, g *Graph, got, want *ReachIndex) {
+	t.Helper()
+	nodes := g.Topo()
+	for _, v := range nodes {
+		if got.NW(v) != want.NW(v) || got.NumAnc(v) != want.NumAnc(v) || got.NumDes(v) != want.NumDes(v) {
+			t.Fatalf("%s: node %d: rebased (nw=%d anc=%d des=%d) != fresh (nw=%d anc=%d des=%d)",
+				tag, v, got.NW(v), got.NumAnc(v), got.NumDes(v),
+				want.NW(v), want.NumAnc(v), want.NumDes(v))
+		}
+	}
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if got.IsDes(a, b) != want.IsDes(a, b) {
+				t.Fatalf("%s: IsDes(%d,%d): rebased %v != fresh %v", tag, a, b, got.IsDes(a, b), want.IsDes(a, b))
+			}
+			if got.IsAnc(a, b) != want.IsAnc(a, b) {
+				t.Fatalf("%s: IsAnc(%d,%d): rebased %v != fresh %v", tag, a, b, got.IsAnc(a, b), want.IsAnc(a, b))
+			}
+		}
+	}
+}
+
+// checkDomEqual compares two dominator trees by their Parent maps.
+func checkDomEqual(t *testing.T, tag string, got, want *DomTree) {
+	t.Helper()
+	if len(got.Parent) != len(want.Parent) {
+		t.Fatalf("%s: dominator tree size %d != %d", tag, len(got.Parent), len(want.Parent))
+	}
+	for v, p := range want.Parent {
+		if gp, ok := got.Parent[v]; !ok || gp != p {
+			t.Fatalf("%s: idom(%d): incremental %d (present=%v) != full %d", tag, v, gp, ok, p)
+		}
+	}
+}
+
+// TestIncrementalOracle drives randomized mutation sequences and asserts,
+// at every step, that the three incremental paths match their full
+// recomputations bit-for-bit.
+func TestIncrementalOracle(t *testing.T) {
+	seqs := 60
+	if testing.Short() {
+		seqs = 15
+	}
+	for seq := 0; seq < seqs; seq++ {
+		r := rand.New(rand.NewSource(int64(1000 + seq)))
+		g := oracleDAG(r, 8+r.Intn(30))
+		prevWL := g.WLSnapshot(nil)
+		var staleWL *WLLabels // a grandparent snapshot, deliberately stale
+		prevIdx := NewReachIndex(g)
+		prevDom := Dominators(g)
+		for step := 0; step < 6; step++ {
+			child := g.Clone()
+			if !mutate(r, child) {
+				continue
+			}
+			tag := fmt.Sprintf("seq %d step %d", seq, step)
+
+			// WL hash: splice from the parent snapshot == full hash.
+			want := child.WLHashScratch(nil)
+			got, snap := child.WLHashFrom(prevWL, nil)
+			if got != want {
+				t.Fatalf("%s: incremental WL hash %x != full %x", tag, got, want)
+			}
+			if snap.Hash() != want {
+				t.Fatalf("%s: snapshot hash %x != full %x", tag, snap.Hash(), want)
+			}
+			// Self-verification: a stale (grandparent) snapshot must still
+			// produce the same hash, only reusing fewer labels.
+			if staleWL != nil {
+				if h, _ := child.WLHashFrom(staleWL, nil); h != want {
+					t.Fatalf("%s: WL hash from stale snapshot %x != full %x", tag, h, want)
+				}
+			}
+
+			// Reachability: rebased index == fresh index (nil = declined
+			// fallback, correct by construction).
+			fresh := NewReachIndex(child)
+			if reb := Rebase(prevIdx, g, child); reb != nil {
+				checkReachEqual(t, tag, child, reb, fresh)
+				prevIdx = reb // chain: next step rebases the rebased index
+			} else {
+				prevIdx = fresh
+			}
+
+			// Dominators: warm-started tree == full tree.
+			fullDom := Dominators(child)
+			checkDomEqual(t, tag, DominatorsFrom(prevDom, g, child), fullDom)
+
+			staleWL = prevWL
+			prevWL = snap
+			prevDom = fullDom
+			g = child
+		}
+	}
+}
+
+// TestWLHashFromForeignParent hands WLHashFrom a snapshot of an unrelated
+// graph: node IDs collide with entirely different structure, the worst
+// case for the clean check. The hash must still equal the full one.
+func TestWLHashFromForeignParent(t *testing.T) {
+	for seq := 0; seq < 20; seq++ {
+		r := rand.New(rand.NewSource(int64(7000 + seq)))
+		a := oracleDAG(r, 5+r.Intn(20))
+		b := oracleDAG(r, 5+r.Intn(20))
+		foreign := a.WLSnapshot(nil)
+		want := b.WLHashScratch(nil)
+		if got, _ := b.WLHashFrom(foreign, nil); got != want {
+			t.Fatalf("seq %d: WL hash from foreign snapshot %x != full %x", seq, got, want)
+		}
+	}
+}

@@ -1,7 +1,5 @@
 package graph
 
-import "sort"
-
 // Set is a node set with the boundary/closure operations from Table 1 of
 // the paper.
 type Set map[NodeID]bool
@@ -21,7 +19,7 @@ func (s Set) Slice() []NodeID {
 	for id := range s {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortIDs(out)
 	return out
 }
 
@@ -37,7 +35,11 @@ func (s Set) Clone() Set {
 // Anc returns all (strict) ancestors of v: G.anc(v).
 func (g *Graph) Anc(v NodeID) Set {
 	out := make(Set)
-	stack := g.Pre(v)
+	n := g.Node(v)
+	if n == nil {
+		return out
+	}
+	stack := append([]NodeID(nil), n.Ins...)
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -45,7 +47,7 @@ func (g *Graph) Anc(v NodeID) Set {
 			continue
 		}
 		out[u] = true
-		stack = append(stack, g.Pre(u)...)
+		stack = append(stack, g.nodes[u].Ins...)
 	}
 	return out
 }
@@ -53,7 +55,7 @@ func (g *Graph) Anc(v NodeID) Set {
 // Des returns all (strict) descendants of v: G.des(v).
 func (g *Graph) Des(v NodeID) Set {
 	out := make(Set)
-	stack := g.Suc(v)
+	stack := append([]NodeID(nil), g.sucList(v)...)
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -61,7 +63,7 @@ func (g *Graph) Des(v NodeID) Set {
 			continue
 		}
 		out[u] = true
-		stack = append(stack, g.Suc(u)...)
+		stack = append(stack, g.sucList(u)...)
 	}
 	return out
 }
@@ -70,7 +72,7 @@ func (g *Graph) Des(v NodeID) Set {
 func (g *Graph) Inps(s Set) Set {
 	out := make(Set)
 	for v := range s {
-		for _, p := range g.Pre(v) {
+		for _, p := range g.nodes[v].Ins {
 			if !s[p] {
 				out[p] = true
 			}
@@ -84,7 +86,7 @@ func (g *Graph) Inps(s Set) Set {
 func (g *Graph) Outs(s Set) Set {
 	out := make(Set)
 	for v := range s {
-		sucs := g.Suc(v)
+		sucs := g.sucList(v)
 		if len(sucs) == 0 {
 			out[v] = true
 			continue
@@ -115,7 +117,7 @@ func (g *Graph) IsConvex(s Set) bool {
 	seen := make(Set)
 	var stack []NodeID
 	for o := range outs {
-		for _, c := range g.Suc(o) {
+		for _, c := range g.sucList(o) {
 			if !s[c] {
 				stack = append(stack, c)
 			}
@@ -131,7 +133,7 @@ func (g *Graph) IsConvex(s Set) bool {
 		if s[u] {
 			return false // path left S and re-entered
 		}
-		stack = append(stack, g.Suc(u)...)
+		stack = append(stack, g.sucList(u)...)
 	}
 	// Also no external descendant may be an input of S (it would create a
 	// dependency cycle once S collapses to one step).
@@ -155,14 +157,20 @@ func (g *Graph) IsWeaklyConnected(s Set) bool {
 	}
 	seen := Set{start: true}
 	stack := []NodeID{start}
+	visit := func(w NodeID) {
+		if s[w] && !seen[w] {
+			seen[w] = true
+			stack = append(stack, w)
+		}
+	}
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, w := range append(g.Pre(u), g.Suc(u)...) {
-			if s[w] && !seen[w] {
-				seen[w] = true
-				stack = append(stack, w)
-			}
+		for _, w := range g.nodes[u].Ins {
+			visit(w)
+		}
+		for _, w := range g.sucList(u) {
+			visit(w)
 		}
 	}
 	return len(seen) == len(s)
@@ -185,14 +193,20 @@ func (g *Graph) Components(s Set) [][]NodeID {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, u)
-			for _, w := range append(g.Pre(u), g.Suc(u)...) {
+			visit := func(w NodeID) {
 				if s[w] && !seen[w] {
 					seen[w] = true
 					stack = append(stack, w)
 				}
 			}
+			for _, w := range g.nodes[u].Ins {
+				visit(w)
+			}
+			for _, w := range g.sucList(u) {
+				visit(w)
+			}
 		}
-		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		sortIDs(comp)
 		comps = append(comps, comp)
 	}
 	return comps
@@ -201,19 +215,55 @@ func (g *Graph) Components(s Set) [][]NodeID {
 // Subgraph extracts G[S] as a standalone Graph. Edges to producers outside
 // S are dropped (the sub-graph's entries are exactly the members of S whose
 // producers all lie outside S plus members with some external producers,
-// whose Ins lists are filtered). Node IDs are preserved.
+// whose Ins lists are filtered). Node IDs are preserved. Like Clone, all
+// node and edge storage is packed into arena allocations.
 func (g *Graph) Subgraph(s Set) *Graph {
-	sub := New()
-	sub.next = g.next
+	size := len(g.nodes)
+	sub := &Graph{
+		nodes: make([]*Node, size),
+		suc:   make([][]NodeID, size),
+		n:     len(s),
+		next:  g.next,
+	}
+	// Count internal edges: each contributes one Ins slot and one suc slot.
+	internal := 0
 	for v := range s {
-		n := g.nodes[v]
-		var ins []NodeID
-		for _, in := range n.Ins {
+		for _, in := range g.nodes[v].Ins {
 			if s[in] {
-				ins = append(ins, in)
+				internal++
 			}
 		}
-		sub.nodes[v] = &Node{ID: v, Op: n.Op, Ins: ins, Name: n.Name}
+	}
+	sub.nodeArena = make([]Node, len(s))
+	sub.idArena = make([]NodeID, 2*internal)
+	arena, ids := sub.nodeArena, sub.idArena
+	ai, off := 0, 0
+	for v := range s {
+		n := g.nodes[v]
+		base := off
+		for _, in := range n.Ins {
+			if s[in] {
+				ids[off] = in
+				off++
+			}
+		}
+		arena[ai] = Node{ID: v, Op: n.Op, Ins: ids[base:off:off], Name: n.Name}
+		sub.nodes[v] = &arena[ai]
+		ai++
+	}
+	// Consumer lists, placed in the second half of the arena via a
+	// counting pass.
+	cnt := make([]int32, size)
+	for v := range s {
+		for _, in := range sub.nodes[v].Ins {
+			cnt[in]++
+		}
+	}
+	for id, c := range cnt {
+		if c > 0 {
+			sub.suc[id] = ids[off:off:off+int(c)]
+			off += int(c)
+		}
 	}
 	for v := range s {
 		for _, in := range sub.nodes[v].Ins {
@@ -223,75 +273,282 @@ func (g *Graph) Subgraph(s Set) *Graph {
 	return sub
 }
 
-// ReachIndex precomputes ancestor/descendant counts for every node using
-// bitsets, enabling O(1) narrow-waist queries: nw(v) = |V| - |anc(v)| -
-// |des(v)| - 1 (§6.1).
+// ReachIndex precomputes ancestor/descendant bitsets for every node,
+// enabling O(1) narrow-waist queries: nw(v) = |V| - |anc(v)| - |des(v)| -
+// 1 (§6.1). The index is immutable after construction and safe for
+// concurrent reads; Rebase derives a successor index cheaply after a
+// localized rewrite.
 type ReachIndex struct {
-	order []NodeID
-	pos   map[NodeID]int
-	nAnc  []int
-	nDes  []int
+	n    int     // live node count of the indexed graph
+	pos  []int32 // NodeID -> bit position, -1 when absent
+	nPos int     // total bit positions allocated (>= n after rebases)
+
+	anc, des   [][]uint64 // NodeID -> ancestor/descendant bitset rows
+	nAnc, nDes []int32    // NodeID -> popcounts
 }
 
-// NewReachIndex builds the index for the current graph contents.
+// NewReachIndex builds the index for the current graph contents. All
+// bitset rows share one arena allocation.
 func NewReachIndex(g *Graph) *ReachIndex {
 	order := g.Topo()
-	pos := make(map[NodeID]int, len(order))
+	size := len(g.nodes)
+	r := &ReachIndex{
+		n:    g.n,
+		pos:  make([]int32, size),
+		nPos: len(order),
+		anc:  make([][]uint64, size),
+		des:  make([][]uint64, size),
+		nAnc: make([]int32, size),
+		nDes: make([]int32, size),
+	}
+	for i := range r.pos {
+		r.pos[i] = -1
+	}
 	for i, v := range order {
-		pos[v] = i
+		r.pos[v] = int32(i)
 	}
 	n := len(order)
 	words := (n + 63) / 64
-	anc := make([][]uint64, n)
-	for i := range anc {
-		anc[i] = make([]uint64, words)
-	}
-	nAnc := make([]int, n)
-	nDes := make([]int, n)
+	arena := make([]uint64, 2*n*words)
 	// Ancestors accumulate forward in topo order.
-	for i, v := range order {
-		for _, p := range g.Pre(v) {
-			pi := pos[p]
-			for w := range anc[i] {
-				anc[i][w] |= anc[pi][w]
-			}
-			anc[i][pi/64] |= 1 << (pi % 64)
+	for _, v := range order {
+		row := arena[:words:words]
+		arena = arena[words:]
+		for _, p := range g.nodes[v].Ins {
+			orBits(row, r.anc[p])
+			pi := r.pos[p]
+			row[pi/64] |= 1 << (pi % 64)
 		}
-		nAnc[i] = popcount(anc[i])
+		r.anc[v] = row
+		r.nAnc[v] = int32(popcount(row))
 	}
 	// Descendants accumulate backward symmetrically.
-	des := make([][]uint64, n)
-	for i := range des {
-		des[i] = make([]uint64, words)
-	}
 	for i := n - 1; i >= 0; i-- {
-		for _, s := range g.Suc(order[i]) {
-			si := pos[s]
-			for w := range des[i] {
-				des[i][w] |= des[si][w]
-			}
-			des[i][si/64] |= 1 << (si % 64)
+		v := order[i]
+		row := arena[:words:words]
+		arena = arena[words:]
+		for _, s := range g.sucList(v) {
+			orBits(row, r.des[s])
+			si := r.pos[s]
+			row[si/64] |= 1 << (si % 64)
 		}
-		nDes[i] = popcount(des[i])
+		r.des[v] = row
+		r.nDes[v] = int32(popcount(row))
 	}
-	return &ReachIndex{order: order, pos: pos, nAnc: nAnc, nDes: nDes}
+	return r
+}
+
+// orBits ORs src into dst over the shorter of the two lengths (rows from
+// older index generations may be narrower).
+func orBits(dst, src []uint64) {
+	m := len(src)
+	if len(dst) < m {
+		m = len(dst)
+	}
+	for w := 0; w < m; w++ {
+		dst[w] |= src[w]
+	}
 }
 
 // NW returns the narrow-waist value of v: the number of nodes neither an
 // ancestor nor a descendant of v, minus one.
 func (r *ReachIndex) NW(v NodeID) int {
-	i, ok := r.pos[v]
-	if !ok {
+	if v < 0 || int(v) >= len(r.pos) || r.pos[v] < 0 {
 		return -1
 	}
-	return len(r.order) - r.nAnc[i] - r.nDes[i] - 1
+	return r.n - int(r.nAnc[v]) - int(r.nDes[v]) - 1
 }
 
 // NumAnc returns |G.anc(v)|.
-func (r *ReachIndex) NumAnc(v NodeID) int { return r.nAnc[r.pos[v]] }
+func (r *ReachIndex) NumAnc(v NodeID) int { return int(r.nAnc[v]) }
 
 // NumDes returns |G.des(v)|.
-func (r *ReachIndex) NumDes(v NodeID) int { return r.nDes[r.pos[v]] }
+func (r *ReachIndex) NumDes(v NodeID) int { return int(r.nDes[v]) }
+
+// IsDes reports whether v is a strict descendant of d, in O(1).
+func (r *ReachIndex) IsDes(d, v NodeID) bool {
+	p := r.pos[v]
+	row := r.des[d]
+	if w := int(p / 64); w < len(row) {
+		return row[w]&(1<<(p%64)) != 0
+	}
+	return false
+}
+
+// IsAnc reports whether v is a strict ancestor of a, in O(1).
+func (r *ReachIndex) IsAnc(a, v NodeID) bool {
+	p := r.pos[v]
+	row := r.anc[a]
+	if w := int(p / 64); w < len(row) {
+		return row[w]&(1<<(p%64)) != 0
+	}
+	return false
+}
+
+// Rebase derives the reachability index of g from the index of a
+// structurally similar predecessor graph prevG (typically the parent
+// M-State's evaluation graph before a single rewrite). Rows of nodes whose
+// ancestor (resp. descendant) cone is untouched are copied; only nodes
+// downstream (resp. upstream) of the mutation are recomputed. The clean
+// check is self-verifying — it compares node structure directly, so a
+// wrong or incomplete mutation hint can only cost speed, never
+// correctness. Returns nil when the delta is too large to be worth it or
+// the position space has grown too sparse; callers then fall back to
+// NewReachIndex.
+func Rebase(prev *ReachIndex, prevG, g *Graph) *ReachIndex {
+	if prev == nil || prevG == nil {
+		return nil
+	}
+	order, err := g.TopoE()
+	if err != nil {
+		return nil
+	}
+	size := len(g.nodes)
+	// Assign bit positions: survivors keep theirs, new nodes extend.
+	pos := make([]int32, size)
+	for i := range pos {
+		pos[i] = -1
+	}
+	nPos := prev.nPos
+	for _, v := range order {
+		if int(v) < len(prev.pos) && prev.pos[v] >= 0 {
+			pos[v] = prev.pos[v]
+		} else {
+			pos[v] = int32(nPos)
+			nPos++
+		}
+	}
+	// Retired positions of removed nodes widen every row; once the space
+	// is mostly dead weight a fresh build is cheaper.
+	if nPos > 2*g.n+64 {
+		return nil
+	}
+	words := (nPos + 63) / 64
+	r := &ReachIndex{
+		n:    g.n,
+		pos:  pos,
+		nPos: nPos,
+		anc:  make([][]uint64, size),
+		des:  make([][]uint64, size),
+		nAnc: make([]int32, size),
+		nDes: make([]int32, size),
+	}
+	arena := make([]uint64, 2*g.n*words)
+	row := func() []uint64 {
+		w := arena[:words:words]
+		arena = arena[words:]
+		return w
+	}
+	// cleanAnc[v]: v exists in prevG with identical Ins and every producer
+	// clean — then prev's ancestor row is exact in the new graph.
+	cleanAnc := make([]bool, size)
+	dirty := 0
+	for _, v := range order {
+		pn := prevG.Node(v)
+		n := g.nodes[v]
+		ok := pn != nil && idsEqual(pn.Ins, n.Ins)
+		if ok {
+			for _, p := range n.Ins {
+				if !cleanAnc[p] {
+					ok = false
+					break
+				}
+			}
+		}
+		cleanAnc[v] = ok
+		if !ok {
+			dirty++
+		}
+	}
+	// cleanDes[v]: symmetric over consumer lists.
+	cleanDes := make([]bool, size)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		ok := prevG.Has(v) && idsEqualUnordered(prevG.sucList(v), g.sucList(v))
+		if ok {
+			for _, s := range g.sucList(v) {
+				if !cleanDes[s] {
+					ok = false
+					break
+				}
+			}
+		}
+		cleanDes[v] = ok
+		if !ok {
+			dirty++
+		}
+	}
+	if dirty > g.n {
+		return nil // more than half the rows need recomputing anyway
+	}
+	for _, v := range order {
+		w := row()
+		if cleanAnc[v] {
+			copy(w, prev.anc[v])
+			r.nAnc[v] = prev.nAnc[v]
+		} else {
+			for _, p := range g.nodes[v].Ins {
+				orBits(w, r.anc[p])
+				pi := pos[p]
+				w[pi/64] |= 1 << (pi % 64)
+			}
+			r.nAnc[v] = int32(popcount(w))
+		}
+		r.anc[v] = w
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		w := row()
+		if cleanDes[v] {
+			copy(w, prev.des[v])
+			r.nDes[v] = prev.nDes[v]
+		} else {
+			for _, s := range g.sucList(v) {
+				orBits(w, r.des[s])
+				si := pos[s]
+				w[si/64] |= 1 << (si % 64)
+			}
+			r.nDes[v] = int32(popcount(w))
+		}
+		r.des[v] = w
+	}
+	return r
+}
+
+func idsEqual(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// idsEqualUnordered compares two edge lists as multisets. Lists are tiny;
+// the quadratic fallback only runs when the element-wise compare fails.
+func idsEqualUnordered(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if idsEqual(a, b) {
+		return true
+	}
+	used := make([]bool, len(b))
+outer:
+	for _, x := range a {
+		for j, y := range b {
+			if !used[j] && x == y {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
 
 func popcount(ws []uint64) int {
 	n := 0

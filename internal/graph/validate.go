@@ -73,30 +73,28 @@ func Validate(g *Graph) error {
 	fromIns := make(map[edge]int)
 	for id, n := range g.nodes {
 		if n == nil {
-			return fmt.Errorf("%w: node %d is nil", ErrInvariant, id)
+			continue // absent slot
 		}
-		if n.ID != id {
+		if n.ID != NodeID(id) {
 			return fmt.Errorf("%w: node keyed %d carries ID %d", ErrInvariant, id, n.ID)
 		}
 		if n.Op == nil {
 			return fmt.Errorf("%w: node %d has nil op", ErrInvariant, id)
 		}
 		for _, in := range n.Ins {
-			if _, ok := g.nodes[in]; !ok {
+			if !g.Has(in) {
 				return fmt.Errorf("%w: node %d consumes dangling producer %d", ErrInvariant, id, in)
 			}
-			fromIns[edge{in, id}]++
+			fromIns[edge{in, NodeID(id)}]++
 		}
 	}
 	fromSuc := make(map[edge]int)
 	for from, cs := range g.suc {
-		if len(cs) > 0 {
-			if _, ok := g.nodes[from]; !ok {
-				return fmt.Errorf("%w: dangling node %d still has consumers %v", ErrInvariant, from, cs)
-			}
+		if len(cs) > 0 && g.nodes[from] == nil {
+			return fmt.Errorf("%w: dangling node %d still has consumers %v", ErrInvariant, from, cs)
 		}
 		for _, to := range cs {
-			fromSuc[edge{from, to}]++
+			fromSuc[edge{NodeID(from), to}]++
 		}
 	}
 	if len(fromIns) != len(fromSuc) {
@@ -115,6 +113,9 @@ func Validate(g *Graph) error {
 	}
 	// 3. Shape agreement along every edge.
 	for id, n := range g.nodes {
+		if n == nil {
+			continue
+		}
 		is, ok := n.Op.(InputShaped)
 		if !ok {
 			continue // opaque payloads (collapsed regions) account themselves
@@ -137,6 +138,9 @@ func Validate(g *Graph) error {
 	}
 	// 4. Store/Load pairing.
 	for id, n := range g.nodes {
+		if n == nil {
+			continue
+		}
 		switch n.Op.Kind() {
 		case kindLoad:
 			if len(n.Ins) != 1 {
@@ -154,7 +158,7 @@ func Validate(g *Graph) error {
 				return fmt.Errorf("%w: Store %d consumes transfer %s %d",
 					ErrInvariant, id, p.Op.Kind(), p.ID)
 			}
-			cs := g.Suc(id)
+			cs := g.Suc(NodeID(id))
 			if len(cs) == 0 {
 				return fmt.Errorf("%w: Store %d has no Load consumer", ErrInvariant, id)
 			}

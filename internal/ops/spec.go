@@ -13,6 +13,7 @@ package ops
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"magis/internal/tensor"
 )
@@ -37,6 +38,13 @@ type Spec struct {
 	reduce []int       // extent of each reduce axis (index i = axis -(i+1))
 	links  [][]DimLink // per input
 	flops  func(s *Spec) float64
+
+	// Memoized derived strings. The descriptor is immutable, but AttrKey
+	// and SigKey sit on the optimizer's hottest paths (hashing and the
+	// latency cache), so they are built once on first use. Concurrent first
+	// uses race benignly: both compute the same value.
+	akey atomic.Pointer[string]
+	skey atomic.Pointer[string]
 }
 
 // Kind returns the operator name ("Matmul", "Conv2d", ...).
@@ -50,7 +58,11 @@ func (s *Spec) DType() tensor.DType { return s.dt }
 
 // AttrKey distinguishes operators of the same kind with different
 // semantics; it folds in attributes, input shapes, and reduce extents.
+// The string is memoized on the descriptor.
 func (s *Spec) AttrKey() string {
+	if p := s.akey.Load(); p != nil {
+		return *p
+	}
 	var b strings.Builder
 	b.WriteString(s.attr)
 	for _, in := range s.ins {
@@ -59,7 +71,22 @@ func (s *Spec) AttrKey() string {
 	if len(s.reduce) > 0 {
 		fmt.Fprintf(&b, "r%v", s.reduce)
 	}
-	return b.String()
+	k := b.String()
+	s.akey.Store(&k)
+	return k
+}
+
+// SigKey returns the full operator signature — kind, attributes, input
+// shapes, output shape, and element type — memoized on the descriptor. Two
+// Specs with equal SigKeys have identical cost and hashing behaviour; the
+// latency cache keys on it.
+func (s *Spec) SigKey() string {
+	if p := s.skey.Load(); p != nil {
+		return *p
+	}
+	k := s.kind + "|" + s.AttrKey() + "|" + s.out.String() + "|" + s.dt.String()
+	s.skey.Store(&k)
+	return k
 }
 
 // Attr returns the raw attribute string (without shape suffixes).

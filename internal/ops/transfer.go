@@ -1,33 +1,68 @@
 package ops
 
-import "magis/internal/tensor"
+import (
+	"strconv"
+	"sync"
+
+	"magis/internal/tensor"
+)
 
 // Store and Load are the explicit swapping operators of §5.2. A Store
 // copies a tensor to external (host) storage; its output lives off-device,
 // so it occupies zero device memory. A Load copies it back.
+//
+// The optimizer creates one Store/Load descriptor per swap candidate, and
+// a budgeted search generates tens of thousands of those over a handful of
+// distinct tensor shapes, so the constructors intern: Specs are immutable,
+// making one shared descriptor per (kind, shape, dtype) both safe and
+// profitable — the pointer-keyed memo tables downstream (region pricing,
+// WL clean checks) see stable identities, and the per-candidate fan-out of
+// shape clones, link tables, and attr-key strings disappears.
+
+var transferCache sync.Map // string -> *Spec
+
+func internTransfer(kind string, x tensor.Shape, dt tensor.DType, mk func() *Spec) *Spec {
+	var buf [64]byte
+	kb := append(buf[:0], kind...)
+	kb = append(kb, '|', byte(dt))
+	for _, d := range x {
+		kb = append(kb, '|')
+		kb = strconv.AppendInt(kb, int64(d), 10)
+	}
+	key := string(kb)
+	if v, ok := transferCache.Load(key); ok {
+		return v.(*Spec)
+	}
+	v, _ := transferCache.LoadOrStore(key, mk())
+	return v.(*Spec)
+}
 
 // NewStore copies a device tensor of the given shape to external storage.
 func NewStore(x tensor.Shape, dt tensor.DType) *Spec {
-	return &Spec{
-		kind:  KindStore,
-		ins:   []tensor.Shape{x.Clone()},
-		out:   x.Clone(),
-		dt:    dt,
-		links: [][]DimLink{identityLinks(x)},
-		flops: func(s *Spec) float64 { return 0 },
-	}
+	return internTransfer(KindStore, x, dt, func() *Spec {
+		return &Spec{
+			kind:  KindStore,
+			ins:   []tensor.Shape{x.Clone()},
+			out:   x.Clone(),
+			dt:    dt,
+			links: [][]DimLink{identityLinks(x)},
+			flops: func(s *Spec) float64 { return 0 },
+		}
+	})
 }
 
 // NewLoad copies a stored tensor back into device memory.
 func NewLoad(x tensor.Shape, dt tensor.DType) *Spec {
-	return &Spec{
-		kind:  KindLoad,
-		ins:   []tensor.Shape{x.Clone()},
-		out:   x.Clone(),
-		dt:    dt,
-		links: [][]DimLink{identityLinks(x)},
-		flops: func(s *Spec) float64 { return 0 },
-	}
+	return internTransfer(KindLoad, x, dt, func() *Spec {
+		return &Spec{
+			kind:  KindLoad,
+			ins:   []tensor.Shape{x.Clone()},
+			out:   x.Clone(),
+			dt:    dt,
+			links: [][]DimLink{identityLinks(x)},
+			flops: func(s *Spec) float64 { return 0 },
+		}
+	})
 }
 
 // IsStore reports whether kind names the Store operator.

@@ -12,7 +12,7 @@ import (
 func benchState(b *testing.B) (*State, *Result) {
 	b.Helper()
 	res := &Result{}
-	ev := newEvaluator(model(), false, &res.Stats)
+	ev := newEvaluator(model(), false, false, &res.Stats)
 	st := &State{G: fatMLP()}
 	if err := ev.evaluate(st, nil, nil); err != nil {
 		b.Fatal(err)
@@ -32,7 +32,7 @@ func BenchmarkCore_Neighbors(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if cands := neighbors(st, &o, res, quar); len(cands) == 0 {
+		if cands := neighbors(st, &o, res, quar, nil); len(cands) == 0 {
 			b.Fatal("no candidates")
 		}
 	}

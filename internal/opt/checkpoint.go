@@ -246,6 +246,7 @@ type optionsRec struct {
 	NaiveFission     bool     `json:"naive_fission,omitempty"`
 	NaiveSchedRules  bool     `json:"naive_sched_rules,omitempty"`
 	FullReschedule   bool     `json:"full_reschedule,omitempty"`
+	StrictHash       bool     `json:"strict_hash,omitempty"`
 	DisableFission   bool     `json:"disable_fission,omitempty"`
 	Rules            []string `json:"rules"`
 	CkEveryN         int      `json:"ck_every_n,omitempty"`
@@ -314,6 +315,7 @@ func recordOptions(o *Options) optionsRec {
 		NaiveFission:     o.NaiveFission,
 		NaiveSchedRules:  o.NaiveSchedRules,
 		FullReschedule:   o.FullReschedule,
+		StrictHash:       o.StrictHash,
 		DisableFission:   o.DisableFission,
 		Rules:            names,
 		CkEveryN:         o.Checkpoint.EveryN,
@@ -351,6 +353,7 @@ func (r optionsRec) restore() (Options, error) {
 		NaiveFission:    r.NaiveFission,
 		NaiveSchedRules: r.NaiveSchedRules,
 		FullReschedule:  r.FullReschedule,
+		StrictHash:      r.StrictHash,
 		DisableFission:  r.DisableFission,
 		Rules:           rs,
 		Checkpoint: Checkpoint{
@@ -585,7 +588,7 @@ func Resume(ctx context.Context, path string, model *cost.Model, override func(*
 	}); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrInitialEval, err)
 	}
-	pool := newEvalPool(o.Workers, model, o.FullReschedule, &res.Stats)
+	pool := newEvalPool(o.Workers, model, o.FullReschedule, o.StrictHash, &res.Stats)
 	ev := pool.primary()
 	res.Stats = snap.Stats
 	for _, h := range snap.History {
@@ -646,6 +649,7 @@ func Resume(ctx context.Context, path string, model *cost.Model, override func(*
 		input: input,
 		model: model,
 		pool:  pool,
+		gp:    &ev.gp,
 		ftOpts: ftree.Options{
 			MaxLevel:      o.MaxLevel,
 			MaxCandidates: o.MaxCandidates,

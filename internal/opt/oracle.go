@@ -1,0 +1,251 @@
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"magis/internal/cost"
+	"magis/internal/ftree"
+	"magis/internal/graph"
+	"magis/internal/sched"
+)
+
+// The differential evaluation oracle runs the incremental and from-scratch
+// evaluation paths side by side on randomized rewrite sequences drawn from
+// the real pipeline (rule application → region collapse → WL hash →
+// incremental reschedule → simulation) and checks:
+//
+//   - hash equality (exact): WLHashFrom spliced into the parent's label
+//     snapshot is bit-identical to a strict WLHashScratch of the same
+//     evaluation graph;
+//   - reachability equality (exact): the chained Rebase index answers
+//     narrow-waist queries identically to a freshly built index;
+//   - schedule validity (exact): the incremental schedule is a valid
+//     execution order of the evaluation graph;
+//   - peak consistency (exact): the state's recorded peak equals an
+//     independent re-simulation of its schedule;
+//   - peak quality (windowed): the incremental schedule's peak is within
+//     Window of a full ScheduleGraph reschedule. The two are different
+//     valid heuristics, so this bound is deliberately loose — it catches
+//     an incremental path gone off the rails, not heuristic noise.
+//
+// RunOracle is the engine behind both TestDifferentialOracle and the
+// magis-bench "oracle" target.
+
+// OracleConfig parameterizes a differential oracle run.
+type OracleConfig struct {
+	// Model prices latencies (required).
+	Model *cost.Model
+	// Graphs are the seed workloads; sequence i starts from Graphs[i%len].
+	Graphs []*graph.Graph
+	// Sequences is the number of randomized rewrite sequences (default 100).
+	Sequences int
+	// Depth is the number of chained rewrite steps per sequence (default 3).
+	Depth int
+	// MaxCandidates bounds how many of each step's candidates are compared
+	// (default 4; candidates are sampled without replacement).
+	MaxCandidates int
+	// Seed derives each sequence's RNG (sequence i uses Seed+i).
+	Seed int64
+	// Window is the allowed incremental/full peak-memory ratio (default 2).
+	Window float64
+}
+
+func (c *OracleConfig) defaults() {
+	if c.Sequences == 0 {
+		c.Sequences = 100
+	}
+	if c.Depth == 0 {
+		c.Depth = 3
+	}
+	if c.MaxCandidates == 0 {
+		c.MaxCandidates = 4
+	}
+	if c.Window == 0 {
+		c.Window = 2
+	}
+}
+
+// OracleReport summarizes a differential oracle run.
+type OracleReport struct {
+	// Sequences and Steps count completed rewrite sequences and chained
+	// steps within them.
+	Sequences, Steps int
+	// HashChecks counts incremental-vs-strict hash comparisons; each one
+	// asserted bit equality.
+	HashChecks int
+	// SchedChecks counts evaluated candidates whose schedule was validated
+	// and whose peak was re-simulated and window-compared.
+	SchedChecks int
+	// ReachChecks counts rebased-vs-fresh reachability index comparisons.
+	ReachChecks int
+	// Mismatches lists every violated assertion; empty means the
+	// incremental and full paths agreed everywhere.
+	Mismatches []string
+}
+
+// OK reports whether every comparison agreed.
+func (r *OracleReport) OK() bool { return len(r.Mismatches) == 0 }
+
+// String renders a one-screen summary.
+func (r *OracleReport) String() string {
+	s := fmt.Sprintf("oracle: %d sequences, %d steps, %d hash / %d sched / %d reach checks, %d mismatches\n",
+		r.Sequences, r.Steps, r.HashChecks, r.SchedChecks, r.ReachChecks, len(r.Mismatches))
+	for i, m := range r.Mismatches {
+		if i == 10 {
+			s += fmt.Sprintf("  ... %d more\n", len(r.Mismatches)-10)
+			break
+		}
+		s += "  MISMATCH " + m + "\n"
+	}
+	return s
+}
+
+func (r *OracleReport) mismatch(format string, args ...interface{}) {
+	r.Mismatches = append(r.Mismatches, fmt.Sprintf(format, args...))
+}
+
+// RunOracle executes the differential oracle.
+func RunOracle(cfg OracleConfig) *OracleReport {
+	cfg.defaults()
+	rep := &OracleReport{}
+	if cfg.Model == nil || len(cfg.Graphs) == 0 {
+		rep.mismatch("config: Model and at least one graph are required")
+		return rep
+	}
+	for seq := 0; seq < cfg.Sequences; seq++ {
+		oracleSequence(&cfg, rep, seq)
+		rep.Sequences++
+	}
+	return rep
+}
+
+// oracleSequence walks one randomized rewrite chain. The incremental
+// evaluator carries parent WL snapshots and reach hints across steps
+// exactly like the search loop; the strict evaluator re-derives everything
+// from scratch for comparison.
+func oracleSequence(cfg *OracleConfig, rep *OracleReport, seq int) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(seq)))
+	o := &Options{Workers: 1}
+	o.defaults()
+	ftOpts := ftree.Options{MaxLevel: o.MaxLevel, MaxCandidates: o.MaxCandidates}
+
+	var stats Stats
+	inc := newEvaluator(cfg.Model, false, false, &stats)
+	ref := newEvaluator(cfg.Model, true, true, &stats) // full reschedule, strict hash
+
+	parent := &State{G: cfg.Graphs[seq%len(cfg.Graphs)].Clone()}
+	if err := guard("oracle", "initial evaluation", func() error {
+		if err := inc.evaluate(parent, nil, nil); err != nil {
+			return err
+		}
+		inc.hash(parent, nil) // capture the WL snapshot children splice into
+		parent.FT = ftree.Build(parent.G, parent.Hot, ftOpts)
+		return nil
+	}); err != nil {
+		rep.mismatch("seq %d: initial evaluation failed: %v", seq, err)
+		return
+	}
+
+	for step := 0; step < cfg.Depth; step++ {
+		res := &Result{}
+		quar := newQuarantine(o.QuarantineAfter)
+		cands := neighbors(parent, o, res, quar, nil)
+		if len(cands) == 0 {
+			return
+		}
+		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		if len(cands) > cfg.MaxCandidates {
+			cands = cands[:cfg.MaxCandidates]
+		}
+		rc := &reachCache{g: parent.EvalG, prev: parent.reachHint}
+		parent.reachHint = nil
+		inc.rc = rc
+
+		// Reachability: the (possibly rebased) expansion index must answer
+		// exactly like a fresh build over the parent's evaluation graph.
+		idx, fresh := rc.index(), graph.NewReachIndex(parent.EvalG)
+		for _, v := range parent.EvalG.Topo() {
+			if idx.NW(v) != fresh.NW(v) || idx.NumAnc(v) != fresh.NumAnc(v) || idx.NumDes(v) != fresh.NumDes(v) {
+				rep.mismatch("seq %d step %d: reach index node %d: rebased (nw=%d anc=%d des=%d) != fresh (nw=%d anc=%d des=%d)",
+					seq, step, v, idx.NW(v), idx.NumAnc(v), idx.NumDes(v),
+					fresh.NW(v), fresh.NumAnc(v), fresh.NumDes(v))
+			}
+		}
+		rep.ReachChecks++
+
+		var next *State
+		for _, cand := range cands {
+			if oracleCandidate(cfg, rep, seq, step, inc, ref, parent, cand) && next == nil {
+				next = cand.state
+				next.reachHint = rc
+			}
+		}
+		if next == nil {
+			return
+		}
+		if next.stale {
+			if err := guard("oracle", "tree rebuild", func() error {
+				next.FT = rebuildTree(next, ftOpts)
+				return nil
+			}); err != nil {
+				next.FT = &ftree.Tree{}
+			}
+			next.stale = false
+		}
+		parent = next
+		rep.Steps++
+	}
+}
+
+// oracleCandidate runs both evaluation paths on one candidate and records
+// any disagreement. Returns true when the candidate evaluated cleanly on
+// the incremental path and may seed the next step; its state then holds
+// the incremental results, exactly as the search would leave them.
+func oracleCandidate(cfg *OracleConfig, rep *OracleReport, seq, step int, inc, ref *evaluator, parent *State, cand *candidate) bool {
+	where := fmt.Sprintf("seq %d step %d %s[%s]", seq, step, cand.rule, cand.site)
+	if err := guard(cand.rule, cand.site, func() error {
+		return inc.collapse(cand.state)
+	}); err != nil {
+		return false // rejected candidates are not comparable, only skipped
+	}
+	hInc := inc.hash(cand.state, parent)
+	hRef := ref.hash(cand.state, parent)
+	if hInc != hRef {
+		rep.mismatch("%s: incremental hash %x != strict %x", where, hInc, hRef)
+	}
+	rep.HashChecks++
+
+	if err := guard(cand.rule, cand.site, func() error {
+		return inc.evaluate(cand.state, parent, cand.oldMutated)
+	}); err != nil {
+		return false
+	}
+	s := cand.state
+	if err := s.Sched.Validate(s.EvalG); err != nil {
+		rep.mismatch("%s: incremental schedule invalid: %v", where, err)
+		return false
+	}
+	if p := sched.Simulate(s.EvalG, s.Sched).Peak; p != s.PeakMem {
+		rep.mismatch("%s: recorded peak %d != re-simulated %d", where, s.PeakMem, p)
+	}
+
+	// Full-reschedule reference: evaluate with the strict evaluator, then
+	// restore the incremental results so the chained walk matches a real
+	// search trajectory.
+	incSched, incPeak, incLat, incHot := s.Sched, s.PeakMem, s.Latency, s.Hot
+	if err := guard(cand.rule, cand.site, func() error {
+		return ref.evaluate(s, parent, cand.oldMutated)
+	}); err == nil {
+		if err := s.Sched.Validate(s.EvalG); err != nil {
+			rep.mismatch("%s: full schedule invalid: %v", where, err)
+		}
+		if float64(incPeak) > cfg.Window*float64(s.PeakMem) {
+			rep.mismatch("%s: incremental peak %d exceeds %.1fx full-reschedule peak %d",
+				where, incPeak, cfg.Window, s.PeakMem)
+		}
+	}
+	s.Sched, s.PeakMem, s.Latency, s.Hot = incSched, incPeak, incLat, incHot
+	rep.SchedChecks++
+	return true
+}

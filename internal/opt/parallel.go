@@ -14,8 +14,9 @@ import (
 // owning an evaluator (scheduler, collapser, scratch buffers, stats
 // shard). Everything a worker touches is either candidate-private (the
 // cloned graph, the collapsed eval graph) or read-only and shared (the
-// parent state, the cost model's mutex-guarded cache, the once-built reach
-// index, a frozen snapshot of the seen-hash set). All order-sensitive
+// parent state and its WL-label snapshot, the cost model's lock-free
+// cache, the once-built reach index, a frozen snapshot of the seen-hash
+// set). All order-sensitive
 // bookkeeping — the authoritative duplicate filter, quarantine streaks,
 // diagnostics, best-state selection, history, heap pushes — happens on the
 // search goroutine in candidate-index order (searchLoop.absorb), so the
@@ -52,7 +53,7 @@ func processCandidate(ev *evaluator, cand *candidate, parent *State, o *Options,
 		if err := ev.collapse(cand.state); err != nil {
 			return err
 		}
-		out.hash = ev.hash(cand.state)
+		out.hash = ev.hash(cand.state, parent)
 		return nil
 	}); err != nil {
 		out.hashErr = err
@@ -94,14 +95,14 @@ type evalPool struct {
 	shards []Stats
 }
 
-func newEvalPool(workers int, model *cost.Model, full bool, main *Stats) *evalPool {
+func newEvalPool(workers int, model *cost.Model, full, strict bool, main *Stats) *evalPool {
 	p := &evalPool{shards: make([]Stats, workers)}
 	for i := 0; i < workers; i++ {
 		st := main
 		if i > 0 {
 			st = &p.shards[i]
 		}
-		p.evs = append(p.evs, newEvaluator(model, full, st))
+		p.evs = append(p.evs, newEvaluator(model, full, strict, st))
 	}
 	return p
 }
@@ -117,6 +118,13 @@ func (p *evalPool) primary() *evaluator { return p.evs[0] }
 // itself.
 func (p *evalPool) run(ctx context.Context, cands []*candidate, parent *State, rc *reachCache, o *Options, seen map[uint64]bool) []*candOutcome {
 	outs := make([]*candOutcome, len(cands))
+	// Redistribute recycled graph shells from the central pool (worker 0's)
+	// to the worker-local ones while everything is quiescent; each worker
+	// will collapse roughly its share of the candidates.
+	share := len(cands)/len(p.evs) + 1
+	for w := 1; w < len(p.evs) && w < len(cands); w++ {
+		p.evs[0].gp.give(&p.evs[w].gp, share)
+	}
 	var next atomic.Int64
 	next.Store(-1)
 	var wg sync.WaitGroup

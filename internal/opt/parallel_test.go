@@ -193,7 +193,7 @@ func TestSharedFTreeIsCopyOnWrite(t *testing.T) {
 	g := fatMLP()
 	m := model()
 	res := &Result{}
-	ev := newEvaluator(m, false, &res.Stats)
+	ev := newEvaluator(m, false, false, &res.Stats)
 	st := &State{G: g.Clone()}
 	if err := ev.evaluate(st, nil, nil); err != nil {
 		t.Fatal(err)
@@ -204,7 +204,7 @@ func TestSharedFTreeIsCopyOnWrite(t *testing.T) {
 	o := Options{}
 	o.defaults()
 	quar := newQuarantine(o.QuarantineAfter)
-	cands := neighbors(st, &o, res, quar)
+	cands := neighbors(st, &o, res, quar, nil)
 	if len(cands) == 0 {
 		t.Fatal("no candidates generated")
 	}

@@ -1,0 +1,66 @@
+package opt
+
+import "magis/internal/graph"
+
+// The allocation diet's recycling half. Every candidate costs two deep
+// graph copies — the rewritten logical graph a rule produces and the
+// collapsed evaluation graph — and the search rejects the vast majority of
+// candidates (duplicates, non-improving states) within the same expansion
+// that created them. graphPool keeps those discarded shells on a free list
+// so graph.CloneInto can reuse their backing arrays instead of feeding the
+// allocator.
+//
+// Ownership is strictly single-goroutine: the search goroutine owns the
+// central pool (rule clones in neighbors, recycling in absorb), each
+// worker's evaluator owns a private pool for its collapse clones, and
+// evalPool.run redistributes shells from the central pool to the workers
+// at expansion boundaries, while the workers are quiescent. Nothing here
+// needs a lock.
+//
+// Safety rests on one invariant: a graph enters a pool only when nothing
+// can reference it anymore. absorb recycles only candidates it just
+// rejected, and only the graphs that candidate owned outright — the
+// rewritten G of a rule candidate (F-Tree mutations share the parent's G
+// and own nothing) and the collapse-fresh EvalG. Accepted states, parents
+// (their G and WL/reach snapshots are shared with frontier children), and
+// seeds are never recycled.
+
+// poolCap bounds each free list so a burst of rejected candidates cannot
+// pin an unbounded amount of arena memory; overflow falls to the GC.
+const poolCap = 128
+
+type graphPool struct {
+	free []*graph.Graph
+}
+
+// clone returns a deep copy of src, backed by a recycled shell's arrays
+// when one is available.
+func (p *graphPool) clone(src *graph.Graph) *graph.Graph {
+	if n := len(p.free); n > 0 {
+		dst := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		src.CloneInto(dst)
+		return dst
+	}
+	return src.Clone()
+}
+
+// put adds a dead graph to the free list (nil-safe, drops on overflow).
+func (p *graphPool) put(g *graph.Graph) {
+	if g == nil || len(p.free) >= poolCap {
+		return
+	}
+	p.free = append(p.free, g)
+}
+
+// give moves up to n free shells from p into q.
+func (p *graphPool) give(q *graphPool, n int) {
+	for n > 0 && len(p.free) > 0 {
+		last := len(p.free) - 1
+		q.put(p.free[last])
+		p.free[last] = nil
+		p.free = p.free[:last]
+		n--
+	}
+}

@@ -58,10 +58,102 @@ func (r *RegionOp) Parts() int { return r.n }
 // collapser builds evaluation graphs. ss points at the owning evaluator's
 // lifetime scratch (nil falls back to allocating per call), so region
 // accounting shares the evaluator's buffers.
+//
+// Region pricing dominates evaluation cost (the beam scheduler runs over
+// every region's one-part graph), yet candidates of one expansion differ by
+// a single rewrite, so almost every region is identical to one priced
+// before. regionOp therefore memoizes on a content key covering everything
+// the accounting reads: fission number, member IDs with choices, operator
+// descriptors, internal wiring, output membership, sliced inputs, and the
+// recursive structure of nested enabled regions. Operator identity is
+// folded via specID, a pointer-to-ordinal table — safe against address
+// reuse precisely because the table retains its *Spec keys, so a mapped
+// descriptor can never be collected and its address never recycled. The
+// tables reset together once the memo outgrows memoLimit.
+//
+// A memo hit skips ValidateOn; of its checks only convexity can silently
+// rot through key-invisible *external* graph edits, and that case still
+// fails loudly per candidate in replaceRegion's cycle check.
 type collapser struct {
 	model *cost.Model
 	sc    *sched.Scheduler
 	ss    *sched.Scratch
+	// gp, when set, recycles discarded graph shells into the evaluation
+	// graph clone (see graphPool).
+	gp *graphPool
+
+	memo   map[string]*RegionOp
+	specID map[*ops.Spec]int32
+	keyBuf []byte
+}
+
+// memoLimit bounds the region memo; the tables reset when it is reached.
+const memoLimit = 4096
+
+func appendI32(b []byte, x int32) []byte {
+	return append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+}
+
+func (c *collapser) specIdent(s *ops.Spec) int32 {
+	if c.specID == nil {
+		c.specID = make(map[*ops.Spec]int32)
+	}
+	id, ok := c.specID[s]
+	if !ok {
+		id = int32(len(c.specID))
+		c.specID[s] = id
+	}
+	return id
+}
+
+// regionMemoKey folds the full accounting-relevant content of an enabled
+// F-Tree node into c.keyBuf. Returns false when a member is not an
+// ops.Spec (the error path re-derives it without the memo).
+func (c *collapser) regionMemoKey(g *graph.Graph, n *ftree.Node) bool {
+	b := appendI32(c.keyBuf, int32(n.N))
+	members := n.T.S.Slice()
+	outs := g.Outs(n.T.S)
+	b = appendI32(b, int32(len(members)))
+	for _, v := range members {
+		node := g.Node(v)
+		spec, ok := node.Op.(*ops.Spec)
+		if !ok {
+			return false
+		}
+		b = appendI32(b, int32(v))
+		b = appendI32(b, int32(n.T.Choice[v]))
+		b = appendI32(b, c.specIdent(spec))
+		b = appendI32(b, int32(len(node.Ins)))
+		for _, in := range node.Ins {
+			b = appendI32(b, int32(in))
+		}
+		if outs[v] {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	slicedIn, _ := n.T.Inputs(g)
+	b = appendI32(b, int32(len(slicedIn)))
+	for _, u := range slicedIn {
+		spec, ok := g.Node(u).Op.(*ops.Spec)
+		if !ok {
+			return false
+		}
+		b = appendI32(b, int32(u))
+		b = appendI32(b, int32(n.T.Choice[u]))
+		b = appendI32(b, c.specIdent(spec))
+	}
+	for _, child := range directEnabledChildren(n) {
+		b = append(b, 0xfe) // nesting tag
+		c.keyBuf = b
+		if !c.regionMemoKey(g, child) {
+			return false
+		}
+		b = c.keyBuf
+	}
+	c.keyBuf = b
+	return true
 }
 
 // peakOnly prices an order through the shared scratch when available.
@@ -77,7 +169,12 @@ func (c *collapser) peakOnly(g *graph.Graph, order sched.Schedule) int64 {
 // folded recursively into their parent's accounting. It also returns a map
 // from region key (see regionKey) to the created node.
 func (c *collapser) Collapse(g *graph.Graph, t *ftree.Tree) (*graph.Graph, map[string]graph.NodeID, error) {
-	eg := g.Clone()
+	var eg *graph.Graph
+	if c.gp != nil {
+		eg = c.gp.clone(g)
+	} else {
+		eg = g.Clone()
+	}
 	regions := make(map[string]graph.NodeID)
 	var outer []*ftree.Node
 	if t != nil {
@@ -88,17 +185,58 @@ func (c *collapser) Collapse(g *graph.Graph, t *ftree.Tree) (*graph.Graph, map[s
 		}
 	}
 	for _, n := range outer {
-		op, err := c.regionOp(g, n, nil)
+		op, err := c.memoRegionOp(g, n)
 		if err != nil {
+			c.recycle(eg)
 			return nil, nil, err
 		}
 		id, err := replaceRegion(eg, n.T.S, op)
 		if err != nil {
+			c.recycle(eg)
 			return nil, nil, err
 		}
 		regions[regionKey(n.T.S)] = id
 	}
 	return eg, regions, nil
+}
+
+// recycle returns a failed collapse's half-built clone to the pool; no
+// caller ever sees it.
+func (c *collapser) recycle(eg *graph.Graph) {
+	if c.gp != nil {
+		c.gp.put(eg)
+	}
+}
+
+// memoRegionOp returns the collapsed accounting of an outermost enabled
+// region, reusing a previously priced identical region when the memo key
+// matches. Errors are never cached: a failing region re-validates on every
+// collapse, so recovery after a repairing rewrite is immediate.
+func (c *collapser) memoRegionOp(g *graph.Graph, n *ftree.Node) (*RegionOp, error) {
+	// Reset before key construction so every key in one memo generation is
+	// built from one specID numbering (mixing generations could alias two
+	// different regions onto one key).
+	if len(c.memo) >= memoLimit {
+		c.memo = nil
+		c.specID = nil
+	}
+	c.keyBuf = c.keyBuf[:0]
+	if !c.regionMemoKey(g, n) {
+		return c.regionOp(g, n, nil)
+	}
+	key := string(c.keyBuf)
+	if op, ok := c.memo[key]; ok {
+		return op, nil
+	}
+	op, err := c.regionOp(g, n, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.memo == nil {
+		c.memo = make(map[string]*RegionOp)
+	}
+	c.memo[key] = op
+	return op, nil
 }
 
 // regionKey canonically identifies a region by its member set.

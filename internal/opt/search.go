@@ -69,6 +69,13 @@ type Options struct {
 	// counts (only the time-stamped fields and the duplicated-work
 	// portions of Stats vary).
 	Workers int
+	// StrictHash disables incremental WL hashing: every candidate is hashed
+	// from scratch instead of splicing into the parent's label snapshot.
+	// The two paths are bit-identical by construction (the splice re-labels
+	// any node it cannot prove clean); this is the escape hatch for ruling
+	// the incremental path out while debugging, and the reference side of
+	// the differential oracle.
+	StrictHash bool
 	// Ablation switches (§7.2.5).
 	NaiveFission    bool
 	NaiveSchedRules bool
@@ -297,7 +304,7 @@ func OptimizeSeeded(ctx context.Context, g *graph.Graph, model *cost.Model, o Op
 	}); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrInitialEval, err)
 	}
-	pool := newEvalPool(o.Workers, model, o.FullReschedule, &res.Stats)
+	pool := newEvalPool(o.Workers, model, o.FullReschedule, o.StrictHash, &res.Stats)
 	ev := pool.primary()
 	ftOpts := ftree.Options{
 		MaxLevel:      o.MaxLevel,
@@ -341,11 +348,12 @@ func OptimizeSeeded(ctx context.Context, g *graph.Graph, model *cost.Model, o Op
 		model:  model,
 		pool:   pool,
 		ftOpts: ftOpts,
+		gp:     &ev.gp,
 	}
 	res.History = append(res.History, HistoryPoint{l.elapsed(), init.PeakMem, init.Latency})
 	heap.Init(l.q)
 	heap.Push(l.q, init)
-	l.seen[ev.hash(init)] = true
+	l.seen[ev.hash(init, nil)] = true
 	for _, sd := range seeds {
 		l.seed(sd)
 	}
@@ -378,7 +386,7 @@ func (l *searchLoop) seed(sd *State) {
 		l.res.Diagnostics.notePanic(err, l.quar)
 		return
 	}
-	h := ev.hash(sd)
+	h := ev.hash(sd, nil)
 	if l.seen[h] {
 		l.res.Stats.Filtered++
 		return
@@ -416,6 +424,10 @@ type searchLoop struct {
 	model  *cost.Model
 	pool   *evalPool
 	ftOpts ftree.Options
+	// gp is the central graph recycler (the primary evaluator's pool),
+	// owned by the search goroutine: rule clones draw from it and absorb
+	// returns rejected candidates' graphs to it.
+	gp *graphPool
 }
 
 // elapsed is the total search wall-clock across incarnations.
@@ -483,11 +495,14 @@ func (l *searchLoop) run(ctx context.Context) {
 			}
 			s.stale = false
 		}
-		cands := neighbors(s, o, res, l.quar)
+		cands := neighbors(s, o, res, l.quar, l.gp)
 		// One reachability index per parent state, built lazily on the
 		// first incremental reschedule and shared read-only by every
-		// worker of the expansion.
-		rc := &reachCache{g: s.EvalG}
+		// worker of the expansion. Chained through reachHint, the build
+		// rebases the grandparent expansion's index instead of starting
+		// from scratch whenever the delta is small enough.
+		rc := &reachCache{g: s.EvalG, prev: s.reachHint}
+		s.reachHint = nil
 		if o.Workers == 1 || len(cands) == 1 {
 			// Sequential pipeline: process-then-merge one candidate at a
 			// time, so the duplicate pre-filter sees every previously
@@ -499,7 +514,7 @@ func (l *searchLoop) run(ctx context.Context) {
 					res.Stopped = stopReason(err)
 					break
 				}
-				l.absorb(cand, processCandidate(ev, cand, s, o, l.seen))
+				l.absorb(cand, processCandidate(ev, cand, s, o, l.seen), rc)
 			}
 		} else {
 			outs := pool.run(ctx, cands, s, rc, o, l.seen)
@@ -508,7 +523,7 @@ func (l *searchLoop) run(ctx context.Context) {
 					res.Stopped = stopReason(ctx.Err())
 					break
 				}
-				l.absorb(cands[i], out)
+				l.absorb(cands[i], out, rc)
 			}
 		}
 		if res.Stopped != StopConverged {
@@ -531,11 +546,14 @@ func (l *searchLoop) run(ctx context.Context) {
 // advancement, the authoritative duplicate filter (first candidate in
 // generation order wins; later equal-hash candidates count as Filtered
 // even if a worker already evaluated them), best-state selection, history
-// points, and delta-relaxed heap pushes.
-func (l *searchLoop) absorb(cand *candidate, out *candOutcome) {
+// points, and delta-relaxed heap pushes. Rejected candidates' private
+// graphs return to the central recycler here — the only place the search
+// can prove nothing references them anymore.
+func (l *searchLoop) absorb(cand *candidate, out *candOutcome, rc *reachCache) {
 	res, quar := l.res, l.quar
 	if out.hashErr != nil {
 		res.Diagnostics.notePanic(out.hashErr, quar)
+		l.recycle(cand)
 		return
 	}
 	// Hash-filter BEFORE the expensive scheduling + simulation — the
@@ -543,11 +561,13 @@ func (l *searchLoop) absorb(cand *candidate, out *candOutcome) {
 	// (on the sequential path) never reach the scheduler.
 	if out.dup || l.seen[out.hash] {
 		res.Stats.Filtered++
+		l.recycle(cand)
 		return
 	}
 	l.seen[out.hash] = true
 	if out.badGraph {
 		res.Diagnostics.noteInvariant(cand.rule, quar)
+		l.recycle(cand)
 		return
 	}
 	if out.evalErr != nil {
@@ -555,10 +575,12 @@ func (l *searchLoop) absorb(cand *candidate, out *candOutcome) {
 		// stale region) skip silently, matching the pre-hardening
 		// contract.
 		res.Diagnostics.notePanic(out.evalErr, quar)
+		l.recycle(cand)
 		return
 	}
 	if out.badSched {
 		res.Diagnostics.noteInvariant(cand.rule, quar)
+		l.recycle(cand)
 		return
 	}
 	quar.ok(cand.rule)
@@ -569,7 +591,36 @@ func (l *searchLoop) absorb(cand *candidate, out *candOutcome) {
 			HistoryPoint{time.Since(l.start), l.best.PeakMem, l.best.Latency})
 	}
 	if l.o.better(cand.state, l.best, l.o.Delta) {
+		// Only states entering the frontier can ever be expanded, so only
+		// they keep a handle on this expansion's reach cache.
+		cand.state.reachHint = rc
 		heap.Push(l.q, cand.state)
+	} else if cand.state != l.best {
+		// Evaluated but neither frontier nor best: dead on arrival.
+		l.recycle(cand)
+	}
+}
+
+// recycle returns a rejected candidate's private graphs to the central
+// pool: its evaluation graph (always collapse-fresh) and, for rule
+// candidates, the rewritten logical graph. Contained-panic paths are safe
+// to recycle too: EvalG is only assigned after Collapse returns whole, G
+// is fully built before the candidate exists, and a panic downstream of
+// either (hashing, scheduling, simulation) retains no reference to them —
+// CloneInto resets the shell on reuse regardless.
+func (l *searchLoop) recycle(cand *candidate) {
+	if l.gp == nil {
+		return
+	}
+	s := cand.state
+	if s.EvalG != nil && s.EvalG != s.G {
+		l.gp.put(s.EvalG)
+		s.EvalG = nil
+		s.wl = nil
+	}
+	if cand.ownsG {
+		l.gp.put(s.G)
+		s.G = nil
 	}
 }
 
@@ -584,6 +635,10 @@ type candidate struct {
 	// hashing, and evaluation to the transformation that produced it.
 	rule string
 	site string
+	// ownsG marks the state's logical graph as private to this candidate
+	// (a rule-produced rewrite), making it recyclable on rejection. F-Tree
+	// mutation candidates share the parent's graph and never own it.
+	ownsG bool
 }
 
 // neighbors generates new M-States by applying M-Rules: graph rewrite
@@ -591,7 +646,7 @@ type candidate struct {
 // application runs under guard; a panicking rule loses its candidates for
 // this expansion and advances toward quarantine instead of crashing the
 // search.
-func neighbors(s *State, o *Options, res *Result, quar *quarantine) []*candidate {
+func neighbors(s *State, o *Options, res *Result, quar *quarantine, gp *graphPool) []*candidate {
 	st := &res.Stats
 	var out []*candidate
 	t0 := time.Now()
@@ -600,6 +655,9 @@ func neighbors(s *State, o *Options, res *Result, quar *quarantine) []*candidate
 		Cover:        s.FT.EnabledCover(),
 		MaxSites:     o.MaxSites,
 		UseHotFilter: !o.NaiveSchedRules,
+	}
+	if gp != nil {
+		ctx.CloneGraph = gp.clone
 	}
 	for _, r := range o.Rules {
 		name := r.Name()
@@ -627,6 +685,7 @@ func neighbors(s *State, o *Options, res *Result, quar *quarantine) []*candidate
 				oldMutated: mapToEval(s, app.OldMutated),
 				rule:       name,
 				site:       app.Site(),
+				ownsG:      true,
 			})
 			res.Diagnostics.rule(name).Applications++
 			st.Trans++
@@ -714,9 +773,12 @@ func regionAnchors(s *State, n *ftree.Node) []graph.NodeID {
 }
 
 // rebuildTree re-analyzes the F-Tree after a graph rewrite (Algorithm 3
-// line 13-14), preserving enabled regions by set identity.
+// line 13-14), preserving enabled regions by set identity. The rebuild is
+// warm-started from the parent tree's cached dominator computations: one
+// rewrite leaves most of the graph's ancestor cones untouched, so most
+// immediate dominators carry over verbatim (see graph.DominatorsFrom).
 func rebuildTree(s *State, o ftree.Options) *ftree.Tree {
-	nt := ftree.Build(s.G, s.Hot, o)
+	nt := ftree.BuildFrom(s.G, s.Hot, o, s.FT)
 	enabled := s.FT.EnabledNodes()
 	matched := make(map[string]int, len(enabled))
 	for _, en := range enabled {

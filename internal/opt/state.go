@@ -35,6 +35,15 @@ type State struct {
 	regions map[string]graph.NodeID
 	// stale marks the F-Tree as needing re-analysis after a graph rewrite.
 	stale bool
+	// wl is the WL-label snapshot of EvalG, written once when the state is
+	// hashed and read-only afterwards; children splice into it instead of
+	// re-hashing their whole evaluation graph.
+	wl *graph.WLLabels
+	// reachHint is the parent expansion's reachability cache, letting this
+	// state's own expansion derive its ReachIndex by Rebase instead of a
+	// full rebuild. Cleared after first use to keep ancestor chains from
+	// accumulating.
+	reachHint *reachCache
 }
 
 // Summary renders the state's headline measurements for logs and the
@@ -75,14 +84,29 @@ func (s *Stats) add(o *Stats) {
 // state's eval graph, shared by every worker of an expansion. sync.Once
 // makes the build race-free; the index is immutable after construction, so
 // concurrent NW queries need no further locking.
+//
+// prev, when set, is the grandparent expansion's cache: the build first
+// attempts graph.Rebase from it — recomputing only rows downstream of the
+// rewrite — and falls back to a full NewReachIndex when the delta is too
+// large. prev is cleared after the build so discarded lineages do not pin
+// their whole ancestor chain.
 type reachCache struct {
 	g    *graph.Graph
+	prev *reachCache
 	once sync.Once
 	idx  *graph.ReachIndex
 }
 
 func (rc *reachCache) index() *graph.ReachIndex {
-	rc.once.Do(func() { rc.idx = graph.NewReachIndex(rc.g) })
+	rc.once.Do(func() {
+		if p := rc.prev; p != nil && p.idx != nil {
+			rc.idx = graph.Rebase(p.idx, p.g, rc.g)
+		}
+		if rc.idx == nil {
+			rc.idx = graph.NewReachIndex(rc.g)
+		}
+		rc.prev = nil
+	})
 	return rc.idx
 }
 
@@ -91,11 +115,12 @@ func (rc *reachCache) index() *graph.ReachIndex {
 // shared between goroutines. Read-only inputs (cost model, parent state,
 // reach index) are shared across the pool.
 type evaluator struct {
-	model *cost.Model
-	sc    *sched.Scheduler
-	col   collapser
-	full  bool // force full rescheduling (ablation)
-	stats *Stats
+	model  *cost.Model
+	sc     *sched.Scheduler
+	col    collapser
+	full   bool // force full rescheduling (ablation)
+	strict bool // force full WL hashing (escape hatch / oracle)
+	stats  *Stats
 
 	// rc is the expansion-shared reachability cache over the parent's eval
 	// graph, set by the search before each expansion.
@@ -105,16 +130,22 @@ type evaluator struct {
 	// lifetime-simulation hot paths off the allocator.
 	hs graph.HashScratch
 	ss sched.Scratch
+	// gp recycles discarded graph shells into this evaluator's collapse
+	// clones. The primary evaluator's pool doubles as the search's central
+	// recycler (rule clones, absorb-time recycling); worker pools are
+	// refilled from it at expansion boundaries.
+	gp graphPool
 }
 
-func newEvaluator(model *cost.Model, full bool, stats *Stats) *evaluator {
+func newEvaluator(model *cost.Model, full, strict bool, stats *Stats) *evaluator {
 	e := &evaluator{
-		model: model,
-		sc:    &sched.Scheduler{},
-		full:  full,
-		stats: stats,
+		model:  model,
+		sc:     &sched.Scheduler{},
+		full:   full,
+		strict: strict,
+		stats:  stats,
 	}
-	e.col = collapser{model: model, sc: e.sc, ss: &e.ss}
+	e.col = collapser{model: model, sc: e.sc, ss: &e.ss, gp: &e.gp}
 	return e
 }
 
@@ -182,10 +213,24 @@ func regionNodeCost(n *graph.Node) (float64, bool) {
 }
 
 // hash returns the Weisfeiler-Lehman hash of the evaluation graph: states
-// with identical collapsed structure are duplicates for the search.
-func (e *evaluator) hash(s *State) uint64 {
+// with identical collapsed structure are duplicates for the search. With a
+// parent state available (and strict mode off) the hash splices into the
+// parent's label snapshot, re-labelling only nodes whose defining cone the
+// rewrite touched; the splice is self-verifying (see graph.WLHashFrom), so
+// the result is bit-identical to the full path either way. The snapshot
+// for this state's own children is captured as a side effect.
+func (e *evaluator) hash(s *State, prev *State) uint64 {
 	t := time.Now()
-	h := s.EvalG.WLHashScratch(&e.hs)
+	var h uint64
+	if e.strict {
+		h = s.EvalG.WLHashScratch(&e.hs)
+	} else {
+		var pwl *graph.WLLabels
+		if prev != nil {
+			pwl = prev.wl
+		}
+		h, s.wl = s.EvalG.WLHashFrom(pwl, &e.hs)
+	}
 	e.stats.Hash++
 	e.stats.HashTime += time.Since(t)
 	return h

@@ -53,6 +53,21 @@ type Context struct {
 	// UseHotFilter enables the hot-spot site filter; disabling it is the
 	// naive-sch-rule ablation of §7.2.5.
 	UseHotFilter bool
+	// CloneGraph, when set, supplies the transformed-graph shell for each
+	// application from the caller's recycler instead of the allocator. The
+	// returned graph must be a deep copy of its argument with no storage
+	// shared with any live graph; rules own it outright. Nil falls back to
+	// graph.Clone.
+	CloneGraph func(*graph.Graph) *graph.Graph
+}
+
+// clone produces the writable copy an application mutates, routed through
+// CloneGraph when the optimizer supplied a recycler.
+func (c *Context) clone(g *graph.Graph) *graph.Graph {
+	if c != nil && c.CloneGraph != nil {
+		return c.CloneGraph(g)
+	}
+	return g.Clone()
 }
 
 func (c *Context) maxSites() int {
@@ -143,7 +158,7 @@ func (RematRule) Apply(g *graph.Graph, ctx *Context) []Application {
 		if len(out) >= ctx.maxSites() {
 			continue
 		}
-		ng := g.Clone()
+		ng := ctx.clone(g)
 		dup := ng.AddNamed(g.Node(a).Name+"'", g.Node(a).Op, g.Node(a).Ins...)
 		ng.ReplaceInput(b, a, dup)
 		out = append(out, Application{ng, []graph.NodeID{a, b}, "Remat"})
@@ -173,7 +188,7 @@ func (RematRule) Apply(g *graph.Graph, ctx *Context) []Application {
 				continue
 			}
 			prev = k
-			app := applyChains(g, cs[:k])
+			app := applyChains(g, ctx, cs[:k])
 			app.Rule = "RematBatch"
 			out = append(out, app)
 		}
@@ -183,7 +198,7 @@ func (RematRule) Apply(g *graph.Graph, ctx *Context) []Application {
 
 // composites builds quarter/half/all bundles over sites, sorted by the
 // producer's tensor size descending so the biggest wins come first.
-func composites(g *graph.Graph, sites [][2]graph.NodeID, rule string, apply func(ng *graph.Graph, a, b graph.NodeID)) []Application {
+func composites(g *graph.Graph, ctx *Context, sites [][2]graph.NodeID, rule string, apply func(ng *graph.Graph, a, b graph.NodeID)) []Application {
 	if len(sites) < 2 {
 		return nil
 	}
@@ -204,7 +219,7 @@ func composites(g *graph.Graph, sites [][2]graph.NodeID, rule string, apply func
 			continue
 		}
 		prev = k
-		ng := g.Clone()
+		ng := ctx.clone(g)
 		var mutated []graph.NodeID
 		for _, s := range sorted[:k] {
 			apply(ng, s[0], s[1])
@@ -285,7 +300,7 @@ func chainSites(g *graph.Graph, ctx *Context) []chainSite {
 // applyChains duplicates the union of the sites' chains once (shared
 // duplicates — overlapping chains recompute each ancestor a single time,
 // checkpoint-style) and rewires each site's far consumer.
-func applyChains(g *graph.Graph, sites []chainSite) Application {
+func applyChains(g *graph.Graph, ctx *Context, sites []chainSite) Application {
 	union := make(graph.Set)
 	var mutated []graph.NodeID
 	for _, s := range sites {
@@ -294,7 +309,7 @@ func applyChains(g *graph.Graph, sites []chainSite) Application {
 		}
 		mutated = append(mutated, s.a, s.b)
 	}
-	ng := g.Clone()
+	ng := ctx.clone(g)
 	dup := make(map[graph.NodeID]graph.NodeID, len(union))
 	for _, v := range topoWithin(g, union) {
 		node := g.Node(v)
@@ -324,7 +339,7 @@ func (RematChainRule) Apply(g *graph.Graph, ctx *Context) []Application {
 		if i >= ctx.maxSites() {
 			break
 		}
-		out = append(out, applyChains(g, []chainSite{s}))
+		out = append(out, applyChains(g, ctx, []chainSite{s}))
 	}
 	// Graduated composites over the largest tensors, like SwapRule's.
 	if len(sites) >= 2 {
@@ -343,7 +358,7 @@ func (RematChainRule) Apply(g *graph.Graph, ctx *Context) []Application {
 				continue
 			}
 			prev = k
-			app := applyChains(g, sorted[:k])
+			app := applyChains(g, ctx, sorted[:k])
 			app.Rule = "RematChainBatch"
 			out = append(out, app)
 		}
@@ -408,7 +423,7 @@ func (DeRematRule) Apply(g *graph.Graph, ctx *Context) []Application {
 		if ctx.blocked(keep, dup) {
 			continue
 		}
-		ng := g.Clone()
+		ng := ctx.clone(g)
 		ng.RedirectConsumers(dup, keep)
 		if err := ng.Remove(dup); err != nil {
 			continue
@@ -460,7 +475,7 @@ func (SwapRule) Apply(g *graph.Graph, ctx *Context) []Application {
 		if len(out) >= ctx.maxSites() {
 			continue
 		}
-		ng := g.Clone()
+		ng := ctx.clone(g)
 		sh, dt := n.Op.OutShape(), n.Op.DType()
 		st := ng.Add(ops.NewStore(sh, dt), a)
 		ld := ng.Add(ops.NewLoad(sh, dt), st)
@@ -470,7 +485,7 @@ func (SwapRule) Apply(g *graph.Graph, ctx *Context) []Application {
 	// Composite applications: swap out the largest quarter/half/all hot
 	// tensors at once (see RematRule); superfluous swaps are undone by
 	// DeSwap.
-	out = append(out, composites(g, sites, "Swap", func(ng *graph.Graph, a, b graph.NodeID) {
+	out = append(out, composites(g, ctx, sites, "Swap", func(ng *graph.Graph, a, b graph.NodeID) {
 		sh, dt := ng.Node(a).Op.OutShape(), ng.Node(a).Op.DType()
 		st := ng.Add(ops.NewStore(sh, dt), a)
 		ld := ng.Add(ops.NewLoad(sh, dt), st)
@@ -504,7 +519,7 @@ func (DeSwapRule) Apply(g *graph.Graph, ctx *Context) []Application {
 		if len(src) != 1 || ctx.blocked(ld, st, src[0]) {
 			continue
 		}
-		ng := g.Clone()
+		ng := ctx.clone(g)
 		ng.RedirectConsumers(ld, src[0])
 		if err := ng.Remove(ld); err != nil {
 			continue

@@ -22,6 +22,15 @@ type Scheduler struct {
 	// scratch is reused across scheduling calls; a Scheduler is therefore
 	// not safe for concurrent use (the search gives each worker its own).
 	scratch Scratch
+
+	// Reused work storage. The beam scheduler prices every fission region
+	// of every search candidate, so its per-step state lives in slots that
+	// persist across calls instead of per-entry allocations.
+	pb    problem
+	topo  graph.TopoScratch
+	slots []beamEntry
+	cands []beamCand
+	blist []*beamEntry
 }
 
 func (sc *Scheduler) maxExact() int {
@@ -63,48 +72,146 @@ func (sc *Scheduler) DpSchedule(g *graph.Graph) Schedule {
 	}
 }
 
-// problem is the indexed form of a scheduling sub-problem.
+// problem is the indexed form of a scheduling sub-problem. All per-node
+// tables and both adjacency arenas are reused across calls.
 type problem struct {
 	ids      []graph.NodeID // index -> node, topo order
-	preds    [][]int
-	sucMask  []uint64 // consumers as bitmask (exact DP only, n <= 64)
+	idx      []int32        // NodeID -> index
+	preds    [][]int32      // distinct predecessors, arena-backed
+	sucs     [][]int32      // distinct consumers, arena-backed
 	size     []int64
 	trans    []int64
 	hasCons  []bool
-	predMask []uint64
+	predMask []uint64 // exact DP only, n <= 64
+	sucMask  []uint64
+
+	predArena, sucArena, cnt []int32
 }
 
-func newProblem(g *graph.Graph) *problem {
-	ids := g.Topo()
-	idx := make(map[graph.NodeID]int, len(ids))
-	for i, v := range ids {
-		idx[v] = i
+func ensureI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
 	}
-	p := &problem{
-		ids:      ids,
-		preds:    make([][]int, len(ids)),
-		size:     make([]int64, len(ids)),
-		trans:    make([]int64, len(ids)),
-		hasCons:  make([]bool, len(ids)),
-		predMask: make([]uint64, len(ids)),
+	return s[:n]
+}
+
+func ensureI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
 	}
-	small := len(ids) <= 64
+	return s[:n]
+}
+
+func ensureU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+// problemFor (re)builds sc.pb for g. The result is valid until the next
+// problemFor call on the same Scheduler.
+func (sc *Scheduler) problemFor(g *graph.Graph) *problem {
+	p := &sc.pb
+	order, err := g.TopoInto(&sc.topo)
+	if err != nil {
+		panic(err.Error())
+	}
+	n := len(order)
+	if cap(p.ids) < n {
+		p.ids = make([]graph.NodeID, n)
+	} else {
+		p.ids = p.ids[:n]
+	}
+	copy(p.ids, order)
+	maxID := 0
+	for _, v := range p.ids {
+		if int(v) > maxID {
+			maxID = int(v)
+		}
+	}
+	p.idx = ensureI32(p.idx, maxID+1)
+	for i, v := range p.ids {
+		p.idx[v] = int32(i)
+	}
+	if cap(p.preds) < n {
+		p.preds = make([][]int32, n)
+		p.sucs = make([][]int32, n)
+	} else {
+		p.preds = p.preds[:n]
+		p.sucs = p.sucs[:n]
+	}
+	p.size = ensureI64(p.size, n)
+	p.trans = ensureI64(p.trans, n)
+	if cap(p.hasCons) < n {
+		p.hasCons = make([]bool, n)
+	} else {
+		p.hasCons = p.hasCons[:n]
+	}
+	small := n <= 64
 	if small {
-		p.sucMask = make([]uint64, len(ids))
+		p.predMask = ensureU64(p.predMask, n)
+		p.sucMask = ensureU64(p.sucMask, n)
+		for i := 0; i < n; i++ {
+			p.predMask[i] = 0
+			p.sucMask[i] = 0
+		}
+	} else {
+		p.predMask, p.sucMask = p.predMask[:0], p.sucMask[:0]
 	}
-	for i, v := range ids {
+	// Distinct predecessors, deduplicated by linear scan (input lists are
+	// tiny) into one arena.
+	arena := p.predArena[:0]
+	for i, v := range p.ids {
 		node := g.Node(v)
 		p.size[i] = OutDeviceBytes(node)
 		p.trans[i] = ExecTransientBytes(node)
-		for _, pr := range g.Pre(v) {
-			j := idx[pr]
-			p.preds[i] = append(p.preds[i], j)
-			if small {
+		p.hasCons[i] = g.SucEdges(v) > 0
+		base := len(arena)
+	ins:
+		for _, pr := range node.Ins {
+			j := p.idx[pr]
+			for _, e := range arena[base:] {
+				if e == j {
+					continue ins
+				}
+			}
+			arena = append(arena, j)
+		}
+		p.preds[i] = arena[base:len(arena):len(arena)]
+		if small {
+			for _, j := range arena[base:] {
 				p.predMask[i] |= 1 << j
 				p.sucMask[j] |= 1 << i
 			}
 		}
-		p.hasCons[i] = len(g.Suc(v)) > 0
+	}
+	p.predArena = arena
+	// Distinct consumers: preds are deduplicated, so each (u, v) pair
+	// occurs once; counting pass sizes the arena sub-slices.
+	cnt := ensureI32(p.cnt, n)
+	p.cnt = cnt
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	total := 0
+	for i := range p.preds {
+		for _, u := range p.preds[i] {
+			cnt[u]++
+			total++
+		}
+	}
+	sa := ensureI32(p.sucArena, total)
+	p.sucArena = sa
+	off := int32(0)
+	for u := 0; u < n; u++ {
+		p.sucs[u] = sa[off : off : off+cnt[u]]
+		off += cnt[u]
+	}
+	for i := range p.preds {
+		for _, u := range p.preds[i] {
+			p.sucs[u] = append(p.sucs[u], int32(i))
+		}
 	}
 	return p
 }
@@ -118,11 +225,13 @@ type dpEntry struct {
 
 // exact runs the exponential DP over subsets (n <= 64 by construction).
 func (sc *Scheduler) exact(g *graph.Graph) Schedule {
-	p := newProblem(g)
-	n := len(p.ids)
-	// Upper bound from greedy to prune the DP.
-	bound := sc.scratch.PeakOnly(g, sc.beam(g, 1))
+	// Upper bound from greedy to prune the DP — computed first because the
+	// greedy beam shares sc.pb.
+	greedy := sc.beam(g, 1)
+	bound := sc.scratch.PeakOnly(g, greedy)
 
+	p := sc.problemFor(g)
+	n := len(p.ids)
 	memo := map[uint64]dpEntry{0: {}}
 	frontier := []uint64{0}
 	full := uint64(1)<<n - 1
@@ -167,7 +276,7 @@ func (sc *Scheduler) exact(g *graph.Graph) Schedule {
 	}
 	if _, ok := memo[full]; !ok {
 		// Pruning removed every path (bound was already optimal): fall back.
-		return sc.beam(g, 1)
+		return greedy
 	}
 	order := make(Schedule, n)
 	for mask := full; mask != 0; {
@@ -178,13 +287,14 @@ func (sc *Scheduler) exact(g *graph.Graph) Schedule {
 	return order
 }
 
+// beamEntry is one scheduled-prefix state, living in a persistent slot.
 type beamEntry struct {
 	mask  []uint64
 	rem   []int32 // unscheduled distinct-consumer count per node
 	ready []int32 // unscheduled predecessor count per node
+	order []int32
 	alive int64
 	peak  int64
-	order []int
 }
 
 func (b *beamEntry) has(v int) bool { return b.mask[v/64]&(1<<(v%64)) != 0 }
@@ -201,45 +311,65 @@ func (e *beamEntry) freedIf(p *problem, v int) int64 {
 	return freed
 }
 
+type beamCand struct {
+	from  *beamEntry
+	v     int
+	peak  int64
+	delta int64 // net alive change; lower is better
+}
+
+type beamCands []beamCand
+
+func (c beamCands) Len() int      { return len(c) }
+func (c beamCands) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
+func (c beamCands) Less(i, j int) bool {
+	if c[i].peak != c[j].peak {
+		return c[i].peak < c[j].peak
+	}
+	if c[i].delta != c[j].delta {
+		return c[i].delta < c[j].delta
+	}
+	return c[i].v < c[j].v
+}
+
 // beam runs width-w beam search over the DP state space; w = 1 is the
-// greedy list scheduler used for very large partitions.
+// greedy list scheduler used for very large partitions. Beam states live
+// in 2w persistent slots (parents in one half, children built in the
+// other), so a whole run performs no per-step allocation.
 func (sc *Scheduler) beam(g *graph.Graph, w int) Schedule {
-	p := newProblem(g)
+	p := sc.problemFor(g)
 	n := len(p.ids)
 	words := (n + 63) / 64
-	sucs := make([][]int, n) // distinct consumers per node index
-	for v := 0; v < n; v++ {
-		seen := make(map[int]bool, len(p.preds[v]))
-		for _, u := range p.preds[v] {
-			if !seen[u] {
-				seen[u] = true
-				sucs[u] = append(sucs[u], v)
-			}
+	if cap(sc.slots) < 2*w {
+		sc.slots = make([]beamEntry, 2*w)
+	} else {
+		sc.slots = sc.slots[:2*w]
+	}
+	for i := range sc.slots {
+		e := &sc.slots[i]
+		e.mask = ensureU64(e.mask, words)
+		e.rem = ensureI32(e.rem, n)
+		e.ready = ensureI32(e.ready, n)
+		if cap(e.order) < n {
+			e.order = make([]int32, 0, n)
+		} else {
+			e.order = e.order[:0]
 		}
 	}
-	start := &beamEntry{
-		mask:  make([]uint64, words),
-		rem:   make([]int32, n),
-		ready: make([]int32, n),
+	start := &sc.slots[0]
+	for i := 0; i < words; i++ {
+		start.mask[i] = 0
 	}
 	for v := 0; v < n; v++ {
-		start.rem[v] = int32(len(sucs[v]))
-		seen := make(map[int]bool, len(p.preds[v]))
-		for _, u := range p.preds[v] {
-			if !seen[u] {
-				seen[u] = true
-				start.ready[v]++
-			}
-		}
+		start.rem[v] = int32(len(p.sucs[v]))
+		start.ready[v] = int32(len(p.preds[v]))
 	}
-	beam := []*beamEntry{start}
-	type cand struct {
-		from  *beamEntry
-		v     int
-		peak  int64
-		delta int64 // net alive change; lower is better
-	}
-	cands := make([]cand, 0, 64)
+	start.alive, start.peak = 0, 0
+	start.order = start.order[:0]
+
+	beam := append(sc.blist[:0], start)
+	cands := sc.cands[:0]
+	half := 0
 	for step := 0; step < n; step++ {
 		cands = cands[:0]
 		for _, e := range beam {
@@ -251,47 +381,37 @@ func (sc *Scheduler) beam(g *graph.Graph, w int) Schedule {
 				if m := e.alive + p.size[v] + p.trans[v]; m > peak {
 					peak = m
 				}
-				cands = append(cands, cand{e, v, peak, p.size[v] - e.freedIf(p, v)})
+				cands = append(cands, beamCand{e, v, peak, p.size[v] - e.freedIf(p, v)})
 			}
 		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].peak != cands[j].peak {
-				return cands[i].peak < cands[j].peak
-			}
-			if cands[i].delta != cands[j].delta {
-				return cands[i].delta < cands[j].delta
-			}
-			return cands[i].v < cands[j].v
-		})
+		sort.Sort(beamCands(cands))
 		if len(cands) > w {
 			cands = cands[:w]
 		}
-		next := make([]*beamEntry, 0, len(cands))
-		for _, c := range cands {
-			e := c.from
-			ne := &beamEntry{
-				mask:  append([]uint64(nil), e.mask...),
-				rem:   append([]int32(nil), e.rem...),
-				ready: append([]int32(nil), e.ready...),
-				alive: e.alive + c.delta,
-				peak:  c.peak,
-				order: append(append([]int(nil), e.order...), c.v),
-			}
+		half = 1 - half
+		next := sc.slots[half*w : half*w+len(cands)]
+		beam = beam[:0]
+		for k := range cands {
+			c := &cands[k]
+			e, ne := c.from, &next[k]
+			copy(ne.mask, e.mask)
+			copy(ne.rem, e.rem)
+			copy(ne.ready, e.ready)
+			ne.order = append(ne.order[:0], e.order...)
+			ne.order = append(ne.order, int32(c.v))
+			ne.alive = e.alive + c.delta
+			ne.peak = c.peak
 			ne.mask[c.v/64] |= 1 << (c.v % 64)
-			seen := make(map[int]bool, len(p.preds[c.v]))
 			for _, u := range p.preds[c.v] {
-				if !seen[u] {
-					seen[u] = true
-					ne.rem[u]--
-				}
+				ne.rem[u]--
 			}
-			for _, s := range sucs[c.v] {
+			for _, s := range p.sucs[c.v] {
 				ne.ready[s]--
 			}
-			next = append(next, ne)
+			beam = append(beam, ne)
 		}
-		beam = next
 	}
+	sc.cands = cands[:0]
 	best := beam[0]
 	for _, e := range beam[1:] {
 		if e.peak < best.peak {
@@ -302,6 +422,7 @@ func (sc *Scheduler) beam(g *graph.Graph, w int) Schedule {
 	for i, v := range best.order {
 		order[i] = p.ids[v]
 	}
+	sc.blist = beam[:0]
 	return order
 }
 

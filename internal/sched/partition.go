@@ -36,10 +36,9 @@ func GraphPartition(g *graph.Graph, w graph.Set) []graph.Set {
 			if !remaining[d] {
 				continue
 			}
-			des := sub.Des(d)
 			seg := make(graph.Set)
 			for v := range remaining {
-				if !des[v] {
+				if !reach.IsDes(d, v) {
 					seg[v] = true
 				}
 			}
@@ -49,7 +48,7 @@ func GraphPartition(g *graph.Graph, w graph.Set) []graph.Set {
 			segs = append(segs, seg)
 			next := make(graph.Set)
 			for v := range remaining {
-				if des[v] {
+				if reach.IsDes(d, v) {
 					next[v] = true
 				}
 			}

@@ -119,8 +119,16 @@ type Result struct {
 func Run(g *graph.Graph, order sched.Schedule, cfg Config) *Result {
 	n := len(order)
 	res := &Result{}
-	start := make(map[graph.NodeID]float64, n)
-	finish := make(map[graph.NodeID]float64, n)
+	// Dense ID-indexed timing tables: a valid schedule covers every node,
+	// so every producer/consumer looked up below appears in order.
+	bound := graph.NodeID(0)
+	for _, v := range order {
+		if v >= bound {
+			bound = v + 1
+		}
+	}
+	start := make([]float64, bound)
+	finish := make([]float64, bound)
 
 	latency := func(node *graph.Node) float64 {
 		if cfg.NodeCost != nil {
@@ -146,9 +154,11 @@ func Run(g *graph.Graph, order sched.Schedule, cfg Config) *Result {
 			}
 		}
 		ready := 0.0
-		for _, p := range g.Pre(v) {
-			if f := finish[p]; f > ready {
-				ready = f
+		for _, p := range node.Ins {
+			if p < bound {
+				if f := finish[p]; f > ready {
+					ready = f
+				}
 			}
 		}
 		if ops.IsTransfer(node.Op.Kind()) {
@@ -227,13 +237,15 @@ func Run(g *graph.Graph, order sched.Schedule, cfg Config) *Result {
 			continue
 		}
 		freeAt := res.Latency
-		if cs := g.Suc(v); len(cs) > 0 {
+		if g.SucEdges(v) > 0 {
 			freeAt = 0
-			for _, c := range cs {
-				if f := finish[c]; f > freeAt {
-					freeAt = f
+			g.EachSucEdge(v, func(c graph.NodeID) {
+				if c < bound {
+					if f := finish[c]; f > freeAt {
+						freeAt = f
+					}
 				}
-			}
+			})
 		}
 		events = append(events, event{start[v], bytes}, event{freeAt, -bytes})
 	}
