@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench-core cache-chaos
+.PHONY: build test race bench-core cache-chaos soak-chaos
 
 build:
 	go build ./...
@@ -20,3 +20,9 @@ bench-core:
 # (bit flips, truncation, junk floods, SIGKILL) against a live server.
 cache-chaos:
 	./scripts/cache_chaos.sh
+
+# Overload soak: mixed seeded traffic (hits, warm starts, cold searches,
+# deadlines, a poisoned workload) plus SIGKILL/restart against a live
+# server, asserting the serving invariants end to end (RACE=1 for -race).
+soak-chaos:
+	./scripts/soak_chaos.sh

@@ -77,6 +77,15 @@ func main() {
 		oracleSeed = flag.Int64("oracle-seed", 42, "seed for the oracle target's rewrite sequences")
 		mutate     = flag.Bool("mutate", false, "verify target: corrupt one memory-plan offset per workload first; the arena checker must then trap it and the run exits non-zero")
 
+		soakURL   = flag.String("soak-url", "http://127.0.0.1:8080", "soak target: base URL of the magis-serve instance to drive")
+		soakJobs  = flag.Int("soak-jobs", 60, "soak target: traffic submissions to attempt")
+		soakSeed  = flag.Int64("soak-seed", 1, "soak target: seed for the traffic mix")
+		soakPois  = flag.String("soak-poison", "", "soak target: poisoned model name (must match the server's -chaos-poison-model; empty skips the breaker phase)")
+		soakModel = flag.String("soak-model", "mlp", "soak target: healthy model driven by the traffic mix")
+		soakWait  = flag.Duration("soak-settle", 2*time.Minute, "soak target: how long to wait for jobs to settle")
+		soakP99   = flag.Duration("soak-hit-p99", 2*time.Second, "soak target: SLO floor for cache-hit p99 latency")
+		soakDegr  = flag.Float64("soak-max-degraded", 0.5, "soak target: SLO floor for the degraded fraction of completed jobs")
+
 		auditFlag = flag.Bool("audit", false, "run the execution-feasibility audit target after the others")
 		faultsN   = flag.Int("faults", 0, "fault scenarios per workload in the audit target (0 = audit only)")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
@@ -93,7 +102,7 @@ func main() {
 	known := map[string]bool{
 		"table2": true, "fig9": true, "fig10": true, "fig11": true,
 		"fig12": true, "fig13": true, "fig14": true, "fig15": true, "fig16": true,
-		"audit": true, "verify": true, "cache": true, "oracle": true,
+		"audit": true, "verify": true, "cache": true, "oracle": true, "soak": true,
 	}
 	targets := flag.Args()
 	if len(targets) == 0 && !*auditFlag {
@@ -107,7 +116,7 @@ func main() {
 	}
 	for _, t := range targets {
 		if !known[t] {
-			fmt.Fprintf(os.Stderr, "unknown target %q (want table2, fig9..fig16, audit, verify, cache, oracle, or all)\n", t)
+			fmt.Fprintf(os.Stderr, "unknown target %q (want table2, fig9..fig16, audit, verify, cache, oracle, soak, or all)\n", t)
 			os.Exit(2)
 		}
 	}
@@ -193,6 +202,19 @@ func main() {
 			runCacheBench(ctx, cfg)
 		case "oracle":
 			if !runOracle(*oracleSeqs, *oracleSeed) {
+				verifyFailed = true
+			}
+		case "soak":
+			if !runSoak(ctx, soakConfig{
+				URL:      *soakURL,
+				Jobs:     *soakJobs,
+				Seed:     *soakSeed,
+				Poison:   *soakPois,
+				Healthy:  *soakModel,
+				SettleTo: *soakWait,
+				HitP99:   *soakP99,
+				MaxDegr:  *soakDegr,
+			}) {
 				verifyFailed = true
 			}
 		}

@@ -50,6 +50,10 @@ func main() {
 		drainT   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for jobs to checkpoint and stop")
 		cacheDir = flag.String("cache-dir", "", "persistent plan cache directory (enables verified-plan reuse, warm starts, and single-flight dedup)")
 		cacheMax = flag.Int("cache-max", 0, "plan cache entry cap before eviction (0 = default)")
+		admitBdg = flag.Duration("admit-budget", 0, "concurrent-cost admission budget in estimated service time (0 = 2x(queue+jobs)xbudget)")
+		brkThr   = flag.Int("breaker-threshold", 0, "consecutive failures that open a workload's circuit breaker (0 = default 3, negative disables)")
+		brkCool  = flag.Duration("breaker-cooloff", 0, "how long an open breaker rejects its workload before a half-open probe (0 = default 30s)")
+		poison   = flag.String("chaos-poison-model", "", "fault injection: every search of this model fails (chaos soak only)")
 	)
 	flag.Parse()
 
@@ -79,8 +83,15 @@ func main() {
 		CheckpointEveryN: *ckEvery,
 		StallWindow:      *stall,
 		Cache:            cache,
+		AdmitBudget:      *admitBdg,
+		BreakerThreshold: *brkThr,
+		BreakerCooloff:   *brkCool,
+		FailModel:        *poison,
 		Logf:             log.Printf,
 	})
+	if *poison != "" {
+		log.Printf("CHAOS: model %q is poisoned; every search of it will fail", *poison)
+	}
 	if n := s.Start(); n > 0 {
 		log.Printf("recovered %d checkpointed job(s) from %s", n, *ckDir)
 	}

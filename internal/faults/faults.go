@@ -51,11 +51,15 @@ type Config struct {
 	MaxRetries int
 	// RetryBackoff is the base retry backoff in seconds.
 	RetryBackoff float64
+	// RetryJitter spreads retry backoffs by a factor in [1-j, 1+j] so
+	// transfers that fail together do not retry in lock-step. Seeded per
+	// scenario, so replay stays deterministic.
+	RetryJitter float64
 }
 
 // Defaults returns the standard scenario mix: ±20% cost noise, up to +50%
-// swap slowdown, 5% transient transfer failures, and two squeeze windows
-// taking up to 15% of the budget.
+// swap slowdown, 5% transient transfer failures with ±25% retry jitter,
+// and two squeeze windows taking up to 15% of the budget.
 func Defaults(seed int64, scenarios int) Config {
 	return Config{
 		Seed:             seed,
@@ -63,6 +67,7 @@ func Defaults(seed int64, scenarios int) Config {
 		CostNoise:        0.20,
 		SwapDegrade:      0.50,
 		TransferFailRate: 0.05,
+		RetryJitter:      0.25,
 		BudgetSqueeze:    0.15,
 		SqueezeWindows:   2,
 	}
@@ -112,10 +117,11 @@ type Scenario struct {
 
 // Hash salts separating the independent fault channels.
 const (
-	saltNoise uint64 = 0xA24BAED4963EE407
-	saltSwap  uint64 = 0x9FB21C651E98DF25
-	saltFail  uint64 = 0xD6E8FEB86659FD93
-	saltWin   uint64 = 0x589965CC75374CC3
+	saltNoise  uint64 = 0xA24BAED4963EE407
+	saltSwap   uint64 = 0x9FB21C651E98DF25
+	saltFail   uint64 = 0xD6E8FEB86659FD93
+	saltWin    uint64 = 0x589965CC75374CC3
+	saltJitter uint64 = 0xC2B2AE3D27D4EB4F
 )
 
 // mix hashes (seed, scenario, key, salt) to a uniform uint64 with a
@@ -196,12 +202,16 @@ func (s *Scenario) BudgetAt(t, horizon float64, budget int64) int64 {
 	return b
 }
 
-// Hooks bundles the scenario into the simulator's fault interface.
+// Hooks bundles the scenario into the simulator's fault interface. The
+// jitter stream is seeded per (Config.Seed, scenario index) so scenarios
+// stay independent and each one replays bit-identically.
 func (s *Scenario) Hooks() *sim.FaultHooks {
 	return &sim.FaultHooks{
 		LatencyScale:     s.LatencyScale,
 		TransferFailures: s.TransferFailures,
 		MaxRetries:       s.cfg.MaxRetries,
 		RetryBackoff:     s.cfg.RetryBackoff,
+		RetryJitter:      s.cfg.RetryJitter,
+		JitterSeed:       int64(mix(s.cfg.Seed, s.idx, 0, saltJitter)),
 	}
 }

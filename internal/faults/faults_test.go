@@ -175,6 +175,35 @@ func TestReplayDeterministic(t *testing.T) {
 	}
 }
 
+// TestHooksJitterSeededPerScenario: Defaults enables retry jitter, each
+// scenario gets its own jitter seed derived from (Seed, index) — so two
+// injectors with the same config hand out identical hooks, different
+// scenarios hand out different streams, and replay stays deterministic.
+func TestHooksJitterSeededPerScenario(t *testing.T) {
+	cfg := Defaults(42, 4)
+	if cfg.RetryJitter <= 0 {
+		t.Fatal("Defaults must enable retry jitter")
+	}
+	a, b := NewInjector(cfg), NewInjector(cfg)
+	seeds := map[int64]bool{}
+	for i := 0; i < 4; i++ {
+		ha, hb := a.Scenario(i).Hooks(), b.Scenario(i).Hooks()
+		if ha.RetryJitter != cfg.RetryJitter {
+			t.Errorf("scenario %d: hooks dropped RetryJitter", i)
+		}
+		if ha.JitterSeed != hb.JitterSeed {
+			t.Errorf("scenario %d: jitter seed not deterministic", i)
+		}
+		seeds[ha.JitterSeed] = true
+	}
+	if len(seeds) != 4 {
+		t.Errorf("want 4 distinct per-scenario jitter seeds, got %d", len(seeds))
+	}
+	if NewInjector(Defaults(43, 4)).Scenario(0).Hooks().JitterSeed == a.Scenario(0).Hooks().JitterSeed {
+		t.Error("jitter seed insensitive to Config.Seed")
+	}
+}
+
 func TestScenarioLatencyPerturbsRun(t *testing.T) {
 	g, order := swapChain()
 	m := cost.NewModel(cost.RTX3090())

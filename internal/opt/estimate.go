@@ -1,0 +1,40 @@
+package opt
+
+import "time"
+
+// nodeExpansionCost is the reference per-node cost of one expansion: each
+// expansion evaluates a bounded batch of candidates (MaxSites per rule,
+// capped catalogs), and every candidate evaluation — scheduling, simulation,
+// hashing — is linear in graph size. 50µs/node/expansion is a deliberately
+// coarse single-machine constant: admission control needs relative cost
+// (a 2000-node cold search is ~20x a 100-node one), not microbenchmark
+// accuracy.
+const nodeExpansionCost = 50 * time.Microsecond
+
+// baselineEvalCost prices the fixed pre-search work (baseline + initial
+// evaluation) per node.
+const baselineEvalCost = 10 * time.Microsecond
+
+// EstimateSearchTime predicts the wall-clock a fresh search over a
+// nodes-sized graph will consume under o, for resource-aware admission
+// control: the per-expansion cost model above, capped by whichever of the
+// iteration bound and the time budget binds first, plus the fixed
+// evaluation overhead. The estimate is intentionally pessimistic-side for
+// budget-bound searches (a search that converges early costs less, never
+// more) — an admission layer holding this estimate until the job settles
+// over-reserves, it does not over-admit.
+func EstimateSearchTime(nodes int, o Options) time.Duration {
+	(&o).defaults()
+	if nodes < 1 {
+		nodes = 1
+	}
+	perExpansion := time.Duration(nodes) * nodeExpansionCost / time.Duration(o.Workers)
+	if perExpansion <= 0 {
+		perExpansion = time.Microsecond
+	}
+	est := time.Duration(o.MaxIterations) * perExpansion
+	if o.TimeBudget > 0 && o.TimeBudget < est {
+		est = o.TimeBudget
+	}
+	return est + time.Duration(nodes)*baselineEvalCost
+}

@@ -1,0 +1,53 @@
+package opt
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEstimateSearchTime pins the admission cost model's shape: monotone in
+// graph size, capped by whichever of the time budget and the iteration
+// bound binds first, and divided across workers. Absolute accuracy is a
+// non-goal — relative ordering is what admission control consumes.
+func TestEstimateSearchTime(t *testing.T) {
+	base := Options{TimeBudget: -1, MaxIterations: 100, Workers: 1}
+
+	small := EstimateSearchTime(10, base)
+	large := EstimateSearchTime(1000, base)
+	if small <= 0 || large <= 0 {
+		t.Fatalf("estimates must be positive: small=%v large=%v", small, large)
+	}
+	if large <= small {
+		t.Errorf("estimate not monotone in nodes: %d nodes -> %v, %d nodes -> %v", 10, small, 1000, large)
+	}
+
+	// A positive TimeBudget caps the expansion term.
+	capped := EstimateSearchTime(1000, Options{TimeBudget: time.Second, MaxIterations: 100000, Workers: 1})
+	uncapped := EstimateSearchTime(1000, Options{TimeBudget: -1, MaxIterations: 100000, Workers: 1})
+	if capped >= uncapped {
+		t.Errorf("budget cap did not bind: capped=%v uncapped=%v", capped, uncapped)
+	}
+	if capped > time.Second+time.Duration(1000)*baselineEvalCost {
+		t.Errorf("capped estimate %v exceeds budget + fixed overhead", capped)
+	}
+
+	// Fewer iterations cost less when the budget does not bind.
+	few := EstimateSearchTime(100, Options{TimeBudget: -1, MaxIterations: 10, Workers: 1})
+	many := EstimateSearchTime(100, Options{TimeBudget: -1, MaxIterations: 1000, Workers: 1})
+	if few >= many {
+		t.Errorf("iteration cap did not bind: few=%v many=%v", few, many)
+	}
+
+	// More workers divide the expansion term.
+	one := EstimateSearchTime(1000, Options{TimeBudget: -1, MaxIterations: 100, Workers: 1})
+	four := EstimateSearchTime(1000, Options{TimeBudget: -1, MaxIterations: 100, Workers: 4})
+	if four >= one {
+		t.Errorf("workers did not divide the estimate: 1 worker=%v 4 workers=%v", one, four)
+	}
+
+	// Degenerate inputs stay sane: zero/negative node counts estimate as one
+	// node, never zero or negative.
+	if got := EstimateSearchTime(0, base); got <= 0 {
+		t.Errorf("EstimateSearchTime(0) = %v, want positive", got)
+	}
+}

@@ -62,6 +62,10 @@ func topoHash(g *graph.Graph) uint64 {
 	return (sum ^ 14695981039346656037) * 1099511628211
 }
 
+// TopoHash exposes the shape-insensitive topology hash for callers that
+// precompute probe keys (see Probe).
+func TopoHash(g *graph.Graph) uint64 { return topoHash(g) }
+
 // topoIndexKey folds the topology hash with the device identity: warm
 // starts only make sense for plans costed on the same hardware.
 func topoIndexKey(topo uint64, device string) uint64 {

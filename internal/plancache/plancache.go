@@ -130,6 +130,10 @@ type Config struct {
 	// MaxEntries bounds the cache; the oldest entries are evicted past it
 	// (default 4096).
 	MaxEntries int
+	// MaxQuarantine bounds the quarantine subdirectory; the oldest
+	// quarantined files are removed past it so a junk-flood cannot fill
+	// the disk (default 64).
+	MaxQuarantine int
 	// VerifySeed seeds the admission-gate verification inputs (default 1).
 	VerifySeed uint64
 	// HashFunc overrides the structural hash used in entry keys. It
@@ -148,8 +152,11 @@ type Stats struct {
 	PutRejected int64 `json:"put_rejected"`
 	PutErrors   int64 `json:"put_errors"`
 	Quarantined int64 `json:"quarantined"`
-	Collisions  int64 `json:"collisions"`
-	Evictions   int64 `json:"evictions"`
+	// QuarantineEvicted counts quarantined files removed by the oldest-
+	// first sweep that caps quarantine/ growth.
+	QuarantineEvicted int64 `json:"quarantine_evicted"`
+	Collisions        int64 `json:"collisions"`
+	Evictions         int64 `json:"evictions"`
 	// FlightsShared counts lookups that joined another request's
 	// in-flight search instead of starting their own.
 	FlightsShared int64 `json:"flights_shared"`
@@ -165,12 +172,13 @@ type meta struct {
 // Cache is a persistent, verification-gated plan cache. All methods are
 // safe for concurrent use.
 type Cache struct {
-	dir        string
-	qdir       string
-	logf       func(string, ...any)
-	maxEntries int
-	verifySeed uint64
-	hashFn     func(*graph.Graph) uint64
+	dir           string
+	qdir          string
+	logf          func(string, ...any)
+	maxEntries    int
+	maxQuarantine int
+	verifySeed    uint64
+	hashFn        func(*graph.Graph) uint64
 
 	mu      sync.Mutex
 	entries map[string]*meta
@@ -183,6 +191,7 @@ type Cache struct {
 	puts, putRejected, putErrors atomic.Int64
 	quarantined, collisions      atomic.Int64
 	evictions, flightsShared     atomic.Int64
+	quarantineEvicted            atomic.Int64
 }
 
 // entryPayload is the sealed JSON payload of one cache entry.
@@ -215,21 +224,25 @@ func Open(cfg Config) (*Cache, error) {
 		return nil, errors.New("plancache: empty cache dir")
 	}
 	c := &Cache{
-		dir:        cfg.Dir,
-		qdir:       filepath.Join(cfg.Dir, quarantineDir),
-		logf:       cfg.Logf,
-		maxEntries: cfg.MaxEntries,
-		verifySeed: cfg.VerifySeed,
-		hashFn:     cfg.HashFunc,
-		entries:    make(map[string]*meta),
-		topo:       make(map[uint64][]string),
-		flights:    make(map[string]*Flight),
+		dir:           cfg.Dir,
+		qdir:          filepath.Join(cfg.Dir, quarantineDir),
+		logf:          cfg.Logf,
+		maxEntries:    cfg.MaxEntries,
+		maxQuarantine: cfg.MaxQuarantine,
+		verifySeed:    cfg.VerifySeed,
+		hashFn:        cfg.HashFunc,
+		entries:       make(map[string]*meta),
+		topo:          make(map[uint64][]string),
+		flights:       make(map[string]*Flight),
 	}
 	if c.logf == nil {
 		c.logf = func(string, ...any) {}
 	}
 	if c.maxEntries <= 0 {
 		c.maxEntries = 4096
+	}
+	if c.maxQuarantine <= 0 {
+		c.maxQuarantine = 64
 	}
 	if c.verifySeed == 0 {
 		c.verifySeed = 1
@@ -241,6 +254,7 @@ func Open(cfg Config) (*Cache, error) {
 		return nil, fmt.Errorf("plancache: %w", err)
 	}
 	c.scan()
+	c.sweepQuarantine()
 	return c, nil
 }
 
@@ -260,24 +274,32 @@ func (c *Cache) Len() int {
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Entries:       c.Len(),
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		NearHits:      c.nearHits.Load(),
-		Puts:          c.puts.Load(),
-		PutRejected:   c.putRejected.Load(),
-		PutErrors:     c.putErrors.Load(),
-		Quarantined:   c.quarantined.Load(),
-		Collisions:    c.collisions.Load(),
-		Evictions:     c.evictions.Load(),
-		FlightsShared: c.flightsShared.Load(),
+		Entries:           c.Len(),
+		Hits:              c.hits.Load(),
+		Misses:            c.misses.Load(),
+		NearHits:          c.nearHits.Load(),
+		Puts:              c.puts.Load(),
+		PutRejected:       c.putRejected.Load(),
+		PutErrors:         c.putErrors.Load(),
+		Quarantined:       c.quarantined.Load(),
+		QuarantineEvicted: c.quarantineEvicted.Load(),
+		Collisions:        c.collisions.Load(),
+		Evictions:         c.evictions.Load(),
+		FlightsShared:     c.flightsShared.Load(),
 	}
 }
 
 // Key returns the cache key for a request: the structural hash of its
 // graph joined with the fingerprint digest.
 func (c *Cache) Key(g *graph.Graph, fp Fingerprint) string {
-	return fmt.Sprintf("%016x-%016x", c.hashFn(g), fp.hash())
+	return KeyFromHashes(c.hashFn(g), fp)
+}
+
+// KeyFromHashes builds a cache key from a precomputed structural hash.
+// Callers that probe the cache repeatedly for the same workload (the
+// serving admission path) hash the graph once and reuse it.
+func KeyFromHashes(wl uint64, fp Fingerprint) string {
+	return fmt.Sprintf("%016x-%016x", wl, fp.hash())
 }
 
 // scan indexes every healthy entry and quarantines the rest.
@@ -379,6 +401,48 @@ func (c *Cache) quarantine(name string, cause error) {
 		return
 	}
 	c.logf("plancache: quarantined %s -> %s: %v", name, dst, cause)
+	c.sweepQuarantine()
+}
+
+// sweepQuarantine removes the oldest quarantined files past MaxQuarantine.
+// Quarantine exists for operator inspection, not as an archive — under a
+// junk-flood (an attacker or a bad deploy writing corrupt entries in a
+// loop) an unbounded quarantine would fill the disk and take the healthy
+// cache down with it.
+func (c *Cache) sweepQuarantine() {
+	ents, err := os.ReadDir(c.qdir)
+	if err != nil {
+		return
+	}
+	type qf struct {
+		name string
+		mod  int64
+	}
+	files := make([]qf, 0, len(ents))
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		mod := int64(0)
+		if info, ierr := e.Info(); ierr == nil {
+			mod = info.ModTime().UnixNano()
+		}
+		files = append(files, qf{e.Name(), mod})
+	}
+	if len(files) <= c.maxQuarantine {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].mod != files[j].mod {
+			return files[i].mod < files[j].mod
+		}
+		return files[i].name < files[j].name
+	})
+	for _, f := range files[:len(files)-c.maxQuarantine] {
+		if err := os.Remove(filepath.Join(c.qdir, f.name)); err == nil {
+			c.quarantineEvicted.Add(1)
+		}
+	}
 }
 
 // Hit is a successful exact lookup: a verified plan recorded for a

@@ -2,6 +2,7 @@ package plancache
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -365,5 +366,122 @@ func TestSingleFlightStampede(t *testing.T) {
 	// The flight is deregistered: a new Join leads again.
 	if _, leader := c.Join("stampede-key"); !leader {
 		t.Error("finished flight still registered")
+	}
+}
+
+// TestQuarantineCap: a junk-flood of corrupt entries must not grow
+// quarantine/ without bound — the oldest quarantined files are swept past
+// MaxQuarantine and the eviction is counted.
+func TestQuarantineCap(t *testing.T) {
+	dir := t.TempDir()
+	const cap = 4
+	const junk = 11
+	for i := 0; i < junk; i++ {
+		name := fmt.Sprintf("%016x-0000000000000000", i+1)
+		writeEntry(t, dir, name, []byte("junk entry"))
+		// Distinct, ordered mtimes so "oldest-first" is well defined.
+		mt := time.Now().Add(time.Duration(i-junk) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, name+suffix), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := openCache(t, dir, func(cfg *Config) { cfg.MaxQuarantine = cap })
+	s := c.Stats()
+	if s.Quarantined != junk {
+		t.Fatalf("quarantined %d, want %d", s.Quarantined, junk)
+	}
+	if s.QuarantineEvicted != junk-cap {
+		t.Errorf("QuarantineEvicted = %d, want %d", s.QuarantineEvicted, junk-cap)
+	}
+	qents, _ := os.ReadDir(c.QuarantinePath())
+	if len(qents) != cap {
+		t.Fatalf("quarantine dir holds %d files, want %d", len(qents), cap)
+	}
+	// The survivors are the newest junk (quarantine keeps the freshest
+	// evidence for the operator).
+	for _, e := range qents {
+		var id int
+		if _, err := fmt.Sscanf(e.Name(), "%016x-", &id); err != nil {
+			t.Fatalf("unexpected quarantine file %s", e.Name())
+		}
+		if id <= junk-cap {
+			t.Errorf("old junk %s survived the sweep", e.Name())
+		}
+	}
+
+	// Live quarantines keep respecting the cap: corrupting a healthy
+	// entry and hitting it sends one more file through quarantine, and
+	// the directory still holds at most cap files.
+	model := cost.NewModel(cost.RTX3090())
+	w := models.MLP(4, 8, 8, 4, 1)
+	fp := FingerprintFor(model, testOptions())
+	if err := c.Put(w.G, fp, optimized(t, w.G, model)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, c.Key(w.G, fp)+suffix)
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(w.G, fp); ok {
+		t.Fatal("tampered entry served")
+	}
+	qents, _ = os.ReadDir(c.QuarantinePath())
+	if len(qents) > cap {
+		t.Errorf("quarantine grew past the cap: %d files", len(qents))
+	}
+}
+
+// TestProbeClasses: the index-only admission probe distinguishes exact
+// hits, same-topology warm candidates, and cold requests without touching
+// disk or moving the hit/miss counters.
+func TestProbeClasses(t *testing.T) {
+	model := cost.NewModel(cost.RTX3090())
+	small := models.MLP(4, 8, 8, 4, 1)
+	big := models.MLP(16, 8, 8, 4, 1)
+	deep := models.MLP(4, 8, 8, 4, 3)
+	fp := FingerprintFor(model, testOptions())
+
+	c := openCache(t, t.TempDir())
+	probe := func(w *models.Workload, f Fingerprint) Class {
+		return c.Probe(w.G.WLHash(), TopoHash(w.G), f)
+	}
+	if got := probe(small, fp); got != ClassCold {
+		t.Fatalf("empty cache probe = %v, want cold", got)
+	}
+	if err := c.Put(small.G, fp, optimized(t, small.G, model)); err != nil {
+		t.Fatal(err)
+	}
+	if got := probe(small, fp); got != ClassHit {
+		t.Errorf("exact probe = %v, want hit", got)
+	}
+	// Same graph, different budget: warm (the entry seeds a warm start).
+	o2 := testOptions()
+	o2.MaxIterations = 3
+	if got := probe(small, FingerprintFor(model, o2)); got != ClassWarm {
+		t.Errorf("other-budget probe = %v, want warm", got)
+	}
+	// Same topology, different batch: warm.
+	if got := probe(big, fp); got != ClassWarm {
+		t.Errorf("other-batch probe = %v, want warm", got)
+	}
+	// Different topology: cold. Different device: cold.
+	if got := probe(deep, fp); got != ClassCold {
+		t.Errorf("other-topology probe = %v, want cold", got)
+	}
+	fpOther := fp
+	fpOther.Device = "other-device"
+	if got := probe(big, fpOther); got != ClassCold {
+		t.Errorf("other-device probe = %v, want cold", got)
+	}
+	// Probing is free: no hit/miss stats movement.
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("probe moved hit/miss counters: %+v", s)
+	}
+	// Labels for metrics.
+	if ClassHit.String() != "hit" || ClassWarm.String() != "warm" || ClassCold.String() != "cold" {
+		t.Error("class labels changed; metrics names depend on them")
 	}
 }

@@ -1,0 +1,49 @@
+package plancache
+
+// Class buckets a request by how much search it is likely to need, judged
+// from the cache index alone. The serving layer prices admission with it:
+// a hit answers from disk in milliseconds, a warm start converges in a
+// fraction of a cold search's budget, and a cold search pays full price.
+type Class int
+
+const (
+	// ClassCold has no usable cache state: a full search.
+	ClassCold Class = iota
+	// ClassWarm has a same-topology entry to warm-start from.
+	ClassWarm
+	// ClassHit has an exact entry indexed (subject to the collision
+	// re-check a real Get performs).
+	ClassHit
+)
+
+// String renders the class for metrics labels.
+func (c Class) String() string {
+	switch c {
+	case ClassHit:
+		return "hit"
+	case ClassWarm:
+		return "warm"
+	default:
+		return "cold"
+	}
+}
+
+// Probe classifies (wl, topo, fp) against the in-memory index only: no
+// disk reads, no stats movement, no quarantining — cheap enough to run on
+// every admission decision. The answer is advisory: a ClassHit can still
+// degrade to a miss at Get time (collision, tampered entry), which only
+// makes the admission estimate conservative in the wrong direction for
+// one request, never unsafe.
+func (c *Cache) Probe(wl, topo uint64, fp Fingerprint) Class {
+	key := KeyFromHashes(wl, fp)
+	tk := topoIndexKey(topo, fp.Device)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return ClassHit
+	}
+	if len(c.topo[tk]) > 0 {
+		return ClassWarm
+	}
+	return ClassCold
+}

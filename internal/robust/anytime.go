@@ -1,0 +1,76 @@
+package robust
+
+// The serving-side face of the ladder: where Reoptimize escalates *search
+// effort* until a plan survives, Fallback descends *response quality* when
+// there is no time left to escalate anything. A deadline or overload trip
+// mid-search leaves an anytime search result holding a best-so-far state;
+// Fallback picks the strongest tier that is still sound to serve, so the
+// caller returns a degraded plan instead of an error.
+
+import (
+	"errors"
+
+	"magis/internal/graph"
+	"magis/internal/opt"
+)
+
+// Fallback tiers, strongest first. These are the serving-side rungs: each
+// step down trades optimization quality for certainty.
+const (
+	// TierBest is the search's best-so-far state — optimized, possibly
+	// short of convergence.
+	TierBest = "best-so-far"
+	// TierBaseline is the unoptimized input plan: no memory savings, but
+	// trivially sound (it is the graph the client asked about, scheduled
+	// in program order).
+	TierBaseline = "baseline"
+)
+
+// ErrNoFallback reports a result holding nothing servable at any tier.
+var ErrNoFallback = errors.New("robust: interrupted search holds no servable state")
+
+// Anytime is a degraded serving response assembled from an interrupted
+// search.
+type Anytime struct {
+	// State is the plan to serve.
+	State *opt.State
+	// Tier labels the fallback level (TierBest or TierBaseline).
+	Tier string
+	// Verified reports that State passed numeric verification here. False
+	// when verification was not requested (the caller may have verified
+	// upstream already).
+	Verified bool
+}
+
+// Fallback picks the strongest servable tier from an interrupted search:
+// the best-so-far state when it exists (verified against input when
+// doVerify is set), else the baseline. A best-so-far state that fails
+// verification falls through to the baseline rather than failing the
+// response — mirroring how the Reoptimize ladder keeps descending until
+// something survives. input may be nil (e.g. a resumed search snapshot);
+// verification then degrades to the arena-safety self-check, exactly as
+// in verifyAttempt.
+func Fallback(input *graph.Graph, res *opt.Result, doVerify bool, seed uint64) (*Anytime, error) {
+	if res == nil {
+		return nil, ErrNoFallback
+	}
+	tiers := []struct {
+		st   *opt.State
+		tier string
+	}{
+		{res.Best, TierBest},
+		{res.Baseline, TierBaseline},
+	}
+	for _, t := range tiers {
+		if t.st == nil {
+			continue
+		}
+		if !doVerify {
+			return &Anytime{State: t.st, Tier: t.tier}, nil
+		}
+		if verifyAttempt(input, t.st, seed).OK() {
+			return &Anytime{State: t.st, Tier: t.tier, Verified: true}, nil
+		}
+	}
+	return nil, ErrNoFallback
+}

@@ -1,0 +1,99 @@
+package robust
+
+import (
+	"errors"
+	"testing"
+
+	"magis/internal/cost"
+	"magis/internal/models"
+	"magis/internal/opt"
+)
+
+// fallbackFixture is a small workload with its baseline state — the raw
+// material every Fallback call needs.
+func fallbackFixture() (*models.Workload, *opt.State) {
+	w := models.MLP(64, 32, 64, 10, 2)
+	base := opt.Baseline(w.G, cost.NewModel(cost.RTX3090()))
+	return w, base
+}
+
+func TestFallbackPrefersBestSoFar(t *testing.T) {
+	w, base := fallbackFixture()
+	res := &opt.Result{Best: base, Baseline: base, Stopped: opt.StopDeadline}
+
+	any, err := Fallback(w.G, res, false, 1)
+	if err != nil {
+		t.Fatalf("Fallback: %v", err)
+	}
+	if any.Tier != TierBest {
+		t.Errorf("tier %q, want %q", any.Tier, TierBest)
+	}
+	if any.State != base {
+		t.Error("Fallback did not return the best-so-far state")
+	}
+	if any.Verified {
+		t.Error("doVerify=false must not claim verification")
+	}
+}
+
+func TestFallbackVerifiesWhenAsked(t *testing.T) {
+	w, base := fallbackFixture()
+	res := &opt.Result{Best: base, Baseline: base, Stopped: opt.StopDeadline}
+
+	any, err := Fallback(w.G, res, true, 1)
+	if err != nil {
+		t.Fatalf("Fallback with verify: %v", err)
+	}
+	if !any.Verified {
+		t.Error("verified fallback not marked Verified")
+	}
+	if any.Tier != TierBest {
+		t.Errorf("tier %q, want %q", any.Tier, TierBest)
+	}
+}
+
+// TestFallbackDescendsToBaseline: with no best-so-far state (interrupted
+// before the first evaluation), the ladder serves the baseline rung.
+func TestFallbackDescendsToBaseline(t *testing.T) {
+	w, base := fallbackFixture()
+	res := &opt.Result{Best: nil, Baseline: base, Stopped: opt.StopCancelled}
+
+	any, err := Fallback(w.G, res, true, 1)
+	if err != nil {
+		t.Fatalf("Fallback: %v", err)
+	}
+	if any.Tier != TierBaseline {
+		t.Errorf("tier %q, want %q", any.Tier, TierBaseline)
+	}
+	if !any.Verified {
+		t.Error("baseline tier should verify (it is the input graph)")
+	}
+}
+
+// TestFallbackBaselineHasNilFT: opt.Baseline leaves FT nil; verification of
+// that tier must not panic and must pass (nothing fused means nothing to
+// materialize).
+func TestFallbackBaselineHasNilFT(t *testing.T) {
+	w, base := fallbackFixture()
+	if base.FT != nil {
+		t.Fatal("fixture expectation broken: baseline state has a fission tree")
+	}
+	res := &opt.Result{Baseline: base, Stopped: opt.StopDeadline}
+	any, err := Fallback(w.G, res, true, 7)
+	if err != nil {
+		t.Fatalf("Fallback on nil-FT baseline: %v", err)
+	}
+	if any.Tier != TierBaseline || !any.Verified {
+		t.Errorf("got tier=%q verified=%v, want verified baseline", any.Tier, any.Verified)
+	}
+}
+
+func TestFallbackNothingServable(t *testing.T) {
+	if _, err := Fallback(nil, nil, false, 0); !errors.Is(err, ErrNoFallback) {
+		t.Errorf("nil result: err=%v, want ErrNoFallback", err)
+	}
+	res := &opt.Result{Stopped: opt.StopCancelled} // no Best, no Baseline
+	if _, err := Fallback(nil, res, false, 0); !errors.Is(err, ErrNoFallback) {
+		t.Errorf("empty result: err=%v, want ErrNoFallback", err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"magis/internal/baselines"
 	"magis/internal/cost"
 	"magis/internal/faults"
+	"magis/internal/ftree"
 	"magis/internal/graph"
 	"magis/internal/opt"
 	"magis/internal/verify"
@@ -320,7 +321,11 @@ func Reoptimize(ctx context.Context, g *graph.Graph, model *cost.Model, o Option
 // materialization failure is itself a verification failure — a plan that
 // cannot be lowered to a concrete graph is not executable.
 func verifyAttempt(input *graph.Graph, st *opt.State, seed uint64) *verify.Report {
-	mg, err := st.FT.Materialize(st.G)
+	ft := st.FT
+	if ft == nil { // baseline states carry no F-Tree
+		ft = &ftree.Tree{}
+	}
+	mg, err := ft.Materialize(st.G)
 	if err != nil {
 		return &verify.Report{Err: fmt.Sprintf("materialize: %v", err)}
 	}

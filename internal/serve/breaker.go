@@ -1,0 +1,139 @@
+package serve
+
+// Per-workload circuit breaker: a graph that repeatedly fails — verify
+// rejections, rule panics, checkpoint corruption, injected faults — must
+// not monopolize workers while healthy traffic starves. The breaker
+// counts consecutive failures per workload key (model|scale|mode); at
+// the threshold it opens, rejecting that workload at admission for a
+// cooloff window. After the cooloff one probe request is admitted
+// (half-open); its verdict closes the breaker or re-opens it for another
+// window. Probes that settle without a verdict (shed, drain-cancelled)
+// release the half-open slot so the breaker cannot wedge.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+type breakerEntry struct {
+	fails     int       // consecutive failures while closed
+	openUntil time.Time // zero when closed
+	probing   bool      // a half-open probe is in flight
+}
+
+type breaker struct {
+	mu        sync.Mutex
+	threshold int // consecutive failures to trip; <=0 disables
+	cooloff   time.Duration
+	states    map[string]*breakerEntry
+}
+
+func newBreaker(threshold int, cooloff time.Duration) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooloff:   cooloff,
+		states:    map[string]*breakerEntry{},
+	}
+}
+
+// breakerKey groups requests that exercise the same graph and search
+// mode — the unit at which a poison workload fails.
+func breakerKey(model string, scale float64, mode string) string {
+	return fmt.Sprintf("%s|%g|%s", strings.ToLower(model), scale, mode)
+}
+
+// blocked reports whether admission must reject this workload now, with
+// a Retry-After hint in seconds. When the cooloff has elapsed it admits
+// exactly one caller as the half-open probe.
+func (b *breaker) blocked(key string, now time.Time) (int, bool) {
+	if b == nil || b.threshold <= 0 {
+		return 0, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.states[key]
+	if e == nil || e.openUntil.IsZero() {
+		return 0, false
+	}
+	if now.Before(e.openUntil) {
+		sec := int(e.openUntil.Sub(now)/time.Second) + 1
+		return sec, true
+	}
+	if e.probing {
+		// Half-open with a probe already in flight: hold further traffic
+		// until the probe settles.
+		return int(b.cooloff/time.Second) + 1, true
+	}
+	e.probing = true
+	return 0, false
+}
+
+// onSuccess closes the workload's breaker and resets its failure streak.
+func (b *breaker) onSuccess(key string) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.states, key)
+}
+
+// onFailure records one failed job; it reports true when this failure
+// trips (or re-trips) the breaker open.
+func (b *breaker) onFailure(key string, now time.Time) bool {
+	if b == nil || b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.states[key]
+	if e == nil {
+		e = &breakerEntry{}
+		b.states[key] = e
+	}
+	if e.probing {
+		// Failed probe: straight back to open for another cooloff.
+		e.probing = false
+		e.openUntil = now.Add(b.cooloff)
+		return true
+	}
+	e.fails++
+	if e.fails >= b.threshold && e.openUntil.IsZero() {
+		e.openUntil = now.Add(b.cooloff)
+		return true
+	}
+	return false
+}
+
+// onAbandon releases a half-open probe that settled without a verdict
+// (shed, cancelled by drain): the breaker stays open-but-probeable so the
+// next request after the cooloff becomes the new probe.
+func (b *breaker) onAbandon(key string) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.states[key]; e != nil {
+		e.probing = false
+	}
+}
+
+// openCount reports how many workload breakers are not closed — open or
+// half-open — for /metrics.
+func (b *breaker) openCount() int {
+	if b == nil || b.threshold <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, e := range b.states {
+		if !e.openUntil.IsZero() {
+			n++
+		}
+	}
+	return n
+}

@@ -56,6 +56,13 @@ func (s *Server) cachedSearch(ctx context.Context, j *job, w *models.Workload, b
 		s.met.FlightShared.Add(1)
 		if res, ok, err := s.awaitFlight(ctx, j, f); ok {
 			j.setCacheOutcome("shared")
+			if err != nil && res == nil {
+				// The waiter's own deadline fired mid-wait. It holds no
+				// best-so-far of its own, but the baseline is servable — hand
+				// it to the fallback ladder so a deadline-limited job can
+				// settle degraded (TierBaseline) instead of failing outright.
+				res = &opt.Result{Baseline: base, Stopped: opt.StopCancelled}
+			}
 			return res, err
 		}
 		// The leader aborted without a result; degrade to an independent

@@ -13,6 +13,8 @@ import (
 	"magis/internal/graph"
 	"magis/internal/models"
 	"magis/internal/opt"
+	"magis/internal/plancache"
+	"magis/internal/robust"
 	"magis/internal/verify"
 )
 
@@ -28,6 +30,10 @@ const (
 	stateDone      = "done"
 	stateFailed    = "failed"
 	stateCancelled = "cancelled"
+	// stateShed marks a job removed from the queue without running: its
+	// deadline became unmeetable, or it was evicted to make room for more
+	// urgent work under pressure.
+	stateShed = "shed"
 )
 
 // interruptReason distinguishes why a job's context was cancelled, which
@@ -56,8 +62,31 @@ type job struct {
 	id     string
 	req    OptimizeRequest
 	budget time.Duration
+	// deadline is the client's absolute response deadline (zero = none);
+	// immutable after admission, it orders the EDF queue and drives
+	// shedding and degraded responses.
+	deadline time.Time
+	// seq is the queue admission sequence (set by jobQueue.push; EDF
+	// tiebreak).
+	seq int64
+	// estServe/estUnits are the admission estimate: predicted service time
+	// and its cost in budget units; minServe is the feasibility floor (the
+	// weakest acceptable response — hit replay or degraded best-so-far);
+	// class is the plan-cache classification the estimate was based on.
+	// All immutable after estimateJob.
+	estServe time.Duration
+	estUnits int64
+	minServe time.Duration
+	class    plancache.Class
 
 	mu sync.Mutex
+	// costHeld tracks whether estUnits is currently counted against the
+	// server's admission budget (released exactly once on settle).
+	costHeld bool
+	// deadlineLimited records that the client deadline — not the search's
+	// own budget — bounded the run; only then is a deadline-stopped result
+	// a degraded response.
+	deadlineLimited bool
 	// resumePath, when non-empty, tells the runner to continue from an
 	// existing snapshot instead of starting a fresh search.
 	resumePath   string
@@ -90,6 +119,12 @@ type jobSummary struct {
 	// near miss), or "shared" (joined another request's in-flight
 	// search). Empty means a plain search.
 	Cache string `json:"cache,omitempty"`
+	// Degraded marks an anytime response: the client deadline truncated
+	// the search and this is the strongest servable tier, not a converged
+	// plan. DegradedTier names the fallback rung served (see
+	// internal/robust: "best-so-far" or "baseline").
+	Degraded     bool   `json:"degraded,omitempty"`
+	DegradedTier string `json:"degraded_tier,omitempty"`
 }
 
 // jobView is the JSON shape of /jobs/{id}.
@@ -212,42 +247,53 @@ func (s *Server) jobView(j *job) jobView {
 	return v
 }
 
-// worker pops jobs until drain; on drain, whatever is left in the queue is
-// cancelled rather than silently dropped.
+// worker pops jobs in deadline order until the queue closes (drain). A
+// popped job whose deadline became unmeetable while it waited is shed
+// here — the queue never hands doomed work to a search.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.stop:
-			s.flushQueue()
+		j, ok := s.queue.pop()
+		if !ok {
 			return
-		case j := <-s.queue:
-			s.runJob(j)
 		}
+		if doomed(j, time.Now()) {
+			s.shedJob(j, shedExpired)
+			continue
+		}
+		s.runJob(j)
 	}
 }
 
 // flushQueue cancels every still-queued job; safe to call from several
 // goroutines.
 func (s *Server) flushQueue() {
-	for {
-		select {
-		case j := <-s.queue:
-			if j.interrupt(reasonDrain) {
-				s.met.Cancelled.Add(1)
-			}
-		default:
-			return
+	for _, j := range s.queue.drainAll() {
+		if j.interrupt(reasonDrain) {
+			s.met.Cancelled.Add(1)
 		}
+		s.releaseCost(j)
 	}
 }
 
 // runJob executes one job under panic isolation with a deadline derived
 // from its requested budget (the search's own TimeBudget plus slack for
-// baseline evaluation and checkpoint writes).
+// baseline evaluation and checkpoint writes), tightened to the client
+// deadline when one is set.
 func (s *Server) runJob(j *job) {
-	deadline := j.budget + j.budget/2 + 5*time.Second
-	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	start := time.Now()
+	natural := start.Add(j.budget + j.budget/2 + 5*time.Second)
+	deadline := natural
+	// deadlineLimited is recorded only when the client deadline undercuts
+	// the search's own TimeBudget: then — and only then — a
+	// deadline-stopped result means the client truncated the search, not
+	// that the budget ran its course.
+	deadlineLimited := false
+	if !j.deadline.IsZero() && j.deadline.Before(natural) {
+		deadline = j.deadline
+		deadlineLimited = j.deadline.Before(start.Add(j.budget))
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
 	defer cancel()
 
 	j.mu.Lock()
@@ -256,9 +302,10 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.state = stateRunning
-	j.started = time.Now()
+	j.started = start
 	j.lastProgress = j.started
 	j.cancel = cancel
+	j.deadlineLimited = deadlineLimited
 	j.mu.Unlock()
 
 	s.inFlight.Add(1)
@@ -277,7 +324,12 @@ func (s *Server) runJob(j *job) {
 
 // finishJob settles a job's final state and decides whether an interrupted
 // one comes back: a first stall with a checkpoint is re-admitted to resume;
-// drain leaves the checkpoint for the next incarnation of the server.
+// drain leaves the checkpoint for the next incarnation of the server. Every
+// settle path reports the workload's verdict to its circuit breaker
+// (failure, success, or abandoned — a shed or drained probe must not wedge
+// the half-open state) and releases the job's admission cost exactly once;
+// only a successful stall re-queue keeps the cost held, because the work is
+// still in the building.
 func (s *Server) finishJob(j *job, res *opt.Result, err error) {
 	j.mu.Lock()
 	reason := j.interrupted
@@ -285,14 +337,31 @@ func (s *Server) finishJob(j *job, res *opt.Result, err error) {
 	j.cancel = nil
 	j.finished = time.Now()
 	j.mu.Unlock()
+	bkey := breakerKey(j.req.Model, j.req.Scale, j.req.Mode)
 
 	switch {
 	case err != nil:
+		// The breaker hears about the failure regardless: a workload that
+		// only ever limps home on a fallback tier must still trip.
+		if s.brk.onFailure(bkey, time.Now()) {
+			s.met.BreakerTrips.Add(1)
+			s.cfg.Logf("serve: breaker opened for %s", bkey)
+		}
+		// A deadline-limited search that errored (typically: best-so-far
+		// failed verification after truncation) may still hold a servable
+		// tier; degradedFallback re-verifies before letting it out.
+		if any := s.degradedFallback(j, res, err); any != nil {
+			s.settleDegraded(j, res, any)
+			s.releaseCost(j)
+			s.cfg.Logf("serve: %s degraded to %s after error: %v", j.id, any.Tier, err)
+			return
+		}
 		j.mu.Lock()
 		j.state = stateFailed
 		j.err = err.Error()
 		j.mu.Unlock()
 		s.met.Failed.Add(1)
+		s.releaseCost(j)
 		s.cfg.Logf("serve: %s failed: %v", j.id, err)
 
 	case reason == reasonStall && resumes < 1 && s.checkpointExists(j):
@@ -301,14 +370,26 @@ func (s *Server) finishJob(j *job, res *opt.Result, err error) {
 			return
 		}
 		s.setCancelled(j, "stalled; could not re-admit for resume")
+		s.brk.onAbandon(bkey)
+		s.releaseCost(j)
 
 	case reason != reasonNone:
 		if reason == reasonStall {
 			s.met.Stalled.Add(1)
 		}
 		s.setCancelled(j, "cancelled: "+reason.String())
+		s.brk.onAbandon(bkey)
+		s.releaseCost(j)
 
 	default:
+		if any := s.degradedFallback(j, res, nil); any != nil {
+			s.settleDegraded(j, res, any)
+			s.brk.onSuccess(bkey)
+			s.releaseCost(j)
+			s.removeCheckpoint(j)
+			s.cfg.Logf("serve: %s done (degraded: %s)", j.id, any.Tier)
+			return
+		}
 		j.mu.Lock()
 		j.state = stateDone
 		if res != nil && res.Best != nil {
@@ -327,9 +408,41 @@ func (s *Server) finishJob(j *job, res *opt.Result, err error) {
 		}
 		j.mu.Unlock()
 		s.met.Completed.Add(1)
+		s.brk.onSuccess(bkey)
+		s.releaseCost(j)
 		s.removeCheckpoint(j)
 		s.cfg.Logf("serve: %s done", j.id)
 	}
+}
+
+// settleDegraded finishes a job as done with a degraded anytime summary:
+// the served plan is a fallback tier, labeled as such, never passed off as
+// a converged result.
+func (s *Server) settleDegraded(j *job, res *opt.Result, any *robust.Anytime) {
+	j.mu.Lock()
+	j.state = stateDone
+	j.err = ""
+	sum := &jobSummary{
+		Stopped:      "deadline",
+		Verified:     any.Verified,
+		Cache:        j.cacheOutcome,
+		Degraded:     true,
+		DegradedTier: any.Tier,
+	}
+	if any.State != nil {
+		sum.PeakMemBytes = any.State.PeakMem
+		sum.LatencySec = any.State.Latency
+	}
+	if res != nil {
+		sum.Iterations = res.Stats.Iterations
+		if res.Stopped != opt.StopUnknown {
+			sum.Stopped = res.Stopped.String()
+		}
+	}
+	j.summary = sum
+	j.mu.Unlock()
+	s.met.Completed.Add(1)
+	s.met.Degraded.Add(1)
 }
 
 func (s *Server) setCancelled(j *job, msg string) {
@@ -359,14 +472,12 @@ func (s *Server) requeueResume(j *job) bool {
 	j.interrupted = reasonNone
 	j.err = ""
 	j.mu.Unlock()
-	select {
-	case s.queue <- j:
+	if s.queue.push(j) {
 		s.met.Resumed.Add(1)
 		s.cfg.Logf("serve: %s stalled; resuming from checkpoint", j.id)
 		return true
-	default:
-		return false
 	}
+	return false
 }
 
 // searchJob is the production searchFn: fresh jobs build their workload and
@@ -375,6 +486,11 @@ func (s *Server) requeueResume(j *job) bool {
 // Resumed jobs run before any cache involvement, so the kill-resume
 // determinism guarantee is independent of cache state.
 func (s *Server) searchJob(ctx context.Context, j *job) (*opt.Result, error) {
+	// Chaos-soak fault injection: the configured poison model fails every
+	// attempt, exercising the circuit breaker path end to end.
+	if s.cfg.FailModel != "" && strings.EqualFold(j.req.Model, s.cfg.FailModel) {
+		return nil, fmt.Errorf("injected failure: model %q is poisoned (FailModel)", j.req.Model)
+	}
 	onExp := func(completed int) {
 		j.progress(completed)
 		s.met.Expansions.Add(1)
@@ -396,20 +512,10 @@ func (s *Server) searchJob(ctx context.Context, j *job) (*opt.Result, error) {
 		return nil, err
 	}
 	base := opt.Baseline(w.G, s.cfg.Model)
-	o := opt.Options{
-		TimeBudget:    j.budget,
-		Workers:       j.req.Workers,
-		MaxIterations: j.req.Iterations,
-		OnExpansion:   onExp,
-	}
-	switch j.req.Mode {
-	case "latency":
-		o.Mode = opt.LatencyUnderMemory
-		o.MemLimit = int64(j.req.Limit * float64(base.PeakMem))
-	default:
-		o.Mode = opt.MemoryUnderLatency
-		o.LatencyLimit = base.Latency * (1 + j.req.Limit)
-	}
+	// searchOptions is shared with the admission estimator so the
+	// fingerprint probed at admission matches the one used here.
+	o := s.searchOptions(j, base.PeakMem, base.Latency)
+	o.OnExpansion = onExp
 	if s.cfg.CheckpointDir != "" {
 		o.Checkpoint = opt.Checkpoint{
 			Path:   s.checkpointPath(j.id),
@@ -558,18 +664,24 @@ func (s *Server) recoverCheckpoints() int {
 			resumes:    1,
 			state:      stateQueued,
 			created:    time.Now(),
+			// Recovered snapshots carry no admission estimate; price them
+			// at the default budget so they still count against the
+			// concurrent-cost ledger.
+			estServe: s.cfg.DefaultBudget,
+			estUnits: costUnits(s.cfg.DefaultBudget),
 		}
 		s.jobs[id] = j
 		s.mu.Unlock()
-		select {
-		case s.queue <- j:
+		s.holdCost(j)
+		if s.queue.push(j) {
 			s.met.Admitted.Add(1)
 			s.met.Resumed.Add(1)
 			s.cfg.Logf("serve: recovered %s (%s, %d expansions so far)", id, info.Label, info.Iterations)
 			n++
-		default:
+		} else {
 			// Queue smaller than the backlog: leave the snapshot for the
 			// next restart rather than over-admitting.
+			s.releaseCost(j)
 			s.forget(j)
 			s.cfg.Logf("serve: queue full; %s stays checkpointed on disk", id)
 		}

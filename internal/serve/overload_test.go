@@ -1,0 +1,699 @@
+package serve
+
+// Tests for the overload-protection layer: resource-aware admission,
+// deadline-aware shedding, degraded anytime responses, the per-workload
+// circuit breaker, and the requeue/drain race. Run with -race in CI.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"magis/internal/opt"
+	"magis/internal/plancache"
+)
+
+// metricsOf fetches /metrics as float64s for the keys under test.
+func metricsOf(t *testing.T, ts *httptest.Server) map[string]any {
+	t.Helper()
+	_, m := get(t, ts, "/metrics")
+	return m
+}
+
+// assertConservation checks the queue-conservation invariant once the
+// server is quiet: every admitted job settled in exactly one terminal
+// bucket, and all admission cost was returned.
+func assertConservation(t *testing.T, s *Server, ts *httptest.Server) {
+	t.Helper()
+	waitFor(t, "server to go quiet", func() bool {
+		return s.queue.Len() == 0 && s.inFlight.Load() == 0
+	})
+	m := metricsOf(t, ts)
+	admitted := m["admitted"].(float64)
+	settled := m["completed"].(float64) + m["failed"].(float64) + m["cancelled"].(float64) +
+		m["shed_expired"].(float64) + m["shed_evicted"].(float64)
+	if admitted != settled {
+		t.Errorf("conservation violated: admitted %v != settled %v (%v)", admitted, settled, m)
+	}
+	if held := s.costInUse.Load(); held != 0 {
+		t.Errorf("admission cost leaked: %d units still held after all jobs settled", held)
+	}
+}
+
+// TestResourceAwareAdmission: jobs are priced up-front and admitted against
+// the cost budget, not just queue slots; an idle server admits any single
+// job (no permanent rejection of oversized work); rejections carry
+// backlog-derived Retry-After hints.
+func TestResourceAwareAdmission(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{
+		Model:       testModel(),
+		QueueDepth:  8,
+		Workers:     1,
+		StallWindow: -1,
+		// Default budget 10s prices one cold mlp job at ~10.1s; a 15s
+		// admission budget fits one such job but not two.
+		AdmitBudget: 15 * time.Second,
+	})
+	s.runSearch = func(ctx context.Context, j *job) (*opt.Result, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return tinyResult(opt.StopConverged), nil
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// First job: admitted even though its price alone fills most of the
+	// budget (idle-server exception is not even needed here).
+	if code, body := post(t, ts, `{"model":"mlp"}`); code != http.StatusAccepted {
+		t.Fatalf("first job: %d %v", code, body)
+	}
+	if got := s.costInUse.Load(); got <= 0 {
+		t.Fatalf("no admission cost held after admit: %d", got)
+	}
+
+	// Second identical job: the held cost plus its price exceeds the
+	// budget — rejected 429 with a Retry-After hint, even though seven
+	// queue slots are free.
+	resp, err := http.Post(ts.URL+"/optimize", "application/json", strings.NewReader(`{"model":"mlp"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget job: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("cost rejection without Retry-After header")
+	}
+
+	m := metricsOf(t, ts)
+	if m["rejected_cost"].(float64) != 1 {
+		t.Errorf("rejected_cost %v, want 1", m["rejected_cost"])
+	}
+	if m["admitted_cold"].(float64) != 1 {
+		t.Errorf("admitted_cold %v, want 1 (no cache configured: every job is cold)", m["admitted_cold"])
+	}
+	if m["cost_in_use_ms"].(float64) <= 0 || m["cost_budget_ms"].(float64) != 15000 {
+		t.Errorf("cost gauges %v/%v, want positive/15000", m["cost_in_use_ms"], m["cost_budget_ms"])
+	}
+
+	// Once the first job settles its cost is returned, and the next
+	// admission — still bigger than the remaining headroom alone — goes
+	// through because the server is idle.
+	close(release)
+	waitFor(t, "first job to settle", func() bool { return s.costInUse.Load() == 0 })
+	if code, body := post(t, ts, `{"model":"mlp"}`); code != http.StatusAccepted {
+		t.Fatalf("idle-server admission: %d %v", code, body)
+	}
+
+	drainServer(t, s)
+	assertConservation(t, s, ts)
+}
+
+// TestAdmissionClasses: with a plan cache wired in, the admission
+// estimator classifies jobs hit/warm/cold via the index-only Probe and the
+// per-class counters move accordingly. Uses real searches (tiny workload)
+// so the cache actually fills.
+func TestAdmissionClasses(t *testing.T) {
+	s := New(cacheServerConfig(t, 1))
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer drainServer(t, s)
+
+	run := func(body string) {
+		t.Helper()
+		code, resp := post(t, ts, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %s: %d %v", body, code, resp)
+		}
+		id := resp["id"].(string)
+		waitFor(t, "job "+id, func() bool {
+			_, v := get(t, ts, "/jobs/"+id)
+			if v["state"] == stateFailed || v["state"] == stateCancelled {
+				t.Fatalf("job settled badly: %v", v)
+			}
+			return v["state"] == stateDone
+		})
+	}
+
+	// Cold: empty cache.
+	run(cacheReq)
+	if m := metricsOf(t, ts); m["admitted_cold"].(float64) != 1 {
+		t.Fatalf("after first job: admitted_cold=%v, want 1 (%v)", m["admitted_cold"], m)
+	}
+
+	// Hit: identical request, entry now cached.
+	run(cacheReq)
+	if m := metricsOf(t, ts); m["admitted_hit"].(float64) != 1 {
+		t.Errorf("after identical job: admitted_hit=%v, want 1", m["admitted_hit"])
+	}
+
+	// Warm: same graph, different budget — a near miss, not an exact hit.
+	run(`{"model":"mlp","scale":0.01,"budget":"29s","iterations":12,"workers":1}`)
+	if m := metricsOf(t, ts); m["admitted_warm"].(float64) != 1 {
+		t.Errorf("after near-miss job: admitted_warm=%v, want 1", m["admitted_warm"])
+	}
+}
+
+// TestDeadlineShedding: a queued job whose deadline becomes unmeetable is
+// shed by the sweep before any worker runs it, and an arriving request
+// whose deadline is below even the minimum feasible service time is
+// rejected at the door.
+func TestDeadlineShedding(t *testing.T) {
+	block := make(chan struct{})
+	s := New(Config{
+		Model:       testModel(),
+		QueueDepth:  4,
+		Workers:     1,
+		StallWindow: time.Hour, // watchdog on (shed sweep), stall scan inert
+		StallPoll:   10 * time.Millisecond,
+	})
+	started := make(chan string, 8)
+	s.runSearch = func(ctx context.Context, j *job) (*opt.Result, error) {
+		started <- j.id
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return tinyResult(opt.StopConverged), nil
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the worker.
+	if code, body := post(t, ts, `{"model":"mlp"}`); code != http.StatusAccepted {
+		t.Fatalf("blocker: %d %v", code, body)
+	}
+	<-started
+
+	// Queue a job that can only meet its deadline if it starts almost
+	// immediately: a short search budget keeps the service estimate small
+	// so admission accepts it, and the blocked worker then dooms it.
+	code, body := post(t, ts, `{"model":"mlp","budget":"100ms","deadline":"400ms"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("deadline job: %d %v", code, body)
+	}
+	id := body["id"].(string)
+
+	// The sweep sheds it without running it.
+	waitFor(t, "doomed job to be shed", func() bool {
+		_, v := get(t, ts, "/jobs/"+id)
+		return v["state"] == stateShed
+	})
+	_, v := get(t, ts, "/jobs/"+id)
+	if !strings.Contains(v["error"].(string), "shed") {
+		t.Errorf("shed job error %q, want a shed explanation", v["error"])
+	}
+	if m := metricsOf(t, ts); m["shed_expired"].(float64) != 1 {
+		t.Errorf("shed_expired %v, want 1", m["shed_expired"])
+	}
+	select {
+	case got := <-started:
+		t.Fatalf("shed job reached a worker (%s)", got)
+	default:
+	}
+
+	// Doomed on arrival: deadline below the minimum feasible service time.
+	code, body = post(t, ts, `{"model":"mlp","deadline":"1ms"}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible deadline: %d %v, want 422", code, body)
+	}
+	if m := metricsOf(t, ts); m["rejected_deadline"].(float64) != 1 {
+		t.Errorf("rejected_deadline %v, want 1", m["rejected_deadline"])
+	}
+
+	close(block)
+	drainServer(t, s)
+	assertConservation(t, s, ts)
+}
+
+// TestDeadlineQueueOrderAndEviction: the queue is earliest-deadline-first,
+// and under a full queue a deadline-urgent arrival evicts the cheapest
+// strictly-laxer queued job instead of being rejected.
+func TestDeadlineQueueOrderAndEviction(t *testing.T) {
+	block := make(chan struct{})
+	s := New(Config{Model: testModel(), QueueDepth: 2, Workers: 1, StallWindow: -1})
+	started := make(chan string, 8)
+	s.runSearch = func(ctx context.Context, j *job) (*opt.Result, error) {
+		started <- j.id
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return tinyResult(opt.StopConverged), nil
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	submit := func(body string) string {
+		t.Helper()
+		code, resp := post(t, ts, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %s: %d %v", body, code, resp)
+		}
+		return resp["id"].(string)
+	}
+
+	blocker := submit(`{"model":"mlp"}`)
+	if got := <-started; got != blocker {
+		t.Fatalf("started %s, want blocker %s", got, blocker)
+	}
+	// Fill the queue: one deadline-less job, one with a lax deadline.
+	lazy := submit(`{"model":"mlp"}`)
+	laxed := submit(`{"model":"mlp","deadline":"2h"}`)
+
+	// Queue full + urgent arrival: the deadline-less job (cheapest laxer
+	// victim) is evicted to make room.
+	urgent := submit(`{"model":"mlp","deadline":"1h"}`)
+	_, v := get(t, ts, "/jobs/"+lazy)
+	if v["state"] != stateShed {
+		t.Fatalf("deadline-less job not evicted under pressure: %v", v)
+	}
+	if m := metricsOf(t, ts); m["shed_evicted"].(float64) != 1 {
+		t.Errorf("shed_evicted %v, want 1", m["shed_evicted"])
+	}
+
+	// EDF pop order: the 1h deadline runs before the 2h deadline.
+	close(block)
+	first, second := <-started, <-started
+	if first != urgent || second != laxed {
+		t.Errorf("pop order (%s, %s), want urgent %s before lax %s", first, second, urgent, laxed)
+	}
+
+	drainServer(t, s)
+	assertConservation(t, s, ts)
+}
+
+// TestDegradedAnytimeResponse: a search truncated by its client deadline
+// settles done with the best-so-far plan explicitly marked degraded — not
+// an error, not an unlabeled success.
+func TestDegradedAnytimeResponse(t *testing.T) {
+	s := New(Config{Model: testModel(), QueueDepth: 4, Workers: 1, StallWindow: -1})
+	s.runSearch = func(ctx context.Context, j *job) (*opt.Result, error) {
+		<-ctx.Done() // run until the deadline trips
+		return tinyResult(opt.StopDeadline), nil
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Deadline (300ms) far below the search budget (10s): the client
+	// deadline is the binding constraint.
+	code, body := post(t, ts, `{"model":"mlp","budget":"10s","deadline":"300ms"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, body)
+	}
+	id := body["id"].(string)
+	waitFor(t, "deadline-limited job to settle", func() bool {
+		_, v := get(t, ts, "/jobs/"+id)
+		return v["state"] == stateDone
+	})
+	_, v := get(t, ts, "/jobs/"+id)
+	res := v["result"].(map[string]any)
+	if res["degraded"] != true {
+		t.Fatalf("truncated response not marked degraded: %v", res)
+	}
+	if res["degraded_tier"] != "best-so-far" {
+		t.Errorf("degraded_tier %v, want best-so-far", res["degraded_tier"])
+	}
+	if m := metricsOf(t, ts); m["degraded"].(float64) != 1 {
+		t.Errorf("degraded counter %v, want 1", m["degraded"])
+	}
+
+	// Control: the same search WITHOUT a client deadline settles as a
+	// plain (non-degraded) result even though it also stopped on its own
+	// deadline — budget exhaustion is normal anytime behavior, not
+	// degradation.
+	code, body = post(t, ts, `{"model":"mlp","budget":"50ms"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("control submit: %d %v", code, body)
+	}
+	id = body["id"].(string)
+	waitFor(t, "control job to settle", func() bool {
+		_, v := get(t, ts, "/jobs/"+id)
+		return v["state"] == stateDone
+	})
+	_, v = get(t, ts, "/jobs/"+id)
+	if res := v["result"].(map[string]any); res["degraded"] == true {
+		t.Errorf("budget-bound search wrongly marked degraded: %v", res)
+	}
+
+	drainServer(t, s)
+	assertConservation(t, s, ts)
+}
+
+// TestDegradedFallbackOnVerifyFailure: when the truncated best-so-far
+// errors (e.g. fails verification), the response descends the fallback
+// ladder to a verified baseline instead of failing the job.
+func TestDegradedFallbackOnVerifyFailure(t *testing.T) {
+	s := New(Config{Model: testModel(), QueueDepth: 4, Workers: 1, StallWindow: -1})
+	s.runSearch = func(ctx context.Context, j *job) (*opt.Result, error) {
+		<-ctx.Done()
+		// Result carries a baseline but no best: the error path must fall
+		// back to the (verifiable) baseline tier.
+		r := tinyResult(opt.StopDeadline)
+		r.Best = nil
+		return r, errors.New("synthetic: best-so-far failed verification")
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := post(t, ts, `{"model":"mlp","budget":"10s","deadline":"300ms"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, body)
+	}
+	id := body["id"].(string)
+	waitFor(t, "job to settle", func() bool {
+		_, v := get(t, ts, "/jobs/"+id)
+		return v["state"] == stateDone || v["state"] == stateFailed
+	})
+	_, v := get(t, ts, "/jobs/"+id)
+	if v["state"] != stateDone {
+		t.Fatalf("job settled %v, want done via baseline fallback (%v)", v["state"], v)
+	}
+	res := v["result"].(map[string]any)
+	if res["degraded"] != true || res["degraded_tier"] != "baseline" {
+		t.Errorf("fallback summary %v, want degraded baseline tier", res)
+	}
+	if res["verified"] != true {
+		t.Errorf("error-path fallback must be verified before serving: %v", res)
+	}
+
+	drainServer(t, s)
+	assertConservation(t, s, ts)
+}
+
+// TestBreakerIsolatesPoisonWorkload: repeated failures of one workload
+// open its breaker — that workload is rejected at admission while other
+// workloads keep serving — and after the cooloff a half-open probe decides
+// between closing and re-opening.
+func TestBreakerIsolatesPoisonWorkload(t *testing.T) {
+	var poisoned atomic.Bool
+	poisoned.Store(true)
+	s := New(Config{
+		Model:            testModel(),
+		QueueDepth:       8,
+		Workers:          1,
+		StallWindow:      -1,
+		BreakerThreshold: 2,
+		BreakerCooloff:   150 * time.Millisecond,
+	})
+	s.runSearch = func(ctx context.Context, j *job) (*opt.Result, error) {
+		if strings.EqualFold(j.req.Model, "vit") && poisoned.Load() {
+			return nil, errors.New("injected failure: poison graph")
+		}
+		return tinyResult(opt.StopConverged), nil
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	runToState := func(body, want string) {
+		t.Helper()
+		code, resp := post(t, ts, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %s: %d %v", body, code, resp)
+		}
+		id := resp["id"].(string)
+		waitFor(t, "job "+id, func() bool {
+			_, v := get(t, ts, "/jobs/"+id)
+			return v["state"] == want
+		})
+	}
+
+	// Two consecutive failures trip the breaker for vit|1|mem.
+	runToState(`{"model":"vit"}`, stateFailed)
+	runToState(`{"model":"vit"}`, stateFailed)
+	waitFor(t, "breaker to open", func() bool {
+		return metricsOf(t, ts)["breaker_trips"].(float64) == 1
+	})
+
+	// The poisoned workload is now rejected at the door...
+	resp, err := http.Post(ts.URL+"/optimize", "application/json", strings.NewReader(`{"model":"vit"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("breaker rejection without Retry-After header")
+	}
+	m := metricsOf(t, ts)
+	if m["rejected_breaker"].(float64) != 1 || m["breaker_open"].(float64) != 1 {
+		t.Errorf("breaker metrics rejected=%v open=%v, want 1/1", m["rejected_breaker"], m["breaker_open"])
+	}
+
+	// ...while healthy traffic on another workload serves normally.
+	runToState(`{"model":"mlp"}`, stateDone)
+
+	// After the cooloff, one probe is admitted; still poisoned, it re-trips.
+	time.Sleep(200 * time.Millisecond)
+	runToState(`{"model":"vit"}`, stateFailed)
+	waitFor(t, "probe failure to re-trip", func() bool {
+		return metricsOf(t, ts)["breaker_trips"].(float64) == 2
+	})
+
+	// Heal the workload; after another cooloff the next probe succeeds and
+	// the breaker closes — subsequent requests flow freely.
+	poisoned.Store(false)
+	time.Sleep(200 * time.Millisecond)
+	runToState(`{"model":"vit"}`, stateDone)
+	if m := metricsOf(t, ts); m["breaker_open"].(float64) != 0 {
+		t.Errorf("breaker still open after successful probe: %v", m["breaker_open"])
+	}
+	runToState(`{"model":"vit"}`, stateDone)
+
+	drainServer(t, s)
+	assertConservation(t, s, ts)
+}
+
+// TestFailModelInjection: the chaos-soak poison flag makes the named model
+// fail deterministically inside the real search path.
+func TestFailModelInjection(t *testing.T) {
+	s := New(Config{
+		Model:       testModel(),
+		QueueDepth:  4,
+		Workers:     1,
+		StallWindow: -1,
+		FailModel:   "vit",
+	})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer drainServer(t, s)
+
+	code, body := post(t, ts, `{"model":"vit"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, body)
+	}
+	id := body["id"].(string)
+	waitFor(t, "poisoned job to fail", func() bool {
+		_, v := get(t, ts, "/jobs/"+id)
+		return v["state"] == stateFailed
+	})
+	_, v := get(t, ts, "/jobs/"+id)
+	if !strings.Contains(v["error"].(string), "injected failure") {
+		t.Errorf("poison error %q, want injected-failure marker", v["error"])
+	}
+}
+
+// TestRequeueResumeDrainRace: a stalled job re-admitted for resume while
+// the server drains — or while the queue is full — must settle in exactly
+// one place: finished as cancelled (resumable, checkpoint on disk) or
+// completed by its resume. Never lost, never stuck queued, never double-
+// settled.
+func TestRequeueResumeDrainRace(t *testing.T) {
+	// Deterministic half: queue full at requeue time. QueueDepth 1 with
+	// the single worker wedged on the stalling job and the queue slot
+	// occupied leaves no room for the resume.
+	t.Run("queue-full", func(t *testing.T) {
+		dir := t.TempDir()
+		block := make(chan struct{})
+		s := New(Config{
+			Model:         testModel(),
+			QueueDepth:    1,
+			Workers:       1,
+			CheckpointDir: dir,
+			StallWindow:   50 * time.Millisecond,
+			StallPoll:     10 * time.Millisecond,
+		})
+		s.runSearch = func(ctx context.Context, j *job) (*opt.Result, error) {
+			if j.resumeFrom() != "" {
+				return tinyResult(opt.StopConverged), nil
+			}
+			if j.id == "job-1" {
+				// Stall: write a snapshot, then wedge without progress.
+				if err := os.WriteFile(s.checkpointPath(j.id), []byte("snapshot"), 0o644); err != nil {
+					return nil, err
+				}
+				<-ctx.Done()
+				return tinyResult(opt.StopCancelled), nil
+			}
+			// The queue occupant: keep progress fresh so only job-1 stalls.
+			for {
+				select {
+				case <-block:
+					return tinyResult(opt.StopConverged), nil
+				case <-ctx.Done():
+					return tinyResult(opt.StopCancelled), nil
+				case <-time.After(5 * time.Millisecond):
+					j.progress(1)
+				}
+			}
+		}
+		s.Start()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+
+		code, body := post(t, ts, `{"model":"mlp"}`) // job-1: will stall
+		if code != http.StatusAccepted {
+			t.Fatalf("submit staller: %d %v", code, body)
+		}
+		staller := body["id"].(string)
+		code, _ = post(t, ts, `{"model":"mlp"}`) // job-2: fills the only queue slot
+		if code != http.StatusAccepted {
+			t.Fatal("submit queue filler failed")
+		}
+
+		// The watchdog cancels job-1; requeueResume finds the queue full and
+		// the job must settle as cancelled-but-resumable, exactly once.
+		waitFor(t, "stalled job to settle", func() bool {
+			_, v := get(t, ts, "/jobs/"+staller)
+			return v["state"] == stateCancelled
+		})
+		_, v := get(t, ts, "/jobs/"+staller)
+		if v["resumable"] != true {
+			t.Errorf("cancelled stalled job not resumable: %v", v)
+		}
+		if _, err := os.Stat(s.checkpointPath(staller)); err != nil {
+			t.Errorf("checkpoint missing for cancelled job: %v", err)
+		}
+		close(block)
+		drainServer(t, s)
+		assertConservation(t, s, ts)
+	})
+
+	// Racy half: drain lands around the stall-resume decision. Loop the
+	// race; whatever interleaving occurs, the job must end terminal —
+	// done (resume won) or cancelled with its checkpoint on disk (drain
+	// won) — and the books must balance.
+	t.Run("drain-race", func(t *testing.T) {
+		for i := 0; i < 10; i++ {
+			dir := t.TempDir()
+			s := New(Config{
+				Model:         testModel(),
+				QueueDepth:    4,
+				Workers:       1,
+				CheckpointDir: dir,
+				StallWindow:   20 * time.Millisecond,
+				StallPoll:     5 * time.Millisecond,
+			})
+			stallStarted := make(chan struct{}, 1)
+			s.runSearch = func(ctx context.Context, j *job) (*opt.Result, error) {
+				if j.resumeFrom() != "" {
+					return tinyResult(opt.StopConverged), nil
+				}
+				if err := os.WriteFile(s.checkpointPath(j.id), []byte("snapshot"), 0o644); err != nil {
+					return nil, err
+				}
+				select {
+				case stallStarted <- struct{}{}:
+				default:
+				}
+				<-ctx.Done()
+				return tinyResult(opt.StopCancelled), nil
+			}
+			s.Start()
+			ts := httptest.NewServer(s.Handler())
+
+			code, body := post(t, ts, `{"model":"mlp"}`)
+			if code != http.StatusAccepted {
+				t.Fatalf("iter %d: submit: %d %v", i, code, body)
+			}
+			id := body["id"].(string)
+			<-stallStarted
+			// Race drain against the watchdog's stall->requeue path.
+			time.Sleep(time.Duration(i) * 7 * time.Millisecond)
+			drainServer(t, s)
+
+			_, v := get0(t, s, "/jobs/"+id)
+			switch v["state"] {
+			case stateDone:
+				// Resume won the race and completed before drain.
+			case stateCancelled:
+				// Drain won; the checkpoint must be on disk for the next
+				// incarnation.
+				if _, err := os.Stat(s.checkpointPath(id)); err != nil {
+					t.Errorf("iter %d: cancelled without checkpoint: %v", i, err)
+				}
+				if v["resumable"] != true {
+					t.Errorf("iter %d: cancelled job not resumable: %v", i, v)
+				}
+			default:
+				t.Fatalf("iter %d: job stuck in state %v (%v)", i, v["state"], v)
+			}
+			if held := s.costInUse.Load(); held != 0 {
+				t.Errorf("iter %d: %d cost units leaked", i, held)
+			}
+			ts.Close()
+		}
+	})
+}
+
+// TestProbeClassMatchesCacheFlow: the fingerprint the admission estimator
+// probes with is the fingerprint the cache flow uses — a Probe hit implies
+// the Get hits too (modulo concurrent eviction).
+func TestProbeClassMatchesCacheFlow(t *testing.T) {
+	s := New(cacheServerConfig(t, 1))
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer drainServer(t, s)
+
+	code, resp := post(t, ts, cacheReq)
+	if code != http.StatusAccepted {
+		t.Fatalf("seed job: %d %v", code, resp)
+	}
+	id := resp["id"].(string)
+	waitFor(t, "seed job", func() bool {
+		_, v := get(t, ts, "/jobs/"+id)
+		return v["state"] == stateDone
+	})
+
+	var req OptimizeRequest
+	if err := json.Unmarshal([]byte(cacheReq), &req); err != nil {
+		t.Fatal(err)
+	}
+	budget, _, err := req.normalize(s.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := s.newJob(req, budget)
+	defer s.forget(j)
+	if err := s.estimateJob(j); err != nil {
+		t.Fatal(err)
+	}
+	if j.class != plancache.ClassHit {
+		t.Fatalf("estimator classified cached request as %v, want hit", j.class)
+	}
+	if j.estServe != hitServeCost {
+		t.Errorf("hit-class estimate %v, want %v", j.estServe, hitServeCost)
+	}
+}

@@ -5,10 +5,20 @@
 //
 // Operational posture:
 //
-//   - Admission is non-blocking: a full queue rejects with 429 (and a
-//     Retry-After hint) before any work starts; a draining server rejects
-//     with 503. Accepted jobs get a deadline derived from their requested
-//     search budget.
+//   - Admission is non-blocking and resource-aware: every request is
+//     priced up-front (graph size, search budget, plan-cache class) and
+//     admitted against a concurrent-cost budget; a full queue or an
+//     exhausted budget rejects with 429 and a backlog-derived Retry-After
+//     hint before any work starts; a draining server rejects with 503.
+//   - Client deadlines ride into an earliest-deadline-first queue: jobs
+//     whose deadline becomes unmeetable are shed before they occupy a
+//     worker, and a search truncated by its deadline settles done with the
+//     best-so-far plan explicitly marked degraded (internal/robust picks
+//     the strongest servable tier).
+//   - A per-workload circuit breaker (model|scale|mode) opens after
+//     repeated failures, rejecting that workload for a cooloff and then
+//     admitting a single half-open probe — a poison graph cannot
+//     monopolize workers while healthy traffic starves.
 //   - Every job runs under opt.Guard, so a panicking search marks one job
 //     failed instead of killing the process.
 //   - A watchdog cancels jobs that stop making expansion progress for a
@@ -72,6 +82,23 @@ type Config struct {
 	// kill-resume determinism guarantee is unchanged. Nil disables
 	// caching.
 	Cache *plancache.Cache
+	// AdmitBudget bounds the total estimated service time (see
+	// opt.EstimateSearchTime) held by admitted-but-unsettled jobs: beyond
+	// it /optimize rejects with 429 even when queue slots remain, so a few
+	// enormous cold searches cannot promise more work than the server can
+	// deliver. Default 2×(QueueDepth+Workers)×DefaultBudget. An otherwise
+	// idle server always admits one job regardless of its size.
+	AdmitBudget time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// workload's circuit breaker (default 3; negative disables breakers).
+	// BreakerCooloff is how long an open breaker rejects its workload
+	// before admitting a half-open probe (default 30s).
+	BreakerThreshold int
+	BreakerCooloff   time.Duration
+	// FailModel, when non-empty, makes every search of the named model fail
+	// (fault injection for the chaos soak: a deterministic poison workload
+	// that must trip its breaker without starving healthy traffic).
+	FailModel string
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -97,6 +124,15 @@ func (c Config) withDefaults() Config {
 		if c.StallPoll <= 0 {
 			c.StallPoll = time.Second
 		}
+	}
+	if c.AdmitBudget <= 0 {
+		c.AdmitBudget = 2 * time.Duration(c.QueueDepth+c.Workers) * c.DefaultBudget
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooloff <= 0 {
+		c.BreakerCooloff = 30 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -126,6 +162,20 @@ type metrics struct {
 	// CkptQuarantined counts restart-recovery checkpoints that failed to
 	// read back and were moved aside.
 	CkptQuarantined atomic.Int64
+	// Per-class admissions: how the admission estimator classified each
+	// accepted job against the plan cache.
+	AdmittedHit  atomic.Int64
+	AdmittedWarm atomic.Int64
+	AdmittedCold atomic.Int64
+	// Overload-protection outcomes: rejections by reason, queued jobs shed
+	// before running, degraded anytime responses, breaker trips.
+	RejectedCost     atomic.Int64
+	RejectedBreaker  atomic.Int64
+	RejectedDeadline atomic.Int64
+	ShedExpired      atomic.Int64
+	ShedEvicted      atomic.Int64
+	Degraded         atomic.Int64
+	BreakerTrips     atomic.Int64
 }
 
 // Server is the service. Create with New, wire Handler into an HTTP
@@ -137,12 +187,23 @@ type Server struct {
 	jobs   map[string]*job
 	nextID int64
 
-	queue    chan *job
+	queue    *jobQueue
 	stop     chan struct{}
 	wg       sync.WaitGroup
 	draining atomic.Bool
 	inFlight atomic.Int64
 	met      metrics
+
+	// costInUse is the admission budget spent: estimated cost units
+	// (milliseconds of predicted service time) held by jobs admitted but
+	// not yet settled.
+	costInUse atomic.Int64
+	// brk isolates repeatedly failing workloads (per model|scale|mode).
+	brk *breaker
+	// wlStats memoizes per-(model, scale) workload facts for admission
+	// estimates.
+	wlMu    sync.Mutex
+	wlStats map[string]*wlStats
 
 	// runSearch executes one job's search; replaced by tests to control
 	// timing without real optimization work.
@@ -157,11 +218,13 @@ type Server struct {
 // New builds a Server; call Start to launch its workers.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:  cfg.withDefaults(),
-		jobs: make(map[string]*job),
+		cfg:     cfg.withDefaults(),
+		jobs:    make(map[string]*job),
+		wlStats: make(map[string]*wlStats),
 	}
-	s.queue = make(chan *job, s.cfg.QueueDepth)
+	s.queue = newJobQueue(s.cfg.QueueDepth)
 	s.stop = make(chan struct{})
+	s.brk = newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooloff)
 	s.runSearch = s.searchJob
 	return s
 }
@@ -188,6 +251,10 @@ func (s *Server) Start() int {
 func (s *Server) Drain(ctx context.Context) error {
 	if s.draining.CompareAndSwap(false, true) {
 		close(s.stop)
+		// Settle everything still queued before closing the queue, so the
+		// workers see closed-and-empty and exit instead of popping work.
+		s.flushQueue()
+		s.queue.close()
 		s.mu.Lock()
 		jobs := make([]*job, 0, len(s.jobs))
 		for _, j := range s.jobs {
@@ -197,6 +264,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		for _, j := range jobs {
 			if j.interrupt(reasonDrain) {
 				s.met.Cancelled.Add(1)
+				s.releaseCost(j)
 			}
 		}
 	}
@@ -241,6 +309,13 @@ type OptimizeRequest struct {
 	// Budget is the search time budget as a Go duration string
 	// (default Config.DefaultBudget, capped at Config.MaxBudget).
 	Budget string `json:"budget,omitempty"`
+	// Deadline is how long the client will wait for the answer, as a Go
+	// duration string measured from admission. The queue is
+	// earliest-deadline-first; a job whose deadline becomes unmeetable is
+	// shed instead of run, and a search truncated by its deadline returns
+	// the verified best-so-far plan marked degraded. Empty means no
+	// deadline (never shed, never degraded).
+	Deadline string `json:"deadline,omitempty"`
 	// Workers is the search's parallel evaluation width (0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
 	// Iterations caps the number of search expansions (0 = budget-bound
@@ -254,8 +329,9 @@ type OptimizeRequest struct {
 	VerifySeed uint64 `json:"verify_seed,omitempty"`
 }
 
-// normalize validates the request and resolves defaults.
-func (r *OptimizeRequest) normalize(cfg Config) (time.Duration, error) {
+// normalize validates the request and resolves defaults, returning the
+// search budget and the client deadline (0 = none) measured from now.
+func (r *OptimizeRequest) normalize(cfg Config) (time.Duration, time.Duration, error) {
 	known := false
 	for _, n := range models.Names() {
 		if strings.EqualFold(r.Model, n) {
@@ -264,48 +340,59 @@ func (r *OptimizeRequest) normalize(cfg Config) (time.Duration, error) {
 		}
 	}
 	if !known {
-		return 0, fmt.Errorf("unknown model %q (want %s)", r.Model, strings.Join(models.Names(), "|"))
+		return 0, 0, fmt.Errorf("unknown model %q (want %s)", r.Model, strings.Join(models.Names(), "|"))
 	}
 	if r.Scale == 0 {
 		r.Scale = 1
 	}
 	if r.Scale < 0 || r.Scale > 1 {
-		return 0, fmt.Errorf("invalid scale %v: must be in (0,1]", r.Scale)
+		return 0, 0, fmt.Errorf("invalid scale %v: must be in (0,1]", r.Scale)
 	}
 	switch r.Mode {
 	case "":
 		r.Mode = "mem"
 	case "mem", "latency":
 	default:
-		return 0, fmt.Errorf("unknown mode %q: want mem or latency", r.Mode)
+		return 0, 0, fmt.Errorf("unknown mode %q: want mem or latency", r.Mode)
 	}
 	if r.Limit == 0 {
 		r.Limit = 0.10
 	}
 	if r.Limit < 0 {
-		return 0, fmt.Errorf("invalid limit %v: must be >= 0", r.Limit)
+		return 0, 0, fmt.Errorf("invalid limit %v: must be >= 0", r.Limit)
 	}
 	if r.Workers < 0 {
-		return 0, fmt.Errorf("invalid workers %d: must be >= 0", r.Workers)
+		return 0, 0, fmt.Errorf("invalid workers %d: must be >= 0", r.Workers)
 	}
 	if r.Iterations < 0 {
-		return 0, fmt.Errorf("invalid iterations %d: must be >= 0", r.Iterations)
+		return 0, 0, fmt.Errorf("invalid iterations %d: must be >= 0", r.Iterations)
 	}
 	budget := cfg.DefaultBudget
 	if r.Budget != "" {
 		d, err := time.ParseDuration(r.Budget)
 		if err != nil {
-			return 0, fmt.Errorf("invalid budget %q: %v", r.Budget, err)
+			return 0, 0, fmt.Errorf("invalid budget %q: %v", r.Budget, err)
 		}
 		if d <= 0 {
-			return 0, fmt.Errorf("invalid budget %q: must be positive", r.Budget)
+			return 0, 0, fmt.Errorf("invalid budget %q: must be positive", r.Budget)
 		}
 		budget = d
 	}
 	if budget > cfg.MaxBudget {
 		budget = cfg.MaxBudget
 	}
-	return budget, nil
+	var wait time.Duration
+	if r.Deadline != "" {
+		d, err := time.ParseDuration(r.Deadline)
+		if err != nil {
+			return 0, 0, fmt.Errorf("invalid deadline %q: %v", r.Deadline, err)
+		}
+		if d <= 0 {
+			return 0, 0, fmt.Errorf("invalid deadline %q: must be positive", r.Deadline)
+		}
+		wait = d
+	}
+	return budget, wait, nil
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
@@ -324,28 +411,80 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	budget, err := req.normalize(s.cfg)
+	budget, wait, err := req.normalize(s.cfg)
 	if err != nil {
 		s.met.RejectedInvalid.Add(1)
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+
+	// Circuit breaker: a workload that keeps failing is rejected outright
+	// (except the half-open probe) so it cannot monopolize workers.
+	bkey := breakerKey(req.Model, req.Scale, req.Mode)
+	if after, open := s.brk.blocked(bkey, time.Now()); open {
+		s.met.RejectedBreaker.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprint(after))
+		httpError(w, http.StatusServiceUnavailable,
+			"workload %s is circuit-broken after repeated failures: retry later", bkey)
+		return
+	}
+
 	j := s.newJob(req, budget)
-	// Non-blocking admission: a full queue rejects before any search work
-	// starts, so overload sheds load instead of building an unbounded
-	// backlog.
-	select {
-	case s.queue <- j:
-		s.met.Admitted.Add(1)
-		s.cfg.Logf("serve: admitted %s (%s, budget %v)", j.id, req.Model, budget)
-		w.Header().Set("Location", "/jobs/"+j.id)
-		writeJSON(w, http.StatusAccepted, s.jobView(j))
-	default:
+	if wait > 0 {
+		j.deadline = j.created.Add(wait)
+	}
+	if err := s.estimateJob(j); err != nil {
+		s.forget(j)
+		s.met.RejectedInvalid.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Doomed on arrival: the deadline cannot be met even if a worker were
+	// free right now — shed at the door, before any queue slot is spent.
+	if doomed(j, time.Now()) {
+		s.forget(j)
+		s.met.RejectedDeadline.Add(1)
+		httpError(w, http.StatusUnprocessableEntity,
+			"deadline %v is below the minimum feasible service time %v", wait, j.minServe)
+		return
+	}
+
+	// Resource-aware admission: the job's estimated cost must fit the
+	// concurrent-cost budget. An idle server admits any single job
+	// regardless of size, so an oversized request degrades to
+	// one-at-a-time service instead of permanent rejection.
+	budgetUnits := costUnits(s.cfg.AdmitBudget)
+	if held := s.costInUse.Load(); held > 0 && held+j.estUnits > budgetUnits {
+		s.forget(j)
+		s.met.RejectedCost.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfter()))
+		httpError(w, http.StatusTooManyRequests,
+			"admission budget exhausted (%dms held + %dms requested > %dms): retry later",
+			held, j.estUnits, budgetUnits)
+		return
+	}
+
+	// Non-blocking admission: a full queue sheds (expired first, then the
+	// cheapest laxer victim for deadline-urgent work) or rejects before
+	// any search starts, so overload never builds an unbounded backlog.
+	// The cost hold lands before the push: once queued, a worker may
+	// settle (and release) the job at any moment.
+	s.holdCost(j)
+	if !s.admitQueued(j) {
+		s.releaseCost(j)
 		s.forget(j)
 		s.met.RejectedFull.Add(1)
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfter()))
 		httpError(w, http.StatusTooManyRequests, "queue full (%d queued): retry later", s.cfg.QueueDepth)
+		return
 	}
+	s.met.Admitted.Add(1)
+	s.admitClass(j.class)
+	s.cfg.Logf("serve: admitted %s (%s, budget %v, class %s, est %v)",
+		j.id, req.Model, budget, j.class, j.estServe)
+	w.Header().Set("Location", "/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, s.jobView(j))
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -378,10 +517,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	writeJSON(w, code, map[string]any{
 		"status":         status,
-		"queue_depth":    len(s.queue),
-		"queue_capacity": cap(s.queue),
+		"queue_depth":    s.queue.Len(),
+		"queue_capacity": s.queue.Cap(),
 		"in_flight":      s.inFlight.Load(),
 		"jobs":           total,
+		"cost_in_use_ms": s.costInUse.Load(),
+		"cost_budget_ms": costUnits(s.cfg.AdmitBudget),
+		"breaker_open":   s.brk.openCount(),
 	})
 }
 
@@ -398,8 +540,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"resumed":           s.met.Resumed.Load(),
 		"expansions":        s.met.Expansions.Load(),
 		"in_flight":         s.inFlight.Load(),
-		"queue_depth":       int64(len(s.queue)),
+		"queue_depth":       int64(s.queue.Len()),
 		"ckpt_quarantined":  s.met.CkptQuarantined.Load(),
+		// Overload-protection counters.
+		"admitted_hit":      s.met.AdmittedHit.Load(),
+		"admitted_warm":     s.met.AdmittedWarm.Load(),
+		"admitted_cold":     s.met.AdmittedCold.Load(),
+		"rejected_cost":     s.met.RejectedCost.Load(),
+		"rejected_breaker":  s.met.RejectedBreaker.Load(),
+		"rejected_deadline": s.met.RejectedDeadline.Load(),
+		"shed_expired":      s.met.ShedExpired.Load(),
+		"shed_evicted":      s.met.ShedEvicted.Load(),
+		"degraded":          s.met.Degraded.Load(),
+		"breaker_trips":     s.met.BreakerTrips.Load(),
+		"breaker_open":      int64(s.brk.openCount()),
+		"cost_in_use_ms":    s.costInUse.Load(),
+		"cost_budget_ms":    costUnits(s.cfg.AdmitBudget),
 	}
 	if s.cfg.Cache != nil {
 		out["cache_hits"] = s.met.CacheHits.Load()

@@ -105,7 +105,7 @@ func TestAdmissionControl(t *testing.T) {
 		}
 	}
 	<-started
-	waitFor(t, "queue to fill", func() bool { return len(s.queue) == 2 })
+	waitFor(t, "queue to fill", func() bool { return s.queue.Len() == 2 })
 
 	// The next request is shed before any work starts.
 	resp, err := http.Post(ts.URL+"/optimize", "application/json", strings.NewReader(`{"model":"mlp"}`))

@@ -22,6 +22,10 @@ func (s *Server) watchdog() {
 			return
 		case <-t.C:
 			s.scanStalls()
+			// Shedding sweep: queued jobs whose deadline became unmeetable
+			// while they waited are settled now, not when a worker finally
+			// pops them — expired work never blocks live work.
+			s.shedExpiredQueued()
 		}
 	}
 }

@@ -132,6 +132,87 @@ func TestPermanentFaultAbortsInsteadOfLooping(t *testing.T) {
 	}
 }
 
+// TestRetryJitterDistribution pins the seeded backoff jitter: factors stay
+// inside [1-J, 1+J], are centred near 1 over many (node, attempt) draws,
+// actually spread (not constant), and are bit-identical for a fixed seed —
+// the property a deterministic replay depends on.
+func TestRetryJitterDistribution(t *testing.T) {
+	const J = 0.25
+	h := &FaultHooks{RetryJitter: J, JitterSeed: 42}
+	again := &FaultHooks{RetryJitter: J, JitterSeed: 42}
+	other := &FaultHooks{RetryJitter: J, JitterSeed: 43}
+
+	var sum float64
+	var n int
+	lo, hi := math.Inf(1), math.Inf(-1)
+	differs := false
+	for node := graph.NodeID(0); node < 256; node++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			f := h.jitterFactor(node, attempt)
+			if f < 1-J || f > 1+J {
+				t.Fatalf("jitter(%d,%d) = %v outside [%v,%v]", node, attempt, f, 1-J, 1+J)
+			}
+			if f != again.jitterFactor(node, attempt) {
+				t.Fatalf("jitter(%d,%d) not deterministic for a fixed seed", node, attempt)
+			}
+			if f != other.jitterFactor(node, attempt) {
+				differs = true
+			}
+			sum += f
+			n++
+			lo, hi = math.Min(lo, f), math.Max(hi, f)
+		}
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.02 {
+		t.Errorf("jitter mean %v, want within 2%% of 1", mean)
+	}
+	if hi-lo < J {
+		t.Errorf("jitter spread [%v,%v] too narrow for J=%v — retries still synchronized", lo, hi, J)
+	}
+	if !differs {
+		t.Error("seeds 42 and 43 produced identical jitter everywhere")
+	}
+
+	// Zero jitter is exactly the legacy synchronized model.
+	if f := (&FaultHooks{}).jitterFactor(7, 1); f != 1 {
+		t.Errorf("zero-jitter factor = %v, want exactly 1", f)
+	}
+}
+
+// TestRetryJitterPerturbsBackoffDeterministically: with jitter enabled the
+// absorbed retry cost moves off the pure-doubling value but two runs with
+// the same seed agree bit-for-bit, and the factor stays within the
+// documented envelope of the un-jittered cost.
+func TestRetryJitterPerturbsBackoffDeterministically(t *testing.T) {
+	g, order, st := transferScenario()
+	m := model()
+	mk := func(seed int64, jitter float64) *Result {
+		h := failStore(st, 3)
+		h.RetryBackoff = 1e-4
+		h.RetryJitter = jitter
+		h.JitterSeed = seed
+		return Run(g, order, Config{Model: m, Faults: h})
+	}
+	plain := mk(1, 0)
+	a := mk(1, 0.3)
+	b := mk(1, 0.3)
+	if a.RetryTime != b.RetryTime || a.Latency != b.Latency {
+		t.Fatalf("jittered replay not deterministic: %v/%v vs %v/%v",
+			a.RetryTime, a.Latency, b.RetryTime, b.Latency)
+	}
+	if a.RetryTime == plain.RetryTime {
+		t.Error("jitter left the backoff schedule bit-identical to pure doubling")
+	}
+	// Only the backoff portion jitters, so total retry time stays inside
+	// the [1-J, 1+J] envelope of the un-jittered backoff sum.
+	lat := m.NodeLatency(g.Node(st))
+	backoffPlain := plain.RetryTime - 3*lat
+	backoffJit := a.RetryTime - 3*lat
+	if backoffJit < backoffPlain*0.7-1e-12 || backoffJit > backoffPlain*1.3+1e-12 {
+		t.Errorf("jittered backoff %v outside ±30%% of %v", backoffJit, backoffPlain)
+	}
+}
+
 // TestRetryDefaults pins the documented defaults: MaxRetries 3 and a 50µs
 // base backoff.
 func TestRetryDefaults(t *testing.T) {

@@ -50,6 +50,17 @@ type FaultHooks struct {
 	// RetryBackoff is the base backoff delay in seconds, doubling per
 	// attempt (default 50µs).
 	RetryBackoff float64
+	// RetryJitter spreads each backoff delay by a multiplicative factor
+	// drawn deterministically from [1-RetryJitter, 1+RetryJitter]. Pure
+	// exponential doubling synchronizes retries across transfers that
+	// failed together — the classic thundering-herd shape — so real retry
+	// stacks always jitter; 0 keeps the legacy synchronized model.
+	// Values are clamped to [0, 0.9].
+	RetryJitter float64
+	// JitterSeed seeds the jitter stream. The factor for a given
+	// (seed, node, attempt) is a pure hash, never a function of execution
+	// order, so a seeded replay reproduces bit-identical timelines.
+	JitterSeed int64
 }
 
 func (h *FaultHooks) maxRetries() int {
@@ -64,6 +75,28 @@ func (h *FaultHooks) backoff() float64 {
 		return 50e-6
 	}
 	return h.RetryBackoff
+}
+
+// jitterFactor returns the deterministic backoff spread for one retry
+// attempt of one node: a factor in [1-RetryJitter, 1+RetryJitter] that is
+// a pure splitmix64-style hash of (JitterSeed, node, attempt).
+func (h *FaultHooks) jitterFactor(node graph.NodeID, attempt int) float64 {
+	j := h.RetryJitter
+	if j <= 0 {
+		return 1
+	}
+	if j > 0.9 {
+		j = 0.9
+	}
+	x := uint64(h.JitterSeed) ^ 0x6A09E667F3BCC909
+	x += uint64(int64(node)+1) * 0x9E3779B97F4A7C15
+	x += uint64(attempt+1) * 0xBF58476D1CE4E5B9
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	u := float64(z>>11) / float64(1<<53) // uniform [0,1)
+	return 1 + j*(2*u-1)
 }
 
 // FaultPoint records one absorbed (or aborted) transfer fault on the
@@ -184,7 +217,7 @@ func Run(g *graph.Graph, order sched.Schedule, cfg Config) *Result {
 					}
 					var extra float64
 					for i := 0; i < absorbed; i++ {
-						extra += lat + h.backoff()*float64(int64(1)<<i)
+						extra += lat + h.backoff()*float64(int64(1)<<i)*h.jitterFactor(v, i)
 					}
 					dur += extra
 					res.Retries += absorbed
