@@ -1,6 +1,9 @@
 package opt
 
-import "time"
+import (
+	"runtime"
+	"time"
+)
 
 // nodeExpansionCost is the reference per-node cost of one expansion: each
 // expansion evaluates a bounded batch of candidates (MaxSites per rule,
@@ -28,7 +31,15 @@ func EstimateSearchTime(nodes int, o Options) time.Duration {
 	if nodes < 1 {
 		nodes = 1
 	}
-	perExpansion := time.Duration(nodes) * nodeExpansionCost / time.Duration(o.Workers)
+	// Workers may be caller-supplied; more of them than cores does not make
+	// expansions faster, it only drives the estimate toward zero — which
+	// would let a request talk its way past cost-budget admission and the
+	// deadline-feasibility check. Divide by real parallelism only.
+	workers := o.Workers
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	perExpansion := time.Duration(nodes) * nodeExpansionCost / time.Duration(workers)
 	if perExpansion <= 0 {
 		perExpansion = time.Microsecond
 	}

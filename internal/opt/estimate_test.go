@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"runtime"
 	"testing"
 	"time"
 )
@@ -38,11 +39,22 @@ func TestEstimateSearchTime(t *testing.T) {
 		t.Errorf("iteration cap did not bind: few=%v many=%v", few, many)
 	}
 
-	// More workers divide the expansion term.
+	// More workers divide the expansion term — up to the cores that exist.
 	one := EstimateSearchTime(1000, Options{TimeBudget: -1, MaxIterations: 100, Workers: 1})
-	four := EstimateSearchTime(1000, Options{TimeBudget: -1, MaxIterations: 100, Workers: 4})
-	if four >= one {
-		t.Errorf("workers did not divide the estimate: 1 worker=%v 4 workers=%v", one, four)
+	if runtime.GOMAXPROCS(0) >= 4 {
+		four := EstimateSearchTime(1000, Options{TimeBudget: -1, MaxIterations: 100, Workers: 4})
+		if four >= one {
+			t.Errorf("workers did not divide the estimate: 1 worker=%v 4 workers=%v", one, four)
+		}
+	}
+
+	// Workers beyond GOMAXPROCS are clamped: a client-supplied absurd value
+	// must not drive the estimate toward zero (that would bypass cost-budget
+	// admission and deadline-feasibility checks built on this estimate).
+	atCap := EstimateSearchTime(1000, Options{TimeBudget: -1, MaxIterations: 100, Workers: runtime.GOMAXPROCS(0)})
+	absurd := EstimateSearchTime(1000, Options{TimeBudget: -1, MaxIterations: 100, Workers: 1 << 20})
+	if absurd != atCap {
+		t.Errorf("oversized Workers not clamped: %d workers=%v, GOMAXPROCS workers=%v", 1<<20, absurd, atCap)
 	}
 
 	// Degenerate inputs stay sane: zero/negative node counts estimate as one

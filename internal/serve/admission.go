@@ -144,16 +144,20 @@ func costUnits(d time.Duration) int64 {
 	return u
 }
 
-// holdCost reserves a job's estimated cost against the admission budget;
-// releaseCost returns it exactly once when the job settles. A stall
+// holdCost reserves a job's estimated cost against the admission budget
+// and returns the resulting total in use; releaseCost returns the hold
+// exactly once when the job settles. Reserving and reading the total in
+// one atomic add lets admission check the budget race-free (reserve,
+// check, roll back on overshoot) instead of check-then-hold. A stall
 // resume keeps its hold — the work is still in the building.
-func (s *Server) holdCost(j *job) {
+func (s *Server) holdCost(j *job) int64 {
 	j.mu.Lock()
+	defer j.mu.Unlock()
 	if !j.costHeld {
 		j.costHeld = true
-		s.costInUse.Add(j.estUnits)
+		return s.costInUse.Add(j.estUnits)
 	}
-	j.mu.Unlock()
+	return s.costInUse.Load()
 }
 
 func (s *Server) releaseCost(j *job) {
@@ -235,6 +239,9 @@ func (s *Server) shedJob(j *job, kind shedKind) {
 	default:
 		s.met.ShedExpired.Add(1)
 	}
+	// A shed probe settled without a verdict: release the half-open slot,
+	// or the breaker waits forever on a probe that never ran.
+	s.abandonProbe(j)
 	s.releaseCost(j)
 	s.cfg.Logf("serve: %s shed (%s)", j.id, j.err)
 }

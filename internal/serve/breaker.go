@@ -46,28 +46,32 @@ func breakerKey(model string, scale float64, mode string) string {
 
 // blocked reports whether admission must reject this workload now, with
 // a Retry-After hint in seconds. When the cooloff has elapsed it admits
-// exactly one caller as the half-open probe.
-func (b *breaker) blocked(key string, now time.Time) (int, bool) {
+// exactly one caller as the half-open probe, reported via probe=true:
+// that caller now owns the half-open slot and must settle it with a
+// verdict (onSuccess/onFailure) or release it (onAbandon) on every other
+// exit — including rejection later in admission — or the breaker wedges
+// open forever.
+func (b *breaker) blocked(key string, now time.Time) (retryAfter int, open, probe bool) {
 	if b == nil || b.threshold <= 0 {
-		return 0, false
+		return 0, false, false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	e := b.states[key]
 	if e == nil || e.openUntil.IsZero() {
-		return 0, false
+		return 0, false, false
 	}
 	if now.Before(e.openUntil) {
 		sec := int(e.openUntil.Sub(now)/time.Second) + 1
-		return sec, true
+		return sec, true, false
 	}
 	if e.probing {
 		// Half-open with a probe already in flight: hold further traffic
 		// until the probe settles.
-		return int(b.cooloff/time.Second) + 1, true
+		return int(b.cooloff/time.Second) + 1, true, false
 	}
 	e.probing = true
-	return 0, false
+	return 0, false, true
 }
 
 // onSuccess closes the workload's breaker and resets its failure streak.
@@ -108,8 +112,9 @@ func (b *breaker) onFailure(key string, now time.Time) bool {
 }
 
 // onAbandon releases a half-open probe that settled without a verdict
-// (shed, cancelled by drain): the breaker stays open-but-probeable so the
-// next request after the cooloff becomes the new probe.
+// (shed, cancelled by drain, deadline-expired, or rejected by a later
+// admission gate before it ever queued): the breaker stays
+// open-but-probeable so the next request becomes the new probe.
 func (b *breaker) onAbandon(key string) {
 	if b == nil || b.threshold <= 0 {
 		return

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -78,6 +79,12 @@ type job struct {
 	estUnits int64
 	minServe time.Duration
 	class    plancache.Class
+	// probe marks the job admitted as its workload's half-open breaker
+	// probe (immutable after admission): if it settles without a verdict —
+	// shed, cancelled, rejected by a later admission gate, or truncated by
+	// the client's deadline — abandonProbe must release the half-open slot
+	// or the breaker wedges open forever.
+	probe bool
 
 	mu sync.Mutex
 	// costHeld tracks whether estUnits is currently counted against the
@@ -272,7 +279,19 @@ func (s *Server) flushQueue() {
 		if j.interrupt(reasonDrain) {
 			s.met.Cancelled.Add(1)
 		}
+		s.abandonProbe(j)
 		s.releaseCost(j)
+	}
+}
+
+// abandonProbe releases a job's half-open breaker slot when — and only
+// when — this job was admitted as its workload's probe and settled
+// without delivering a verdict. Gating on j.probe keeps an abandoned
+// non-probe job of the same workload from releasing a slot a different
+// in-flight probe still owns. Safe to call repeatedly.
+func (s *Server) abandonProbe(j *job) {
+	if j.probe {
+		s.brk.onAbandon(breakerKey(j.req.Model, j.req.Scale, j.req.Mode))
 	}
 }
 
@@ -325,9 +344,11 @@ func (s *Server) runJob(j *job) {
 // finishJob settles a job's final state and decides whether an interrupted
 // one comes back: a first stall with a checkpoint is re-admitted to resume;
 // drain leaves the checkpoint for the next incarnation of the server. Every
-// settle path reports the workload's verdict to its circuit breaker
-// (failure, success, or abandoned — a shed or drained probe must not wedge
-// the half-open state) and releases the job's admission cost exactly once;
+// settle path reports the workload's verdict to its circuit breaker:
+// failure, success, or — when the settle carries no verdict (shed, drained,
+// or cut short by the client's own deadline rather than by the workload) —
+// an abandoned probe, so the half-open state can never wedge. It also
+// releases the job's admission cost exactly once;
 // only a successful stall re-queue keeps the cost held, because the work is
 // still in the building.
 func (s *Server) finishJob(j *job, res *opt.Result, err error) {
@@ -341,9 +362,16 @@ func (s *Server) finishJob(j *job, res *opt.Result, err error) {
 
 	switch {
 	case err != nil:
-		// The breaker hears about the failure regardless: a workload that
-		// only ever limps home on a fallback tier must still trip.
-		if s.brk.onFailure(bkey, time.Now()) {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// The client's clock (or a cancellation) bit, not the workload:
+			// a tight-deadline client on a healthy slow workload is no
+			// failure streak. No verdict either way — just release the
+			// half-open slot if this job was the probe.
+			s.abandonProbe(j)
+		} else if s.brk.onFailure(bkey, time.Now()) {
+			// Genuine search/verify failures count regardless of what
+			// happens next: a workload that only ever limps home on a
+			// fallback tier must still trip.
 			s.met.BreakerTrips.Add(1)
 			s.cfg.Logf("serve: breaker opened for %s", bkey)
 		}
@@ -370,7 +398,7 @@ func (s *Server) finishJob(j *job, res *opt.Result, err error) {
 			return
 		}
 		s.setCancelled(j, "stalled; could not re-admit for resume")
-		s.brk.onAbandon(bkey)
+		s.abandonProbe(j)
 		s.releaseCost(j)
 
 	case reason != reasonNone:
@@ -378,7 +406,7 @@ func (s *Server) finishJob(j *job, res *opt.Result, err error) {
 			s.met.Stalled.Add(1)
 		}
 		s.setCancelled(j, "cancelled: "+reason.String())
-		s.brk.onAbandon(bkey)
+		s.abandonProbe(j)
 		s.releaseCost(j)
 
 	default:

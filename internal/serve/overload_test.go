@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -482,6 +483,219 @@ func TestBreakerIsolatesPoisonWorkload(t *testing.T) {
 
 	drainServer(t, s)
 	assertConservation(t, s, ts)
+}
+
+// TestBreakerProbeRejectedAtAdmission: a request admitted as the half-open
+// probe but rejected by a later admission gate (here: an infeasible
+// deadline) must hand the probe slot back — the next request of that
+// workload becomes the new probe instead of hitting a permanently wedged
+// 503.
+func TestBreakerProbeRejectedAtAdmission(t *testing.T) {
+	var poisoned atomic.Bool
+	poisoned.Store(true)
+	s := New(Config{
+		Model:            testModel(),
+		QueueDepth:       8,
+		Workers:          1,
+		StallWindow:      -1,
+		BreakerThreshold: 2,
+		BreakerCooloff:   100 * time.Millisecond,
+	})
+	s.runSearch = func(ctx context.Context, j *job) (*opt.Result, error) {
+		if poisoned.Load() {
+			return nil, errors.New("injected failure: poison graph")
+		}
+		return tinyResult(opt.StopConverged), nil
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	runToState := func(body, want string) {
+		t.Helper()
+		code, resp := post(t, ts, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %s: %d %v", body, code, resp)
+		}
+		id := resp["id"].(string)
+		waitFor(t, "job "+id, func() bool {
+			_, v := get(t, ts, "/jobs/"+id)
+			return v["state"] == want
+		})
+	}
+
+	// Trip the breaker for vit|1|mem, then let the cooloff elapse.
+	runToState(`{"model":"vit"}`, stateFailed)
+	runToState(`{"model":"vit"}`, stateFailed)
+	waitFor(t, "breaker to open", func() bool {
+		return metricsOf(t, ts)["breaker_trips"].(float64) == 1
+	})
+	poisoned.Store(false)
+	time.Sleep(150 * time.Millisecond)
+
+	// This request is admitted past the breaker as the probe, then rejected
+	// by the doomed-deadline gate. The probe slot must come back with it.
+	code, body := post(t, ts, `{"model":"vit","deadline":"1ms"}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible-deadline probe: %d %v, want 422", code, body)
+	}
+
+	// The workload heals on the very next request: it must be admitted as
+	// the new probe (not 503 forever) and close the breaker.
+	runToState(`{"model":"vit"}`, stateDone)
+	if m := metricsOf(t, ts); m["breaker_open"].(float64) != 0 {
+		t.Errorf("breaker still open after successful probe: %v", m["breaker_open"])
+	}
+
+	drainServer(t, s)
+}
+
+// TestBreakerProbeShedReleasesSlot: a half-open probe that is shed from
+// the queue (deadline became unmeetable behind a busy worker) settles
+// without a verdict and must release the probe slot, so the workload stays
+// probeable instead of wedging open.
+func TestBreakerProbeShedReleasesSlot(t *testing.T) {
+	var poisoned atomic.Bool
+	poisoned.Store(true)
+	block := make(chan struct{})
+	s := New(Config{
+		Model:            testModel(),
+		QueueDepth:       8,
+		Workers:          1,
+		StallWindow:      time.Hour, // watchdog on: its tick runs the shed sweep
+		StallPoll:        10 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooloff:   100 * time.Millisecond,
+	})
+	started := make(chan string, 8)
+	s.runSearch = func(ctx context.Context, j *job) (*opt.Result, error) {
+		if strings.EqualFold(j.req.Model, "vit") && poisoned.Load() {
+			return nil, errors.New("injected failure: poison graph")
+		}
+		started <- j.id
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return tinyResult(opt.StopConverged), nil
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	submit := func(body string) (string, map[string]any) {
+		t.Helper()
+		code, resp := post(t, ts, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %s: %d %v", body, code, resp)
+		}
+		return resp["id"].(string), resp
+	}
+
+	// Trip the breaker for vit|1|mem.
+	for i := 0; i < 2; i++ {
+		id, _ := submit(`{"model":"vit"}`)
+		waitFor(t, "poison job "+id, func() bool {
+			_, v := get(t, ts, "/jobs/"+id)
+			return v["state"] == stateFailed
+		})
+	}
+	poisoned.Store(false)
+
+	// Wedge the worker on a healthy workload, let the cooloff elapse, and
+	// queue the vit probe with a deadline it cannot meet behind the
+	// blocker: the sweep sheds it before it ever runs.
+	blocker, _ := submit(`{"model":"mlp"}`)
+	<-started
+	time.Sleep(150 * time.Millisecond)
+	probeID, _ := submit(`{"model":"vit","budget":"100ms","deadline":"400ms"}`)
+	waitFor(t, "probe to be shed", func() bool {
+		_, v := get(t, ts, "/jobs/"+probeID)
+		return v["state"] == stateShed
+	})
+
+	// The shed probe released its slot: the next vit request is admitted as
+	// the new probe, succeeds once the worker frees up, and closes the
+	// breaker.
+	healID, _ := submit(`{"model":"vit"}`)
+	close(block)
+	waitFor(t, "blocker "+blocker+" and probe "+healID+" to finish", func() bool {
+		_, v := get(t, ts, "/jobs/"+healID)
+		return v["state"] == stateDone
+	})
+	if m := metricsOf(t, ts); m["breaker_open"].(float64) != 0 {
+		t.Errorf("breaker still open after successful probe: %v", m["breaker_open"])
+	}
+
+	drainServer(t, s)
+	assertConservation(t, s, ts)
+}
+
+// TestDeadlineErrorIsNotBreakerFailure: jobs that die of the client's own
+// deadline (context.DeadlineExceeded surfacing from the search or a
+// shared-flight wait) are the client's clock, not the workload failing —
+// they must not accumulate into a breaker trip that 503s healthy traffic.
+func TestDeadlineErrorIsNotBreakerFailure(t *testing.T) {
+	s := New(Config{
+		Model:            testModel(),
+		QueueDepth:       8,
+		Workers:          1,
+		StallWindow:      -1,
+		BreakerThreshold: 2,
+		BreakerCooloff:   time.Hour, // a wrongful trip would be obvious: 503 until the test times out
+	})
+	s.runSearch = func(ctx context.Context, j *job) (*opt.Result, error) {
+		<-ctx.Done() // a healthy-but-slow search: only the client's deadline ends it
+		return nil, ctx.Err()
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Several tight-deadline clients in a row, well past the threshold.
+	for i := 0; i < 3; i++ {
+		code, body := post(t, ts, `{"model":"mlp","budget":"10s","deadline":"200ms"}`)
+		if code != http.StatusAccepted {
+			t.Fatalf("tight-deadline job %d: %d %v", i, code, body)
+		}
+		id := body["id"].(string)
+		waitFor(t, "job "+id, func() bool {
+			_, v := get(t, ts, "/jobs/"+id)
+			return v["state"] == stateFailed
+		})
+	}
+
+	// The workload's breaker never tripped: the next request sails in.
+	if m := metricsOf(t, ts); m["breaker_trips"].(float64) != 0 || m["breaker_open"].(float64) != 0 {
+		t.Fatalf("deadline deaths tripped the breaker: trips=%v open=%v",
+			m["breaker_trips"], m["breaker_open"])
+	}
+	if code, body := post(t, ts, `{"model":"mlp","deadline":"10s"}`); code != http.StatusAccepted {
+		t.Fatalf("healthy workload rejected after deadline deaths: %d %v", code, body)
+	}
+
+	drainServer(t, s)
+	assertConservation(t, s, ts)
+}
+
+// TestNormalizeClampsWorkers: a client-supplied Workers beyond the cores
+// that exist is clamped at normalize time, so it cannot shrink the
+// admission estimate (and with it the cost-budget and deadline checks)
+// toward zero.
+func TestNormalizeClampsWorkers(t *testing.T) {
+	cfg := Config{Model: testModel()}.withDefaults()
+	req := OptimizeRequest{Model: "mlp", Workers: 1 << 20}
+	if _, _, err := req.normalize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if max := runtime.GOMAXPROCS(0); req.Workers != max {
+		t.Errorf("workers %d not clamped to GOMAXPROCS %d", req.Workers, max)
+	}
+	// Negative is still rejected outright, not clamped.
+	bad := OptimizeRequest{Model: "mlp", Workers: -1}
+	if _, _, err := bad.normalize(cfg); err == nil {
+		t.Error("negative workers passed normalize")
+	}
 }
 
 // TestFailModelInjection: the chaos-soak poison flag makes the named model

@@ -35,6 +35,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -264,6 +265,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		for _, j := range jobs {
 			if j.interrupt(reasonDrain) {
 				s.met.Cancelled.Add(1)
+				s.abandonProbe(j)
 				s.releaseCost(j)
 			}
 		}
@@ -364,6 +366,13 @@ func (r *OptimizeRequest) normalize(cfg Config) (time.Duration, time.Duration, e
 	if r.Workers < 0 {
 		return 0, 0, fmt.Errorf("invalid workers %d: must be >= 0", r.Workers)
 	}
+	// Clamp to the cores actually available: workers is client-supplied,
+	// and an absurd value would both oversubscribe the search and drive the
+	// per-expansion admission estimate toward zero — a client-controlled
+	// bypass of the cost budget and the deadline-feasibility check.
+	if max := runtime.GOMAXPROCS(0); r.Workers > max {
+		r.Workers = max
+	}
 	if r.Iterations < 0 {
 		return 0, 0, fmt.Errorf("invalid iterations %d: must be >= 0", r.Iterations)
 	}
@@ -419,9 +428,14 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Circuit breaker: a workload that keeps failing is rejected outright
-	// (except the half-open probe) so it cannot monopolize workers.
+	// (except the half-open probe) so it cannot monopolize workers. A
+	// request admitted here as the probe owns the half-open slot from this
+	// point on: every later rejection path must hand the slot back
+	// (abandonProbe), or the breaker stays wedged waiting on a probe that
+	// never ran.
 	bkey := breakerKey(req.Model, req.Scale, req.Mode)
-	if after, open := s.brk.blocked(bkey, time.Now()); open {
+	after, open, probe := s.brk.blocked(bkey, time.Now())
+	if open {
 		s.met.RejectedBreaker.Add(1)
 		w.Header().Set("Retry-After", fmt.Sprint(after))
 		httpError(w, http.StatusServiceUnavailable,
@@ -430,10 +444,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	j := s.newJob(req, budget)
+	j.probe = probe
 	if wait > 0 {
 		j.deadline = j.created.Add(wait)
 	}
 	if err := s.estimateJob(j); err != nil {
+		s.abandonProbe(j)
 		s.forget(j)
 		s.met.RejectedInvalid.Add(1)
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -443,6 +459,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	// Doomed on arrival: the deadline cannot be met even if a worker were
 	// free right now — shed at the door, before any queue slot is spent.
 	if doomed(j, time.Now()) {
+		s.abandonProbe(j)
 		s.forget(j)
 		s.met.RejectedDeadline.Add(1)
 		httpError(w, http.StatusUnprocessableEntity,
@@ -451,28 +468,34 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Resource-aware admission: the job's estimated cost must fit the
-	// concurrent-cost budget. An idle server admits any single job
-	// regardless of size, so an oversized request degrades to
-	// one-at-a-time service instead of permanent rejection.
+	// concurrent-cost budget. Reserve first, check after — holdCost's
+	// atomic add serializes concurrent arrivals, so they cannot all read
+	// the same pre-reservation total and jointly overshoot the budget.
+	// The one deliberate exception survives: an otherwise idle server
+	// (total == this job's own cost) admits any single job regardless of
+	// size, so an oversized request degrades to one-at-a-time service
+	// instead of permanent rejection.
 	budgetUnits := costUnits(s.cfg.AdmitBudget)
-	if held := s.costInUse.Load(); held > 0 && held+j.estUnits > budgetUnits {
+	if total := s.holdCost(j); total > budgetUnits && total != j.estUnits {
+		s.releaseCost(j)
+		s.abandonProbe(j)
 		s.forget(j)
 		s.met.RejectedCost.Add(1)
 		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfter()))
 		httpError(w, http.StatusTooManyRequests,
 			"admission budget exhausted (%dms held + %dms requested > %dms): retry later",
-			held, j.estUnits, budgetUnits)
+			total-j.estUnits, j.estUnits, budgetUnits)
 		return
 	}
 
 	// Non-blocking admission: a full queue sheds (expired first, then the
 	// cheapest laxer victim for deadline-urgent work) or rejects before
 	// any search starts, so overload never builds an unbounded backlog.
-	// The cost hold lands before the push: once queued, a worker may
+	// The cost hold already landed above: once queued, a worker may
 	// settle (and release) the job at any moment.
-	s.holdCost(j)
 	if !s.admitQueued(j) {
 		s.releaseCost(j)
+		s.abandonProbe(j)
 		s.forget(j)
 		s.met.RejectedFull.Add(1)
 		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfter()))
