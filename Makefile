@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench-core cache-chaos soak-chaos
+.PHONY: build test race bench-core cache-chaos soak-chaos storage-chaos
 
 build:
 	go build ./...
@@ -26,3 +26,10 @@ cache-chaos:
 # server, asserting the serving invariants end to end (RACE=1 for -race).
 soak-chaos:
 	./scripts/soak_chaos.sh
+
+# Resource-exhaustion chaos: every storage fault class (ENOSPC, torn
+# writes, fsync failures, fd exhaustion, rename failures) injected under
+# a live server, SIGKILL under a full disk, and the search memory
+# governor's graceful stop + idle bit-identity.
+storage-chaos:
+	./scripts/storage_chaos.sh

@@ -71,6 +71,7 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write an allocation profile taken at exit to this path")
 
 		strictHash = flag.Bool("strict-hash", false, "disable incremental WL hashing in every search (escape hatch; the two paths are bit-identical)")
+		memBudg    = flag.String("mem-budget", "", "soft live-memory budget per search (e.g. 512MiB); over budget a search sheds state and settles best-so-far instead of OOMing (empty = off)")
 
 		verifySeed = flag.Uint64("verify-seed", 1, "seed for the verify target's numeric inputs")
 		oracleSeqs = flag.Int("oracle-seqs", 100, "randomized rewrite sequences the oracle target compares")
@@ -96,6 +97,11 @@ func main() {
 	if err := (cliutil.Search{Scale: *scale, Budget: *budget, Workers: *workers,
 		Headroom: *headroom, Faults: *faultsN}).Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	memBudget, err := cliutil.ParseBytes(*memBudg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-mem-budget: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -164,7 +170,8 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cfg := expr.Config{Scale: *scale, Budget: *budget, Ctx: ctx, Workers: *workers, StrictHash: *strictHash}
+	cfg := expr.Config{Scale: *scale, Budget: *budget, Ctx: ctx, Workers: *workers,
+		StrictHash: *strictHash, MemBudget: memBudget}
 
 	verifyFailed := false
 	for _, t := range targets {

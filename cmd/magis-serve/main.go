@@ -32,7 +32,10 @@ import (
 	"syscall"
 	"time"
 
+	"magis/internal/cliutil"
 	"magis/internal/cost"
+	"magis/internal/errfs"
+	"magis/internal/fsatomic"
 	"magis/internal/plancache"
 	"magis/internal/serve"
 )
@@ -54,14 +57,38 @@ func main() {
 		brkThr   = flag.Int("breaker-threshold", 0, "consecutive failures that open a workload's circuit breaker (0 = default 3, negative disables)")
 		brkCool  = flag.Duration("breaker-cooloff", 0, "how long an open breaker rejects its workload before a half-open probe (0 = default 30s)")
 		poison   = flag.String("chaos-poison-model", "", "fault injection: every search of this model fails (chaos soak only)")
+		memBudg  = flag.String("mem-budget", "", "soft live-memory budget per search (e.g. 512MiB); over budget a search sheds state and settles best-so-far (empty = off)")
+		stThr    = flag.Int("storage-threshold", 0, "consecutive storage faults before serving degrades to uncached/uncheckpointed (0 = default 3, negative disables)")
+		stCool   = flag.Duration("storage-cooloff", 0, "how long degraded storage waits before a recovery probe (0 = default 30s)")
+		gcAge    = flag.Duration("ckpt-gc-age", 0, "GC orphaned checkpoints older than this at restart (0 = default 24h, negative disables)")
+		gcMax    = flag.Int("ckpt-gc-max", 0, "keep at most this many orphaned checkpoints at restart, oldest GCed first (0 = default 64, negative disables)")
+		stFaults = flag.String("chaos-storage-faults", "", "fault injection: storage fault specs, e.g. enospc@3+2,syncfail~0.1 (chaos only; see internal/errfs)")
+		stSeed   = flag.Int64("chaos-storage-seed", 1, "seed for rate-based storage fault specs")
 	)
 	flag.Parse()
+
+	memBudget, err := cliutil.ParseBytes(*memBudg)
+	if err != nil {
+		log.Fatalf("-mem-budget: %v", err)
+	}
+	// The fault-injecting filesystem wraps every persistence touch — the
+	// plan cache and the checkpoint writers share one injector so an
+	// operation-count spec fires against the service's real disk schedule.
+	var fsys fsatomic.FS
+	if *stFaults != "" {
+		rules, err := errfs.ParseSpecs(*stFaults)
+		if err != nil {
+			log.Fatalf("-chaos-storage-faults: %v", err)
+		}
+		fsys = errfs.New(nil, *stSeed, rules...)
+		log.Printf("CHAOS: storage faults injected (%s, seed %d)", *stFaults, *stSeed)
+	}
 
 	model := cost.NewModel(cost.RTX3090())
 	var cache *plancache.Cache
 	if *cacheDir != "" {
 		var err error
-		cache, err = plancache.Open(plancache.Config{Dir: *cacheDir, MaxEntries: *cacheMax, Logf: log.Printf})
+		cache, err = plancache.Open(plancache.Config{Dir: *cacheDir, MaxEntries: *cacheMax, Logf: log.Printf, FS: fsys})
 		if err != nil {
 			// A broken cache directory degrades the service to uncached
 			// operation; it must not keep the optimizer down.
@@ -87,6 +114,12 @@ func main() {
 		BreakerThreshold: *brkThr,
 		BreakerCooloff:   *brkCool,
 		FailModel:        *poison,
+		FS:               fsys,
+		MemBudget:        memBudget,
+		StorageThreshold: *stThr,
+		StorageCooloff:   *stCool,
+		CheckpointGCAge:  *gcAge,
+		CheckpointGCMax:  *gcMax,
 		Logf:             log.Printf,
 	})
 	if *poison != "" {

@@ -69,6 +69,7 @@ func main() {
 		iters   = flag.Int("iters", 0, "cap search expansions (0 = budget-bound only; fixed work => deterministic result)")
 		strict  = flag.Bool("strict-hash", false, "disable incremental WL hashing (escape hatch; the two paths are bit-identical)")
 		emit    = flag.String("emit", "", "write a PyTorch script for the optimized graph to this path")
+		memBudg = flag.String("mem-budget", "", "soft live-memory budget for the search itself (e.g. 512MiB); over budget the search sheds frontier state and, at worst, stops with its best-so-far (empty = off)")
 
 		ckpt   = flag.String("checkpoint", "", "periodically snapshot the search to this path (crash-safe; see -resume)")
 		resume = flag.String("resume", "", "continue an interrupted search from this checkpoint under its remaining budget")
@@ -94,6 +95,10 @@ func main() {
 	}
 	if *iters < 0 {
 		fatalf("invalid -iters %d: must be >= 0", *iters)
+	}
+	memBudget, err := cliutil.ParseBytes(*memBudg)
+	if err != nil {
+		fatalf("-mem-budget: %v", err)
 	}
 	if *resume != "" {
 		if *ckpt != "" {
@@ -140,7 +145,8 @@ func main() {
 		fmt.Printf("workload: %s\n", w)
 		fmt.Printf("baseline: %s\n", base.Summary())
 
-		o = opt.Options{TimeBudget: *budget, MaxLevel: *level, Workers: *workers, MaxIterations: *iters, StrictHash: *strict}
+		o = opt.Options{TimeBudget: *budget, MaxLevel: *level, Workers: *workers,
+			MaxIterations: *iters, StrictHash: *strict, MemBudget: memBudget}
 		switch *mode {
 		case "mem":
 			o.Mode = opt.MemoryUnderLatency
@@ -172,6 +178,10 @@ func main() {
 	if n := res.Diagnostics.Panics(); n > 0 {
 		fmt.Printf("contained: %d rule panic(s); quarantined rules: %s\n",
 			n, strings.Join(res.Diagnostics.Quarantined(), ", "))
+	}
+	if gov := res.Governor; gov != nil && gov.Stage > 0 {
+		fmt.Printf("governor: budget %.2f GB, peak %.2f GB — stage %d: %d state(s) evicted, %d knob shrink(s), %d pool flush(es)\n",
+			gb(gov.Budget), gb(gov.PeakBytes), gov.Stage, gov.EvictedStates, gov.Shrinks, gov.Flushes)
 	}
 	if ck := res.Checkpoint; ck != nil {
 		if ck.Err != "" {

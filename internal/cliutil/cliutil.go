@@ -6,6 +6,8 @@ package cliutil
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -45,4 +47,67 @@ func (s Search) Validate() error {
 		return fmt.Errorf("invalid -faults %d: must be >= 0", s.Faults)
 	}
 	return nil
+}
+
+// byteSuffixes maps size suffixes to multipliers: the binary family
+// (KiB/MiB/...) is 1024-based, the decimal family (KB/MB/...) 1000-based,
+// and bare K/M/G/T follow the binary convention (what an operator setting
+// a memory budget almost always means). Longer suffixes are listed first
+// so "MiB" never matches as "B" with a garbage prefix.
+var byteSuffixes = []struct {
+	suffix string
+	mult   int64
+}{
+	{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30}, {"tib", 1 << 40},
+	{"kb", 1e3}, {"mb", 1e6}, {"gb", 1e9}, {"tb", 1e12},
+	{"k", 1 << 10}, {"m", 1 << 20}, {"g", 1 << 30}, {"t", 1 << 40},
+	{"b", 1},
+}
+
+// ParseBytes parses a human-readable byte size ("512MiB", "2GB", "64m",
+// "1073741824") into bytes. Suffixes are case-insensitive; fractional
+// values ("1.5GiB") are allowed with a suffix. The empty string and "0"
+// both mean zero (every caller treats zero as "feature off"). The error
+// is phrased for direct CLI output.
+func ParseBytes(s string) (int64, error) {
+	orig := s
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	for _, sx := range byteSuffixes {
+		if strings.HasSuffix(s, sx.suffix) {
+			mult = sx.mult
+			s = strings.TrimSpace(strings.TrimSuffix(s, sx.suffix))
+			break
+		}
+	}
+	if s == "" {
+		return 0, fmt.Errorf("invalid size %q: no number before the suffix", orig)
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		if n < 0 {
+			return 0, fmt.Errorf("invalid size %q: must be >= 0", orig)
+		}
+		if mult > 1 && n > (1<<62)/mult {
+			return 0, fmt.Errorf("invalid size %q: overflows", orig)
+		}
+		return n * mult, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f != f {
+		return 0, fmt.Errorf("invalid size %q: want a number with an optional B/KiB/MiB/GiB/KB/MB/GB suffix", orig)
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("invalid size %q: must be >= 0", orig)
+	}
+	if mult == 1 && f != float64(int64(f)) {
+		return 0, fmt.Errorf("invalid size %q: fractional bytes need a unit suffix", orig)
+	}
+	out := f * float64(mult)
+	if out > float64(1<<62) {
+		return 0, fmt.Errorf("invalid size %q: overflows", orig)
+	}
+	return int64(out), nil
 }

@@ -56,6 +56,55 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    int64
+		wantErr bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"1024", 1024, false},
+		{"  42  ", 42, false},
+		{"1b", 1, false},
+		{"512MiB", 512 << 20, false},
+		{"512mib", 512 << 20, false},
+		{"1GiB", 1 << 30, false},
+		{"2GB", 2e9, false},
+		{"3kb", 3000, false},
+		{"64m", 64 << 20, false},
+		{"2g", 2 << 30, false},
+		{"1.5GiB", 3 << 29, false},
+		{"0.5k", 512, false},
+		{"1 GiB", 1 << 30, false},
+
+		{"-1", 0, true},
+		{"-1GiB", 0, true},
+		{"GiB", 0, true},
+		{"oneGB", 0, true},
+		{"1.5", 0, true}, // fractional bytes without a unit
+		{"12x", 0, true},
+		{"NaNGiB", 0, true},
+		{"9999999999999GiB", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseBytes(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseBytes(%q) = %d, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
 // TestValidateReportsFirstError pins the precedence so scripts matching on
 // stderr stay stable.
 func TestValidateReportsFirstError(t *testing.T) {

@@ -1,0 +1,329 @@
+// Package errfs is a fault-injecting fsatomic.FS: it wraps a real (or
+// fake) filesystem and makes chosen operations fail with realistic
+// storage errors — ENOSPC, short writes, sync failures, rename failures,
+// fd exhaustion, remove failures — at deterministic operation counts.
+// Like internal/faults, injection is reproducible: a (seed, rule) pair
+// always fails the same operations in the same order, so a chaos failure
+// replays exactly from its seed and spec string.
+//
+// Rules are count-based or rate-based; either way each fault class
+// keeps its own counter of the operations it applies to (writes for
+// ENOSPC and short writes, syncs for sync failures, renames for rename
+// failures, opens for fd exhaustion, removes for remove failures). A
+// counted rule fires first at operation After (1-based), then every
+// Every operations after that, at most Count times; a rate rule fails
+// each matching operation with probability Rate, decided by a pure
+// splitmix hash of (seed, class, operation index) exactly like
+// internal/faults, so a seed replays the same fault sequence. The CLI
+// spec forms are "class@after[+every][#count]" and "class~rate[#count]",
+// e.g. "enospc@3+2#5,renamefail@1" or "syncfail~0.25".
+package errfs
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+
+	"magis/internal/fsatomic"
+)
+
+// Class enumerates the injectable fault classes.
+type Class int
+
+const (
+	// ENOSPC fails writes with syscall.ENOSPC (persistent: disk full).
+	ENOSPC Class = iota
+	// ShortWrite makes a write accept only half its bytes, reporting no
+	// error — the torn-write case atomic replacement must mask.
+	ShortWrite
+	// SyncFail fails fsync with EIO: the data may or may not be durable.
+	SyncFail
+	// RenameFail fails the publishing rename with EIO.
+	RenameFail
+	// FDExhaust fails file opens (CreateTemp, ReadFile) with EMFILE
+	// (transient: descriptors free up as others close).
+	FDExhaust
+	// RemoveFail fails removals with EIO, which is how atomic-write temp
+	// cleanup itself can fail and leave debris for the startup sweep.
+	RemoveFail
+
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	ENOSPC:     "enospc",
+	ShortWrite: "shortwrite",
+	SyncFail:   "syncfail",
+	RenameFail: "renamefail",
+	FDExhaust:  "fdexhaust",
+	RemoveFail: "removefail",
+}
+
+func (c Class) String() string {
+	if c >= 0 && int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ClassByName resolves a spec-string class name.
+func ClassByName(name string) (Class, error) {
+	for i, n := range classNames {
+		if n == name {
+			return Class(i), nil
+		}
+	}
+	return 0, fmt.Errorf("errfs: unknown fault class %q", name)
+}
+
+// Rule schedules one class's faults against that class's own operation
+// counter.
+type Rule struct {
+	Class Class
+	// After is the 1-based index of the first matching operation that
+	// fails. Zero disables the rule.
+	After int
+	// Every repeats the fault every Every matching operations after the
+	// first; zero means the fault fires only once (unless Count says
+	// otherwise, Every is what makes it recurring).
+	Every int
+	// Count caps how many times the rule fires; zero means unlimited
+	// (given Every > 0 or Rate > 0).
+	Count int
+	// Rate, when > 0, replaces the counted schedule: each matching
+	// operation fails with probability Rate, decided by a pure hash of
+	// (seed, class, operation index). The same seed always fails the same
+	// operations. After/Every are ignored; Count still caps.
+	Rate float64
+}
+
+// fires reports whether the rule fails the op-th (1-based) matching
+// operation, given it has already fired `fired` times under seed.
+func (r Rule) fires(seed int64, op, fired int) bool {
+	if r.Count > 0 && fired >= r.Count {
+		return false
+	}
+	if r.Rate > 0 {
+		return unit(mix(seed, int64(r.Class), int64(op))) < r.Rate
+	}
+	if r.After <= 0 || op < r.After {
+		return false
+	}
+	if op == r.After {
+		return true
+	}
+	return r.Every > 0 && (op-r.After)%r.Every == 0
+}
+
+// mix hashes (seed, class, op) to a uniform uint64 with a splitmix64
+// finalizer — the internal/faults determinism idiom.
+func mix(seed, class, op int64) uint64 {
+	const salt uint64 = 0x7F4A7C15D6E8FEB8
+	x := uint64(seed) ^ salt
+	x += uint64(class+1) * 0x9E3779B97F4A7C15
+	x += uint64(op+1) * 0xBF58476D1CE4E5B9
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// unit maps a hash to [0,1).
+func unit(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// FS wraps an underlying fsatomic.FS with fault injection. Safe for
+// concurrent use; the per-class operation counters are global to the FS,
+// so concurrent callers share one deterministic fault schedule only if
+// their operations are themselves ordered (single-writer tests) — chaos
+// sweeps that just need "faults happen" don't care.
+type FS struct {
+	under fsatomic.FS
+	seed  int64
+
+	mu    sync.Mutex
+	rules []Rule
+	ops   [numClasses]int // matching operations seen, per class
+	fired [numClasses]int // faults injected, per class
+}
+
+// New wraps under (nil = the real OS filesystem) with the given rules.
+// The seed only matters for Rate rules.
+func New(under fsatomic.FS, seed int64, rules ...Rule) *FS {
+	return &FS{under: fsatomic.Or(under), seed: seed, rules: rules}
+}
+
+// Injected returns how many faults each class has injected so far.
+func (f *FS) Injected() map[Class]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := map[Class]int{}
+	for c, n := range f.fired {
+		if n > 0 {
+			m[Class(c)] = n
+		}
+	}
+	return m
+}
+
+// InjectedTotal returns the total number of injected faults.
+func (f *FS) InjectedTotal() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, c := range f.fired {
+		n += c
+	}
+	return n
+}
+
+// hit counts one operation of class c and reports whether a rule fails
+// it.
+func (f *FS) hit(c Class) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops[c]++
+	for _, r := range f.rules {
+		if r.Class == c && r.fires(f.seed, f.ops[c], f.fired[c]) {
+			f.fired[c]++
+			return true
+		}
+	}
+	return false
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (fsatomic.File, error) {
+	if f.hit(FDExhaust) {
+		return nil, &os.PathError{Op: "open", Path: dir, Err: syscall.EMFILE}
+	}
+	file, err := f.under.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{under: file, fs: f}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if f.hit(RenameFail) {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: syscall.EIO}
+	}
+	return f.under.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	if f.hit(RemoveFail) {
+		return &os.PathError{Op: "remove", Path: name, Err: syscall.EIO}
+	}
+	return f.under.Remove(name)
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	if f.hit(FDExhaust) {
+		return nil, &os.PathError{Op: "open", Path: name, Err: syscall.EMFILE}
+	}
+	return f.under.ReadFile(name)
+}
+
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error) { return f.under.ReadDir(name) }
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error { return f.under.MkdirAll(path, perm) }
+
+func (f *FS) Stat(name string) (os.FileInfo, error) { return f.under.Stat(name) }
+
+// faultFile intercepts the write-path operations of one open temp file.
+type faultFile struct {
+	under fsatomic.File
+	fs    *FS
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if ff.fs.hit(ENOSPC) {
+		return 0, &os.PathError{Op: "write", Path: ff.under.Name(), Err: syscall.ENOSPC}
+	}
+	if ff.fs.hit(ShortWrite) && len(p) > 0 {
+		n, err := ff.under.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		// A short write with no error: exactly what a full pipe-backed or
+		// interrupted write looks like to the caller.
+		return n, nil
+	}
+	return ff.under.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.fs.hit(SyncFail) {
+		return &os.PathError{Op: "sync", Path: ff.under.Name(), Err: syscall.EIO}
+	}
+	return ff.under.Sync()
+}
+
+func (ff *faultFile) Chmod(mode os.FileMode) error { return ff.under.Chmod(mode) }
+func (ff *faultFile) Close() error                 { return ff.under.Close() }
+func (ff *faultFile) Name() string                 { return ff.under.Name() }
+
+// ParseSpecs parses a comma-separated fault spec list. Each item is
+// "class@after[+every][#count]" or "class~rate[#count]": enospc@3 fails
+// the 3rd write once, "renamefail@1+2#4" fails renames 1,3,5,7, and
+// "syncfail~0.25" fails a seeded-deterministic quarter of syncs. An
+// empty string yields no rules.
+func ParseSpecs(spec string) ([]Rule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []Rule
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		sep := "@"
+		name, rest, ok := strings.Cut(item, sep)
+		if !ok {
+			sep = "~"
+			name, rest, ok = strings.Cut(item, sep)
+		}
+		if !ok {
+			return nil, fmt.Errorf("errfs: spec %q: want class@after[+every][#count] or class~rate[#count]", item)
+		}
+		c, err := ClassByName(strings.ToLower(strings.TrimSpace(name)))
+		if err != nil {
+			return nil, err
+		}
+		r := Rule{Class: c}
+		if rest, r.Count, err = cutInt(rest, "#"); err != nil {
+			return nil, fmt.Errorf("errfs: spec %q: %w", item, err)
+		}
+		if sep == "~" {
+			if r.Rate, err = strconv.ParseFloat(strings.TrimSpace(rest), 64); err != nil || r.Rate <= 0 || r.Rate > 1 {
+				return nil, fmt.Errorf("errfs: spec %q: bad rate %q", item, rest)
+			}
+		} else {
+			if rest, r.Every, err = cutInt(rest, "+"); err != nil {
+				return nil, fmt.Errorf("errfs: spec %q: %w", item, err)
+			}
+			if r.After, err = strconv.Atoi(strings.TrimSpace(rest)); err != nil || r.After < 1 {
+				return nil, fmt.Errorf("errfs: spec %q: bad after %q", item, rest)
+			}
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// cutInt splits "prefix<sep>n" and parses n; absent sep leaves 0.
+func cutInt(s, sep string) (string, int, error) {
+	head, tail, ok := strings.Cut(s, sep)
+	if !ok {
+		return s, 0, nil
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(tail))
+	if err != nil || n < 1 {
+		return head, 0, fmt.Errorf("bad %q value %q", sep, tail)
+	}
+	return head, n, nil
+}

@@ -1,0 +1,153 @@
+package errfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"magis/internal/fsatomic"
+)
+
+// TestClassesInjectExpectedErrnos drives WriteFileFS through each fault
+// class and checks that the caller sees the classified sentinel (or, for
+// short writes, the fsatomic short-write sentinel) while the target path
+// stays untouched.
+func TestClassesInjectExpectedErrnos(t *testing.T) {
+	cases := []struct {
+		rule Rule
+		want error
+	}{
+		{Rule{Class: ENOSPC, After: 1}, fsatomic.ErrDiskFull},
+		{Rule{Class: ShortWrite, After: 1}, fsatomic.ErrShortWrite},
+		{Rule{Class: SyncFail, After: 1}, syscall.EIO},
+		{Rule{Class: RenameFail, After: 1}, syscall.EIO},
+		{Rule{Class: FDExhaust, After: 1}, fsatomic.ErrFDExhausted},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rule.Class.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			fsys := New(nil, 0, tc.rule)
+			path := filepath.Join(dir, "x.dat")
+			err := fsatomic.WriteFileFS(fsys, path, []byte("payload"), 0o644)
+			if err == nil {
+				t.Fatalf("write succeeded despite %s fault", tc.rule.Class)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("%s: error %v does not match %v", tc.rule.Class, err, tc.want)
+			}
+			if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+				t.Fatalf("%s: target exists after failed write", tc.rule.Class)
+			}
+			if got := fsys.InjectedTotal(); got != 1 {
+				t.Fatalf("%s: injected %d faults, want 1", tc.rule.Class, got)
+			}
+			// After the fault is spent, writes succeed again.
+			if err := fsatomic.WriteFileFS(fsys, path, []byte("payload"), 0o644); err != nil {
+				t.Fatalf("%s: write after spent fault: %v", tc.rule.Class, err)
+			}
+		})
+	}
+}
+
+// TestCountedSchedule checks the After/Every/Count arithmetic against a
+// known schedule.
+func TestCountedSchedule(t *testing.T) {
+	r := Rule{Class: RenameFail, After: 2, Every: 3, Count: 3}
+	var got []int
+	fired := 0
+	for op := 1; op <= 15; op++ {
+		if r.fires(0, op, fired) {
+			fired++
+			got = append(got, op)
+		}
+	}
+	want := []int{2, 5, 8}
+	if len(got) != len(want) {
+		t.Fatalf("fired at %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRateDeterminism: the same seed fails the same operations; a
+// different seed fails a different set; the empirical rate is sane.
+func TestRateDeterminism(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		r := Rule{Class: SyncFail, Rate: 0.3}
+		var p []bool
+		for op := 1; op <= 200; op++ {
+			p = append(p, r.fires(seed, op, 0))
+		}
+		return p
+	}
+	a, b := pattern(7), pattern(7)
+	hits := 0
+	diff := false
+	other := pattern(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i+1)
+		}
+		if a[i] {
+			hits++
+		}
+		if a[i] != other[i] {
+			diff = true
+		}
+	}
+	if hits < 30 || hits > 90 {
+		t.Fatalf("rate 0.3 over 200 ops fired %d times", hits)
+	}
+	if !diff {
+		t.Fatalf("seeds 7 and 8 produced identical fault patterns")
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	rules, err := ParseSpecs(" enospc@3+2#5, renamefail@1 ,syncfail~0.25#2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Class: ENOSPC, After: 3, Every: 2, Count: 5},
+		{Class: RenameFail, After: 1},
+		{Class: SyncFail, Rate: 0.25, Count: 2},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("got %d rules, want %d", len(rules), len(want))
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Fatalf("rule %d = %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+	if r, err := ParseSpecs(""); err != nil || r != nil {
+		t.Fatalf("empty spec: %v, %v", r, err)
+	}
+	for _, bad := range []string{"nope@1", "enospc", "enospc@0", "enospc@x", "enospc~1.5", "enospc@1+0", "enospc~0.2+3"} {
+		if _, err := ParseSpecs(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// TestInjectedPerClass: counters are tracked per class.
+func TestInjectedPerClass(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(nil, 0,
+		Rule{Class: ENOSPC, After: 1},
+		Rule{Class: RenameFail, After: 1},
+	)
+	p := filepath.Join(dir, "f")
+	fsatomic.WriteFileFS(fsys, p, []byte("a"), 0o644) // eats ENOSPC
+	fsatomic.WriteFileFS(fsys, p, []byte("a"), 0o644) // eats RenameFail
+	inj := fsys.Injected()
+	if inj[ENOSPC] != 1 || inj[RenameFail] != 1 {
+		t.Fatalf("injected = %v, want one ENOSPC and one RenameFail", inj)
+	}
+}

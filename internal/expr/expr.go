@@ -38,6 +38,11 @@ type Config struct {
 	// (opt.Options.StrictHash): the escape hatch for ruling the
 	// incremental path out while debugging a suspect run.
 	StrictHash bool
+	// MemBudget is a soft live-memory budget for each search
+	// (opt.Options.MemBudget; 0 = off): a long experiment sweep on a
+	// constrained host sheds search state instead of getting OOM-killed,
+	// and its rows reflect best-so-far plans.
+	MemBudget int64
 }
 
 func (c Config) defaults() Config {
@@ -75,6 +80,7 @@ func magisMinMem(cfg Config, w *models.Workload, latLimit float64) (*opt.Result,
 		TimeBudget:   cfg.Budget,
 		Workers:      cfg.Workers,
 		StrictHash:   cfg.StrictHash,
+		MemBudget:    cfg.MemBudget,
 	})
 }
 
@@ -86,6 +92,7 @@ func magisMinLat(cfg Config, w *models.Workload, memLimit int64) (*opt.Result, e
 		TimeBudget: cfg.Budget,
 		Workers:    cfg.Workers,
 		StrictHash: cfg.StrictHash,
+		MemBudget:  cfg.MemBudget,
 	})
 }
 

@@ -1,0 +1,157 @@
+package fsatomic_test
+
+// errfs-driven tests for the FS seam: these live in an external test
+// package because errfs itself imports fsatomic.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"magis/internal/errfs"
+	"magis/internal/fsatomic"
+)
+
+func countTemps(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && fsatomic.IsTemp(e.Name()) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestNoTempDebrisAfterFailedWrites hammers WriteFileFS with every
+// write-path fault class and asserts no orphaned *.tmp-* files
+// accumulate: the failed write's own cleanup removes them.
+func TestNoTempDebrisAfterFailedWrites(t *testing.T) {
+	dir := t.TempDir()
+	fsys := errfs.New(nil, 0,
+		errfs.Rule{Class: errfs.ENOSPC, After: 1, Every: 4},
+		errfs.Rule{Class: errfs.ShortWrite, After: 2, Every: 4},
+		errfs.Rule{Class: errfs.SyncFail, After: 1, Every: 3},
+		errfs.Rule{Class: errfs.RenameFail, After: 1, Every: 2},
+	)
+	fails := 0
+	for i := 0; i < 40; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("f%02d.dat", i%5))
+		if err := fsatomic.WriteFileFS(fsys, p, []byte("payload-payload"), 0o644); err != nil {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Fatal("no writes failed; fault rules did not engage")
+	}
+	if n := countTemps(t, dir); n != 0 {
+		t.Fatalf("%d orphaned temp files after %d failed writes", n, fails)
+	}
+	// Surviving *.dat files must hold complete payloads (atomicity).
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != "payload-payload" {
+			t.Fatalf("%s holds torn content %q", e.Name(), data)
+		}
+	}
+}
+
+// TestSweepTemps: when even the temp removal fails (RemoveFail after a
+// rename failure), debris is left behind — and SweepTemps clears it on
+// the next startup.
+func TestSweepTemps(t *testing.T) {
+	dir := t.TempDir()
+	fsys := errfs.New(nil, 0,
+		errfs.Rule{Class: errfs.RenameFail, After: 1, Every: 1},
+		errfs.Rule{Class: errfs.RemoveFail, After: 1, Every: 1},
+	)
+	for i := 0; i < 3; i++ {
+		p := filepath.Join(dir, "x.dat")
+		if err := fsatomic.WriteFileFS(fsys, p, []byte("d"), 0o644); err == nil {
+			t.Fatal("write succeeded despite rename fault")
+		}
+	}
+	if n := countTemps(t, dir); n != 3 {
+		t.Fatalf("expected 3 orphaned temps (cleanup faulted), got %d", n)
+	}
+	// Subdirectories and regular files survive the sweep.
+	if err := os.Mkdir(filepath.Join(dir, "sub.tmp-dir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "keep.dat"), []byte("k"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n := fsatomic.SweepTemps(nil, dir); n != 3 {
+		t.Fatalf("SweepTemps removed %d, want 3", n)
+	}
+	if n := countTemps(t, dir); n != 0 {
+		t.Fatalf("%d temps remain after sweep", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "keep.dat")); err != nil {
+		t.Fatalf("sweep removed a regular file: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sub.tmp-dir")); err != nil {
+		t.Fatalf("sweep removed a directory: %v", err)
+	}
+}
+
+// TestTransientClassification: fd exhaustion and short writes are
+// transient; disk-full is not.
+func TestTransientClassification(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "t.dat")
+
+	fdfs := errfs.New(nil, 0, errfs.Rule{Class: errfs.FDExhaust, After: 1})
+	err := fsatomic.WriteFileFS(fdfs, p, []byte("d"), 0o644)
+	if err == nil || !fsatomic.Transient(err) {
+		t.Fatalf("fd exhaustion should be transient, got %v", err)
+	}
+
+	swfs := errfs.New(nil, 0, errfs.Rule{Class: errfs.ShortWrite, After: 1})
+	err = fsatomic.WriteFileFS(swfs, p, []byte("dd"), 0o644)
+	if err == nil || !fsatomic.Transient(err) {
+		t.Fatalf("short write should be transient, got %v", err)
+	}
+
+	nospc := errfs.New(nil, 0, errfs.Rule{Class: errfs.ENOSPC, After: 1})
+	err = fsatomic.WriteFileFS(nospc, p, []byte("d"), 0o644)
+	if err == nil || fsatomic.Transient(err) {
+		t.Fatalf("disk-full should be persistent, got %v", err)
+	}
+	if !fsatomic.Transient(fmt.Errorf("wrap: %w", syscall.EINTR)) {
+		t.Fatal("EINTR should be transient")
+	}
+}
+
+// TestSealedRoundTripThroughFaultyFS: a sealed write that survives
+// faults round-trips; reads through an fd-exhausted FS surface the
+// transient sentinel.
+func TestSealedRoundTripThroughFaultyFS(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "s.plan")
+	fsys := errfs.New(nil, 0, errfs.Rule{Class: errfs.FDExhaust, After: 2})
+	if err := fsatomic.WriteSealedFS(fsys, p, "magic", 1, []byte(`{"a":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Op 2 on the FDExhaust counter is this ReadFile.
+	if _, err := fsatomic.ReadSealedFS(fsys, p, "magic", 1); err == nil || !fsatomic.Transient(err) {
+		t.Fatalf("read under fd exhaustion: %v", err)
+	}
+	got, err := fsatomic.ReadSealedFS(fsys, p, "magic", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"a":1}` {
+		t.Fatalf("payload %q", got)
+	}
+}

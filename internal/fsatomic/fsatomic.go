@@ -50,11 +50,15 @@ var (
 // visible. Set it only from tests, and never while writes are in flight.
 var TestHookWriteErr func(path string) error
 
-// classify wraps err with ErrDiskFull when the underlying errno says the
-// filesystem is out of space or quota.
+// classify wraps err with the matching sentinel when the underlying
+// errno says the filesystem is out of space/quota (persistent) or out of
+// file descriptors (transient).
 func classify(err error) error {
 	if errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT) {
 		return fmt.Errorf("%w: %w", ErrDiskFull, err)
+	}
+	if errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) {
+		return fmt.Errorf("%w: %w", ErrFDExhausted, err)
 	}
 	return err
 }
@@ -63,49 +67,7 @@ func classify(err error) error {
 // temporary file in the same directory, fsynced, and renamed over path.
 // On any error the temporary file is removed and path is left untouched.
 func WriteFile(path string, data []byte, perm os.FileMode) error {
-	dir, base := filepath.Split(path)
-	if dir == "" {
-		dir = "."
-	}
-	f, err := os.CreateTemp(dir, base+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("fsatomic: %w", classify(err))
-	}
-	tmp := f.Name()
-	cleanup := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("fsatomic: %w", classify(err))
-	}
-	n, err := f.Write(data)
-	if err != nil {
-		return cleanup(err)
-	}
-	if n != len(data) {
-		return cleanup(fmt.Errorf("%w: wrote %d of %d bytes", ErrShortWrite, n, len(data)))
-	}
-	if TestHookWriteErr != nil {
-		if err := TestHookWriteErr(path); err != nil {
-			return cleanup(err)
-		}
-	}
-	// Flush to stable storage before the rename publishes the file, so a
-	// power loss cannot leave a renamed-but-empty checkpoint behind.
-	if err := f.Sync(); err != nil {
-		return cleanup(err)
-	}
-	if err := f.Chmod(perm); err != nil {
-		return cleanup(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("fsatomic: %w", classify(err))
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("fsatomic: %w", classify(err))
-	}
-	return nil
+	return WriteFileFS(OS, path, data, perm)
 }
 
 // sealedEnvelope is the on-disk framing of WriteSealed: the payload bytes
@@ -117,10 +79,9 @@ type sealedEnvelope struct {
 	Payload json.RawMessage `json:"payload"`
 }
 
-// WriteSealed atomically writes payload to path inside a checksummed
-// envelope carrying magic and version. The payload must be valid JSON
-// (it is embedded verbatim).
-func WriteSealed(path, magic string, version int, payload []byte, perm os.FileMode) error {
+// seal frames payload in a checksummed envelope; unseal validates and
+// unwraps one. WriteSealed/ReadSealed and their FS variants share them.
+func seal(magic string, version int, payload []byte) ([]byte, error) {
 	sum := sha256.Sum256(payload)
 	env, err := json.Marshal(sealedEnvelope{
 		Magic:   magic,
@@ -129,21 +90,12 @@ func WriteSealed(path, magic string, version int, payload []byte, perm os.FileMo
 		Payload: payload,
 	})
 	if err != nil {
-		return fmt.Errorf("fsatomic: seal: %w", err)
+		return nil, fmt.Errorf("fsatomic: seal: %w", err)
 	}
-	return WriteFile(path, env, perm)
+	return env, nil
 }
 
-// ReadSealed reads a file written by WriteSealed and returns its payload
-// after validating the magic, version, and digest. Mismatches return
-// errors matching ErrVersion or ErrChecksum; anything unparsable is a
-// plain error. Callers treat any failure as "this file cannot be
-// trusted" — typically by quarantining it.
-func ReadSealed(path, magic string, version int) ([]byte, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("fsatomic: %w", err)
-	}
+func unseal(path, magic string, version int, data []byte) ([]byte, error) {
 	var env sealedEnvelope
 	if err := json.Unmarshal(data, &env); err != nil {
 		return nil, fmt.Errorf("fsatomic: %s: not a sealed file: %w", filepath.Base(path), err)
@@ -159,4 +111,20 @@ func ReadSealed(path, magic string, version int) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s: header %s, payload %s", ErrChecksum, filepath.Base(path), env.SHA256, got)
 	}
 	return env.Payload, nil
+}
+
+// WriteSealed atomically writes payload to path inside a checksummed
+// envelope carrying magic and version. The payload must be valid JSON
+// (it is embedded verbatim).
+func WriteSealed(path, magic string, version int, payload []byte, perm os.FileMode) error {
+	return WriteSealedFS(OS, path, magic, version, payload, perm)
+}
+
+// ReadSealed reads a file written by WriteSealed and returns its payload
+// after validating the magic, version, and digest. Mismatches return
+// errors matching ErrVersion or ErrChecksum; anything unparsable is a
+// plain error. Callers treat any failure as "this file cannot be
+// trusted" — typically by quarantining it.
+func ReadSealed(path, magic string, version int) ([]byte, error) {
+	return ReadSealedFS(OS, path, magic, version)
 }

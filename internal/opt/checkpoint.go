@@ -69,6 +69,11 @@ type Checkpoint struct {
 	// Label is free-form run metadata surfaced by ReadCheckpointInfo (the
 	// CLI stores its workload/mode flags here).
 	Label string
+	// FS is the filesystem snapshots are written through; nil means the
+	// real OS. It is runtime wiring, not run state — resuming a checkpoint
+	// does not restore it, so Resume callers re-inject their FS via the
+	// options override.
+	FS fsatomic.FS
 }
 
 // CheckpointStatus reports a run's checkpointing activity.
@@ -148,7 +153,7 @@ func (c *checkpointer) flush() {
 		c.fail(err)
 		return
 	}
-	if err := fsatomic.WriteFile(c.cfg.Path, env, 0o644); err != nil {
+	if err := fsatomic.WriteFileFS(c.cfg.FS, c.cfg.Path, env, 0o644); err != nil {
 		c.fail(err)
 		return
 	}
@@ -206,14 +211,14 @@ func openSnapshot(data []byte) ([]byte, error) {
 
 // snapshot is the checkpoint payload.
 type snapshot struct {
-	Label     string         `json:"label,omitempty"`
-	ElapsedNs int64          `json:"elapsed_ns"`
-	Options   optionsRec     `json:"options"`
+	Label     string               `json:"label,omitempty"`
+	ElapsedNs int64                `json:"elapsed_ns"`
+	Options   optionsRec           `json:"options"`
 	Input     *graphio.GraphRecord `json:"input"`
-	Stats     Stats          `json:"stats"`
-	History   []historyRec   `json:"history"`
-	Seen      []uint64       `json:"seen"`
-	Queue     []*stateRec    `json:"queue"`
+	Stats     Stats                `json:"stats"`
+	History   []historyRec         `json:"history"`
+	Seen      []uint64             `json:"seen"`
+	Queue     []*stateRec          `json:"queue"`
 	// BestIdx points the best state into Queue (preserving object identity
 	// on restore); -1 means Best holds a state not on the frontier.
 	BestIdx int       `json:"best_idx"`
@@ -238,6 +243,7 @@ type optionsRec struct {
 	MaxCandidates    int      `json:"max_candidates"`
 	MaxSites         int      `json:"max_sites"`
 	TimeBudgetNs     int64    `json:"time_budget_ns"`
+	MemBudget        int64    `json:"mem_budget,omitempty"`
 	MaxIterations    int      `json:"max_iterations"`
 	DeltaBits        uint64   `json:"delta_bits"`
 	CheckInvariants  bool     `json:"check_invariants"`
@@ -307,6 +313,7 @@ func recordOptions(o *Options) optionsRec {
 		MaxCandidates:    o.MaxCandidates,
 		MaxSites:         o.MaxSites,
 		TimeBudgetNs:     int64(o.TimeBudget),
+		MemBudget:        o.MemBudget,
 		MaxIterations:    o.MaxIterations,
 		DeltaBits:        math.Float64bits(o.Delta),
 		CheckInvariants:  o.CheckInvariants,
@@ -345,6 +352,7 @@ func (r optionsRec) restore() (Options, error) {
 		MaxCandidates:   r.MaxCandidates,
 		MaxSites:        r.MaxSites,
 		TimeBudget:      time.Duration(r.TimeBudgetNs),
+		MemBudget:       r.MemBudget,
 		MaxIterations:   r.MaxIterations,
 		Delta:           math.Float64frombits(r.DeltaBits),
 		CheckInvariants: r.CheckInvariants,

@@ -12,6 +12,14 @@ const maxStack = 4 << 10
 // maxKeptErrors bounds Diagnostics.Errors; counters keep counting beyond.
 const maxKeptErrors = 16
 
+// maxKeptNotes bounds the distinct messages Diagnostics.Notes holds;
+// NotesDropped counts what the cap discarded.
+const maxKeptNotes = 64
+
+// noteOverflow is the marker entry standing in for messages dropped past
+// maxKeptNotes.
+const noteOverflow = "(diagnostics overflow: further distinct messages dropped)"
+
 // guard runs fn and converts a panic into a *RuleError attributed to the
 // given rule and site, so one buggy rewrite (a fission slice off-by-one, a
 // bad transpose permutation) costs the search a single candidate instead
@@ -100,6 +108,30 @@ type Diagnostics struct {
 	// Errors holds the first recovered panics (capped; Panics counters
 	// keep counting beyond the cap).
 	Errors []*RuleError
+	// Notes deduplicates free-form diagnostic events by message: each
+	// distinct message maps to how many times it occurred. A week-long run
+	// emitting the same event every expansion costs one map entry plus a
+	// counter, and the map itself is capped at maxKeptNotes distinct
+	// messages — past that, occurrences land on the noteOverflow marker
+	// and NotesDropped counts the distinct messages lost.
+	Notes map[string]int
+	// NotesDropped counts distinct messages the Notes cap discarded.
+	NotesDropped int
+}
+
+// Note records one occurrence of a diagnostic event, deduplicating by
+// message. Callers must use stable message strings (no timestamps or
+// counters interpolated) or the dedup degenerates.
+func (d *Diagnostics) Note(msg string) {
+	if d.Notes == nil {
+		d.Notes = make(map[string]int)
+	}
+	if _, ok := d.Notes[msg]; !ok && len(d.Notes) >= maxKeptNotes {
+		d.NotesDropped++
+		d.Notes[noteOverflow]++
+		return
+	}
+	d.Notes[msg]++
 }
 
 // rule returns (allocating if needed) the named rule's counters.

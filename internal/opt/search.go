@@ -49,6 +49,18 @@ type Options struct {
 	TimeBudget time.Duration
 	// MaxIterations bounds queue pops (default 10000).
 	MaxIterations int
+	// MemBudget is a soft RSS budget in bytes for the whole process while
+	// this search runs (0 disables). Live memory is sampled at expansion
+	// boundaries via runtime/metrics; past the budget the search sheds in
+	// stages — evicting the worst-scoring frontier states, shrinking
+	// MaxSites and MaxCandidates, flushing the graph recyclers and forcing
+	// a GC — and only stops (Result.Stopped = StopMemBudget, best-so-far
+	// preserved exactly like TimeBudget) when still over budget after the
+	// whole ladder. A run whose governor never triggers is bit-identical
+	// to one with MemBudget = 0; see Result.Governor for what happened.
+	MemBudget int64
+	// memUsed overrides the governor's live-memory sampler (tests only).
+	memUsed func() uint64
 	// Delta is the relaxed-push coefficient (default 1.1).
 	Delta float64
 	// CheckInvariants runs graph.Validate on every candidate that passes
@@ -183,6 +195,10 @@ const (
 	StopCancelled
 	// StopExhausted: MaxIterations queue pops were spent.
 	StopExhausted
+	// StopMemBudget: Options.MemBudget was exceeded and the shed ladder
+	// (frontier eviction, knob shrinking, pool flush + GC) could not get
+	// back under it; the best state found so far is returned.
+	StopMemBudget
 )
 
 // String renders the reason for logs and CLI summaries.
@@ -196,6 +212,8 @@ func (s StopReason) String() string {
 		return "cancelled"
 	case StopExhausted:
 		return "exhausted"
+	case StopMemBudget:
+		return "mem-budget"
 	default:
 		return "unknown"
 	}
@@ -231,6 +249,9 @@ type Result struct {
 	// search to uncheckpointed rather than aborting it; the first error is
 	// recorded here.
 	Checkpoint *CheckpointStatus
+	// Governor reports the memory governor's activity (nil when
+	// Options.MemBudget was not set).
+	Governor *GovernorStatus
 }
 
 type stateQueue struct {
@@ -459,6 +480,11 @@ func (l *searchLoop) run(ctx context.Context) {
 		ck = newCheckpointer(o.Checkpoint)
 		res.Checkpoint = &ck.status
 	}
+	var gov *governor
+	if o.MemBudget > 0 {
+		gov = newGovernor(o.MemBudget, o.memUsed)
+		res.Governor = &gov.status
+	}
 	// tainted marks an exit in the middle of an expansion: the live state
 	// has absorbed only a prefix of the expansion's candidates, so it is
 	// NOT a valid resume point; the last boundary snapshot is.
@@ -477,6 +503,15 @@ func (l *searchLoop) run(ctx context.Context) {
 		}
 		if res.Stats.Iterations >= o.MaxIterations {
 			res.Stopped = StopExhausted
+			break
+		}
+		// Memory governor: sample at the expansion boundary (the state is
+		// consistent and the checkpoint above is already taken) and shed
+		// one stage per over-budget boundary; stop only when the whole
+		// ladder is spent. When the budget is never exceeded the check is
+		// read-only, so governed and ungoverned runs stay bit-identical.
+		if gov != nil && gov.check(l) {
+			res.Stopped = StopMemBudget
 			break
 		}
 		res.Stats.Iterations++

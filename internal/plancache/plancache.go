@@ -60,6 +60,13 @@ const (
 // ErrRejected marks a Put whose plan failed the verification gate.
 var ErrRejected = errors.New("plancache: plan failed verification, not admitted")
 
+// ErrStorage marks a Put that passed verification but could not be
+// persisted (full disk, failed rename, fd exhaustion). The cache on disk
+// is untouched; servers treat this as a storage-health signal, distinct
+// from a rejected plan. Check fsatomic.Transient(err) to decide between
+// retry and degrade.
+var ErrStorage = errors.New("plancache: storage failure")
+
 // Fingerprint captures everything besides the input graph that a plan's
 // validity or quality depends on: the device it was costed for and the
 // search configuration that produced it. Two requests with equal graphs
@@ -72,6 +79,10 @@ type Fingerprint struct {
 	LatencyLimitBits uint64 `json:"latency_limit_bits,omitempty"`
 	BudgetNs         int64  `json:"budget_ns,omitempty"`
 	MaxIterations    int    `json:"max_iterations,omitempty"`
+	// MemBudget is the search's soft RSS budget: a governed search can
+	// shed frontier states and knobs, so its plan must not answer an
+	// ungoverned request (omitempty keeps pre-governor keys stable).
+	MemBudget int64 `json:"mem_budget,omitempty"`
 }
 
 // FingerprintFor derives the Fingerprint of a request from its cost model
@@ -82,6 +93,7 @@ func FingerprintFor(model *cost.Model, o opt.Options) Fingerprint {
 		MemLimit:      o.MemLimit,
 		BudgetNs:      int64(o.TimeBudget),
 		MaxIterations: o.MaxIterations,
+		MemBudget:     o.MemBudget,
 	}
 	if o.LatencyLimit != 0 {
 		fp.LatencyLimitBits = math.Float64bits(o.LatencyLimit)
@@ -136,6 +148,9 @@ type Config struct {
 	MaxQuarantine int
 	// VerifySeed seeds the admission-gate verification inputs (default 1).
 	VerifySeed uint64
+	// FS is the filesystem the cache persists through; nil means the real
+	// OS. Chaos tests inject storage faults here (internal/errfs).
+	FS fsatomic.FS
 	// HashFunc overrides the structural hash used in entry keys. It
 	// exists so tests can force key collisions and prove lookups degrade
 	// to misses; production callers leave it nil (graph.WLHash).
@@ -179,6 +194,7 @@ type Cache struct {
 	maxQuarantine int
 	verifySeed    uint64
 	hashFn        func(*graph.Graph) uint64
+	fsys          fsatomic.FS
 
 	mu      sync.Mutex
 	entries map[string]*meta
@@ -231,6 +247,7 @@ func Open(cfg Config) (*Cache, error) {
 		maxQuarantine: cfg.MaxQuarantine,
 		verifySeed:    cfg.VerifySeed,
 		hashFn:        cfg.HashFunc,
+		fsys:          fsatomic.Or(cfg.FS),
 		entries:       make(map[string]*meta),
 		topo:          make(map[uint64][]string),
 		flights:       make(map[string]*Flight),
@@ -250,8 +267,13 @@ func Open(cfg Config) (*Cache, error) {
 	if c.hashFn == nil {
 		c.hashFn = (*graph.Graph).WLHash
 	}
-	if err := os.MkdirAll(c.qdir, 0o755); err != nil {
+	if err := c.fsys.MkdirAll(c.qdir, 0o755); err != nil {
 		return nil, fmt.Errorf("plancache: %w", err)
+	}
+	// Clear atomic-write debris a crashed or fault-interrupted writer left
+	// behind before indexing, so temp files never accumulate across runs.
+	if n := fsatomic.SweepTemps(c.fsys, c.dir); n > 0 {
+		c.logf("plancache: swept %d orphaned temp file(s)", n)
 	}
 	c.scan()
 	c.sweepQuarantine()
@@ -304,7 +326,7 @@ func KeyFromHashes(wl uint64, fp Fingerprint) string {
 
 // scan indexes every healthy entry and quarantines the rest.
 func (c *Cache) scan() {
-	ents, err := os.ReadDir(c.dir)
+	ents, err := c.fsys.ReadDir(c.dir)
 	if err != nil {
 		c.logf("plancache: scan: %v", err)
 		return
@@ -333,7 +355,7 @@ func (c *Cache) scan() {
 
 // load reads and vets one entry file without touching the index.
 func (c *Cache) load(path string) (*entryPayload, error) {
-	raw, err := fsatomic.ReadSealed(path, Magic, Version)
+	raw, err := fsatomic.ReadSealedFS(c.fsys, path, Magic, Version)
 	if err != nil {
 		return nil, err
 	}
@@ -390,14 +412,14 @@ func (c *Cache) quarantine(name string, cause error) {
 	src := filepath.Join(c.dir, name)
 	dst := filepath.Join(c.qdir, name)
 	for i := 1; ; i++ {
-		if _, err := os.Stat(dst); os.IsNotExist(err) {
+		if _, err := c.fsys.Stat(dst); os.IsNotExist(err) {
 			break
 		}
 		dst = filepath.Join(c.qdir, fmt.Sprintf("%s.%d", name, i))
 	}
-	if err := os.Rename(src, dst); err != nil {
+	if err := c.fsys.Rename(src, dst); err != nil {
 		c.logf("plancache: quarantine %s failed (%v); removing (cause: %v)", name, err, cause)
-		os.Remove(src)
+		c.fsys.Remove(src)
 		return
 	}
 	c.logf("plancache: quarantined %s -> %s: %v", name, dst, cause)
@@ -410,7 +432,7 @@ func (c *Cache) quarantine(name string, cause error) {
 // loop) an unbounded quarantine would fill the disk and take the healthy
 // cache down with it.
 func (c *Cache) sweepQuarantine() {
-	ents, err := os.ReadDir(c.qdir)
+	ents, err := c.fsys.ReadDir(c.qdir)
 	if err != nil {
 		return
 	}
@@ -439,7 +461,7 @@ func (c *Cache) sweepQuarantine() {
 		return files[i].name < files[j].name
 	})
 	for _, f := range files[:len(files)-c.maxQuarantine] {
-		if err := os.Remove(filepath.Join(c.qdir, f.name)); err == nil {
+		if err := c.fsys.Remove(filepath.Join(c.qdir, f.name)); err == nil {
 			c.quarantineEvicted.Add(1)
 		}
 	}
@@ -617,9 +639,9 @@ func (c *Cache) Put(input *graph.Graph, fp Fingerprint, best *opt.State) error {
 		c.putErrors.Add(1)
 		return fmt.Errorf("plancache: %w", err)
 	}
-	if err := fsatomic.WriteSealed(filepath.Join(c.dir, key+suffix), Magic, Version, payload, 0o644); err != nil {
+	if err := fsatomic.WriteSealedFS(c.fsys, filepath.Join(c.dir, key+suffix), Magic, Version, payload, 0o644); err != nil {
 		c.putErrors.Add(1)
-		return fmt.Errorf("plancache: %w", err)
+		return fmt.Errorf("%w: %w", ErrStorage, err)
 	}
 	c.index(p, time.Now().UnixNano())
 	c.puts.Add(1)
@@ -647,7 +669,7 @@ func (c *Cache) evict() {
 			return
 		}
 		c.drop(oldest.key)
-		os.Remove(filepath.Join(c.dir, oldest.key+suffix))
+		c.fsys.Remove(filepath.Join(c.dir, oldest.key+suffix))
 		c.evictions.Add(1)
 	}
 }

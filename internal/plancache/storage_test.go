@@ -1,0 +1,228 @@
+package plancache_test
+
+// Storage-fault recovery tests (external package so they can drive the
+// cache through internal/errfs): under every injected write-path fault
+// class a Put fails with ErrStorage, the cache stays consistent — a
+// subsequent Get is a miss or a healthy hit, never a torn plan — and a
+// reopen self-heals whatever debris the fault left behind. These extend
+// the PR 6 quarantine tests from corrupt-at-rest to corrupt-in-flight.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"magis/internal/cost"
+	"magis/internal/errfs"
+	"magis/internal/fsatomic"
+	"magis/internal/graph"
+	"magis/internal/models"
+	"magis/internal/opt"
+	"magis/internal/plancache"
+)
+
+func storageTestOptions() opt.Options {
+	return opt.Options{
+		Mode:            opt.MemoryUnderLatency,
+		TimeBudget:      30 * time.Second,
+		MaxIterations:   8,
+		Workers:         1,
+		CheckInvariants: true,
+	}
+}
+
+type storageRig struct {
+	model *cost.Model
+	g     *graph.Graph
+	fp    plancache.Fingerprint
+	best  *opt.State
+}
+
+func newStorageRig(t *testing.T) *storageRig {
+	t.Helper()
+	model := cost.NewModel(cost.RTX3090())
+	w := models.MLP(4, 8, 8, 4, 1)
+	res, err := opt.Optimize(w.G, model, storageTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &storageRig{
+		model: model,
+		g:     w.G,
+		fp:    plancache.FingerprintFor(model, storageTestOptions()),
+		best:  res.Best,
+	}
+}
+
+func openFaulty(t *testing.T, dir string, fsys fsatomic.FS) *plancache.Cache {
+	t.Helper()
+	c, err := plancache.Open(plancache.Config{Dir: dir, Logf: t.Logf, FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestPutFaultsDegradeToConsistentMiss drives Put through each injected
+// fault class: the error matches ErrStorage (distinct from ErrRejected),
+// the lookup stays a miss, and a later un-faulted Put succeeds.
+func TestPutFaultsDegradeToConsistentMiss(t *testing.T) {
+	classes := []errfs.Class{errfs.ENOSPC, errfs.ShortWrite, errfs.SyncFail, errfs.RenameFail, errfs.FDExhaust}
+	for _, cl := range classes {
+		t.Run(cl.String(), func(t *testing.T) {
+			rig := newStorageRig(t)
+			dir := t.TempDir()
+			// After:2 skips the FDExhaust hits Open's own scan would eat.
+			rule := errfs.Rule{Class: cl, After: 1}
+			fsys := errfs.New(nil, 0, rule)
+			c := openFaulty(t, dir, fsys)
+
+			err := c.Put(rig.g, rig.fp, rig.best)
+			if err == nil {
+				t.Fatalf("%s: Put succeeded despite fault", cl)
+			}
+			if !errors.Is(err, plancache.ErrStorage) {
+				t.Fatalf("%s: Put error %v does not match ErrStorage", cl, err)
+			}
+			if errors.Is(err, plancache.ErrRejected) {
+				t.Fatalf("%s: storage fault misreported as verification rejection", cl)
+			}
+			if _, ok := c.Get(rig.g, rig.fp); ok {
+				t.Fatalf("%s: hit after failed Put — torn plan served", cl)
+			}
+			if s := c.Stats(); s.PutErrors != 1 || s.Entries != 0 {
+				t.Fatalf("%s: stats %+v after failed Put", cl, s)
+			}
+			// The fault is spent; the same cache self-heals to a working Put.
+			if err := c.Put(rig.g, rig.fp, rig.best); err != nil {
+				t.Fatalf("%s: Put after fault cleared: %v", cl, err)
+			}
+			if _, ok := c.Get(rig.g, rig.fp); !ok {
+				t.Fatalf("%s: miss after healthy Put", cl)
+			}
+		})
+	}
+}
+
+// TestEnospcMidRenameLeavesNoDebris: ENOSPC on the write plus a failing
+// cleanup (the disk-full worst case: even Remove fails) leaves a temp
+// file behind; reopening the cache sweeps it and serves consistently.
+func TestEnospcMidRenameLeavesNoDebris(t *testing.T) {
+	rig := newStorageRig(t)
+	dir := t.TempDir()
+	fsys := errfs.New(nil, 0,
+		errfs.Rule{Class: errfs.RenameFail, After: 1},
+		errfs.Rule{Class: errfs.RemoveFail, After: 1},
+	)
+	c := openFaulty(t, dir, fsys)
+	if err := c.Put(rig.g, rig.fp, rig.best); err == nil {
+		t.Fatal("Put survived rename fault")
+	}
+	temps := countCacheTemps(t, dir)
+	if temps != 1 {
+		t.Fatalf("expected 1 orphaned temp (cleanup faulted too), got %d", temps)
+	}
+	// Reopen with a healthy FS: the startup sweep clears the debris and
+	// the cache state is an ordinary miss.
+	c2 := openFaulty(t, dir, nil)
+	if n := countCacheTemps(t, dir); n != 0 {
+		t.Fatalf("%d temp files survive reopen", n)
+	}
+	if c2.Len() != 0 {
+		t.Fatalf("reopened cache indexed %d entries from debris", c2.Len())
+	}
+	if _, ok := c2.Get(rig.g, rig.fp); ok {
+		t.Fatal("hit served from a torn write")
+	}
+	if err := c2.Put(rig.g, rig.fp, rig.best); err != nil {
+		t.Fatalf("healthy Put after recovery: %v", err)
+	}
+}
+
+// TestPartialWriteNeverServesTornPlan: a short write that somehow gets
+// published (simulated by truncating the entry file in place, the
+// at-rest equivalent) is quarantined on lookup — a miss, never a torn
+// plan — and the quarantined file leaves the main dir consistent.
+func TestPartialWriteNeverServesTornPlan(t *testing.T) {
+	rig := newStorageRig(t)
+	dir := t.TempDir()
+	c := openFaulty(t, dir, nil)
+	if err := c.Put(rig.g, rig.fp, rig.best); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the published entry to half: the sealed envelope's digest
+	// no longer matches.
+	ents, _ := os.ReadDir(dir)
+	var entry string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".plan") {
+			entry = filepath.Join(dir, e.Name())
+		}
+	}
+	if entry == "" {
+		t.Fatal("no entry file written")
+	}
+	data, err := os.ReadFile(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entry, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(rig.g, rig.fp); ok {
+		t.Fatal("truncated entry served as a hit")
+	}
+	if s := c.Stats(); s.Quarantined != 1 {
+		t.Fatalf("truncated entry not quarantined: %+v", s)
+	}
+	if _, err := os.Stat(entry); !os.IsNotExist(err) {
+		t.Fatal("truncated entry still in the main dir")
+	}
+	// Self-heal: the next Put re-admits and serves.
+	if err := c.Put(rig.g, rig.fp, rig.best); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(rig.g, rig.fp); !ok {
+		t.Fatal("miss after re-admission")
+	}
+}
+
+// TestTransientVsPersistentClassification: serve layers retry transient
+// faults and degrade on persistent ones; the Put error carries enough to
+// tell them apart.
+func TestTransientVsPersistentClassification(t *testing.T) {
+	rig := newStorageRig(t)
+
+	fd := errfs.New(nil, 0, errfs.Rule{Class: errfs.FDExhaust, After: 1})
+	err := openFaulty(t, t.TempDir(), fd).Put(rig.g, rig.fp, rig.best)
+	if err == nil || !fsatomic.Transient(err) {
+		t.Fatalf("fd-exhaustion Put should classify transient: %v", err)
+	}
+
+	full := errfs.New(nil, 0, errfs.Rule{Class: errfs.ENOSPC, After: 1})
+	err = openFaulty(t, t.TempDir(), full).Put(rig.g, rig.fp, rig.best)
+	if err == nil || fsatomic.Transient(err) {
+		t.Fatalf("disk-full Put should classify persistent: %v", err)
+	}
+	if !errors.Is(err, fsatomic.ErrDiskFull) {
+		t.Fatalf("disk-full Put lost its sentinel: %v", err)
+	}
+}
+
+func countCacheTemps(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && fsatomic.IsTemp(e.Name()) {
+			n++
+		}
+	}
+	return n
+}

@@ -44,8 +44,8 @@ func rungCheckpointPath(dir string, rung Rung) string {
 // loadManifest reads a prior incarnation's progress; a missing file means
 // a fresh ladder. A present-but-invalid manifest is a hard error — the
 // operator must decide between deleting the directory and fixing it.
-func loadManifest(dir string) (*ladderManifest, error) {
-	data, err := os.ReadFile(manifestPath(dir))
+func loadManifest(fsys fsatomic.FS, dir string) (*ladderManifest, error) {
+	data, err := fsatomic.Or(fsys).ReadFile(manifestPath(dir))
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -66,7 +66,7 @@ func loadManifest(dir string) (*ladderManifest, error) {
 }
 
 // saveManifest atomically rewrites the manifest with the attempts so far.
-func saveManifest(dir string, attempts []Attempt) error {
+func saveManifest(fsys fsatomic.FS, dir string, attempts []Attempt) error {
 	data, err := json.Marshal(ladderManifest{
 		Magic:    manifestMagic,
 		Version:  manifestVersion,
@@ -75,7 +75,7 @@ func saveManifest(dir string, attempts []Attempt) error {
 	if err != nil {
 		return fmt.Errorf("robust: ladder manifest: %w", err)
 	}
-	if err := fsatomic.WriteFile(manifestPath(dir), data, 0o644); err != nil {
+	if err := fsatomic.WriteFileFS(fsys, manifestPath(dir), data, 0o644); err != nil {
 		return fmt.Errorf("robust: ladder manifest: %w", err)
 	}
 	return nil

@@ -56,7 +56,7 @@ func TestLadderCheckpointResume(t *testing.T) {
 	if _, err := Reoptimize(ctx, w.G, m, o); err != nil {
 		t.Fatal(err)
 	}
-	man, err := loadManifest(dir)
+	man, err := loadManifest(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestLadderCheckpointResume(t *testing.T) {
 	}
 
 	// The directory documents the full escalation after success.
-	man, err = loadManifest(dir)
+	man, err = loadManifest(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestManifestReplayFreezesReconstruction(t *testing.T) {
 
 	// Pretend a prior incarnation recorded this rung as its feasible
 	// outcome, then replay the ladder on the directory.
-	if err := saveManifest(dir, []Attempt{{Rung: RungAsIs, PeakMem: info.BestPeakMem, Feasible: true}}); err != nil {
+	if err := saveManifest(nil, dir, []Attempt{{Rung: RungAsIs, PeakMem: info.BestPeakMem, Feasible: true}}); err != nil {
 		t.Fatal(err)
 	}
 	res, err := Reoptimize(context.Background(), w.G, m, Options{

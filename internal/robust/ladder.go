@@ -30,6 +30,7 @@ import (
 	"magis/internal/baselines"
 	"magis/internal/cost"
 	"magis/internal/faults"
+	"magis/internal/fsatomic"
 	"magis/internal/ftree"
 	"magis/internal/graph"
 	"magis/internal/opt"
@@ -111,6 +112,10 @@ type Options struct {
 	// finished rungs and resumes the interrupted one. Empty disables
 	// checkpointing. See internal/robust/checkpoint.go for the layout.
 	CheckpointDir string
+	// FS is the filesystem the manifest and rung checkpoints are written
+	// through; nil means the real OS. Chaos harnesses inject storage
+	// faults here.
+	FS fsatomic.FS
 }
 
 func (o Options) withDefaults(model *cost.Model) Options {
@@ -201,10 +206,10 @@ func Reoptimize(ctx context.Context, g *graph.Graph, model *cost.Model, o Option
 	res := &Result{}
 	startRung := RungAsIs
 	if o.CheckpointDir != "" {
-		if err := os.MkdirAll(o.CheckpointDir, 0o755); err != nil {
+		if err := fsatomic.Or(o.FS).MkdirAll(o.CheckpointDir, 0o755); err != nil {
 			return nil, fmt.Errorf("robust: checkpoint dir: %w", err)
 		}
-		man, err := loadManifest(o.CheckpointDir)
+		man, err := loadManifest(o.FS, o.CheckpointDir)
 		if err != nil {
 			return nil, err
 		}
@@ -348,7 +353,7 @@ func persistLadder(o Options, res *Result) {
 	if o.CheckpointDir == "" {
 		return
 	}
-	if err := saveManifest(o.CheckpointDir, res.Attempts); err != nil && res.CheckpointErr == "" {
+	if err := saveManifest(o.FS, o.CheckpointDir, res.Attempts); err != nil && res.CheckpointErr == "" {
 		res.CheckpointErr = err.Error()
 	}
 }
@@ -399,6 +404,7 @@ func runRung(ctx context.Context, g *graph.Graph, model *cost.Model, o Options, 
 			EveryN:   o.Opt.Checkpoint.EveryN,
 			Interval: o.Opt.Checkpoint.Interval,
 			Label:    "ladder " + rung.String(),
+			FS:       o.FS,
 		}
 	}
 	return opt.OptimizeCtx(ctx, gg, model, oo)

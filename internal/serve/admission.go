@@ -76,6 +76,11 @@ func (s *Server) searchOptions(j *job, baseMem int64, baseLat float64) opt.Optio
 		TimeBudget:    j.budget,
 		Workers:       j.req.Workers,
 		MaxIterations: j.req.Iterations,
+		// The service-wide memory budget rides into every search: a job
+		// that outgrows it sheds frontier state and, at worst, settles
+		// with its best-so-far (Stopped = "mem-budget") instead of
+		// taking the process down.
+		MemBudget: s.cfg.MemBudget,
 	}
 	switch j.req.Mode {
 	case "latency":

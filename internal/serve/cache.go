@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"magis/internal/fsatomic"
 	"magis/internal/models"
 	"magis/internal/opt"
 	"magis/internal/plancache"
@@ -143,12 +144,24 @@ func (s *Server) seededSearch(ctx context.Context, j *job, w *models.Workload, f
 // admitPlan offers a finished search's best plan to the cache. Admission
 // is gated: only uninterrupted, completed results are offered, and the
 // cache re-verifies the plan before persisting. A refusal (failed
-// verification, full disk) degrades to an uncached success.
+// verification, full disk) degrades to an uncached success — but a
+// storage refusal also counts against persistence health: transient
+// faults (fd exhaustion) get one immediate retry, persistent ones
+// (disk full) go straight to the health machine.
 func (s *Server) admitPlan(j *job, w *models.Workload, fp plancache.Fingerprint, res *opt.Result) {
 	if res == nil || res.Best == nil || j.interruptedReason() != reasonNone {
 		return
 	}
-	if err := s.cfg.Cache.Put(w.G, fp, res.Best); err != nil {
+	err := s.cfg.Cache.Put(w.G, fp, res.Best)
+	if err != nil && errors.Is(err, plancache.ErrStorage) && fsatomic.Transient(err) {
+		err = s.cfg.Cache.Put(w.G, fp, res.Best)
+	}
+	switch {
+	case err == nil:
+		s.storage.onOK()
+	case errors.Is(err, plancache.ErrStorage):
+		s.noteStorageFault("cache put", err)
+	default:
 		s.cfg.Logf("serve: %s: cache admission: %v", j.id, err)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"magis/internal/fsatomic"
 	"magis/internal/graph"
 	"magis/internal/models"
 	"magis/internal/opt"
@@ -94,6 +95,10 @@ type job struct {
 	// own budget — bounded the run; only then is a deadline-stopped result
 	// a degraded response.
 	deadlineLimited bool
+	// degradedStorage records that persistence was unavailable when this
+	// job ran: it searched uncached and uncheckpointed, and its summary
+	// carries the degraded_storage label.
+	degradedStorage bool
 	// resumePath, when non-empty, tells the runner to continue from an
 	// existing snapshot instead of starting a fresh search.
 	resumePath   string
@@ -132,6 +137,10 @@ type jobSummary struct {
 	// internal/robust: "best-so-far" or "baseline").
 	Degraded     bool   `json:"degraded,omitempty"`
 	DegradedTier string `json:"degraded_tier,omitempty"`
+	// DegradedStorage marks a job that ran while persistence was
+	// unhealthy: the answer is a full-fidelity search result, but it was
+	// neither cached nor checkpointed (no crash-resume for this run).
+	DegradedStorage bool `json:"degraded_storage,omitempty"`
 }
 
 // jobView is the JSON shape of /jobs/{id}.
@@ -327,6 +336,18 @@ func (s *Server) runJob(j *job) {
 	j.deadlineLimited = deadlineLimited
 	j.mu.Unlock()
 
+	// Storage gate: while persistence is degraded the job still runs — it
+	// just skips the cache and checkpointing, and says so in its summary.
+	// The gate sits here (not inside searchJob) so every searchFn,
+	// including test doubles, observes the same decision.
+	if !s.storageAllowed() {
+		j.mu.Lock()
+		j.degradedStorage = true
+		j.mu.Unlock()
+		s.met.StorageDegradedJobs.Add(1)
+		s.cfg.Logf("serve: %s running with degraded storage (uncached, uncheckpointed)", j.id)
+	}
+
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 
@@ -358,6 +379,7 @@ func (s *Server) finishJob(j *job, res *opt.Result, err error) {
 	j.cancel = nil
 	j.finished = time.Now()
 	j.mu.Unlock()
+	s.noteSearchTelemetry(res)
 	bkey := breakerKey(j.req.Model, j.req.Scale, j.req.Mode)
 
 	switch {
@@ -426,12 +448,13 @@ func (s *Server) finishJob(j *job, res *opt.Result, err error) {
 				stopped = "cache-hit"
 			}
 			j.summary = &jobSummary{
-				PeakMemBytes: res.Best.PeakMem,
-				LatencySec:   res.Best.Latency,
-				Iterations:   res.Stats.Iterations,
-				Stopped:      stopped,
-				Verified:     j.verified,
-				Cache:        j.cacheOutcome,
+				PeakMemBytes:    res.Best.PeakMem,
+				LatencySec:      res.Best.Latency,
+				Iterations:      res.Stats.Iterations,
+				Stopped:         stopped,
+				Verified:        j.verified,
+				Cache:           j.cacheOutcome,
+				DegradedStorage: j.degradedStorage,
 			}
 		}
 		j.mu.Unlock()
@@ -451,11 +474,12 @@ func (s *Server) settleDegraded(j *job, res *opt.Result, any *robust.Anytime) {
 	j.state = stateDone
 	j.err = ""
 	sum := &jobSummary{
-		Stopped:      "deadline",
-		Verified:     any.Verified,
-		Cache:        j.cacheOutcome,
-		Degraded:     true,
-		DegradedTier: any.Tier,
+		Stopped:         "deadline",
+		Verified:        any.Verified,
+		Cache:           j.cacheOutcome,
+		Degraded:        true,
+		DegradedTier:    any.Tier,
+		DegradedStorage: j.degradedStorage,
 	}
 	if any.State != nil {
 		sum.PeakMemBytes = any.State.PeakMem
@@ -526,6 +550,9 @@ func (s *Server) searchJob(ctx context.Context, j *job) (*opt.Result, error) {
 	if path := j.resumeFrom(); path != "" {
 		res, err := opt.Resume(ctx, path, s.cfg.Model, func(o *opt.Options) {
 			o.OnExpansion = onExp
+			// Checkpoint.FS is runtime wiring, not snapshot state: a
+			// resumed run writes through the server's filesystem again.
+			o.Checkpoint.FS = s.cfg.FS
 		})
 		if err == nil && j.req.Verify {
 			// A snapshot carries no input graph; verification degrades to
@@ -544,14 +571,19 @@ func (s *Server) searchJob(ctx context.Context, j *job) (*opt.Result, error) {
 	// fingerprint probed at admission matches the one used here.
 	o := s.searchOptions(j, base.PeakMem, base.Latency)
 	o.OnExpansion = onExp
-	if s.cfg.CheckpointDir != "" {
+	// A storage-degraded job skips every persistence surface: no snapshot
+	// writes to a sick disk, no cache reads that would dirty the health
+	// verdict mid-probe. The search itself is unchanged.
+	useStorage := !j.storageDegraded()
+	if s.cfg.CheckpointDir != "" && useStorage {
 		o.Checkpoint = opt.Checkpoint{
 			Path:   s.checkpointPath(j.id),
 			EveryN: s.cfg.CheckpointEveryN,
 			Label:  j.req.Model,
+			FS:     s.cfg.FS,
 		}
 	}
-	if s.cfg.Cache != nil {
+	if s.cfg.Cache != nil && useStorage {
 		return s.cachedSearch(ctx, j, w, base, o)
 	}
 	res, err := opt.OptimizeCtx(ctx, w.G, s.cfg.Model, o)
@@ -591,6 +623,12 @@ func (j *job) resumeFrom() string {
 	return j.resumePath
 }
 
+func (j *job) storageDegraded() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degradedStorage
+}
+
 func (s *Server) checkpointPath(id string) string {
 	return filepath.Join(s.cfg.CheckpointDir, id+".ckpt")
 }
@@ -599,7 +637,7 @@ func (s *Server) checkpointExists(j *job) bool {
 	if s.cfg.CheckpointDir == "" {
 		return false
 	}
-	_, err := os.Stat(s.checkpointPath(j.id))
+	_, err := s.fsys.Stat(s.checkpointPath(j.id))
 	return err == nil
 }
 
@@ -607,7 +645,7 @@ func (s *Server) removeCheckpoint(j *job) {
 	if s.cfg.CheckpointDir == "" {
 		return
 	}
-	if err := os.Remove(s.checkpointPath(j.id)); err != nil && !os.IsNotExist(err) {
+	if err := s.fsys.Remove(s.checkpointPath(j.id)); err != nil && !os.IsNotExist(err) {
 		s.cfg.Logf("serve: removing checkpoint of %s: %v", j.id, err)
 	}
 }
@@ -619,18 +657,18 @@ func (s *Server) removeCheckpoint(j *job) {
 // "something was corrupted here" visible as a non-empty directory.
 func (s *Server) quarantineCheckpoint(name string, cause error) {
 	qdir := filepath.Join(s.cfg.CheckpointDir, "quarantine")
-	if err := os.MkdirAll(qdir, 0o755); err != nil {
+	if err := s.fsys.MkdirAll(qdir, 0o755); err != nil {
 		s.cfg.Logf("serve: quarantine dir: %v", err)
 		return
 	}
 	dst := filepath.Join(qdir, name)
 	for i := 1; ; i++ {
-		if _, err := os.Stat(dst); os.IsNotExist(err) {
+		if _, err := s.fsys.Stat(dst); os.IsNotExist(err) {
 			break
 		}
 		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", name, i))
 	}
-	if err := os.Rename(filepath.Join(s.cfg.CheckpointDir, name), dst); err != nil {
+	if err := s.fsys.Rename(filepath.Join(s.cfg.CheckpointDir, name), dst); err != nil {
 		s.cfg.Logf("serve: quarantining checkpoint %s: %v (cause: %v)", name, err, cause)
 		return
 	}
@@ -638,19 +676,84 @@ func (s *Server) quarantineCheckpoint(name string, cause error) {
 	s.cfg.Logf("serve: quarantined unreadable checkpoint %s -> %s: %v", name, dst, cause)
 }
 
+// gcCheckpoints applies the retention bounds to the orphaned checkpoints
+// found at restart, returning the names that survive. Snapshots older
+// than CheckpointGCAge are stale by definition — nobody resumed them
+// across that many restarts — and beyond CheckpointGCMax the oldest go
+// first, mirroring the plan cache's quarantine cap. GC'd files are
+// deleted, not quarantined: they are healthy-but-abandoned, so there is
+// nothing for an operator to inspect.
+func (s *Server) gcCheckpoints(names []string) []string {
+	if s.cfg.CheckpointGCAge <= 0 && s.cfg.CheckpointGCMax <= 0 {
+		return names
+	}
+	type orphan struct {
+		name string
+		mod  time.Time
+	}
+	var orphans []orphan
+	keep := names[:0]
+	now := time.Now()
+	gc := func(o orphan, why string) {
+		if err := s.fsys.Remove(filepath.Join(s.cfg.CheckpointDir, o.name)); err != nil {
+			s.cfg.Logf("serve: checkpoint gc (%s): %v", why, err)
+			return
+		}
+		s.met.CkptGCed.Add(1)
+		s.cfg.Logf("serve: gc'd orphaned checkpoint %s (%s)", o.name, why)
+	}
+	for _, name := range names {
+		info, err := s.fsys.Stat(filepath.Join(s.cfg.CheckpointDir, name))
+		if err != nil {
+			keep = append(keep, name) // let recovery decide its fate
+			continue
+		}
+		o := orphan{name: name, mod: info.ModTime()}
+		if s.cfg.CheckpointGCAge > 0 && now.Sub(o.mod) > s.cfg.CheckpointGCAge {
+			gc(o, fmt.Sprintf("older than %v", s.cfg.CheckpointGCAge))
+			continue
+		}
+		orphans = append(orphans, o)
+		keep = append(keep, name)
+	}
+	if max := s.cfg.CheckpointGCMax; max > 0 && len(orphans) > max {
+		sort.Slice(orphans, func(i, j int) bool { return orphans[i].mod.Before(orphans[j].mod) })
+		doomed := make(map[string]bool, len(orphans)-max)
+		for _, o := range orphans[:len(orphans)-max] {
+			gc(o, fmt.Sprintf("over the %d-checkpoint cap", max))
+			doomed[o.name] = true
+		}
+		kept := keep[:0]
+		for _, name := range keep {
+			if !doomed[name] {
+				kept = append(kept, name)
+			}
+		}
+		keep = kept
+	}
+	return keep
+}
+
 // recoverCheckpoints re-admits jobs a previous incarnation left
 // checkpointed (drained or crashed mid-search). Unreadable snapshots are
 // quarantined — moved aside with a log line, never deleted — so recovery
 // proceeds with the healthy ones and the operator decides the rest.
+// Before any re-admission, recovery sweeps write debris (orphaned temp
+// files from a crash mid-write) and garbage-collects orphans past the
+// age/count retention bounds, so a crash-looping deployment cannot grow
+// the directory without limit.
 func (s *Server) recoverCheckpoints() int {
 	if s.cfg.CheckpointDir == "" {
 		return 0
 	}
-	if err := os.MkdirAll(s.cfg.CheckpointDir, 0o755); err != nil {
+	if err := s.fsys.MkdirAll(s.cfg.CheckpointDir, 0o755); err != nil {
 		s.cfg.Logf("serve: checkpoint dir: %v", err)
 		return 0
 	}
-	entries, err := os.ReadDir(s.cfg.CheckpointDir)
+	if n := fsatomic.SweepTemps(s.fsys, s.cfg.CheckpointDir); n > 0 {
+		s.cfg.Logf("serve: swept %d orphaned temp file(s) from %s", n, s.cfg.CheckpointDir)
+	}
+	entries, err := s.fsys.ReadDir(s.cfg.CheckpointDir)
 	if err != nil {
 		s.cfg.Logf("serve: checkpoint dir: %v", err)
 		return 0
@@ -663,6 +766,7 @@ func (s *Server) recoverCheckpoints() int {
 		}
 		names = append(names, name)
 	}
+	names = s.gcCheckpoints(names)
 	sort.Strings(names)
 
 	n := 0

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"magis/internal/cost"
+	"magis/internal/fsatomic"
 	"magis/internal/models"
 	"magis/internal/plancache"
 )
@@ -100,6 +101,29 @@ type Config struct {
 	// (fault injection for the chaos soak: a deterministic poison workload
 	// that must trip its breaker without starving healthy traffic).
 	FailModel string
+	// FS is the filesystem checkpoints, recovery, and storage probes go
+	// through; nil means the real OS. The chaos harness injects faults here
+	// (internal/errfs) — note the plan cache carries its own FS in its own
+	// Config.
+	FS fsatomic.FS
+	// MemBudget, when positive, runs every search under the opt memory
+	// governor (opt.Options.MemBudget): past the budget the search sheds
+	// frontier state and, if still over, stops with its best-so-far.
+	MemBudget int64
+	// StorageThreshold is the consecutive persistence-fault count that
+	// flips storage health to degraded (default 3; negative disables the
+	// machine). StorageCooloff is how long degraded holds before a
+	// recovery probe (default 30s). While degraded, jobs run uncached and
+	// uncheckpointed with a degraded_storage label instead of erroring.
+	StorageThreshold int
+	StorageCooloff   time.Duration
+	// CheckpointGCAge and CheckpointGCMax bound restart recovery's
+	// retention of orphaned checkpoints: snapshots older than the age
+	// (default 24h) or beyond the count cap (default 64, oldest first) are
+	// garbage-collected instead of re-admitted. Negative disables the
+	// respective bound.
+	CheckpointGCAge time.Duration
+	CheckpointGCMax int
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -134,6 +158,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooloff <= 0 {
 		c.BreakerCooloff = 30 * time.Second
+	}
+	if c.StorageThreshold == 0 {
+		c.StorageThreshold = 3
+	}
+	if c.StorageCooloff <= 0 {
+		c.StorageCooloff = 30 * time.Second
+	}
+	if c.CheckpointGCAge == 0 {
+		c.CheckpointGCAge = 24 * time.Hour
+	}
+	if c.CheckpointGCMax == 0 {
+		c.CheckpointGCMax = 64
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -177,6 +213,17 @@ type metrics struct {
 	ShedEvicted      atomic.Int64
 	Degraded         atomic.Int64
 	BreakerTrips     atomic.Int64
+	// Storage-robustness outcomes: persistence faults observed, jobs run
+	// with persistence disabled, successful recovery probes, and orphaned
+	// checkpoints garbage-collected at restart.
+	StorageFaults       atomic.Int64
+	StorageDegradedJobs atomic.Int64
+	StorageRecoveries   atomic.Int64
+	CkptGCed            atomic.Int64
+	// Memory-governor outcomes across all searches: runs stopped at the
+	// budget and frontier states shed.
+	GovernorStops   atomic.Int64
+	GovernorEvicted atomic.Int64
 }
 
 // Server is the service. Create with New, wire Handler into an HTTP
@@ -201,6 +248,10 @@ type Server struct {
 	costInUse atomic.Int64
 	// brk isolates repeatedly failing workloads (per model|scale|mode).
 	brk *breaker
+	// storage is the persistence health state machine; fsys is the
+	// filesystem all serve-owned persistence goes through.
+	storage *storageHealth
+	fsys    fsatomic.FS
 	// wlStats memoizes per-(model, scale) workload facts for admission
 	// estimates.
 	wlMu    sync.Mutex
@@ -226,6 +277,8 @@ func New(cfg Config) *Server {
 	s.queue = newJobQueue(s.cfg.QueueDepth)
 	s.stop = make(chan struct{})
 	s.brk = newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooloff)
+	s.storage = newStorageHealth(s.cfg.StorageThreshold, s.cfg.StorageCooloff)
+	s.fsys = fsatomic.Or(s.cfg.FS)
 	s.runSearch = s.searchJob
 	return s
 }
@@ -547,6 +600,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"cost_in_use_ms": s.costInUse.Load(),
 		"cost_budget_ms": costUnits(s.cfg.AdmitBudget),
 		"breaker_open":   s.brk.openCount(),
+		"storage":        s.storage.current(),
 	})
 }
 
@@ -579,6 +633,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"breaker_open":      int64(s.brk.openCount()),
 		"cost_in_use_ms":    s.costInUse.Load(),
 		"cost_budget_ms":    costUnits(s.cfg.AdmitBudget),
+		// Storage-robustness and memory-governor counters.
+		"storage_state":           s.storage.current(),
+		"storage_faults":          s.met.StorageFaults.Load(),
+		"storage_degraded_jobs":   s.met.StorageDegradedJobs.Load(),
+		"storage_recoveries":      s.met.StorageRecoveries.Load(),
+		"checkpoints_gced":        s.met.CkptGCed.Load(),
+		"governor_stops":          s.met.GovernorStops.Load(),
+		"governor_evicted_states": s.met.GovernorEvicted.Load(),
 	}
 	if s.cfg.Cache != nil {
 		out["cache_hits"] = s.met.CacheHits.Load()
