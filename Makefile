@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench-core cache-chaos soak-chaos storage-chaos
+.PHONY: build test race bench-core cache-chaos soak-chaos storage-chaos hostile-chaos
 
 build:
 	go build ./...
@@ -33,3 +33,10 @@ soak-chaos:
 # governor's graceful stop + idle bit-identity.
 storage-chaos:
 	./scripts/storage_chaos.sh
+
+# Hostile-traffic chaos: a malformed/adversarial request corpus, a
+# slow-loris client, and a single-tenant flood against a live server
+# with tight limits — every attack must be a structured 4xx, the good
+# client's SLO must hold, and every ledger must drain (RACE=1 for -race).
+hostile-chaos:
+	./scripts/hostile_chaos.sh

@@ -87,6 +87,13 @@ func main() {
 		soakP99   = flag.Duration("soak-hit-p99", 2*time.Second, "soak target: SLO floor for cache-hit p99 latency")
 		soakDegr  = flag.Float64("soak-max-degraded", 0.5, "soak target: SLO floor for the degraded fraction of completed jobs")
 
+		hostileURL    = flag.String("hostile-url", "http://127.0.0.1:8080", "hostile target: base URL of the magis-serve instance to attack")
+		hostileFlood  = flag.Int("hostile-flood", 200, "hostile target: bully-client flood submissions")
+		hostileGood   = flag.Int("hostile-good", 10, "hostile target: well-behaved submissions riding through the flood")
+		hostileP95    = flag.Duration("hostile-good-p95", 2*time.Second, "hostile target: SLO floor for the good client's p95 response time under flood")
+		hostileSettle = flag.Duration("hostile-settle", 2*time.Minute, "hostile target: how long to wait for jobs to settle")
+		hostileLoris  = flag.Bool("hostile-loris", true, "hostile target: run the slow-loris phase (server must enforce read timeouts)")
+
 		auditFlag = flag.Bool("audit", false, "run the execution-feasibility audit target after the others")
 		faultsN   = flag.Int("faults", 0, "fault scenarios per workload in the audit target (0 = audit only)")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
@@ -109,6 +116,7 @@ func main() {
 		"table2": true, "fig9": true, "fig10": true, "fig11": true,
 		"fig12": true, "fig13": true, "fig14": true, "fig15": true, "fig16": true,
 		"audit": true, "verify": true, "cache": true, "oracle": true, "soak": true,
+		"hostile": true,
 	}
 	targets := flag.Args()
 	if len(targets) == 0 && !*auditFlag {
@@ -122,7 +130,7 @@ func main() {
 	}
 	for _, t := range targets {
 		if !known[t] {
-			fmt.Fprintf(os.Stderr, "unknown target %q (want table2, fig9..fig16, audit, verify, cache, oracle, soak, or all)\n", t)
+			fmt.Fprintf(os.Stderr, "unknown target %q (want table2, fig9..fig16, audit, verify, cache, oracle, soak, hostile, or all)\n", t)
 			os.Exit(2)
 		}
 	}
@@ -221,6 +229,17 @@ func main() {
 				SettleTo: *soakWait,
 				HitP99:   *soakP99,
 				MaxDegr:  *soakDegr,
+			}) {
+				verifyFailed = true
+			}
+		case "hostile":
+			if !runHostile(ctx, hostileConfig{
+				URL:      *hostileURL,
+				Flood:    *hostileFlood,
+				Good:     *hostileGood,
+				GoodP95:  *hostileP95,
+				SettleTo: *hostileSettle,
+				Loris:    *hostileLoris,
 			}) {
 				verifyFailed = true
 			}

@@ -36,6 +36,7 @@ import (
 	"magis/internal/cost"
 	"magis/internal/errfs"
 	"magis/internal/fsatomic"
+	"magis/internal/ingest"
 	"magis/internal/plancache"
 	"magis/internal/serve"
 )
@@ -64,8 +65,38 @@ func main() {
 		gcMax    = flag.Int("ckpt-gc-max", 0, "keep at most this many orphaned checkpoints at restart, oldest GCed first (0 = default 64, negative disables)")
 		stFaults = flag.String("chaos-storage-faults", "", "fault injection: storage fault specs, e.g. enospc@3+2,syncfail~0.1 (chaos only; see internal/errfs)")
 		stSeed   = flag.Int64("chaos-storage-seed", 1, "seed for rate-based storage fault specs")
+		// Hostile-traffic protections: socket deadlines, body bounds,
+		// ingestion limits, and per-client fairness.
+		maxBody   = flag.String("max-body", "", "largest /optimize request body (e.g. 8MiB; empty = default 8MiB)")
+		rhTimeout = flag.Duration("read-header-timeout", cliutil.DefaultHTTPTimeouts().ReadHeader, "evict clients that dribble request headers (0 disables)")
+		rdTimeout = flag.Duration("read-timeout", cliutil.DefaultHTTPTimeouts().Read, "bound reading a full request including the body (0 disables)")
+		wrTimeout = flag.Duration("write-timeout", cliutil.DefaultHTTPTimeouts().Write, "bound writing a response (0 disables)")
+		idTimeout = flag.Duration("idle-timeout", cliutil.DefaultHTTPTimeouts().Idle, "close idle keep-alive connections after this long (0 disables)")
+		cliRate   = flag.Float64("client-rate", 0, "per-client request rate limit in requests/sec (0 disables)")
+		cliBurst  = flag.Int("client-burst", 0, "per-client rate-limit burst (0 = default 8 when -client-rate is set)")
+		cliShare  = flag.Float64("client-share", 0, "one client's fair-share fraction of -admit-budget, in (0,1] (0 disables)")
+		cliQueue  = flag.Int("client-queue", 0, "per-client cap on queued jobs (0 disables)")
+		maxNodes  = flag.Int("max-graph-nodes", 0, "largest node count a submitted graph may have (0 = ingest default)")
+		maxFanOut = flag.Int("max-graph-fanout", 0, "largest consumer fan-out a submitted graph node may have (0 = ingest default)")
 	)
 	flag.Parse()
+
+	timeouts := cliutil.HTTPTimeouts{
+		ReadHeader: *rhTimeout, Read: *rdTimeout, Write: *wrTimeout, Idle: *idTimeout,
+	}
+	if err := timeouts.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if *cliShare < 0 || *cliShare > 1 {
+		log.Fatalf("invalid -client-share %v: must be in [0,1]", *cliShare)
+	}
+	if *cliRate < 0 {
+		log.Fatalf("invalid -client-rate %v: must be >= 0", *cliRate)
+	}
+	maxBodyBytes, err := cliutil.ParseBytes(*maxBody)
+	if err != nil {
+		log.Fatalf("-max-body: %v", err)
+	}
 
 	memBudget, err := cliutil.ParseBytes(*memBudg)
 	if err != nil {
@@ -120,6 +151,12 @@ func main() {
 		StorageCooloff:   *stCool,
 		CheckpointGCAge:  *gcAge,
 		CheckpointGCMax:  *gcMax,
+		MaxBody:          maxBodyBytes,
+		Ingest:           ingest.Limits{MaxNodes: *maxNodes, MaxFanOut: *maxFanOut},
+		ClientRate:       *cliRate,
+		ClientBurst:      *cliBurst,
+		ClientShare:      *cliShare,
+		ClientQueue:      *cliQueue,
 		Logf:             log.Printf,
 	})
 	if *poison != "" {
@@ -130,6 +167,7 @@ func main() {
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	timeouts.Apply(hs)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -50,6 +50,8 @@ import (
 	"magis/internal/cost"
 	"magis/internal/faults"
 	"magis/internal/graph"
+	"magis/internal/graphio"
+	"magis/internal/ingest"
 	"magis/internal/models"
 	"magis/internal/opt"
 	"magis/internal/robust"
@@ -69,6 +71,8 @@ func main() {
 		iters   = flag.Int("iters", 0, "cap search expansions (0 = budget-bound only; fixed work => deterministic result)")
 		strict  = flag.Bool("strict-hash", false, "disable incremental WL hashing (escape hatch; the two paths are bit-identical)")
 		emit    = flag.String("emit", "", "write a PyTorch script for the optimized graph to this path")
+		load    = flag.String("load", "", "optimize a graph document (graphio format) through the hardened ingest pipeline instead of -model")
+		saveG   = flag.String("save-graph", "", "write the selected workload's graph document to this path and exit (no search)")
 		memBudg = flag.String("mem-budget", "", "soft live-memory budget for the search itself (e.g. 512MiB); over budget the search sheds frontier state and, at worst, stops with its best-so-far (empty = off)")
 
 		ckpt   = flag.String("checkpoint", "", "periodically snapshot the search to this path (crash-safe; see -resume)")
@@ -137,9 +141,45 @@ func main() {
 		}
 		wName = info.Label
 	} else {
-		w, err := models.ByName(*model, *scale)
-		if err != nil {
-			fatalf("%v", err)
+		var w *models.Workload
+		if *load != "" {
+			// Loaded graph documents are untrusted input: they go through
+			// the same strict decode, structural limits, and search-cost
+			// preflight the service applies, so a hostile file fails with a
+			// positional reason instead of a panic mid-search.
+			f, err := os.Open(*load)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			g, _, err := ingest.Decode(f, ingest.Limits{})
+			f.Close()
+			if err != nil {
+				fatalf("-load %s: %v", *load, err)
+			}
+			if err := ingest.Preflight(g, opt.Options{Workers: *workers}, ingest.Limits{}); err != nil {
+				fatalf("-load %s: %v", *load, err)
+			}
+			w = &models.Workload{Name: fmt.Sprintf("graph-%016x", g.WLHash()), G: g}
+		} else {
+			var err error
+			w, err = models.ByName(*model, *scale)
+			if err != nil {
+				fatalf("%v", err)
+			}
+		}
+		if *saveG != "" {
+			f, err := os.Create(*saveG)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := graphio.Save(f, w.G, nil); err != nil {
+				fatalf("-save-graph: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("-save-graph: %v", err)
+			}
+			fmt.Printf("wrote %s (%d nodes) to %s\n", w.Name, w.G.Len(), *saveG)
+			return
 		}
 		base := opt.Baseline(w.G, m)
 		fmt.Printf("workload: %s\n", w)

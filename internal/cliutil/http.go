@@ -1,0 +1,67 @@
+package cliutil
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// HTTPTimeouts are the server-side socket deadlines every magis HTTP
+// front-end applies. Without them a slow-loris client — one byte of
+// header per minute, or a request body that never finishes — pins a
+// connection (and its goroutine) forever; with them the kernel closes
+// the laggard and the accept loop moves on.
+type HTTPTimeouts struct {
+	// ReadHeader bounds how long a client may take to send the full
+	// request header; Read bounds the entire request including the body.
+	ReadHeader time.Duration
+	Read       time.Duration
+	// Write bounds writing the response; Idle bounds how long a
+	// keep-alive connection may sit between requests.
+	Write time.Duration
+	Idle  time.Duration
+}
+
+// DefaultHTTPTimeouts are serviceable for an optimize API whose request
+// bodies are small JSON documents: generous enough for a slow but honest
+// WAN client, tight enough that a deliberate dribbler is evicted in
+// seconds, not hours.
+func DefaultHTTPTimeouts() HTTPTimeouts {
+	return HTTPTimeouts{
+		ReadHeader: 5 * time.Second,
+		Read:       30 * time.Second,
+		Write:      60 * time.Second,
+		Idle:       2 * time.Minute,
+	}
+}
+
+// Validate returns the first invalid timeout as an error phrased for
+// direct CLI output (it names the flag). Zero disables the respective
+// deadline — allowed, but an operator has to ask for it explicitly.
+func (t HTTPTimeouts) Validate() error {
+	for _, f := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"-read-header-timeout", t.ReadHeader},
+		{"-read-timeout", t.Read},
+		{"-write-timeout", t.Write},
+		{"-idle-timeout", t.Idle},
+	} {
+		if f.d < 0 {
+			return fmt.Errorf("invalid %s %v: must be >= 0 (0 disables)", f.name, f.d)
+		}
+	}
+	if t.ReadHeader > 0 && t.Read > 0 && t.ReadHeader > t.Read {
+		return fmt.Errorf("invalid -read-header-timeout %v: exceeds -read-timeout %v", t.ReadHeader, t.Read)
+	}
+	return nil
+}
+
+// Apply sets the deadlines on an http.Server.
+func (t HTTPTimeouts) Apply(s *http.Server) {
+	s.ReadHeaderTimeout = t.ReadHeader
+	s.ReadTimeout = t.Read
+	s.WriteTimeout = t.Write
+	s.IdleTimeout = t.Idle
+}

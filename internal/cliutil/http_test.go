@@ -1,0 +1,78 @@
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestHTTPTimeoutsValidate(t *testing.T) {
+	if err := DefaultHTTPTimeouts().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	if err := (HTTPTimeouts{}).Validate(); err != nil {
+		t.Fatalf("all-zero (disabled) invalid: %v", err)
+	}
+	if err := (HTTPTimeouts{Read: -time.Second}).Validate(); err == nil {
+		t.Fatal("negative read timeout accepted")
+	}
+	if err := (HTTPTimeouts{ReadHeader: 2 * time.Second, Read: time.Second}).Validate(); err == nil {
+		t.Fatal("header timeout beyond read timeout accepted")
+	}
+}
+
+// TestSlowLorisEvicted is the satellite regression test: a client that
+// dribbles its request header must be disconnected by ReadHeaderTimeout
+// instead of holding the connection open indefinitely, and an honest
+// client on the same server is unaffected.
+func TestSlowLorisEvicted(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, "ok")
+		}),
+	}
+	HTTPTimeouts{ReadHeader: 200 * time.Millisecond, Read: time.Second}.Apply(hs)
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	// The attacker: one header byte, then silence. The server must hang up
+	// on its own initiative — the read below returning (EOF or reset)
+	// proves it did.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HT")); err != nil {
+		t.Fatal(err)
+	}
+	// Eviction shows up as either a 408 response followed by close, or an
+	// immediate close (EOF/reset). The only failure mode is our read
+	// deadline firing — the server still waiting on the dribbler.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 512)
+	_, err = conn.Read(buf)
+	for err == nil {
+		_, err = conn.Read(buf)
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server did not evict the slow-loris client within 5s")
+	}
+
+	// An honest client is still served.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatalf("honest request failed alongside the attacker: %v", err)
+	}
+	defer resp.Body.Close()
+	if body, _ := io.ReadAll(resp.Body); string(body) != "ok" {
+		t.Fatalf("honest request got %q, want ok", body)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"magis/internal/graph"
 	"magis/internal/ops"
 	"magis/internal/sched"
+	"magis/internal/tensor"
 )
 
 // Magic identifies a graphio file; files written before the header was
@@ -72,12 +73,18 @@ func Load(r io.Reader) (*graph.Graph, sched.Schedule, error) {
 	}
 	g := graph.New()
 	remap := make(map[graph.NodeID]graph.NodeID, len(f.Nodes))
-	for _, n := range f.Nodes {
+	for pos, n := range f.Nodes {
+		if _, dup := remap[n.ID]; dup {
+			return nil, nil, fmt.Errorf("graphio: node %d (file index %d): duplicate node id", n.ID, pos)
+		}
+		if err := checkRawOp(pos, n); err != nil {
+			return nil, nil, err
+		}
 		ins := make([]graph.NodeID, len(n.Ins))
 		for i, in := range n.Ins {
 			m, ok := remap[in]
 			if !ok {
-				return nil, nil, fmt.Errorf("graphio: node %d references undeclared input %d", n.ID, in)
+				return nil, nil, fmt.Errorf("graphio: node %d (file index %d) references undeclared input %d", n.ID, pos, in)
 			}
 			ins[i] = m
 		}
@@ -97,6 +104,46 @@ func Load(r io.Reader) (*graph.Graph, sched.Schedule, error) {
 		}
 	}
 	return g, order, nil
+}
+
+// checkRawOp validates one decoded node's operator payload before it is
+// handed to ops.FromRaw. Load feeds the optimizer data it did not build
+// itself, and the optimizer's own accessors assume well-formed metadata
+// (DType.Size panics on unknown values, Shape.Elems multiplies without
+// overflow checks) — so every assumption is re-checked here with an error
+// naming the node and its position in the file.
+func checkRawOp(pos int, n nodeFormat) error {
+	at := func(format string, args ...any) error {
+		return fmt.Errorf("graphio: node %d (file index %d): %s", n.ID, pos, fmt.Sprintf(format, args...))
+	}
+	if !n.Op.DType.Valid() {
+		return at("unknown dtype %d", n.Op.DType)
+	}
+	check := func(what string, s tensor.Shape) error {
+		for d, ext := range s {
+			if ext < 1 {
+				return at("%s dimension %d has extent %d, want >= 1", what, d+1, ext)
+			}
+		}
+		if _, ok := tensor.BytesChecked(s, n.Op.DType); !ok {
+			return at("%s shape %v overflows the byte accounting", what, s)
+		}
+		return nil
+	}
+	if err := check("output", n.Op.Out); err != nil {
+		return err
+	}
+	for i, in := range n.Op.Ins {
+		if err := check(fmt.Sprintf("input %d", i), in); err != nil {
+			return err
+		}
+	}
+	for _, ext := range n.Op.Reduce {
+		if ext < 1 {
+			return at("reduce axis has extent %d, want >= 1", ext)
+		}
+	}
+	return nil
 }
 
 // checkHeader validates the magic/version pair with errors that name both

@@ -1,0 +1,149 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// hostileCorpus is the table of adversarially malformed graph documents
+// Load must reject with a descriptive, position-bearing error. The fuzz
+// target below seeds from the same table, so every hand-written attack
+// also becomes a mutation starting point.
+var hostileCorpus = []struct {
+	name string
+	doc  string
+	want string // substring the error must carry
+}{
+	{
+		name: "duplicate node id",
+		doc: `{"version":1,"nodes":[
+			{"id":3,"op":{"kind":"Input","out":[4],"dtype":0}},
+			{"id":3,"op":{"kind":"ReLU","ins":[[4]],"out":[4],"dtype":0},"ins":[3]}]}`,
+		want: "duplicate node id",
+	},
+	{
+		name: "dangling input reference",
+		doc: `{"version":1,"nodes":[
+			{"id":0,"op":{"kind":"ReLU","ins":[[4]],"out":[4],"dtype":0},"ins":[7]}]}`,
+		want: "undeclared input 7",
+	},
+	{
+		name: "forward input reference",
+		doc: `{"version":1,"nodes":[
+			{"id":0,"op":{"kind":"ReLU","ins":[[4]],"out":[4],"dtype":0},"ins":[1]},
+			{"id":1,"op":{"kind":"Input","out":[4],"dtype":0}}]}`,
+		want: "undeclared input 1",
+	},
+	{
+		name: "negative output dim",
+		doc:  `{"version":1,"nodes":[{"id":0,"op":{"kind":"Input","out":[-4],"dtype":0}}]}`,
+		want: "extent -4",
+	},
+	{
+		name: "zero output dim",
+		doc:  `{"version":1,"nodes":[{"id":0,"op":{"kind":"Input","out":[8,0],"dtype":0}}]}`,
+		want: "extent 0",
+	},
+	{
+		name: "negative input dim",
+		doc: `{"version":1,"nodes":[
+			{"id":0,"op":{"kind":"Input","out":[4],"dtype":0}},
+			{"id":1,"op":{"kind":"ReLU","ins":[[-1]],"out":[4],"dtype":0},"ins":[0]}]}`,
+		want: "input 0",
+	},
+	{
+		name: "overflowing shape product",
+		doc: `{"version":1,"nodes":[
+			{"id":0,"op":{"kind":"Input","out":[2147483647,2147483647,2147483647],"dtype":0}}]}`,
+		want: "overflows",
+	},
+	{
+		name: "NaN shape dim is not JSON",
+		doc:  `{"version":1,"nodes":[{"id":0,"op":{"kind":"Input","out":[NaN],"dtype":0}}]}`,
+		want: "graphio:",
+	},
+	{
+		name: "fractional shape dim",
+		doc:  `{"version":1,"nodes":[{"id":0,"op":{"kind":"Input","out":[4.5],"dtype":0}}]}`,
+		want: "graphio:",
+	},
+	{
+		name: "unknown dtype",
+		doc:  `{"version":1,"nodes":[{"id":0,"op":{"kind":"Input","out":[4],"dtype":99}}]}`,
+		want: "unknown dtype 99",
+	},
+	{
+		name: "negative reduce extent",
+		doc: `{"version":1,"nodes":[
+			{"id":0,"op":{"kind":"Input","out":[4],"dtype":0,"reduce":[-2]}}]}`,
+		want: "reduce axis has extent -2",
+	},
+	{
+		name: "truncated document",
+		doc:  `{"version":1,"nodes":[{"id":0,"op":{"kind":"Inp`,
+		want: "graphio:",
+	},
+}
+
+func TestHostileDecodeCorpus(t *testing.T) {
+	for _, tc := range hostileCorpus {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Load(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatalf("hostile document accepted: %s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not carry %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestHostileErrorsArePositional pins that structural rejections name the
+// node and its position in the file — an operator debugging a rejected
+// multi-thousand-node upload needs coordinates, not just a verdict.
+func TestHostileErrorsArePositional(t *testing.T) {
+	doc := `{"version":1,"nodes":[
+		{"id":0,"op":{"kind":"Input","out":[4],"dtype":0}},
+		{"id":9,"op":{"kind":"Input","out":[4],"dtype":42}}]}`
+	_, _, err := Load(strings.NewReader(doc))
+	if err == nil {
+		t.Fatal("bad dtype accepted")
+	}
+	for _, want := range []string{"node 9", "file index 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// FuzzDecode asserts the decode contract under mutation: Load never
+// panics, and any document it accepts survives a save/load round trip
+// with its structural hash intact.
+func FuzzDecode(f *testing.F) {
+	for _, tc := range hostileCorpus {
+		f.Add(tc.doc)
+	}
+	f.Add(`{"magic":"magis-graph","version":1,"nodes":[
+		{"id":0,"op":{"kind":"Input","out":[4,4],"dtype":0}},
+		{"id":1,"op":{"kind":"ReLU","ins":[[4,4]],"out":[4,4],"dtype":0},"ins":[0]}],
+		"schedule":[0,1]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		g, order, err := Load(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, g, order); err != nil {
+			t.Fatalf("accepted graph failed to save: %v", err)
+		}
+		g2, _, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted graph rejected: %v", err)
+		}
+		if g.WLHash() != g2.WLHash() {
+			t.Fatal("round trip changed the structural hash")
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"magis/internal/graph"
 	"magis/internal/models"
 	"magis/internal/opt"
 	"magis/internal/plancache"
@@ -66,6 +67,30 @@ func (s *Server) workloadStats(name string, scale float64) (*wlStats, error) {
 	return st, nil
 }
 
+// graphStats prices a direct graph submission. Deliberately NOT memoized:
+// the cache key would be client-controlled graph content, and an attacker
+// rotating graphs would grow the map without bound. The baseline
+// evaluation runs under opt.Guard so a graph that slips past ingestion
+// and still panics the evaluator fails its own request, not the server.
+func (s *Server) graphStats(g *graph.Graph) (*wlStats, error) {
+	var st *wlStats
+	err := opt.Guard("serve", "graph-stats", func() error {
+		base := opt.Baseline(g, s.cfg.Model)
+		st = &wlStats{
+			nodes:   g.Len(),
+			wl:      g.WLHash(),
+			topo:    plancache.TopoHash(g),
+			baseMem: base.PeakMem,
+			baseLat: base.Latency,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("graph baseline evaluation failed: %w", err)
+	}
+	return st, nil
+}
+
 // searchOptions builds the search configuration for a job from the
 // workload's baseline metrics. Admission and the search runner share this
 // one constructor so the fingerprint admission probes with is the
@@ -99,7 +124,13 @@ func (s *Server) searchOptions(j *job, baseMem int64, baseLat float64) opt.Optio
 // class can only degrade hit→search at run time, so admission over-
 // reserves rather than over-admits.
 func (s *Server) estimateJob(j *job) error {
-	st, err := s.workloadStats(j.req.Model, j.req.Scale)
+	var st *wlStats
+	var err error
+	if j.g != nil {
+		st, err = s.graphStats(j.g)
+	} else {
+		st, err = s.workloadStats(j.req.Model, j.req.Scale)
+	}
 	if err != nil {
 		return err
 	}
@@ -149,20 +180,35 @@ func costUnits(d time.Duration) int64 {
 	return u
 }
 
+// costTotals is the post-reservation snapshot holdCost returns: the
+// global total in use plus the holding client's own totals, so admission
+// can check both budgets from one reservation.
+type costTotals struct {
+	total      int64 // global cost units in use
+	clientHeld int64 // this client's cost units in use
+	clientJobs int   // this client's unsettled jobs
+}
+
 // holdCost reserves a job's estimated cost against the admission budget
-// and returns the resulting total in use; releaseCost returns the hold
-// exactly once when the job settles. Reserving and reading the total in
-// one atomic add lets admission check the budget race-free (reserve,
-// check, roll back on overshoot) instead of check-then-hold. A stall
-// resume keeps its hold — the work is still in the building.
-func (s *Server) holdCost(j *job) int64 {
+// (and the per-client ledger) and returns the resulting totals;
+// releaseCost returns the hold exactly once when the job settles.
+// Reserving and reading the total in one atomic add lets admission check
+// the budgets race-free (reserve, check, roll back on overshoot) instead
+// of check-then-hold. A stall resume keeps its hold — the work is still
+// in the building.
+func (s *Server) holdCost(j *job) costTotals {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if !j.costHeld {
 		j.costHeld = true
-		return s.costInUse.Add(j.estUnits)
+		held, jobs := s.clients.hold(j.client, j.estUnits, time.Now())
+		return costTotals{
+			total:      s.costInUse.Add(j.estUnits),
+			clientHeld: held,
+			clientJobs: jobs,
+		}
 	}
-	return s.costInUse.Load()
+	return costTotals{total: s.costInUse.Load()}
 }
 
 func (s *Server) releaseCost(j *job) {
@@ -170,6 +216,7 @@ func (s *Server) releaseCost(j *job) {
 	if j.costHeld {
 		j.costHeld = false
 		s.costInUse.Add(-j.estUnits)
+		s.clients.release(j.client, j.estUnits)
 	}
 	j.mu.Unlock()
 }
@@ -266,14 +313,18 @@ func (s *Server) shedExpiredQueued() int {
 
 // admitQueued pushes an estimated job into the queue, shedding doomed
 // work first and — for deadline-urgent jobs — evicting the cheapest
-// strictly-laxer queued job when the queue is still full. Reports whether
-// the job was admitted.
-func (s *Server) admitQueued(j *job) bool {
-	if s.queue.push(j) {
-		return true
+// strictly-laxer queued job when the queue is still full. A per-client
+// occupancy rejection short-circuits: the client is over its own slot
+// allotment, so nobody else's work should be shed to accommodate it.
+func (s *Server) admitQueued(j *job) pushVerdict {
+	v := s.queue.push(j)
+	if v != pushFull {
+		return v
 	}
-	if s.shedExpiredQueued() > 0 && s.queue.push(j) {
-		return true
+	if s.shedExpiredQueued() > 0 {
+		if v = s.queue.push(j); v != pushFull {
+			return v
+		}
 	}
 	if !j.deadline.IsZero() {
 		// Cheapest-first eviction under pressure: among queued jobs that
@@ -284,10 +335,10 @@ func (s *Server) admitQueued(j *job) bool {
 		}, func(q *job) int64 { return q.estUnits })
 		if victim != nil {
 			s.shedJob(victim, shedEvicted)
-			if s.queue.push(j) {
-				return true
+			if v = s.queue.push(j); v != pushFull {
+				return v
 			}
 		}
 	}
-	return false
+	return pushFull
 }

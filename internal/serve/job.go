@@ -64,6 +64,16 @@ type job struct {
 	id     string
 	req    OptimizeRequest
 	budget time.Duration
+	// client is the admission identity this job's cost is charged to
+	// (anonClient when the request declared none); immutable after
+	// admission.
+	client string
+	// g is the ingested graph for direct graph submissions (nil for
+	// built-in model jobs); wlName is the workload identity used for
+	// logging, breaker keys, and checkpoint labels — the model name, or
+	// graph-<hash> for uploads. Both immutable after admission.
+	g      *graph.Graph
+	wlName string
 	// deadline is the client's absolute response deadline (zero = none);
 	// immutable after admission, it orders the EDF queue and drives
 	// shedding and degraded responses.
@@ -148,6 +158,7 @@ type jobView struct {
 	ID         string      `json:"id"`
 	State      string      `json:"state"`
 	Model      string      `json:"model"`
+	Client     string      `json:"client,omitempty"`
 	Mode       string      `json:"mode,omitempty"`
 	BudgetSec  float64     `json:"budget_sec"`
 	Created    time.Time   `json:"created"`
@@ -212,7 +223,23 @@ func (j *job) interrupt(r interruptReason) bool {
 	return false
 }
 
-func (s *Server) newJob(req OptimizeRequest, budget time.Duration) *job {
+// workloadName is the job's workload identity: the model name for
+// built-in jobs, graph-<hash> for direct graph submissions.
+func (j *job) workloadName() string {
+	if j.wlName != "" {
+		return j.wlName
+	}
+	return j.req.Model
+}
+
+// graphWorkloadName derives the workload identity of an uploaded graph
+// from its structural hash, so identical uploads share a breaker and a
+// log identity without trusting any client-supplied name.
+func graphWorkloadName(g *graph.Graph) string {
+	return fmt.Sprintf("graph-%016x", g.WLHash())
+}
+
+func (s *Server) newJob(req OptimizeRequest, budget time.Duration, client string, g *graph.Graph) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
@@ -220,8 +247,14 @@ func (s *Server) newJob(req OptimizeRequest, budget time.Duration) *job {
 		id:      fmt.Sprintf("job-%d", s.nextID),
 		req:     req,
 		budget:  budget,
+		client:  client,
+		g:       g,
+		wlName:  req.Model,
 		state:   stateQueued,
 		created: time.Now(),
+	}
+	if g != nil {
+		j.wlName = graphWorkloadName(g)
 	}
 	s.jobs[j.id] = j
 	return j
@@ -240,7 +273,8 @@ func (s *Server) jobView(j *job) jobView {
 	v := jobView{
 		ID:         j.id,
 		State:      j.state,
-		Model:      j.req.Model,
+		Model:      j.workloadName(),
+		Client:     j.client,
 		Mode:       j.req.Mode,
 		BudgetSec:  j.budget.Seconds(),
 		Created:    j.created,
@@ -300,7 +334,7 @@ func (s *Server) flushQueue() {
 // in-flight probe still owns. Safe to call repeatedly.
 func (s *Server) abandonProbe(j *job) {
 	if j.probe {
-		s.brk.onAbandon(breakerKey(j.req.Model, j.req.Scale, j.req.Mode))
+		s.brk.onAbandon(breakerKey(j.workloadName(), j.req.Scale, j.req.Mode))
 	}
 }
 
@@ -380,7 +414,7 @@ func (s *Server) finishJob(j *job, res *opt.Result, err error) {
 	j.finished = time.Now()
 	j.mu.Unlock()
 	s.noteSearchTelemetry(res)
-	bkey := breakerKey(j.req.Model, j.req.Scale, j.req.Mode)
+	bkey := breakerKey(j.workloadName(), j.req.Scale, j.req.Mode)
 
 	switch {
 	case err != nil:
@@ -524,7 +558,7 @@ func (s *Server) requeueResume(j *job) bool {
 	j.interrupted = reasonNone
 	j.err = ""
 	j.mu.Unlock()
-	if s.queue.push(j) {
+	if s.queue.push(j) == pushOK {
 		s.met.Resumed.Add(1)
 		s.cfg.Logf("serve: %s stalled; resuming from checkpoint", j.id)
 		return true
@@ -562,9 +596,19 @@ func (s *Server) searchJob(ctx context.Context, j *job) (*opt.Result, error) {
 		return res, err
 	}
 
-	w, err := models.ByName(j.req.Model, j.req.Scale)
-	if err != nil {
-		return nil, err
+	// Direct graph submissions carry their (already ingested and
+	// validated) graph; built-in jobs construct their workload by name.
+	// Both run the same search, cache, and verification machinery — the
+	// fidelity pin in hostile_test.go holds the two paths bit-identical.
+	var w *models.Workload
+	if j.g != nil {
+		w = &models.Workload{Name: j.workloadName(), G: j.g}
+	} else {
+		var err error
+		w, err = models.ByName(j.req.Model, j.req.Scale)
+		if err != nil {
+			return nil, err
+		}
 	}
 	base := opt.Baseline(w.G, s.cfg.Model)
 	// searchOptions is shared with the admission estimator so the
@@ -579,7 +623,7 @@ func (s *Server) searchJob(ctx context.Context, j *job) (*opt.Result, error) {
 		o.Checkpoint = opt.Checkpoint{
 			Path:   s.checkpointPath(j.id),
 			EveryN: s.cfg.CheckpointEveryN,
-			Label:  j.req.Model,
+			Label:  j.workloadName(),
 			FS:     s.cfg.FS,
 		}
 	}
@@ -792,6 +836,7 @@ func (s *Server) recoverCheckpoints() int {
 			id:         id,
 			req:        OptimizeRequest{Model: info.Label},
 			budget:     s.cfg.DefaultBudget,
+			client:     anonClient,
 			resumePath: path,
 			resumes:    1,
 			state:      stateQueued,
@@ -805,7 +850,7 @@ func (s *Server) recoverCheckpoints() int {
 		s.jobs[id] = j
 		s.mu.Unlock()
 		s.holdCost(j)
-		if s.queue.push(j) {
+		if s.queue.push(j) == pushOK {
 			s.met.Admitted.Add(1)
 			s.met.Resumed.Add(1)
 			s.cfg.Logf("serve: recovered %s (%s, %d expansions so far)", id, info.Label, info.Iterations)

@@ -899,7 +899,7 @@ func TestProbeClassMatchesCacheFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j := s.newJob(req, budget)
+	j := s.newJob(req, budget, anonClient, nil)
 	defer s.forget(j)
 	if err := s.estimateJob(j); err != nil {
 		t.Fatal(err)

@@ -13,16 +13,31 @@ import (
 )
 
 type jobQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []*job // EDF order: items[0] pops next
-	limit  int
-	closed bool
-	seq    int64
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []*job // EDF order: items[0] pops next
+	limit int
+	// clientCap bounds how many queued jobs one client identity may hold
+	// (0 = unlimited). Enforced inside push, under the queue lock, so
+	// concurrent same-client arrivals cannot jointly overshoot it.
+	clientCap int
+	closed    bool
+	seq       int64
 }
 
-func newJobQueue(limit int) *jobQueue {
-	q := &jobQueue{limit: limit}
+// pushVerdict is push's admission decision: the queue distinguishes "no
+// room for anyone" from "no room for *this client*" because the two
+// reject with different reasons and only the former justifies eviction.
+type pushVerdict int
+
+const (
+	pushOK pushVerdict = iota
+	pushFull
+	pushClientFull
+)
+
+func newJobQueue(limit, clientCap int) *jobQueue {
+	q := &jobQueue{limit: limit, clientCap: clientCap}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -45,14 +60,26 @@ func edfBefore(a, b *job) bool {
 	}
 }
 
-// push admits j, keeping EDF order. It reports false — without blocking —
-// when the queue is full or closed. Queue depths are small (tens), so an
-// ordered insert beats heap bookkeeping.
-func (q *jobQueue) push(j *job) bool {
+// push admits j, keeping EDF order. It rejects — without blocking — when
+// the queue is full or closed, or when j's client already holds its full
+// per-client allotment of slots. Queue depths are small (tens), so an
+// ordered insert and a linear client count beat heap bookkeeping.
+func (q *jobQueue) push(j *job) pushVerdict {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed || len(q.items) >= q.limit {
-		return false
+		return pushFull
+	}
+	if q.clientCap > 0 && j.client != "" {
+		n := 0
+		for _, it := range q.items {
+			if it.client == j.client {
+				n++
+			}
+		}
+		if n >= q.clientCap {
+			return pushClientFull
+		}
 	}
 	q.seq++
 	j.seq = q.seq
@@ -64,7 +91,7 @@ func (q *jobQueue) push(j *job) bool {
 	copy(q.items[i+1:], q.items[i:])
 	q.items[i] = j
 	q.cond.Signal()
-	return true
+	return pushOK
 }
 
 // pop blocks until a job is available or the queue closes; ok=false means

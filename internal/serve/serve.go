@@ -31,8 +31,10 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -43,7 +45,10 @@ import (
 
 	"magis/internal/cost"
 	"magis/internal/fsatomic"
+	"magis/internal/graph"
+	"magis/internal/ingest"
 	"magis/internal/models"
+	"magis/internal/opt"
 	"magis/internal/plancache"
 )
 
@@ -124,6 +129,25 @@ type Config struct {
 	// respective bound.
 	CheckpointGCAge time.Duration
 	CheckpointGCMax int
+	// MaxBody bounds the /optimize request body in bytes (default 8 MiB).
+	// Oversized bodies reject with 413 before the JSON decoder runs.
+	MaxBody int64
+	// Ingest bounds direct graph submissions (see internal/ingest); zero
+	// fields take ingest.DefaultLimits. Only consulted when a request
+	// carries a graph.
+	Ingest ingest.Limits
+	// ClientRate / ClientBurst configure the per-client request token
+	// bucket (requests per second / bucket size). Zero rate disables it;
+	// burst defaults to 8 when a rate is set.
+	ClientRate  float64
+	ClientBurst int
+	// ClientShare is one client's fair-share fraction of AdmitBudget in
+	// (0,1]: the estimated service time a single client identity may hold
+	// concurrently. Zero disables per-client cost isolation.
+	ClientShare float64
+	// ClientQueue caps how many queued (not yet running) jobs one client
+	// identity may hold. Zero disables the cap.
+	ClientQueue int
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -170,6 +194,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointGCMax == 0 {
 		c.CheckpointGCMax = 64
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 8 << 20
+	}
+	if c.ClientRate > 0 && c.ClientBurst <= 0 {
+		c.ClientBurst = 8
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -224,6 +254,15 @@ type metrics struct {
 	// budget and frontier states shed.
 	GovernorStops   atomic.Int64
 	GovernorEvicted atomic.Int64
+	// Hostile-traffic outcomes: oversized bodies, graphs rejected at
+	// ingestion, search bombs caught by the preflight, and per-client
+	// fairness rejections (rate, fair-share cost, queue occupancy).
+	RejectedTooLarge    atomic.Int64
+	RejectedIngest      atomic.Int64
+	RejectedBomb        atomic.Int64
+	RejectedClientRate  atomic.Int64
+	RejectedClientShare atomic.Int64
+	RejectedClientQueue atomic.Int64
 }
 
 // Server is the service. Create with New, wire Handler into an HTTP
@@ -256,6 +295,9 @@ type Server struct {
 	// estimates.
 	wlMu    sync.Mutex
 	wlStats map[string]*wlStats
+	// clients is the per-client fairness ledger (rate, fair-share cost,
+	// counters); a zero-configured ledger tracks nothing.
+	clients *clientLedger
 
 	// runSearch executes one job's search; replaced by tests to control
 	// timing without real optimization work.
@@ -274,7 +316,8 @@ func New(cfg Config) *Server {
 		jobs:    make(map[string]*job),
 		wlStats: make(map[string]*wlStats),
 	}
-	s.queue = newJobQueue(s.cfg.QueueDepth)
+	s.queue = newJobQueue(s.cfg.QueueDepth, s.cfg.ClientQueue)
+	s.clients = newClientLedger(s.cfg)
 	s.stop = make(chan struct{})
 	s.brk = newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooloff)
 	s.storage = newStorageHealth(s.cfg.StorageThreshold, s.cfg.StorageCooloff)
@@ -353,6 +396,16 @@ func (s *Server) Handler() http.Handler {
 type OptimizeRequest struct {
 	// Model names the workload (see internal/models.Names).
 	Model string `json:"model"`
+	// Graph, when present, submits an untrusted graph document (the
+	// graphio file envelope) instead of naming a built-in model. It is
+	// decoded and validated by internal/ingest — structural limits, dtype
+	// and shape bounds, search-cost preflight — before any search work is
+	// priced. Mutually exclusive with Model.
+	Graph json.RawMessage `json:"graph,omitempty"`
+	// Client declares the caller's identity for per-client fairness
+	// (rate limits, fair-share cost, queue occupancy). The X-Magis-Client
+	// header is the fallback; empty means the shared anonymous identity.
+	Client string `json:"client,omitempty"`
 	// Scale is the batch-size scale factor in (0,1] (default 1).
 	Scale float64 `json:"scale,omitempty"`
 	// Mode is "mem" (minimize memory under a latency limit, the default)
@@ -387,21 +440,32 @@ type OptimizeRequest struct {
 // normalize validates the request and resolves defaults, returning the
 // search budget and the client deadline (0 = none) measured from now.
 func (r *OptimizeRequest) normalize(cfg Config) (time.Duration, time.Duration, error) {
-	known := false
-	for _, n := range models.Names() {
-		if strings.EqualFold(r.Model, n) {
-			known = true
-			break
+	if len(r.Graph) > 0 {
+		// Direct graph submission: the graph document is the workload.
+		if r.Model != "" {
+			return 0, 0, fmt.Errorf("request carries both graph and model: pick one")
 		}
-	}
-	if !known {
-		return 0, 0, fmt.Errorf("unknown model %q (want %s)", r.Model, strings.Join(models.Names(), "|"))
-	}
-	if r.Scale == 0 {
+		if r.Scale != 0 && r.Scale != 1 {
+			return 0, 0, fmt.Errorf("invalid scale %v: scale applies to named models only", r.Scale)
+		}
 		r.Scale = 1
-	}
-	if r.Scale < 0 || r.Scale > 1 {
-		return 0, 0, fmt.Errorf("invalid scale %v: must be in (0,1]", r.Scale)
+	} else {
+		known := false
+		for _, n := range models.Names() {
+			if strings.EqualFold(r.Model, n) {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return 0, 0, fmt.Errorf("unknown model %q (want %s)", r.Model, strings.Join(models.Names(), "|"))
+		}
+		if r.Scale == 0 {
+			r.Scale = 1
+		}
+		if r.Scale < 0 || r.Scale > 1 {
+			return 0, 0, fmt.Errorf("invalid scale %v: must be in (0,1]", r.Scale)
+		}
 	}
 	switch r.Mode {
 	case "":
@@ -464,20 +528,85 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		s.met.RejectedDraining.Add(1)
-		httpError(w, http.StatusServiceUnavailable, "draining: not admitting new jobs")
+		httpReject(w, http.StatusServiceUnavailable, "draining", "draining: not admitting new jobs")
 		return
 	}
+
+	// The body is untrusted: bound its size before the decoder allocates
+	// anything, and reject unknown fields so a typo'd request fails loudly
+	// instead of silently running with defaults.
 	var req OptimizeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.met.RejectedTooLarge.Add(1)
+			httpReject(w, http.StatusRequestEntityTooLarge, "too-large",
+				"request body exceeds %d bytes", s.cfg.MaxBody)
+			return
+		}
 		s.met.RejectedInvalid.Add(1)
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		if strings.Contains(err.Error(), "unknown field") {
+			httpReject(w, http.StatusBadRequest, "unknown-field", "bad request body: %v", err)
+		} else {
+			httpReject(w, http.StatusBadRequest, "syntax", "bad request body: %v", err)
+		}
 		return
 	}
+
+	client, err := resolveClient(req.Client, r.Header.Get("X-Magis-Client"))
+	if err != nil {
+		s.met.RejectedInvalid.Add(1)
+		httpReject(w, http.StatusBadRequest, "client", "invalid client identity: %v", err)
+		return
+	}
+
 	budget, wait, err := req.normalize(s.cfg)
 	if err != nil {
 		s.met.RejectedInvalid.Add(1)
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpReject(w, http.StatusBadRequest, "invalid", "%v", err)
 		return
+	}
+
+	// Per-client rate limit: the cheapest gate, charged before any
+	// per-request pricing or ingestion work runs on the client's behalf.
+	if ok, after := s.clients.allow(client, time.Now()); !ok {
+		s.met.RejectedClientRate.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprint(after))
+		httpReject(w, http.StatusTooManyRequests, "client-rate",
+			"client %q over its request rate: retry later", client)
+		return
+	}
+
+	// Untrusted graph ingestion: strict decode under structural limits,
+	// then the search-cost preflight. Everything here is bounded by
+	// Config.Ingest, so a hostile document is refused with a structured
+	// reason before it can cost the server anything.
+	var g *graphHolder
+	if len(req.Graph) > 0 {
+		decoded, _, err := ingest.Decode(bytes.NewReader(req.Graph), s.cfg.Ingest)
+		if err == nil {
+			err = ingest.Preflight(decoded, opt.Options{Workers: req.Workers}, s.cfg.Ingest)
+		}
+		if err != nil {
+			ie := ingest.AsError(err)
+			code, reason := http.StatusBadRequest, "ingest"
+			if ie != nil {
+				code, reason = ie.HTTPStatus(), string(ie.Reason)
+			}
+			switch {
+			case code == http.StatusRequestEntityTooLarge:
+				s.met.RejectedTooLarge.Add(1)
+			case ie != nil && ie.Reason == ingest.ReasonSearchBomb:
+				s.met.RejectedBomb.Add(1)
+			default:
+				s.met.RejectedIngest.Add(1)
+			}
+			httpReject(w, code, reason, "graph rejected: %v", err)
+			return
+		}
+		g = &graphHolder{g: decoded}
 	}
 
 	// Circuit breaker: a workload that keeps failing is rejected outright
@@ -485,18 +614,23 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	// request admitted here as the probe owns the half-open slot from this
 	// point on: every later rejection path must hand the slot back
 	// (abandonProbe), or the breaker stays wedged waiting on a probe that
-	// never ran.
-	bkey := breakerKey(req.Model, req.Scale, req.Mode)
+	// never ran. Graph submissions key the breaker by content hash, so a
+	// poison graph resubmitted verbatim trips its own breaker.
+	wlname := req.Model
+	if g != nil {
+		wlname = graphWorkloadName(g.g)
+	}
+	bkey := breakerKey(wlname, req.Scale, req.Mode)
 	after, open, probe := s.brk.blocked(bkey, time.Now())
 	if open {
 		s.met.RejectedBreaker.Add(1)
 		w.Header().Set("Retry-After", fmt.Sprint(after))
-		httpError(w, http.StatusServiceUnavailable,
+		httpReject(w, http.StatusServiceUnavailable, "breaker",
 			"workload %s is circuit-broken after repeated failures: retry later", bkey)
 		return
 	}
 
-	j := s.newJob(req, budget)
+	j := s.newJob(req, budget, client, g.graph())
 	j.probe = probe
 	if wait > 0 {
 		j.deadline = j.created.Add(wait)
@@ -505,7 +639,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.abandonProbe(j)
 		s.forget(j)
 		s.met.RejectedInvalid.Add(1)
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpReject(w, http.StatusBadRequest, "invalid", "%v", err)
 		return
 	}
 
@@ -515,29 +649,42 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.abandonProbe(j)
 		s.forget(j)
 		s.met.RejectedDeadline.Add(1)
-		httpError(w, http.StatusUnprocessableEntity,
+		httpReject(w, http.StatusUnprocessableEntity, "deadline",
 			"deadline %v is below the minimum feasible service time %v", wait, j.minServe)
 		return
 	}
 
-	// Resource-aware admission: the job's estimated cost must fit the
-	// concurrent-cost budget. Reserve first, check after — holdCost's
-	// atomic add serializes concurrent arrivals, so they cannot all read
-	// the same pre-reservation total and jointly overshoot the budget.
-	// The one deliberate exception survives: an otherwise idle server
-	// (total == this job's own cost) admits any single job regardless of
-	// size, so an oversized request degrades to one-at-a-time service
-	// instead of permanent rejection.
+	// Resource-aware admission: the job's estimated cost must fit both the
+	// client's fair share and the global concurrent-cost budget. Reserve
+	// first, check after — holdCost's serialized adds mean concurrent
+	// arrivals cannot all read the same pre-reservation total and jointly
+	// overshoot either budget. The one deliberate exception survives at
+	// both levels: an otherwise idle server (or idle client) admits one
+	// job regardless of size, so an oversized request degrades to
+	// one-at-a-time service instead of permanent rejection.
 	budgetUnits := costUnits(s.cfg.AdmitBudget)
-	if total := s.holdCost(j); total > budgetUnits && total != j.estUnits {
+	tot := s.holdCost(j)
+	if share := s.clients.share(); share > 0 && tot.clientHeld > share && tot.clientHeld != j.estUnits {
+		s.releaseCost(j)
+		s.abandonProbe(j)
+		s.forget(j)
+		s.met.RejectedClientShare.Add(1)
+		s.clients.note(client, clientRejShare)
+		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfter()))
+		httpReject(w, http.StatusTooManyRequests, "client-share",
+			"client %q over its fair share (%dms held + %dms requested > %dms): retry later",
+			client, tot.clientHeld-j.estUnits, j.estUnits, share)
+		return
+	}
+	if tot.total > budgetUnits && tot.total != j.estUnits {
 		s.releaseCost(j)
 		s.abandonProbe(j)
 		s.forget(j)
 		s.met.RejectedCost.Add(1)
 		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfter()))
-		httpError(w, http.StatusTooManyRequests,
+		httpReject(w, http.StatusTooManyRequests, "budget",
 			"admission budget exhausted (%dms held + %dms requested > %dms): retry later",
-			total-j.estUnits, j.estUnits, budgetUnits)
+			tot.total-j.estUnits, j.estUnits, budgetUnits)
 		return
 	}
 
@@ -545,22 +692,47 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	// cheapest laxer victim for deadline-urgent work) or rejects before
 	// any search starts, so overload never builds an unbounded backlog.
 	// The cost hold already landed above: once queued, a worker may
-	// settle (and release) the job at any moment.
-	if !s.admitQueued(j) {
+	// settle (and release) the job at any moment. A per-client occupancy
+	// rejection is the client's own doing and evicts nobody.
+	switch s.admitQueued(j) {
+	case pushClientFull:
+		s.releaseCost(j)
+		s.abandonProbe(j)
+		s.forget(j)
+		s.met.RejectedClientQueue.Add(1)
+		s.clients.note(client, clientRejQueue)
+		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfter()))
+		httpReject(w, http.StatusTooManyRequests, "client-queue",
+			"client %q holds its full queue allotment (%d): retry later", client, s.cfg.ClientQueue)
+		return
+	case pushFull:
 		s.releaseCost(j)
 		s.abandonProbe(j)
 		s.forget(j)
 		s.met.RejectedFull.Add(1)
 		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfter()))
-		httpError(w, http.StatusTooManyRequests, "queue full (%d queued): retry later", s.cfg.QueueDepth)
+		httpReject(w, http.StatusTooManyRequests, "queue-full",
+			"queue full (%d queued): retry later", s.cfg.QueueDepth)
 		return
 	}
 	s.met.Admitted.Add(1)
 	s.admitClass(j.class)
-	s.cfg.Logf("serve: admitted %s (%s, budget %v, class %s, est %v)",
-		j.id, req.Model, budget, j.class, j.estServe)
+	s.clients.note(client, clientAdmitted)
+	s.cfg.Logf("serve: admitted %s (%s, client %s, budget %v, class %s, est %v)",
+		j.id, j.workloadName(), client, budget, j.class, j.estServe)
 	w.Header().Set("Location", "/jobs/"+j.id)
 	writeJSON(w, http.StatusAccepted, s.jobView(j))
+}
+
+// graphHolder lets the graph-vs-model branches above share one nilable
+// handle without sprinkling nil checks on a typed *graph.Graph.
+type graphHolder struct{ g *graph.Graph }
+
+func (h *graphHolder) graph() *graph.Graph {
+	if h == nil {
+		return nil
+	}
+	return h.g
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -641,6 +813,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"checkpoints_gced":        s.met.CkptGCed.Load(),
 		"governor_stops":          s.met.GovernorStops.Load(),
 		"governor_evicted_states": s.met.GovernorEvicted.Load(),
+		// Hostile-traffic counters.
+		"rejected_too_large":    s.met.RejectedTooLarge.Load(),
+		"rejected_ingest":       s.met.RejectedIngest.Load(),
+		"rejected_bomb":         s.met.RejectedBomb.Load(),
+		"rejected_client_rate":  s.met.RejectedClientRate.Load(),
+		"rejected_client_share": s.met.RejectedClientShare.Load(),
+		"rejected_client_queue": s.met.RejectedClientQueue.Load(),
+	}
+	if s.clients.enabled() {
+		out["clients"] = s.clients.snapshot()
 	}
 	if s.cfg.Cache != nil {
 		out["cache_hits"] = s.met.CacheHits.Load()
@@ -656,6 +838,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// httpReject writes a structured rejection: the human-readable error plus
+// a stable machine-readable reason code clients (and the hostile chaos
+// harness) can branch on without parsing prose.
+func httpReject(w http.ResponseWriter, code int, reason string, format string, args ...any) {
+	writeJSON(w, code, map[string]string{
+		"error":  fmt.Sprintf(format, args...),
+		"reason": reason,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

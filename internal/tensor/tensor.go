@@ -41,6 +41,12 @@ func (d DType) Size() int64 {
 	panic(fmt.Sprintf("tensor: unknown dtype %d", d))
 }
 
+// Valid reports whether d is one of the supported element types. Decoders
+// of untrusted graph bytes must check it before calling Size, which
+// panics on unknown values by design (an unknown dtype inside the
+// optimizer is a bug, not an input error).
+func (d DType) Valid() bool { return d <= Bool }
+
 // String returns the conventional lowercase name of the dtype.
 func (d DType) String() string {
 	switch d {
@@ -140,3 +146,27 @@ func (s Shape) String() string {
 // Bytes returns the device-memory footprint of a tensor with shape s and
 // element type d.
 func Bytes(s Shape, d DType) int64 { return s.Elems() * d.Size() }
+
+// BytesChecked is the overflow-aware form of Bytes for untrusted shapes:
+// it multiplies the dimension extents and the element size with explicit
+// overflow checks, returning ok=false when any dimension is < 1, the
+// dtype is unknown, or the product exceeds int64. Trusted in-optimizer
+// code keeps using Bytes; decoders of hostile inputs must use this, since
+// a silently wrapped product turns a graph bomb into a tiny-looking
+// tensor that passes every byte budget.
+func BytesChecked(s Shape, d DType) (n int64, ok bool) {
+	if !d.Valid() {
+		return 0, false
+	}
+	n = d.Size()
+	for _, dim := range s {
+		if dim < 1 {
+			return 0, false
+		}
+		if n > int64(1)<<62/int64(dim) {
+			return 0, false
+		}
+		n *= int64(dim)
+	}
+	return n, true
+}
